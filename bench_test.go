@@ -1,0 +1,78 @@
+package sya
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section VI), wrapping the internal/bench runners at reduced scale so the
+// whole suite stays in the minutes range. Run the cmd/syabench binary for
+// paper-style output and larger workloads; EXPERIMENTS.md records the
+// observed-vs-paper shapes.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchParams returns the reduced-scale parameters used by the benchmark
+// wrappers.
+func benchParams() bench.Params {
+	p := bench.DefaultParams()
+	p.GWDBWells = 250
+	p.NYCCASSide = 14
+	p.Epochs = 150
+	p.Runs = 1
+	return p
+}
+
+func runExperiment(b *testing.B, fn func(bench.Params) (*bench.Table, error)) {
+	b.Helper()
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+// BenchmarkTable1Stats regenerates Table I (KB statistics).
+func BenchmarkTable1Stats(b *testing.B) { runExperiment(b, bench.Table1) }
+
+// BenchmarkFig1EbolaKB regenerates Fig. 1 (EbolaKB factual scores,
+// DeepDive vs Sya).
+func BenchmarkFig1EbolaKB(b *testing.B) { runExperiment(b, bench.Fig1) }
+
+// BenchmarkFig8PrecisionRecall regenerates Fig. 8 (precision and recall vs
+// DeepDive on GWDB and NYCCAS).
+func BenchmarkFig8PrecisionRecall(b *testing.B) { runExperiment(b, bench.Fig8) }
+
+// BenchmarkFig9F1AndTime regenerates Fig. 9 (F1-score plus grounding and
+// inference times).
+func BenchmarkFig9F1AndTime(b *testing.B) { runExperiment(b, bench.Fig9) }
+
+// BenchmarkFig10StepRules regenerates Fig. 10 (DeepDive step-function rule
+// expansion vs Sya).
+func BenchmarkFig10StepRules(b *testing.B) { runExperiment(b, bench.Fig10) }
+
+// BenchmarkFig11Pruning regenerates Fig. 11 (pruning threshold T trade-off
+// on the categorical GWDB).
+func BenchmarkFig11Pruning(b *testing.B) { runExperiment(b, bench.Fig11) }
+
+// BenchmarkFig12Epochs regenerates Fig. 12 (F1 and inference time vs epoch
+// budget).
+func BenchmarkFig12Epochs(b *testing.B) { runExperiment(b, bench.Fig12) }
+
+// BenchmarkFig13Incremental regenerates Fig. 13 (incremental inference
+// latency and locality-level sweep).
+func BenchmarkFig13Incremental(b *testing.B) { runExperiment(b, bench.Fig13) }
+
+// BenchmarkFig14KL regenerates Fig. 14 (KL divergence vs sampling time for
+// spatial vs standard Gibbs).
+func BenchmarkFig14KL(b *testing.B) { runExperiment(b, bench.Fig14) }
+
+// BenchmarkAblation runs the beyond-the-paper component ablation
+// (spatial factors × sampler).
+func BenchmarkAblation(b *testing.B) { runExperiment(b, bench.Ablation) }

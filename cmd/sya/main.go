@@ -1,0 +1,281 @@
+// Command sya compiles and runs a spatial DDlog program: it loads input
+// relations from CSV files, grounds the program into a spatial factor
+// graph, runs inference, and prints the factual score of every ground atom.
+//
+// Usage:
+//
+//	sya -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
+//	    [-engine sya|deepdive] [-metric euclidean|miles|km] [-epochs N] \
+//	    [-bandwidth B] [-scale S] [-seed N] [-stats]
+//
+// CSV files need a header row naming the relation's columns (order free).
+// Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
+// true/false/1/0; empty cells load as NULL.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/learn"
+	"repro/internal/storage"
+)
+
+// loadFlag accumulates -load Relation=file.csv pairs.
+type loadFlag struct {
+	pairs [][2]string
+}
+
+func (l *loadFlag) String() string { return fmt.Sprint(l.pairs) }
+
+func (l *loadFlag) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want Relation=file.csv, got %q", v)
+	}
+	l.pairs = append(l.pairs, [2]string{parts[0], parts[1]})
+	return nil
+}
+
+func main() {
+	var loads loadFlag
+	var (
+		programPath = flag.String("program", "", "DDlog program file (required)")
+		engine      = flag.String("engine", "sya", "engine: sya | deepdive")
+		metric      = flag.String("metric", "euclidean", "distance metric: euclidean | miles | km")
+		epochs      = flag.Int("epochs", 1000, "inference epochs")
+		bandwidth   = flag.Float64("bandwidth", 50, "spatial weighing bandwidth")
+		scale       = flag.Float64("scale", 1, "spatial weighing zero-distance scale")
+		seed        = flag.Int64("seed", 1, "sampler seed")
+		showStats   = flag.Bool("stats", false, "print grounding statistics")
+		learnIters  = flag.Int("learn", 0, "learn rule weights from evidence for N iterations before inference")
+		saveGraph   = flag.String("save-graph", "", "write the ground factor graph snapshot to this file")
+	)
+	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "sya: -program is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*programPath, loads.pairs, *engine, *metric, *epochs, *bandwidth, *scale, *seed, *showStats, *learnIters, *saveGraph); err != nil {
+		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(programPath string, loads [][2]string, engineName, metricName string,
+	epochs int, bandwidth, scale float64, seed int64, showStats bool,
+	learnIters int, saveGraph string) error {
+	src, err := os.ReadFile(programPath)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Epochs:    epochs,
+		Bandwidth: bandwidth, SpatialScale: scale,
+		Seed: seed,
+	}
+	switch strings.ToLower(engineName) {
+	case "sya":
+		cfg.Engine = core.EngineSya
+	case "deepdive":
+		cfg.Engine = core.EngineDeepDive
+	default:
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+	switch strings.ToLower(metricName) {
+	case "", "euclidean":
+		cfg.Metric = geom.Euclidean
+	case "miles":
+		cfg.Metric = geom.HaversineMiles
+	case "km":
+		cfg.Metric = geom.HaversineKm
+	default:
+		return fmt.Errorf("unknown metric %q", metricName)
+	}
+	s := core.NewSystem(cfg)
+	if err := s.LoadProgram(string(src)); err != nil {
+		return err
+	}
+	for _, pair := range loads {
+		if err := loadCSV(s, pair[0], pair[1]); err != nil {
+			return fmt.Errorf("loading %s from %s: %w", pair[0], pair[1], err)
+		}
+	}
+	gres, err := s.Ground()
+	if err != nil {
+		return err
+	}
+	if showStats {
+		st := gres.Stats
+		fmt.Printf("# grounding: %d vars (%d evidence, %d query), %d logical factors, %d spatial pairs (%d ground spatial factors) in %v\n",
+			st.Vars, st.EvidenceVars, st.QueryVars, st.LogicalFactors,
+			st.SpatialPairs, st.GroundSpatialFactors, st.TotalTime.Round(1e6))
+		var rules []string
+		for r := range st.RuleFactors {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		for _, r := range rules {
+			fmt.Printf("# rule %s: %d factors\n", r, st.RuleFactors[r])
+		}
+	}
+	if saveGraph != "" {
+		f, err := os.Create(saveGraph)
+		if err != nil {
+			return err
+		}
+		if err := s.SaveGraph(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# ground factor graph saved to %s\n", saveGraph)
+	}
+	if learnIters > 0 {
+		weights, err := s.LearnWeights(learn.Options{Iterations: learnIters, Seed: seed})
+		if err != nil {
+			return err
+		}
+		var names []string
+		for r := range weights {
+			names = append(names, r)
+		}
+		sort.Strings(names)
+		for _, r := range names {
+			fmt.Printf("# learned weight %s = %+.4f\n", r, weights[r])
+		}
+	}
+	scores, err := s.Infer()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# inference: %d epochs in %v (%s engine)\n", epochs, s.InferenceTime().Round(1e6), cfg.Engine)
+	// Print factual scores per variable relation, sorted by key.
+	for _, rel := range s.Program().VariableRelations() {
+		type entry struct {
+			key string
+			m   []float64
+		}
+		var entries []entry
+		scores.Each(rel.Name, func(key string, _ int32, m []float64) bool {
+			entries = append(entries, entry{key: key, m: m})
+			return true
+		})
+		sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+		for _, e := range entries {
+			if len(e.m) == 2 {
+				fmt.Printf("%s\t%.4f\n", e.key, e.m[1])
+				continue
+			}
+			parts := make([]string, len(e.m))
+			for i, p := range e.m {
+				parts[i] = fmt.Sprintf("%.4f", p)
+			}
+			fmt.Printf("%s\t[%s]\n", e.key, strings.Join(parts, " "))
+		}
+	}
+	return nil
+}
+
+// loadCSV appends a CSV file's rows to a relation table, mapping columns by
+// header name.
+func loadCSV(s *core.System, relation, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	records, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 1 {
+		return fmt.Errorf("no header row")
+	}
+	tbl, err := s.DB().Table(relation)
+	if err != nil {
+		return err
+	}
+	schema := tbl.Schema()
+	header := records[0]
+	colIdx := make([]int, len(header))
+	for i, h := range header {
+		ci := schema.ColIndex(strings.TrimSpace(h))
+		if ci < 0 {
+			return fmt.Errorf("column %q not in relation %s", h, relation)
+		}
+		colIdx[i] = ci
+	}
+	var rows []storage.Row
+	for line, rec := range records[1:] {
+		row := make(storage.Row, len(schema.Cols))
+		for i := range row {
+			row[i] = storage.Null
+		}
+		for i, cell := range rec {
+			if i >= len(colIdx) {
+				return fmt.Errorf("row %d has %d cells, header has %d", line+2, len(rec), len(header))
+			}
+			v, err := parseCell(schema.Cols[colIdx[i]], cell)
+			if err != nil {
+				return fmt.Errorf("row %d column %q: %w", line+2, header[i], err)
+			}
+			row[colIdx[i]] = v
+		}
+		rows = append(rows, row)
+	}
+	return tbl.AppendAll(rows)
+}
+
+// parseCell converts one CSV cell by column type.
+func parseCell(col storage.Column, cell string) (storage.Value, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || strings.EqualFold(cell, "null") {
+		return storage.Null, nil
+	}
+	switch col.Kind {
+	case storage.KindInt:
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Int(v), nil
+	case storage.KindFloat:
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Float(v), nil
+	case storage.KindBool:
+		switch strings.ToLower(cell) {
+		case "true", "t", "1", "yes":
+			return storage.Bool(true), nil
+		case "false", "f", "0", "no":
+			return storage.Bool(false), nil
+		}
+		return storage.Null, fmt.Errorf("bad bool %q", cell)
+	case storage.KindString:
+		return storage.Str(cell), nil
+	case storage.KindGeom:
+		g, err := geom.ParseWKT(cell)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Geom(g), nil
+	default:
+		return storage.Null, fmt.Errorf("unsupported column kind %v", col.Kind)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// writeFixtures creates a program and CSV files for the EbolaKB scenario.
+func writeFixtures(t *testing.T) (program, countyCSV, evidenceCSV string) {
+	t.Helper()
+	dir := t.TempDir()
+	program = filepath.Join(dir, "kb.ddlog")
+	if err := os.WriteFile(program, []byte(datagen.EbolaProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	countyCSV = filepath.Join(dir, "county.csv")
+	county := "id,location,hasLowSanitation\n" +
+		"1,POINT (-10.80 6.32),true\n" +
+		"2,POINT (-10.45 6.55),true\n" +
+		"3,POINT (-9.45 7.05),1\n" +
+		"4,POINT (-8.90 7.60),false\n"
+	if err := os.WriteFile(countyCSV, []byte(county), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evidenceCSV = filepath.Join(dir, "evidence.csv")
+	ev := "id,location,hasEbola\n1,POINT (-10.80 6.32),true\n"
+	if err := os.WriteFile(evidenceCSV, []byte(ev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return program, countyCSV, evidenceCSV
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	program, county, evidence := writeFixtures(t)
+	graphPath := filepath.Join(t.TempDir(), "graph.bin")
+	err := run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
+		"sya", "miles", 300, 60, 1, 7, true, 10, graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(graphPath); err != nil || fi.Size() == 0 {
+		t.Errorf("graph snapshot not written: %v", err)
+	}
+	// DeepDive engine too.
+	err = run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
+		"deepdive", "miles", 100, 60, 1, 7, false, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	program, county, _ := writeFixtures(t)
+	if err := run("missing.ddlog", nil, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("missing program should fail")
+	}
+	if err := run(program, nil, "bogus", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("bad engine should fail")
+	}
+	if err := run(program, nil, "sya", "bogus", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("bad metric should fail")
+	}
+	if err := run(program, [][2]string{{"Nope", county}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if err := run(program, [][2]string{{"County", "missing.csv"}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("missing csv should fail")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	program, _, _ := writeFixtures(t)
+	dir := t.TempDir()
+	badHeader := filepath.Join(dir, "bad1.csv")
+	_ = os.WriteFile(badHeader, []byte("id,nope\n1,2\n"), 0o644)
+	if err := run(program, [][2]string{{"County", badHeader}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("unknown column should fail")
+	}
+	badBool := filepath.Join(dir, "bad2.csv")
+	_ = os.WriteFile(badBool, []byte("id,location,hasLowSanitation\n1,POINT (0 0),maybe\n"), 0o644)
+	if err := run(program, [][2]string{{"County", badBool}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("bad bool should fail")
+	}
+	badWKT := filepath.Join(dir, "bad3.csv")
+	_ = os.WriteFile(badWKT, []byte("id,location,hasLowSanitation\n1,CIRCLE (0),true\n"), 0o644)
+	if err := run(program, [][2]string{{"County", badWKT}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+		t.Error("bad WKT should fail")
+	}
+}
+
+func TestLoadFlag(t *testing.T) {
+	var l loadFlag
+	if err := l.Set("A=file.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("broken"); err == nil {
+		t.Error("malformed pair should fail")
+	}
+	if err := l.Set("=x.csv"); err == nil {
+		t.Error("empty relation should fail")
+	}
+	if len(l.pairs) != 1 || l.String() == "" {
+		t.Errorf("pairs = %v", l.pairs)
+	}
+}

@@ -1,0 +1,115 @@
+// Command syabench regenerates the paper's evaluation tables and figures
+// (Section VI) over the synthetic GWDB and NYCCAS datasets.
+//
+// Usage:
+//
+//	syabench [flags] <experiment>...
+//	syabench -list
+//	syabench all
+//
+// Experiments: table1, fig1, fig8, fig9, fig10, fig11, fig12, fig13,
+// fig14, ablation. Flags scale the workloads; -paper approaches the paper's
+// sizes (slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var experiments = map[string]func(bench.Params) (*bench.Table, error){
+	"table1":   bench.Table1,
+	"fig1":     bench.Fig1,
+	"fig8":     bench.Fig8,
+	"fig9":     bench.Fig9,
+	"fig10":    bench.Fig10,
+	"fig11":    bench.Fig11,
+	"fig12":    bench.Fig12,
+	"fig13":    bench.Fig13,
+	"fig14":    bench.Fig14,
+	"ablation": bench.Ablation,
+}
+
+// order fixes the "all" execution sequence.
+var order = []string{
+	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+}
+
+func main() {
+	defaults := bench.DefaultParams()
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		paper = flag.Bool("paper", false, "approach the paper's workload sizes (slow)")
+		wells = flag.Int("wells", defaults.GWDBWells, "GWDB synthetic well count")
+		side  = flag.Int("side", defaults.NYCCASSide, "NYCCAS raster side length (cells)")
+		ep    = flag.Int("epochs", defaults.Epochs, "inference epoch budget E")
+		runs  = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
+		seed  = flag.Int64("seed", defaults.Seed, "base RNG seed")
+	)
+	flag.Parse()
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	p := defaults
+	if *paper {
+		p = bench.PaperScaleParams()
+	}
+	p.GWDBWells = *wells
+	p.NYCCASSide = *side
+	p.Epochs = *ep
+	p.Runs = *runs
+	p.Seed = *seed
+	if *paper {
+		// Flag overrides apply on top of paper scale only when changed.
+		pp := bench.PaperScaleParams()
+		if *wells == defaults.GWDBWells {
+			p.GWDBWells = pp.GWDBWells
+		}
+		if *side == defaults.NYCCASSide {
+			p.NYCCASSide = pp.NYCCASSide
+		}
+		if *ep == defaults.Epochs {
+			p.Epochs = pp.Epochs
+		}
+		if *runs == defaults.Runs {
+			p.Runs = pp.Runs
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: syabench [flags] <experiment>... | all | -list")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	for _, name := range args {
+		fn, ok := experiments[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "syabench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := fn(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syabench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

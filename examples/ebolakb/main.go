@@ -1,0 +1,109 @@
+// EbolaKB: the paper's Fig. 1 worked example. Four Liberian counties, one
+// declared highly infected; the program of Fig. 3 is run under both
+// engines. DeepDive treats the 150-mile predicate as boolean — Margibi and
+// Bong get nearly identical scores and Gbarpolu collapses — while Sya's
+// spatial factors grade the scores by distance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sya "repro"
+)
+
+// The Fig. 3 program: schema declarations, the NULL derivation, the
+// evidence derivation, a class prior, and the distance-bounded inference
+// rule. Under EngineSya the @spatial(exp) annotation also generates
+// distance-weighted spatial factors among HasEbola atoms ("the closer
+// County Y to X, the higher its Ebola infection rate").
+const program = `
+const liberia_geom = 'POLYGON((-12 4, -7 4, -7 9, -12 9))'.
+
+S1: County (id bigint, location point, hasLowSanitation bool).
+E1: CountyEvidence (id bigint, location point, hasEbola bool).
+
+@spatial(exp)
+S2: HasEbola? (id bigint, location point).
+
+D1: HasEbola(C, L) = NULL :- County(C, L, _).
+D2: HasEbola(C, L) = E :- CountyEvidence(C, L, E).
+
+R0: @weight(1.0) !HasEbola(C, L) :- County(C, L, _).
+
+R1: @weight(0.5)
+HasEbola(C1, L1) => HasEbola(C2, L2) :-
+    County(C1, L1, _), County(C2, L2, S2)
+    [distance(L1, L2) < 150, within(liberia_geom, L1), S2 = true].
+`
+
+type county struct {
+	id   int64
+	name string
+	x, y float64
+	san  bool
+}
+
+// Synthetic coordinates faithful to the paper's distances: Montserrado to
+// Margibi ≈ 29 mi, to Bong ≈ 106 mi, to Gbarpolu ≈ 158 mi ("only 10 miles
+// more than the cut-off threshold").
+var counties = []county{
+	{1, "Montserrado", -10.80, 6.32, true},
+	{2, "Margibi", -10.45, 6.55, true},
+	{3, "Bong", -9.45, 7.05, true},
+	{4, "Gbarpolu", -8.90, 7.60, false},
+}
+
+func buildAndScore(engine sya.Engine) map[string]float64 {
+	s := sya.New(sya.Config{
+		Engine:    engine,
+		Metric:    sya.MetricMiles,
+		Bandwidth: 60, // exponential decay length in miles
+		Epochs:    8000,
+		Seed:      7,
+	})
+	if err := s.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	var rows []sya.Row
+	for _, c := range counties {
+		rows = append(rows, sya.Row{sya.Int(c.id), sya.Point(c.x, c.y), sya.Bool(c.san)})
+	}
+	if err := s.LoadRows("County", rows); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.LoadRows("CountyEvidence", []sya.Row{
+		{sya.Int(1), sya.Point(counties[0].x, counties[0].y), sya.Bool(true)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Ground(); err != nil {
+		log.Fatal(err)
+	}
+	scores, err := s.Infer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, c := range counties {
+		p, ok := scores.TrueProb("HasEbola", sya.Vals(sya.Int(c.id), sya.Point(c.x, c.y)))
+		if !ok {
+			log.Fatalf("no score for %s", c.name)
+		}
+		out[c.name] = p
+	}
+	return out
+}
+
+func main() {
+	dd := buildAndScore(sya.EngineDeepDive)
+	sy := buildAndScore(sya.EngineSya)
+	fmt.Println("County        DeepDive   Sya     (paper: DD 0.51/0.45/0.06, Sya 0.76/0.53/0.22)")
+	for _, c := range counties {
+		fmt.Printf("%-12s  %.3f      %.3f\n", c.name, dd[c.name], sy[c.name])
+	}
+	fmt.Println()
+	fmt.Println("shape to observe:")
+	fmt.Println(" - DeepDive: Margibi ≈ Bong (both merely satisfy the boolean 150-mile predicate)")
+	fmt.Println(" - Sya: Margibi > Bong > Gbarpolu, graded by distance; Gbarpolu does not collapse")
+}

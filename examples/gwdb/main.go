@@ -1,0 +1,137 @@
+// GWDB: a water-well safety knowledge base in the style of the paper's
+// Texas Ground Water Database evaluation (Section VI). Synthetic wells with
+// spatially-autocorrelated safety are generated inline; the 11-rule program
+// mixes EPA-style threshold priors with proximity rules. Both engines run
+// and are scored against the planted ground truth — Sya's spatial factors
+// interpolate the revealed labels and win.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	sya "repro"
+)
+
+const program = `
+Well (id bigint, location point, arsenic double, depth double).
+WellEvidence (id bigint, location point, safe bool).
+
+@spatial(exp)
+IsSafe? (id bigint, location point).
+
+D1: IsSafe(W, L) = NULL :- Well(W, L, _, _).
+D2: IsSafe(W, L) = S :- WellEvidence(W, L, S).
+
+# Proximity rules (Fig. 7 style).
+R1: @weight(0.7) IsSafe(W1, L1) => IsSafe(W2, L2) :-
+    Well(W1, L1, A1, _), Well(W2, L2, A2, _)
+    [distance(L1, L2) < 50, A1 < 0.2, A2 < 0.2].
+R2: @weight(0.8) !IsSafe(W1, L1) => !IsSafe(W2, L2) :-
+    Well(W1, L1, A1, _), Well(W2, L2, A2, _)
+    [distance(L1, L2) < 15, A1 > 0.3, A2 > 0.3].
+
+# Threshold priors.
+R3: @weight(0.5) !IsSafe(W, L) :- Well(W, L, A, _) [A > 0.35].
+R4: @weight(0.4) IsSafe(W, L) :- Well(W, L, A, _) [A < 0.12].
+R5: @weight(0.3) IsSafe(W, L) :- Well(W, L, _, D) [D > 300].
+R6: @weight(0.3) !IsSafe(W, L) :- Well(W, L, _, D) [D < 60].
+`
+
+type well struct {
+	id      int64
+	x, y    float64
+	arsenic float64
+	depth   float64
+	truth   bool // planted safety
+	shown   bool // label revealed as evidence
+}
+
+// generate plants a smooth safety field over a 400×400 area: safety is high
+// near (100,100) and low near (300,300), with noisy weakly-informative
+// attributes — the spatial structure of the labels carries the signal.
+func generate(n int, seed int64) []well {
+	rng := rand.New(rand.NewSource(seed))
+	wells := make([]well, n)
+	for i := range wells {
+		x, y := rng.Float64()*400, rng.Float64()*400
+		safeBump := math.Exp(-((x-100)*(x-100) + (y-100)*(y-100)) / (2 * 120 * 120))
+		dangerBump := math.Exp(-((x-300)*(x-300) + (y-300)*(y-300)) / (2 * 120 * 120))
+		p := 1 / (1 + math.Exp(-(2.5*safeBump - 2.5*dangerBump)))
+		truth := rng.Float64() < p
+		arsenic := 0.2 - 0.08*(p-0.5) + rng.NormFloat64()*0.1
+		wells[i] = well{
+			id: int64(i + 1), x: x, y: y,
+			arsenic: math.Max(0, arsenic),
+			depth:   math.Max(10, 150+120*p+rng.NormFloat64()*100),
+			truth:   truth,
+			shown:   rng.Float64() < 0.4,
+		}
+	}
+	return wells
+}
+
+func run(engine sya.Engine, wells []well) (accuracy float64) {
+	s := sya.New(sya.Config{
+		Engine:        engine,
+		Metric:        sya.MetricEuclidean,
+		Bandwidth:     25,
+		SpatialScale:  0.5,
+		SupportRadius: 60,
+		MaxNeighbors:  30,
+		Epochs:        600,
+		Seed:          11,
+	})
+	if err := s.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	var rows, evidence []sya.Row
+	for _, w := range wells {
+		rows = append(rows, sya.Row{sya.Int(w.id), sya.Point(w.x, w.y), sya.Float(w.arsenic), sya.Float(w.depth)})
+		if w.shown {
+			evidence = append(evidence, sya.Row{sya.Int(w.id), sya.Point(w.x, w.y), sya.Bool(w.truth)})
+		}
+	}
+	if err := s.LoadRows("Well", rows); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.LoadRows("WellEvidence", evidence); err != nil {
+		log.Fatal(err)
+	}
+	gres, err := s.Ground()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scores, err := s.Infer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, w := range wells {
+		if w.shown {
+			continue
+		}
+		p, ok := scores.TrueProb("IsSafe", sya.Vals(sya.Int(w.id), sya.Point(w.x, w.y)))
+		if !ok {
+			continue
+		}
+		if (p >= 0.5) == w.truth {
+			correct++
+		}
+		total++
+	}
+	fmt.Printf("%-9s: %d atoms, %d logical factors, %d spatial pairs, ground %v, infer %v\n",
+		engine, gres.Stats.Vars, gres.Stats.LogicalFactors, gres.Stats.SpatialPairs,
+		s.GroundingTime().Round(1e6), s.InferenceTime().Round(1e6))
+	return float64(correct) / float64(total)
+}
+
+func main() {
+	wells := generate(400, 3)
+	accSya := run(sya.EngineSya, wells)
+	accDD := run(sya.EngineDeepDive, wells)
+	fmt.Printf("\nquery-well accuracy: Sya %.3f vs DeepDive %.3f\n", accSya, accDD)
+	fmt.Println("shape to observe: Sya clearly above DeepDive — spatial factors interpolate the labelled wells")
+}

@@ -1,0 +1,137 @@
+// Learnweights: instead of hand-picking @weight values, fit the inference
+// rules' weights to the evidence. A disease-spread chain is simulated from
+// known dynamics; the program declares its rules with deliberately wrong
+// weights (zero); LearnWeights recovers useful weights from the labelled
+// atoms, and MAP inference then reads out the single most probable world.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	sya "repro"
+)
+
+const program = `
+Site (id bigint, location point, risky bool).
+SiteEvidence (id bigint, location point, infected bool).
+
+@spatial(exp)
+Infected? (id bigint, location point).
+
+D1: Infected(S, L) = NULL :- Site(S, L, _).
+D2: Infected(S, L) = I :- SiteEvidence(S, L, I).
+
+# Both rules start at weight 0 — learning has to discover that infection
+# clusters (R1) and that risky sites are more often infected (R2).
+R1: @weight(0) Infected(S1, L1) => Infected(S2, L2) :-
+    Site(S1, L1, _), Site(S2, L2, _) [distance(L1, L2) < 12].
+R2: @weight(0) Infected(S, L) :- Site(S, L, R) [R = true].
+`
+
+type site struct {
+	id       int64
+	x, y     float64
+	risky    bool
+	infected bool
+	shown    bool
+}
+
+// simulate draws sites on a line with contagious clusters seeded at risky
+// sites: the planted dynamics the learner must discover.
+func simulate(n int, seed int64) []site {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]site, n)
+	infected := false
+	for i := range sites {
+		risky := rng.Float64() < 0.2
+		// Infection starts at risky sites and persists along the chain.
+		switch {
+		case risky && rng.Float64() < 0.7:
+			infected = true
+		case rng.Float64() < 0.25:
+			infected = false
+		}
+		sites[i] = site{
+			id: int64(i + 1), x: float64(i) * 8, y: 0,
+			risky: risky, infected: infected,
+			shown: rng.Float64() < 0.7,
+		}
+	}
+	return sites
+}
+
+func main() {
+	sites := simulate(150, 4)
+	s := sya.New(sya.Config{
+		Engine:    sya.EngineSya,
+		Metric:    sya.MetricEuclidean,
+		Bandwidth: 10,
+		Epochs:    2000,
+		Seed:      1,
+	})
+	if err := s.LoadProgram(program); err != nil {
+		log.Fatal(err)
+	}
+	var rows, evidence []sya.Row
+	for _, st := range sites {
+		rows = append(rows, sya.Row{sya.Int(st.id), sya.Point(st.x, st.y), sya.Bool(st.risky)})
+		if st.shown {
+			evidence = append(evidence, sya.Row{sya.Int(st.id), sya.Point(st.x, st.y), sya.Bool(st.infected)})
+		}
+	}
+	if err := s.LoadRows("Site", rows); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.LoadRows("SiteEvidence", evidence); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Ground(); err != nil {
+		log.Fatal(err)
+	}
+	weights, err := s.LearnWeights(sya.LearnOptions{Iterations: 250, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned rule weights (started at 0):")
+	for _, rule := range []string{"R1", "R2"} {
+		fmt.Printf("  %s = %+.3f\n", rule, weights[rule])
+	}
+	// Score held-out sites with the learned model.
+	scores, err := s.Infer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct, total := 0, 0
+	for _, st := range sites {
+		if st.shown {
+			continue
+		}
+		p, ok := scores.TrueProb("Infected", sya.Vals(sya.Int(st.id), sya.Point(st.x, st.y)))
+		if !ok {
+			continue
+		}
+		if (p >= 0.5) == st.infected {
+			correct++
+		}
+		total++
+	}
+	fmt.Printf("held-out accuracy with learned weights: %.3f (%d/%d)\n",
+		float64(correct)/float64(total), correct, total)
+	// The most probable world, via MAP inference.
+	world, err := s.MAP(sya.MAPOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapInfected := 0
+	for _, st := range sites {
+		if v, ok := world.Value("Infected", sya.Vals(sya.Int(st.id), sya.Point(st.x, st.y))); ok && v == 1 {
+			mapInfected++
+		}
+	}
+	fmt.Printf("MAP world: %d/%d sites infected (energy %.1f)\n", mapInfected, len(sites), world.Energy)
+	fmt.Println("shape to observe: R2 (risky sites) learns a positive weight and held-out accuracy lands")
+	fmt.Println("well above 0.5. R1 may learn a small or negative weight: the @spatial factors already")
+	fmt.Println("capture the clustering, and tied MLN weights rebalance against them (non-identifiability).")
+}

@@ -1,0 +1,475 @@
+// Package core wires the paper's modules into the end-to-end Sya system of
+// Fig. 2: the language module (internal/ddlog) compiles a program, the
+// grounding module (internal/translate + internal/sqlx + internal/grounding)
+// evaluates it against the storage database into a spatial factor graph,
+// and the inference module (internal/gibbs) estimates the factual scores.
+//
+// The same pipeline runs in two engine modes, mirroring the paper's
+// evaluation: EngineSya (spatial factors + Spatial Gibbs Sampling) and
+// EngineDeepDive (the baseline: @spatial stripped, boolean spatial
+// predicates only, hogwild parallel Gibbs).
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/ddlog"
+	"repro/internal/deepdive"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+	"repro/internal/grounding"
+	"repro/internal/learn"
+	"repro/internal/storage"
+	"repro/internal/translate"
+	"repro/internal/weighting"
+)
+
+// Engine selects the pipeline mode.
+type Engine int
+
+// Engine modes.
+const (
+	// EngineSya is the paper's system: spatial factor graph + Spatial
+	// Gibbs Sampling.
+	EngineSya Engine = iota
+	// EngineDeepDive is the baseline: plain factor graph + hogwild Gibbs.
+	EngineDeepDive
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == EngineDeepDive {
+		return "deepdive"
+	}
+	return "sya"
+}
+
+// Config parameterizes a System. Zero values select the paper's defaults.
+type Config struct {
+	Engine Engine
+	// Metric for distance predicates and spatial weights.
+	Metric geom.Metric
+	// Weighting registry for @spatial(w); nil selects exp/gauss/idw with
+	// the given Bandwidth.
+	Weighting *weighting.Registry
+	// Bandwidth of the default weighting registry (0 → 50).
+	Bandwidth float64
+	// SpatialScale is the zero-distance spatial factor weight (0 → 1).
+	// Values well below 1 make spatial factors pool neighbouring evidence
+	// (calibrated scores); values near 1 enforce hard agreement.
+	SpatialScale float64
+	// PruneThreshold is the Section IV-C T (0 → 0.5).
+	PruneThreshold float64
+	// SupportRadius caps spatial-factor generation distance (0 → the
+	// weighing function's support).
+	SupportRadius float64
+	// MaxNeighbors caps spatial factors per atom (0 → unlimited).
+	MaxNeighbors int
+	// UDFs for function implementations.
+	UDFs map[string]grounding.UDF
+	// SkipFactorTables disables materializing per-rule factor relations.
+	SkipFactorTables bool
+
+	// Epochs is the total inference epochs E (0 → 1000, the paper's
+	// default).
+	Epochs int
+	// Instances is K for the spatial sampler (0 → 2).
+	Instances int
+	// Workers for the hogwild baseline (0 → GOMAXPROCS).
+	Workers int
+	// Seed drives all sampling randomness.
+	Seed int64
+	// PyramidLevels is L (0 → 8, the paper's setting).
+	PyramidLevels int
+	// LocalityLevel is the deepest swept pyramid level (0 → L−1).
+	LocalityLevel int
+	// BurnIn discards this many initial epochs per sampler chain from the
+	// marginal counters (0 → one tenth of the per-chain epoch budget;
+	// negative → no burn-in).
+	BurnIn int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 50
+	}
+	if c.SpatialScale == 0 {
+		c.SpatialScale = 1
+	}
+	if c.Weighting == nil {
+		c.Weighting = weighting.NewRegistry(c.Bandwidth, c.SpatialScale)
+	}
+	if c.PruneThreshold == 0 {
+		c.PruneThreshold = 0.5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 1000
+	}
+	if c.Instances == 0 {
+		c.Instances = 2
+	}
+	if c.PyramidLevels == 0 {
+		c.PyramidLevels = 8
+	}
+	return c
+}
+
+// System is one knowledge-base construction pipeline instance.
+type System struct {
+	cfg  Config
+	db   *storage.DB
+	prog *ddlog.Program
+
+	ground  *grounding.Result
+	sampler gibbs.Sampler
+	learned bool
+
+	groundDur time.Duration
+	inferDur  time.Duration
+}
+
+// NewSystem creates a system with an empty database.
+func NewSystem(cfg Config) *System {
+	return &System{cfg: cfg.withDefaults(), db: storage.NewDB()}
+}
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// DB exposes the underlying database for direct loading.
+func (s *System) DB() *storage.DB { return s.db }
+
+// LoadProgram compiles and validates a DDlog program; in DeepDive mode the
+// @spatial annotations are stripped (the baseline has no spatial factors).
+// Input relation tables are created from the program schemas if missing.
+func (s *System) LoadProgram(src string) error {
+	prog, err := ddlog.ParseAndValidate(src)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Engine == EngineDeepDive {
+		prog, err = deepdive.StripSpatial(prog)
+		if err != nil {
+			return err
+		}
+	}
+	s.prog = prog
+	for _, rel := range prog.Relations {
+		if rel.IsVariable {
+			continue // materialized during grounding
+		}
+		if _, err := s.db.Table(rel.Name); err == nil {
+			continue
+		}
+		if _, err := s.db.Create(translate.SchemaFor(rel)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Program returns the compiled (possibly engine-transformed) program.
+func (s *System) Program() *ddlog.Program { return s.prog }
+
+// ExpandStepRules replaces the labelled rule with n step-function band
+// rules (the Fig. 10 DeepDive workaround). Must be called after LoadProgram
+// and before Ground.
+func (s *System) ExpandStepRules(label string, n int, maxDist, maxWeight float64) error {
+	if s.prog == nil {
+		return fmt.Errorf("core: no program loaded")
+	}
+	prog, err := deepdive.ExpandStepRules(s.prog, label, n, maxDist, maxWeight)
+	if err != nil {
+		return err
+	}
+	s.prog = prog
+	return nil
+}
+
+// ExpandStepRulesWeighted replaces the labelled rule with n band rules
+// whose weights follow a weighing function — the banded approximation of
+// Sya's continuous spatial decay that Fig. 10 sweeps.
+func (s *System) ExpandStepRulesWeighted(label string, n int, maxDist float64, fn weighting.Func) error {
+	if s.prog == nil {
+		return fmt.Errorf("core: no program loaded")
+	}
+	prog, err := deepdive.ExpandStepRulesWeighted(s.prog, label, n, maxDist, fn)
+	if err != nil {
+		return err
+	}
+	s.prog = prog
+	return nil
+}
+
+// LoadRows appends rows to a relation table.
+func (s *System) LoadRows(relation string, rows []storage.Row) error {
+	tbl, err := s.db.Table(relation)
+	if err != nil {
+		return err
+	}
+	return tbl.AppendAll(rows)
+}
+
+// Ground runs the grounding module and returns its result.
+func (s *System) Ground() (*grounding.Result, error) {
+	if s.prog == nil {
+		return nil, fmt.Errorf("core: no program loaded")
+	}
+	start := time.Now()
+	res, err := grounding.New(s.prog, s.db, grounding.Options{
+		Metric:           s.cfg.Metric,
+		Weighting:        s.cfg.Weighting,
+		PruneThreshold:   s.cfg.PruneThreshold,
+		SupportRadius:    s.cfg.SupportRadius,
+		MaxNeighbors:     s.cfg.MaxNeighbors,
+		UDFs:             s.cfg.UDFs,
+		SkipFactorTables: s.cfg.SkipFactorTables,
+	}).Ground()
+	if err != nil {
+		return nil, err
+	}
+	s.ground = res
+	s.sampler = nil
+	s.groundDur = time.Since(start)
+	return res, nil
+}
+
+// Grounding returns the last grounding result (nil before Ground).
+func (s *System) Grounding() *grounding.Result { return s.ground }
+
+// GroundingTime reports the wall time of the last Ground call.
+func (s *System) GroundingTime() time.Duration { return s.groundDur }
+
+// newSampler builds the engine's sampler over the ground graph.
+func (s *System) newSampler() (gibbs.Sampler, error) {
+	switch s.cfg.Engine {
+	case EngineDeepDive:
+		h := gibbs.NewHogwild(s.ground.Graph, s.cfg.Seed, s.cfg.Workers)
+		h.SetBurnIn(s.burnIn(1))
+		return h, nil
+	default:
+		return gibbs.NewSpatial(s.ground.Graph, gibbs.SpatialOptions{
+			Levels:        s.cfg.PyramidLevels,
+			LocalityLevel: s.cfg.LocalityLevel,
+			Instances:     s.cfg.Instances,
+			Seed:          s.cfg.Seed,
+			BurnIn:        s.burnIn(s.cfg.Instances),
+		})
+	}
+}
+
+// burnIn resolves the per-chain burn-in for a sampler running `chains`
+// parallel chains over the configured epoch budget.
+func (s *System) burnIn(chains int) int {
+	switch {
+	case s.cfg.BurnIn > 0:
+		return s.cfg.BurnIn
+	case s.cfg.BurnIn < 0:
+		return 0
+	default:
+		return s.cfg.Epochs / (10 * chains)
+	}
+}
+
+// Infer runs (or continues) inference for the configured number of epochs
+// and returns the factual scores. Grounding must have run.
+func (s *System) Infer() (*Scores, error) {
+	return s.InferEpochs(s.cfg.Epochs)
+}
+
+// InferEpochs runs a specific number of total epochs. If the program
+// declares @weight(?) rules and LearnWeights has not run, weights are
+// learned first with default options.
+func (s *System) InferEpochs(epochs int) (*Scores, error) {
+	if s.ground == nil {
+		return nil, fmt.Errorf("core: Ground must run before Infer")
+	}
+	if !s.learned && s.hasLearnedRules() {
+		if _, err := s.LearnWeights(learn.Options{Seed: s.cfg.Seed}); err != nil {
+			return nil, fmt.Errorf("core: auto-learning @weight(?) rules: %w", err)
+		}
+	}
+	if s.sampler == nil {
+		sampler, err := s.newSampler()
+		if err != nil {
+			return nil, err
+		}
+		s.sampler = sampler
+	}
+	start := time.Now()
+	if sp, ok := s.sampler.(*gibbs.Spatial); ok {
+		sp.RunTotalEpochs(epochs)
+	} else {
+		s.sampler.RunEpochs(epochs)
+	}
+	s.inferDur += time.Since(start)
+	return s.scores(), nil
+}
+
+// InferenceTime reports the cumulative wall time spent sampling.
+func (s *System) InferenceTime() time.Duration { return s.inferDur }
+
+// Sampler exposes the live sampler (nil before Infer).
+func (s *System) Sampler() gibbs.Sampler { return s.sampler }
+
+// UpdateEvidence pins a ground atom to a value (incremental inference; Sya
+// engine only) — the atom is identified by its relation and term values.
+func (s *System) UpdateEvidence(relation string, vals []storage.Value, value int32) error {
+	sp, ok := s.sampler.(*gibbs.Spatial)
+	if !ok {
+		return fmt.Errorf("core: incremental evidence updates need the Sya engine with a live sampler")
+	}
+	vid, ok := s.VarIDFor(relation, vals)
+	if !ok {
+		return fmt.Errorf("core: no ground atom %s(%v)", relation, vals)
+	}
+	return sp.UpdateEvidence(vid, value)
+}
+
+// InferIncremental resamples only the concliques affected by evidence
+// updates (paper Fig. 13a). Sya engine only.
+func (s *System) InferIncremental(epochs int) (*Scores, error) {
+	sp, ok := s.sampler.(*gibbs.Spatial)
+	if !ok {
+		return nil, fmt.Errorf("core: incremental inference needs the Sya engine with a live sampler")
+	}
+	start := time.Now()
+	sp.RunIncremental(epochs)
+	s.inferDur += time.Since(start)
+	return s.scores(), nil
+}
+
+// LearnWeights learns the inference rules' tied weights (and optionally a
+// spatial-scale multiplier) from the graph's evidence by contrastive
+// divergence, updating the ground factor graph in place. It must run after
+// Ground and before (or instead of the program's fixed weights for) Infer;
+// any live sampler is reset so inference restarts under the learned
+// weights. It returns the learned weight per rule, keyed by rule name.
+func (s *System) LearnWeights(opts learn.Options) (map[string]float64, error) {
+	if s.ground == nil {
+		return nil, fmt.Errorf("core: Ground must run before LearnWeights")
+	}
+	res, err := learn.Weights(s.ground.Graph, s.ground.FactorRule, len(s.ground.RuleNames), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.learned = true
+	s.sampler = nil // resample under the learned weights
+	out := make(map[string]float64, len(res.Weights))
+	for i, w := range res.Weights {
+		out[s.ground.RuleNames[i]] = w
+	}
+	return out, nil
+}
+
+// SaveGraph writes the ground factor graph to w (the paper persists its
+// ground factor graph in the database so grounding can be reused; this is
+// the file equivalent). Ground must have run.
+func (s *System) SaveGraph(w io.Writer) error {
+	if s.ground == nil {
+		return fmt.Errorf("core: Ground must run before SaveGraph")
+	}
+	_, err := s.ground.Graph.WriteTo(w)
+	return err
+}
+
+// World is a single joint assignment of all ground atoms — the output of
+// MAP inference.
+type World struct {
+	assign factorgraph.Assignment
+	Energy float64
+	ground *grounding.Result
+}
+
+// Value returns the atom's value in the world (0/1 for binary atoms).
+func (w *World) Value(relation string, vals []storage.Value) (int32, bool) {
+	vid, ok := w.ground.VarID[grounding.AtomKey(relation, vals)]
+	if !ok {
+		return 0, false
+	}
+	return w.assign[vid], true
+}
+
+// MAP estimates the most probable world by simulated annealing (see
+// gibbs.MAP). Grounding must have run.
+func (s *System) MAP(opts gibbs.MAPOptions) (*World, error) {
+	if s.ground == nil {
+		return nil, fmt.Errorf("core: Ground must run before MAP")
+	}
+	assign, energy := gibbs.MAP(s.ground.Graph, opts)
+	return &World{assign: assign, Energy: energy, ground: s.ground}, nil
+}
+
+// hasLearnedRules reports whether the program declares @weight(?) rules.
+func (s *System) hasLearnedRules() bool {
+	if s.prog == nil {
+		return false
+	}
+	for _, r := range s.prog.Rules {
+		if r.LearnedWeight {
+			return true
+		}
+	}
+	return false
+}
+
+// VarIDFor resolves a ground atom.
+func (s *System) VarIDFor(relation string, vals []storage.Value) (factorgraph.VarID, bool) {
+	if s.ground == nil {
+		return 0, false
+	}
+	vid, ok := s.ground.VarID[grounding.AtomKey(relation, vals)]
+	return vid, ok
+}
+
+// Scores holds inference output.
+type Scores struct {
+	// Marginals per variable per value.
+	Marginals [][]float64
+	ground    *grounding.Result
+}
+
+func (s *System) scores() *Scores {
+	return &Scores{Marginals: s.sampler.Marginals(), ground: s.ground}
+}
+
+// TrueProb returns the factual score (P(value 1)) of a binary ground atom
+// by relation and term values.
+func (sc *Scores) TrueProb(relation string, vals []storage.Value) (float64, bool) {
+	vid, ok := sc.ground.VarID[grounding.AtomKey(relation, vals)]
+	if !ok {
+		return 0, false
+	}
+	m := sc.Marginals[vid]
+	if len(m) < 2 {
+		return 0, false
+	}
+	return m[1], true
+}
+
+// Marginal returns the full marginal distribution of a ground atom.
+func (sc *Scores) Marginal(relation string, vals []storage.Value) ([]float64, bool) {
+	vid, ok := sc.ground.VarID[grounding.AtomKey(relation, vals)]
+	if !ok {
+		return nil, false
+	}
+	return sc.Marginals[vid], true
+}
+
+// Each iterates ground atoms of a relation with their marginals, in
+// unspecified order.
+func (sc *Scores) Each(relation string, fn func(key string, vid factorgraph.VarID, marginal []float64) bool) {
+	prefix := strings.ToLower(relation) + "|"
+	for key, vid := range sc.ground.VarID {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if !fn(key, vid, sc.Marginals[vid]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package datagen generates the synthetic datasets of this reproduction
+// (see DESIGN.md, "Substitutions"): GWDB-like water wells over a Texas-like
+// extent, a NYCCAS-like pollution raster over a city-like grid, and the
+// EbolaKB counties of the paper's Fig. 1. All generators are seeded and
+// deterministic.
+//
+// The property every experiment depends on is spatial autocorrelation:
+// nearby ground truths agree. Generators plant it with smooth random
+// fields — sums of random Gaussian bumps squashed through a sigmoid — from
+// which both the observable attributes (arsenic concentration, NO2, ...)
+// and the latent ground-truth factual scores are derived.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Field is a smooth scalar field over the plane: a sum of Gaussian bumps.
+type Field struct {
+	centers []geom.Point
+	scales  []float64 // bump amplitude (signed)
+	widths  []float64 // bump standard deviation
+	bias    float64
+}
+
+// NewField builds a random field with the given number of bumps over the
+// extent square [0, extent]². Width is the bump standard deviation; wider
+// bumps mean longer correlation lengths.
+func NewField(rng *rand.Rand, bumps int, extent, width, amplitude float64) *Field {
+	f := &Field{}
+	for i := 0; i < bumps; i++ {
+		f.centers = append(f.centers, geom.Pt(rng.Float64()*extent, rng.Float64()*extent))
+		sign := 1.0
+		if rng.Intn(2) == 0 {
+			sign = -1
+		}
+		f.scales = append(f.scales, sign*amplitude*(0.5+rng.Float64()))
+		f.widths = append(f.widths, width*(0.5+rng.Float64()))
+	}
+	return f
+}
+
+// At evaluates the raw field.
+func (f *Field) At(p geom.Point) float64 {
+	v := f.bias
+	for i, c := range f.centers {
+		d2 := geom.DistanceSq(p, c)
+		w := f.widths[i]
+		v += f.scales[i] * math.Exp(-d2/(2*w*w))
+	}
+	return v
+}
+
+// Prob evaluates the field squashed to (0, 1) via the logistic function:
+// the latent ground-truth probability at p.
+func (f *Field) Prob(p geom.Point) float64 {
+	return 1 / (1 + math.Exp(-f.At(p)))
+}
+
+// clusteredPoints draws n points: a fraction uniform over the extent, the
+// rest around cluster centres — mimicking how wells and monitors
+// concentrate around settlements.
+func clusteredPoints(rng *rand.Rand, n, clusters int, extent float64) []geom.Point {
+	centers := make([]geom.Point, clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64()*extent, rng.Float64()*extent)
+	}
+	spread := extent / (2 * math.Sqrt(float64(clusters)+1))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if clusters == 0 || rng.Float64() < 0.3 {
+			pts[i] = geom.Pt(rng.Float64()*extent, rng.Float64()*extent)
+			continue
+		}
+		c := centers[rng.Intn(clusters)]
+		x := clamp(c.X+rng.NormFloat64()*spread, 0, extent)
+		y := clamp(c.Y+rng.NormFloat64()*spread, 0, extent)
+		pts[i] = geom.Pt(x, y)
+	}
+	return pts
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,328 @@
+package ddlog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// ColType is a DDlog column type: a scalar kind or a spatial type.
+type ColType struct {
+	Kind     storage.Kind
+	GeomType geom.Type // meaningful when Kind == KindGeom
+}
+
+// String renders the DDlog keyword.
+func (c ColType) String() string {
+	if c.Kind == storage.KindGeom {
+		return c.GeomType.String()
+	}
+	switch c.Kind {
+	case storage.KindInt:
+		return "bigint"
+	case storage.KindFloat:
+		return "double"
+	case storage.KindBool:
+		return "bool"
+	case storage.KindString:
+		return "text"
+	default:
+		return c.Kind.String()
+	}
+}
+
+// ParseColType maps a DDlog type keyword.
+func ParseColType(s string) (ColType, bool) {
+	switch strings.ToLower(s) {
+	case "bigint", "int", "integer":
+		return ColType{Kind: storage.KindInt}, true
+	case "double", "float", "real":
+		return ColType{Kind: storage.KindFloat}, true
+	case "bool", "boolean":
+		return ColType{Kind: storage.KindBool}, true
+	case "text", "string", "varchar":
+		return ColType{Kind: storage.KindString}, true
+	}
+	if g, ok := geom.ParseType(strings.ToLower(s)); ok {
+		return ColType{Kind: storage.KindGeom, GeomType: g}, true
+	}
+	return ColType{}, false
+}
+
+// ColDecl is one column of a relation declaration.
+type ColDecl struct {
+	Name string
+	Type ColType
+}
+
+// RelationDecl declares a typical or variable relation (paper Fig. 3, S1/S2).
+type RelationDecl struct {
+	Label      string // optional "S1"-style label
+	Name       string
+	IsVariable bool // declared with a trailing '?'
+	Cols       []ColDecl
+
+	// Spatial holds the @spatial(w) annotation: the weighing-function name,
+	// empty when the relation is not spatially annotated.
+	Spatial string
+	// Categorical is the domain size h for categorical variable relations;
+	// 0 means binary (the default).
+	Categorical int
+
+	Line int
+}
+
+// SpatialCol returns the index of the first spatial column, or -1.
+func (r *RelationDecl) SpatialCol() int {
+	for i, c := range r.Cols {
+		if c.Type.Kind == storage.KindGeom {
+			return i
+		}
+	}
+	return -1
+}
+
+// Term is an argument of a rule atom.
+type Term struct {
+	// Exactly one of the fields below is meaningful, per Kind.
+	Kind  TermKind
+	Var   string        // TermVar
+	Const storage.Value // TermConst
+}
+
+// TermKind discriminates Term.
+type TermKind uint8
+
+// Term kinds.
+const (
+	TermVar TermKind = iota
+	TermConst
+	TermWildcard
+)
+
+// String renders the term in rule syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermVar:
+		return t.Var
+	case TermConst:
+		if t.Const.Kind == storage.KindString {
+			return "'" + t.Const.S + "'"
+		}
+		return t.Const.String()
+	default:
+		return "_"
+	}
+}
+
+// Atom is a relation occurrence in a rule: Rel(t1, ..., tn).
+type Atom struct {
+	Rel   string
+	Terms []Term
+	Line  int
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Terms))
+	for i, t := range a.Terms {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CondOp is a comparison operator in a condition.
+type CondOp uint8
+
+// Comparison operators.
+const (
+	CondEq CondOp = iota
+	CondNe
+	CondLt
+	CondLe
+	CondGt
+	CondGe
+	// CondTrue marks a bare boolean predicate call, e.g. within(g, L).
+	CondTrue
+)
+
+var condOpNames = map[CondOp]string{
+	CondEq: "=", CondNe: "!=", CondLt: "<", CondLe: "<=", CondGt: ">", CondGe: ">=",
+}
+
+// CondExpr is a side of a condition: a variable, a constant, or a predicate
+// call over terms (e.g. distance(L1, L2)).
+type CondExpr struct {
+	Kind CondExprKind
+	Term Term       // CondTerm
+	Call string     // CondCall: lower-cased function name
+	Args []CondExpr // CondCall arguments
+}
+
+// CondExprKind discriminates CondExpr.
+type CondExprKind uint8
+
+// CondExpr kinds.
+const (
+	CondTermExpr CondExprKind = iota
+	CondCallExpr
+)
+
+// String renders the expression.
+func (e CondExpr) String() string {
+	if e.Kind == CondTermExpr {
+		return e.Term.String()
+	}
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Call + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Cond is one bracketed condition of a rule body (paper Fig. 3:
+// [distance(L1, L2) < 150, within(liberia_geom, L1), S2 = true]).
+type Cond struct {
+	Op   CondOp
+	L, R CondExpr // R is unused for CondTrue
+	Line int
+}
+
+// String renders the condition.
+func (c Cond) String() string {
+	if c.Op == CondTrue {
+		return c.L.String()
+	}
+	return c.L.String() + " " + condOpNames[c.Op] + " " + c.R.String()
+}
+
+// HeadConnective joins the atoms of an inference-rule head.
+type HeadConnective uint8
+
+// Head connectives: A => B (imply), A ^ B (and), A | B (or); a single-atom
+// head uses ConnSingle.
+const (
+	ConnSingle HeadConnective = iota
+	ConnImply
+	ConnAnd
+	ConnOr
+)
+
+// HeadAtom is one (possibly negated) atom of an inference-rule head.
+type HeadAtom struct {
+	Atom    Atom
+	Negated bool
+}
+
+// InferenceRule correlates variable relations (paper Fig. 3, R1).
+type InferenceRule struct {
+	Label     string
+	Weight    float64
+	HasWeight bool
+	// LearnedWeight marks a @weight(?) rule: its weight starts at 0 and is
+	// fit from evidence by the weight learner.
+	LearnedWeight bool
+	Connective    HeadConnective
+	Head          []HeadAtom
+	Body          []Atom
+	Conds         []Cond
+	Line          int
+}
+
+// DerivationRule instantiates variable-relation rows from input relations
+// (paper Fig. 3, D1: HasEbola(C1, L1) = NULL :- County(C1, L1, _)).
+type DerivationRule struct {
+	Label string
+	Head  Atom
+	// LabelTerm supplies the evidence label: a NULL constant (query
+	// variable), a constant, or a body variable carrying the label value.
+	LabelTerm Term
+	Body      []Atom
+	Conds     []Cond
+	Line      int
+}
+
+// ConstDecl binds a program-level constant name to a value; WKT strings
+// parse into geometries (const liberia_geom = 'POLYGON((...))').
+type ConstDecl struct {
+	Name  string
+	Value storage.Value
+	Line  int
+}
+
+// FunctionDecl declares a UDF (paper Section III, "Spatial UDFs"):
+// function NAME over (in-cols) returns (out-cols) implementation "key".
+type FunctionDecl struct {
+	Label          string
+	Name           string
+	In             []ColDecl
+	Out            []ColDecl
+	Implementation string
+	Line           int
+}
+
+// FunctionApp applies a UDF to rows derived by a body:
+// Target += fn(args) :- Body [conds].
+type FunctionApp struct {
+	Label  string
+	Target string
+	Fn     string
+	Args   []Term
+	Body   []Atom
+	Conds  []Cond
+	Line   int
+}
+
+// Program is a parsed (and, after Validate, semantically checked) DDlog
+// program.
+type Program struct {
+	Relations   []*RelationDecl
+	Consts      []*ConstDecl
+	Derivations []*DerivationRule
+	Rules       []*InferenceRule
+	Functions   []*FunctionDecl
+	Apps        []*FunctionApp
+
+	relByName map[string]*RelationDecl
+}
+
+// Relation resolves a relation declaration by case-insensitive name.
+func (p *Program) Relation(name string) (*RelationDecl, bool) {
+	r, ok := p.relByName[strings.ToLower(name)]
+	return r, ok
+}
+
+// VariableRelations returns the declared variable relations in order.
+func (p *Program) VariableRelations() []*RelationDecl {
+	var out []*RelationDecl
+	for _, r := range p.Relations {
+		if r.IsVariable {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Const resolves a constant by name.
+func (p *Program) Const(name string) (storage.Value, bool) {
+	for _, c := range p.Consts {
+		if strings.EqualFold(c.Name, name) {
+			return c.Value, true
+		}
+	}
+	return storage.Null, false
+}
+
+func (p *Program) indexRelations() error {
+	p.relByName = map[string]*RelationDecl{}
+	for _, r := range p.Relations {
+		key := strings.ToLower(r.Name)
+		if _, dup := p.relByName[key]; dup {
+			return fmt.Errorf("ddlog: line %d: relation %s declared twice", r.Line, r.Name)
+		}
+		p.relByName[key] = r
+	}
+	return nil
+}

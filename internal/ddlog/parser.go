@@ -1,0 +1,806 @@
+package ddlog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Parse parses a DDlog program. The result is syntactically checked only;
+// call Validate for semantic checks (or ParseAndValidate for both).
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF) {
+		if err := p.parseStatement(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.indexRelations(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseAndValidate parses and semantically validates a program.
+func ParseAndValidate(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []tok
+	i    int
+}
+
+func (p *parser) peek() tok         { return p.toks[p.i] }
+func (p *parser) at(k tokKind) bool { return p.peek().kind == k }
+
+func (p *parser) peekAhead(n int) tok {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) advance() tok {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (tok, error) {
+	if !p.at(k) {
+		return tok{}, fmt.Errorf("ddlog: expected %s, got %s", what, p.peek())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) atIdent(word string) bool {
+	t := p.peek()
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+// annotations collected while scanning a statement prefix.
+type annotations struct {
+	spatial   string
+	weight    float64
+	hasWeight bool
+	hasSpat   bool
+	learned   bool
+}
+
+func (p *parser) parseAnnotation(ann *annotations) error {
+	p.advance() // '@'
+	name, err := p.expect(tIdent, "annotation name")
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(name.text) {
+	case "spatial":
+		if _, err := p.expect(tLParen, "("); err != nil {
+			return err
+		}
+		fn, err := p.expect(tIdent, "weighing function name")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tRParen, ")"); err != nil {
+			return err
+		}
+		if ann.hasSpat {
+			return fmt.Errorf("ddlog: line %d: duplicate @spatial annotation", name.line)
+		}
+		ann.spatial = strings.ToLower(fn.text)
+		ann.hasSpat = true
+	case "weight":
+		if _, err := p.expect(tLParen, "("); err != nil {
+			return err
+		}
+		if ann.hasWeight {
+			return fmt.Errorf("ddlog: line %d: duplicate @weight annotation", name.line)
+		}
+		// @weight(?) declares a learned weight (fit from evidence by the
+		// weight learner); a literal fixes it.
+		if p.at(tQuestion) {
+			p.advance()
+			if _, err := p.expect(tRParen, ")"); err != nil {
+				return err
+			}
+			ann.weight = 0
+			ann.hasWeight = true
+			ann.learned = true
+			return nil
+		}
+		neg := false
+		if p.at(tDash) {
+			p.advance()
+			neg = true
+		}
+		num, err := p.expect(tNumber, "weight value")
+		if err != nil {
+			return err
+		}
+		w, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return fmt.Errorf("ddlog: line %d: bad weight %q", num.line, num.text)
+		}
+		if neg {
+			w = -w
+		}
+		if _, err := p.expect(tRParen, ")"); err != nil {
+			return err
+		}
+		ann.weight = w
+		ann.hasWeight = true
+	default:
+		return fmt.Errorf("ddlog: line %d: unknown annotation @%s", name.line, name.text)
+	}
+	return nil
+}
+
+func (p *parser) parseStatement(prog *Program) error {
+	var ann annotations
+	label := ""
+	// Annotations and an optional label may precede the statement core, in
+	// either order (the paper writes both "@weight(0.7)\nR1: ..." and
+	// "R1: @weight(0.35) ...").
+	for {
+		switch {
+		case p.at(tAt):
+			if err := p.parseAnnotation(&ann); err != nil {
+				return err
+			}
+			continue
+		case p.at(tIdent) && p.peekAhead(1).kind == tColon:
+			if label != "" {
+				return fmt.Errorf("ddlog: duplicate statement label at %s", p.peek())
+			}
+			label = p.advance().text
+			p.advance() // ':'
+			continue
+		}
+		break
+	}
+	switch {
+	case p.atIdent("const"):
+		return p.parseConst(prog, label, ann)
+	case p.atIdent("function"):
+		return p.parseFunction(prog, label, ann)
+	case p.at(tBang):
+		return p.parseRule(prog, label, ann)
+	case p.at(tIdent):
+		return p.parseRelStatement(prog, label, ann)
+	default:
+		return fmt.Errorf("ddlog: expected a declaration or rule, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseConst(prog *Program, label string, ann annotations) error {
+	if ann.hasSpat || ann.hasWeight {
+		return fmt.Errorf("ddlog: const declarations take no annotations")
+	}
+	_ = label
+	kw := p.advance() // const
+	name, err := p.expect(tIdent, "constant name")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tEq, "="); err != nil {
+		return err
+	}
+	val, err := p.parseConstValue()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return err
+	}
+	prog.Consts = append(prog.Consts, &ConstDecl{Name: name.text, Value: val, Line: kw.line})
+	return nil
+}
+
+// parseConstValue parses a literal; WKT strings become geometries.
+func (p *parser) parseConstValue() (storage.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tNumber:
+		p.advance()
+		return parseNumber(t)
+	case tDash:
+		p.advance()
+		num, err := p.expect(tNumber, "number after '-'")
+		if err != nil {
+			return storage.Null, err
+		}
+		v, err := parseNumber(num)
+		if err != nil {
+			return storage.Null, err
+		}
+		if v.Kind == storage.KindInt {
+			return storage.Int(-v.I), nil
+		}
+		return storage.Float(-v.F), nil
+	case tString:
+		p.advance()
+		if g, err := geom.ParseWKT(t.text); err == nil {
+			return storage.Geom(g), nil
+		}
+		return storage.Str(t.text), nil
+	case tIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return storage.Bool(true), nil
+		case "false":
+			p.advance()
+			return storage.Bool(false), nil
+		case "null":
+			p.advance()
+			return storage.Null, nil
+		}
+	}
+	return storage.Null, fmt.Errorf("ddlog: expected a literal, got %s", t)
+}
+
+func parseNumber(t tok) (storage.Value, error) {
+	if strings.ContainsAny(t.text, ".eE") {
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return storage.Null, fmt.Errorf("ddlog: line %d: bad number %q", t.line, t.text)
+		}
+		return storage.Float(f), nil
+	}
+	i, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return storage.Null, fmt.Errorf("ddlog: line %d: bad number %q", t.line, t.text)
+	}
+	return storage.Int(i), nil
+}
+
+func (p *parser) parseFunction(prog *Program, label string, ann annotations) error {
+	if ann.hasSpat || ann.hasWeight {
+		return fmt.Errorf("ddlog: function declarations take no annotations")
+	}
+	kw := p.advance() // function
+	name, err := p.expect(tIdent, "function name")
+	if err != nil {
+		return err
+	}
+	fn := &FunctionDecl{Label: label, Name: name.text, Line: kw.line}
+	if !p.atIdent("over") {
+		return fmt.Errorf("ddlog: expected OVER, got %s", p.peek())
+	}
+	p.advance()
+	fn.In, err = p.parseColList()
+	if err != nil {
+		return err
+	}
+	if !p.atIdent("returns") {
+		return fmt.Errorf("ddlog: expected RETURNS, got %s", p.peek())
+	}
+	p.advance()
+	// Accept both "returns (cols)" and DeepDive's "returns rows like Rel".
+	if p.atIdent("rows") {
+		p.advance()
+		if !p.atIdent("like") {
+			return fmt.Errorf("ddlog: expected LIKE, got %s", p.peek())
+		}
+		p.advance()
+		rel, err := p.expect(tIdent, "relation name")
+		if err != nil {
+			return err
+		}
+		// Columns are resolved against the relation during validation; mark
+		// with a sentinel column.
+		fn.Out = []ColDecl{{Name: "@like:" + rel.text}}
+	} else {
+		fn.Out, err = p.parseColList()
+		if err != nil {
+			return err
+		}
+	}
+	if !p.atIdent("implementation") {
+		return fmt.Errorf("ddlog: expected IMPLEMENTATION, got %s", p.peek())
+	}
+	p.advance()
+	impl, err := p.expect(tString, "implementation key")
+	if err != nil {
+		return err
+	}
+	fn.Implementation = impl.text
+	// Tolerate DeepDive's trailing "handles tsj lines".
+	if p.atIdent("handles") {
+		p.advance()
+		for p.at(tIdent) {
+			p.advance()
+		}
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return err
+	}
+	prog.Functions = append(prog.Functions, fn)
+	return nil
+}
+
+func (p *parser) parseColList() ([]ColDecl, error) {
+	if _, err := p.expect(tLParen, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColDecl
+	for {
+		name, err := p.expect(tIdent, "column name")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(tIdent, "column type")
+		if err != nil {
+			return nil, err
+		}
+		ct, ok := ParseColType(typ.text)
+		if !ok {
+			return nil, fmt.Errorf("ddlog: line %d: unknown type %q", typ.line, typ.text)
+		}
+		cols = append(cols, ColDecl{Name: name.text, Type: ct})
+		if p.at(tComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tRParen, ")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// parseRelStatement disambiguates between a relation declaration, a
+// derivation rule, an inference rule, and a function application, all of
+// which start with an identifier.
+func (p *parser) parseRelStatement(prog *Program, label string, ann annotations) error {
+	// Function application: IDENT += fn(args) :- body.
+	if p.peekAhead(1).kind == tPlusEq {
+		return p.parseFunctionApp(prog, label, ann)
+	}
+	if p.looksLikeDecl() {
+		return p.parseRelationDecl(prog, label, ann)
+	}
+	return p.parseRule(prog, label, ann)
+}
+
+// looksLikeDecl reports whether the upcoming IDENT [?] ( ... ) is a schema
+// declaration: the first parenthesized element is two identifiers where the
+// second is a type keyword.
+func (p *parser) looksLikeDecl() bool {
+	j := p.i + 1 // past relation name
+	if p.peekAhead(1).kind == tQuestion {
+		j++
+	}
+	if j >= len(p.toks) || p.toks[j].kind != tLParen {
+		return false
+	}
+	j++
+	if j+1 >= len(p.toks) {
+		return false
+	}
+	if p.toks[j].kind != tIdent || p.toks[j+1].kind != tIdent {
+		return false
+	}
+	_, ok := ParseColType(p.toks[j+1].text)
+	return ok
+}
+
+func (p *parser) parseRelationDecl(prog *Program, label string, ann annotations) error {
+	name := p.advance()
+	decl := &RelationDecl{Label: label, Name: name.text, Line: name.line}
+	if p.at(tQuestion) {
+		p.advance()
+		decl.IsVariable = true
+	}
+	cols, err := p.parseColList()
+	if err != nil {
+		return err
+	}
+	for _, c := range cols {
+		decl.Cols = append(decl.Cols, c)
+	}
+	if p.atIdent("categorical") {
+		p.advance()
+		if _, err := p.expect(tLParen, "("); err != nil {
+			return err
+		}
+		num, err := p.expect(tNumber, "domain size")
+		if err != nil {
+			return err
+		}
+		h, err := strconv.Atoi(num.text)
+		if err != nil {
+			return fmt.Errorf("ddlog: line %d: bad categorical size %q", num.line, num.text)
+		}
+		decl.Categorical = h
+		if _, err := p.expect(tRParen, ")"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return err
+	}
+	if ann.hasWeight {
+		return fmt.Errorf("ddlog: line %d: @weight does not apply to relation declarations", name.line)
+	}
+	decl.Spatial = ann.spatial
+	prog.Relations = append(prog.Relations, decl)
+	return nil
+}
+
+func (p *parser) parseFunctionApp(prog *Program, label string, ann annotations) error {
+	if ann.hasSpat || ann.hasWeight {
+		return fmt.Errorf("ddlog: function applications take no annotations")
+	}
+	target := p.advance()
+	p.advance() // +=
+	fnName, err := p.expect(tIdent, "function name")
+	if err != nil {
+		return err
+	}
+	app := &FunctionApp{Label: label, Target: target.text, Fn: fnName.text, Line: target.line}
+	if _, err := p.expect(tLParen, "("); err != nil {
+		return err
+	}
+	if !p.at(tRParen) {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			app.Args = append(app.Args, t)
+			if p.at(tComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tRParen, ")"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tTurnstile, "':-'"); err != nil {
+		return err
+	}
+	app.Body, app.Conds, err = p.parseBody()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tDot, "'.'"); err != nil {
+		return err
+	}
+	prog.Apps = append(prog.Apps, app)
+	return nil
+}
+
+// parseRule parses a derivation or inference rule.
+func (p *parser) parseRule(prog *Program, label string, ann annotations) error {
+	if ann.hasSpat {
+		return fmt.Errorf("ddlog: @spatial does not apply to rules")
+	}
+	first, neg, err := p.parseHeadAtom()
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.at(tEq) && !neg:
+		// Derivation rule: Head(args) = labelterm :- body.
+		p.advance()
+		lt, err := p.parseTerm()
+		if err != nil {
+			return err
+		}
+		if lt.Kind == TermWildcard {
+			return fmt.Errorf("ddlog: line %d: derivation label cannot be a wildcard", first.Line)
+		}
+		if _, err := p.expect(tTurnstile, "':-'"); err != nil {
+			return err
+		}
+		d := &DerivationRule{Label: label, Head: first, LabelTerm: lt, Line: first.Line}
+		d.Body, d.Conds, err = p.parseBody()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tDot, "'.'"); err != nil {
+			return err
+		}
+		if ann.hasWeight {
+			return fmt.Errorf("ddlog: line %d: @weight does not apply to derivation rules", first.Line)
+		}
+		prog.Derivations = append(prog.Derivations, d)
+		return nil
+	default:
+		rule := &InferenceRule{
+			Label:         label,
+			Weight:        ann.weight,
+			HasWeight:     ann.hasWeight,
+			LearnedWeight: ann.learned,
+			Head:          []HeadAtom{{Atom: first, Negated: neg}},
+			Line:          first.Line,
+		}
+		if !rule.HasWeight {
+			rule.Weight = 1
+		}
+		conn := ConnSingle
+		for {
+			var c HeadConnective
+			switch p.peek().kind {
+			case tImplies:
+				c = ConnImply
+			case tCaret, tAmp:
+				c = ConnAnd
+			case tPipe:
+				c = ConnOr
+			default:
+				goto headDone
+			}
+			if conn != ConnSingle && conn != c {
+				return fmt.Errorf("ddlog: line %d: mixed head connectives are not supported", p.peek().line)
+			}
+			if c == ConnImply && len(rule.Head) >= 2 {
+				return fmt.Errorf("ddlog: line %d: chained '=>' heads are not supported", p.peek().line)
+			}
+			conn = c
+			p.advance()
+			atom, negated, err := p.parseHeadAtom()
+			if err != nil {
+				return err
+			}
+			rule.Head = append(rule.Head, HeadAtom{Atom: atom, Negated: negated})
+		}
+	headDone:
+		rule.Connective = conn
+		if _, err := p.expect(tTurnstile, "':-'"); err != nil {
+			return err
+		}
+		var perr error
+		rule.Body, rule.Conds, perr = p.parseBody()
+		if perr != nil {
+			return perr
+		}
+		if _, err := p.expect(tDot, "'.'"); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, rule)
+		return nil
+	}
+}
+
+func (p *parser) parseHeadAtom() (Atom, bool, error) {
+	neg := false
+	if p.at(tBang) {
+		p.advance()
+		neg = true
+	}
+	a, err := p.parseAtom()
+	return a, neg, err
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tIdent, "relation name")
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Rel: name.text, Line: name.line}
+	if _, err := p.expect(tLParen, "("); err != nil {
+		return Atom{}, err
+	}
+	if !p.at(tRParen) {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Terms = append(a.Terms, t)
+			if p.at(tComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(tRParen, ")"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.peek()
+	switch t.kind {
+	case tUnder:
+		p.advance()
+		return Term{Kind: TermWildcard}, nil
+	case tDash:
+		// '-' alone is a wildcard (the paper's don't-care); '-NUMBER' is a
+		// negative constant.
+		if p.peekAhead(1).kind == tNumber {
+			p.advance()
+			num := p.advance()
+			v, err := parseNumber(num)
+			if err != nil {
+				return Term{}, err
+			}
+			if v.Kind == storage.KindInt {
+				return Term{Kind: TermConst, Const: storage.Int(-v.I)}, nil
+			}
+			return Term{Kind: TermConst, Const: storage.Float(-v.F)}, nil
+		}
+		p.advance()
+		return Term{Kind: TermWildcard}, nil
+	case tNumber:
+		p.advance()
+		v, err := parseNumber(t)
+		if err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermConst, Const: v}, nil
+	case tString:
+		p.advance()
+		return Term{Kind: TermConst, Const: storage.Str(t.text)}, nil
+	case tIdent:
+		switch strings.ToLower(t.text) {
+		case "null":
+			p.advance()
+			return Term{Kind: TermConst, Const: storage.Null}, nil
+		case "true":
+			p.advance()
+			return Term{Kind: TermConst, Const: storage.Bool(true)}, nil
+		case "false":
+			p.advance()
+			return Term{Kind: TermConst, Const: storage.Bool(false)}, nil
+		}
+		p.advance()
+		return Term{Kind: TermVar, Var: t.text}, nil
+	default:
+		return Term{}, fmt.Errorf("ddlog: expected a term, got %s", t)
+	}
+}
+
+// parseBody parses comma-separated atoms with optional bracketed condition
+// groups (which may follow any atom; all conditions are merged).
+func (p *parser) parseBody() ([]Atom, []Cond, error) {
+	var atoms []Atom
+	var conds []Cond
+	for {
+		if p.at(tLBracket) {
+			cs, err := p.parseCondGroup()
+			if err != nil {
+				return nil, nil, err
+			}
+			conds = append(conds, cs...)
+		} else {
+			a, err := p.parseAtom()
+			if err != nil {
+				return nil, nil, err
+			}
+			atoms = append(atoms, a)
+		}
+		if p.at(tComma) {
+			p.advance()
+			continue
+		}
+		// A bracket group may directly follow the last atom without a comma
+		// (paper Fig. 3 style: "County(C2, L2, S2) [distance(...) < 150]").
+		if p.at(tLBracket) {
+			continue
+		}
+		break
+	}
+	if len(atoms) == 0 {
+		return nil, nil, fmt.Errorf("ddlog: rule body needs at least one atom near %s", p.peek())
+	}
+	return atoms, conds, nil
+}
+
+func (p *parser) parseCondGroup() ([]Cond, error) {
+	p.advance() // '['
+	var out []Cond
+	for {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.at(tComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	line := p.peek().line
+	l, err := p.parseCondExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	var op CondOp
+	switch p.peek().kind {
+	case tEq:
+		op = CondEq
+	case tNe:
+		op = CondNe
+	case tLt:
+		op = CondLt
+	case tLe:
+		op = CondLe
+	case tGt:
+		op = CondGt
+	case tGe:
+		op = CondGe
+	default:
+		return Cond{Op: CondTrue, L: l, Line: line}, nil
+	}
+	p.advance()
+	r, err := p.parseCondExpr()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Op: op, L: l, R: r, Line: line}, nil
+}
+
+func (p *parser) parseCondExpr() (CondExpr, error) {
+	t := p.peek()
+	if t.kind == tIdent && p.peekAhead(1).kind == tLParen {
+		switch strings.ToLower(t.text) {
+		case "null", "true", "false":
+			// literals, not calls
+		default:
+			p.advance()
+			p.advance() // '('
+			call := CondExpr{Kind: CondCallExpr, Call: strings.ToLower(t.text)}
+			if !p.at(tRParen) {
+				for {
+					arg, err := p.parseCondExpr()
+					if err != nil {
+						return CondExpr{}, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.at(tComma) {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tRParen, ")"); err != nil {
+				return CondExpr{}, err
+			}
+			return call, nil
+		}
+	}
+	term, err := p.parseTerm()
+	if err != nil {
+		return CondExpr{}, err
+	}
+	if term.Kind == TermWildcard {
+		return CondExpr{}, fmt.Errorf("ddlog: line %d: wildcards are not allowed in conditions", t.line)
+	}
+	return CondExpr{Kind: CondTermExpr, Term: term}, nil
+}

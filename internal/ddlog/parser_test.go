@@ -1,0 +1,408 @@
+package ddlog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// The paper's Figure 3 program (EbolaKB), verbatim up to the liberia_geom
+// constant, which we declare explicitly.
+const ebolaProgram = `
+const liberia_geom = 'POLYGON((-12 4, -7 4, -7 9, -12 9))'.
+
+#Schema Declaration
+S1: County (id bigint, location point, hasLowSanitation bool).
+@spatial(exp)
+S2: HasEbola? (id bigint, location point).
+
+#Derivation Rule
+D1: HasEbola(C1, L1) = NULL :- County(C1, L1, _).
+
+#Inference Rule
+R1: @weight(0.35)
+HasEbola(C1, L1) => HasEbola(C2, L2) :-
+    County(C1, L1, _), County(C2, L2, S2)
+    [distance(L1, L2) < 150, within(liberia_geom, L1), S2 = true].
+`
+
+// The paper's Figure 7 Sya-syntax GWDB rule.
+const gwdbProgram = `
+Well (id bigint, location point, arsenic_ratio double).
+@spatial(exp)
+IsSafe? (id bigint, location point).
+
+D1: IsSafe(W, L) = NULL :- Well(W, L, _).
+
+@weight(0.7)
+R1: IsSafe(W1, L1) => IsSafe(W2, L2) :-
+    Well(W1, L1, R1), Well(W2, L2, R2)
+    [distance(L1, L2) < 50, R1 < 0.2, R2 < 0.2].
+`
+
+func mustProgram(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := ParseAndValidate(src)
+	if err != nil {
+		t.Fatalf("ParseAndValidate: %v", err)
+	}
+	return p
+}
+
+func TestParseEbolaProgram(t *testing.T) {
+	p := mustProgram(t, ebolaProgram)
+	if len(p.Relations) != 2 || len(p.Derivations) != 1 || len(p.Rules) != 1 || len(p.Consts) != 1 {
+		t.Fatalf("counts: rel=%d der=%d rules=%d consts=%d",
+			len(p.Relations), len(p.Derivations), len(p.Rules), len(p.Consts))
+	}
+	county, ok := p.Relation("county")
+	if !ok || county.IsVariable || county.Label != "S1" {
+		t.Fatalf("County decl = %+v", county)
+	}
+	if county.Cols[1].Type.Kind != storage.KindGeom || county.Cols[1].Type.GeomType != geom.TypePoint {
+		t.Errorf("County location type = %+v", county.Cols[1].Type)
+	}
+	hasEbola, _ := p.Relation("HasEbola")
+	if !hasEbola.IsVariable || hasEbola.Spatial != "exp" {
+		t.Fatalf("HasEbola decl = %+v", hasEbola)
+	}
+	if hasEbola.SpatialCol() != 1 {
+		t.Errorf("spatial col = %d", hasEbola.SpatialCol())
+	}
+	d := p.Derivations[0]
+	if d.Label != "D1" || d.Head.Rel != "HasEbola" || !d.LabelTerm.Const.IsNull() {
+		t.Errorf("derivation = %+v", d)
+	}
+	if d.Body[0].Terms[2].Kind != TermWildcard {
+		t.Errorf("wildcard not parsed: %+v", d.Body[0].Terms[2])
+	}
+	r := p.Rules[0]
+	if r.Label != "R1" || !r.HasWeight || r.Weight != 0.35 {
+		t.Errorf("rule weight = %+v", r)
+	}
+	if r.Connective != ConnImply || len(r.Head) != 2 {
+		t.Errorf("rule head = %+v", r.Head)
+	}
+	if len(r.Body) != 2 || len(r.Conds) != 3 {
+		t.Errorf("body=%d conds=%d", len(r.Body), len(r.Conds))
+	}
+	// distance(L1, L2) < 150
+	c0 := r.Conds[0]
+	if c0.Op != CondLt || c0.L.Call != "distance" || c0.R.Term.Const.I != 150 {
+		t.Errorf("cond 0 = %+v", c0)
+	}
+	// within(liberia_geom, L1): the constant must have been substituted.
+	c1 := r.Conds[1]
+	if c1.Op != CondTrue || c1.L.Call != "within" {
+		t.Fatalf("cond 1 = %+v", c1)
+	}
+	if c1.L.Args[0].Term.Kind != TermConst || c1.L.Args[0].Term.Const.Kind != storage.KindGeom {
+		t.Errorf("liberia_geom not substituted: %+v", c1.L.Args[0])
+	}
+	// S2 = true
+	c2 := r.Conds[2]
+	if c2.Op != CondEq || c2.L.Term.Var != "S2" {
+		t.Errorf("cond 2 = %+v", c2)
+	}
+	b, _ := c2.R.Term.Const.AsBool()
+	if !b {
+		t.Errorf("cond 2 RHS = %+v", c2.R)
+	}
+}
+
+func TestParseGWDBProgram(t *testing.T) {
+	p := mustProgram(t, gwdbProgram)
+	r := p.Rules[0]
+	if r.Weight != 0.7 {
+		t.Errorf("weight = %v", r.Weight)
+	}
+	if len(r.Conds) != 3 {
+		t.Fatalf("conds = %d", len(r.Conds))
+	}
+	if r.Conds[1].L.Term.Var != "R1" || r.Conds[1].Op != CondLt {
+		t.Errorf("cond = %+v", r.Conds[1])
+	}
+	if f, _ := r.Conds[1].R.Term.Const.AsFloat(); f != 0.2 {
+		t.Errorf("threshold = %+v", r.Conds[1].R)
+	}
+}
+
+func TestParseCategorical(t *testing.T) {
+	p := mustProgram(t, `
+Data (id bigint, location point, level bigint).
+@spatial(exp)
+HasLevel? (id bigint, location point) categorical(10).
+D1: HasLevel(I, L) = NULL :- Data(I, L, _).
+`)
+	rel, _ := p.Relation("HasLevel")
+	if rel.Categorical != 10 {
+		t.Errorf("categorical = %d", rel.Categorical)
+	}
+}
+
+func TestParseFunctionAndApp(t *testing.T) {
+	p := mustProgram(t, `
+Documents (doc text).
+Places (name text, location point).
+function extract_places over (doc text) returns (name text, location point)
+    implementation "geoner".
+Places += extract_places(D) :- Documents(D).
+`)
+	if len(p.Functions) != 1 || len(p.Apps) != 1 {
+		t.Fatalf("fn=%d apps=%d", len(p.Functions), len(p.Apps))
+	}
+	fn := p.Functions[0]
+	if fn.Implementation != "geoner" || len(fn.In) != 1 || len(fn.Out) != 2 {
+		t.Errorf("fn = %+v", fn)
+	}
+	app := p.Apps[0]
+	if app.Target != "Places" || app.Fn != "extract_places" {
+		t.Errorf("app = %+v", app)
+	}
+}
+
+func TestParseDeepDiveStyleFunction(t *testing.T) {
+	// Fig. 7 DeepDive syntax: returns rows like / handles tsj lines.
+	p := mustProgram(t, `
+Well (id bigint, loc_x double, loc_y double).
+Distance (id1 bigint, id2 bigint, dist double).
+function calc_distance over (id1 bigint, x1 double, y1 double, id2 bigint, x2 double, y2 double)
+    returns rows like Distance
+    implementation "calc_distance" handles tsj lines.
+Distance += calc_distance(W1, X1, Y1, W2, X2, Y2) :-
+    Well(W1, X1, Y1), Well(W2, X2, Y2).
+`)
+	fn := p.Functions[0]
+	if len(fn.Out) != 3 || fn.Out[2].Name != "dist" {
+		t.Errorf("rows-like expansion = %+v", fn.Out)
+	}
+}
+
+func TestParseHeadConnectives(t *testing.T) {
+	base := `
+X? (s text).
+Y? (s text).
+Z (r text, s text).
+`
+	cases := []struct {
+		head string
+		conn HeadConnective
+		n    int
+	}{
+		{`X(S) ^ Y(S)`, ConnAnd, 2},
+		{`X(S) & Y(S)`, ConnAnd, 2},
+		{`X(S) | Y(S)`, ConnOr, 2},
+		{`X(S) => Y(S)`, ConnImply, 2},
+		{`X(S)`, ConnSingle, 1},
+		{`!X(S) | Y(S)`, ConnOr, 2},
+	}
+	for _, c := range cases {
+		src := base + "@weight(0.7) R1: " + c.head + ` :- Z(R, S) [R = 'a'].`
+		p := mustProgram(t, src)
+		r := p.Rules[0]
+		if r.Connective != c.conn || len(r.Head) != c.n {
+			t.Errorf("head %q: conn=%v n=%d", c.head, r.Connective, len(r.Head))
+		}
+	}
+	// Negation flag.
+	p := mustProgram(t, base+`@weight(1) R: !X(S) | Y(S) :- Z(_, S).`)
+	if !p.Rules[0].Head[0].Negated || p.Rules[0].Head[1].Negated {
+		t.Error("negation flags wrong")
+	}
+}
+
+func TestParseDerivationWithLabelVariable(t *testing.T) {
+	p := mustProgram(t, `
+Obs (id bigint, location point, safe bool).
+IsSafe? (id bigint, location point).
+D1: IsSafe(I, L) = S :- Obs(I, L, S).
+`)
+	d := p.Derivations[0]
+	if d.LabelTerm.Kind != TermVar || d.LabelTerm.Var != "S" {
+		t.Errorf("label term = %+v", d.LabelTerm)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustProgram(t, `
+# hash comment
+// slash comment
+T (id bigint). # trailing
+V? (id bigint).
+D: V(I) = NULL :- T(I).
+`)
+}
+
+func TestNegativeNumbersVsWildcards(t *testing.T) {
+	p := mustProgram(t, `
+T (id bigint, v double).
+V? (id bigint).
+D: V(I) = NULL :- T(I, -) .
+R: @weight(-0.5) V(I) :- T(I, X) [X > -1.5].
+`)
+	if p.Derivations[0].Body[0].Terms[1].Kind != TermWildcard {
+		t.Error("- should be wildcard in atom args")
+	}
+	if p.Rules[0].Weight != -0.5 {
+		t.Errorf("negative weight = %v", p.Rules[0].Weight)
+	}
+	c := p.Rules[0].Conds[0]
+	if f, _ := c.R.Term.Const.AsFloat(); f != -1.5 {
+		t.Errorf("negative literal = %+v", c.R)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"T (id bigint%).", `T (id bigint, s text). V? (id bigint). D: V(I) = 'oops :- T(I).`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no relations", `const x = 1.`, "no relations"},
+		{"dup relation", "T (id bigint).\nT (id bigint).", "declared twice"},
+		{"dup column", `T (id bigint, ID text).`, "duplicate column"},
+		{"spatial on typical", "@spatial(exp)\nT (id bigint, location point).", "variable relations"},
+		{"spatial without geom", "@spatial(exp)\nV? (id bigint).", "spatial attribute"},
+		{"categorical on typical", `T (id bigint) categorical(3).`, "variable relations"},
+		{"categorical too small", `V? (id bigint) categorical(1).`, "at least 2"},
+		{"unknown body relation", "V? (id bigint).\nD: V(I) = NULL :- Missing(I).", "unknown relation"},
+		{"arity mismatch body", "T (id bigint, v double).\nV? (id bigint).\nD: V(I) = NULL :- T(I).", "columns"},
+		{"head not variable rel", "T (id bigint).\nU (id bigint).\nD: U(I) = NULL :- T(I).", "variable relation"},
+		{"unsafe head var", "T (id bigint).\nV? (id bigint).\nD: V(J) = NULL :- T(I).", "not bound"},
+		{"unbound label var", "T (id bigint).\nV? (id bigint).\nD: V(I) = S :- T(I).", "not bound"},
+		{"unknown cond name", "T (id bigint).\nV? (id bigint).\nD: V(I) = NULL :- T(I) [X = 1].", "neither a bound variable"},
+		{"unknown predicate", "T (id bigint, location point).\nV? (id bigint).\nD: V(I) = NULL :- T(I, L) [near(L, L)].", "unknown predicate"},
+		{"distance bare", "T (id bigint, location point).\nV? (id bigint).\nD: V(I) = NULL :- T(I, L) [distance(L, L)].", "must be compared"},
+		{"predicate arity", "T (id bigint, location point).\nV? (id bigint).\nD: V(I) = NULL :- T(I, L) [within(L)].", "arguments"},
+		{"imply arity", "T (id bigint).\nV? (id bigint).\nR: @weight(1) V(I) => V(I) => V(I) :- T(I).", "'=>'"},
+		{"dup const", "const a = 1.\nconst a = 2.\nT (id bigint).", "declared twice"},
+		{"const shadows relation", "T (id bigint).\nconst T = 1.", "shadows"},
+		{"undeclared function", "T (id bigint).\nU (id bigint).\nU += f(I) :- T(I).", "undeclared function"},
+		{"fn arg count", "T (id bigint).\nU (id bigint).\nfunction f over (a bigint, b bigint) returns (c bigint) implementation \"x\".\nU += f(I) :- T(I).", "arguments"},
+		{"fn out arity", "T (id bigint).\nU (id bigint, v bigint).\nfunction f over (a bigint) returns (c bigint) implementation \"x\".\nU += f(I) :- T(I).", "columns"},
+		{"rows like unknown", "T (id bigint).\nfunction f over (a bigint) returns rows like Nope implementation \"x\".", "unknown relation"},
+		{"wildcard in head", "T (id bigint).\nV? (id bigint).\nD: V(_) = NULL :- T(I).", "wildcard"},
+	}
+	for _, c := range cases {
+		_, err := ParseAndValidate(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"T (id bigint)",               // missing dot
+		"@unknown(1)\nT (id bigint).", // unknown annotation
+		"@weight(x)\nT (id bigint).",  // non-numeric weight
+		"@weight(1) @weight(2)\nV? (id bigint).",
+		"@spatial(exp) @spatial(exp)\nV? (id bigint, location point).",
+		"V? (id bigint).\nD: V(I) = NULL :- .",
+		"V? (id bigint).\nD: V(I) = _ :- V(I).",
+		"const x.",
+		"function f over (a bigint).",
+		"V? (id bigint).\nR: V(I) ^ V(I) | V(I) :- V(I).", // mixed connectives
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			if _, verr := ParseAndValidate(src); verr == nil {
+				t.Errorf("Parse(%q) should fail", src)
+			}
+		}
+	}
+}
+
+func TestConstWKTParsing(t *testing.T) {
+	p := mustProgram(t, `
+const region = 'POLYGON((0 0, 10 0, 10 10, 0 10))'.
+const label = 'not wkt'.
+const n = 42.
+T (id bigint).
+`)
+	if v, _ := p.Const("region"); v.Kind != storage.KindGeom {
+		t.Errorf("region kind = %v", v.Kind)
+	}
+	if v, _ := p.Const("label"); v.Kind != storage.KindString {
+		t.Errorf("label kind = %v", v.Kind)
+	}
+	if v, _ := p.Const("N"); v.I != 42 { // case-insensitive
+		t.Errorf("n = %v", v)
+	}
+	if _, ok := p.Const("missing"); ok {
+		t.Error("missing const found")
+	}
+}
+
+func TestVariableRelationsHelper(t *testing.T) {
+	p := mustProgram(t, `
+T (id bigint).
+A? (id bigint).
+B? (id bigint).
+`)
+	vars := p.VariableRelations()
+	if len(vars) != 2 || vars[0].Name != "A" || vars[1].Name != "B" {
+		t.Errorf("variable relations = %+v", vars)
+	}
+}
+
+func TestLearnedWeightMarker(t *testing.T) {
+	p := mustProgram(t, `
+T (id bigint).
+V? (id bigint).
+R1: @weight(?) V(I) :- T(I).
+R2: @weight(0.5) V(I) :- T(I).
+`)
+	if !p.Rules[0].LearnedWeight || p.Rules[0].Weight != 0 {
+		t.Errorf("R1 = %+v", p.Rules[0])
+	}
+	if p.Rules[1].LearnedWeight {
+		t.Error("R2 should be fixed")
+	}
+	if _, err := Parse(`T (id bigint). V? (id bigint). R: @weight(? V(I) :- T(I).`); err == nil {
+		t.Error("malformed @weight(?) should fail")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	p := mustProgram(t, `
+T (id bigint, location point, tag text).
+V? (id bigint).
+R: @weight(1) V(I) :- T(I, L, 'x') [distance(L, L) < 5, within(L, L)].
+`)
+	r := p.Rules[0]
+	if got := r.Body[0].String(); got != "T(I, L, 'x')" {
+		t.Errorf("atom string = %q", got)
+	}
+	if got := r.Conds[0].String(); got != "distance(L, L) < 5" {
+		t.Errorf("cond string = %q", got)
+	}
+	if got := r.Conds[1].String(); got != "within(L, L)" {
+		t.Errorf("bare cond string = %q", got)
+	}
+	if ct, _ := ParseColType("point"); ct.String() != "point" {
+		t.Error("point type string")
+	}
+	for _, name := range []string{"bigint", "double", "bool", "text"} {
+		ct, ok := ParseColType(name)
+		if !ok || ct.String() != name {
+			t.Errorf("type %q round trip: %v %q", name, ok, ct.String())
+		}
+	}
+	wild := Term{Kind: TermWildcard}
+	if wild.String() != "_" {
+		t.Error("wildcard string")
+	}
+}

@@ -1,0 +1,223 @@
+// Package ddlog implements Sya's spatial extension of the DDlog language
+// (paper Section III): schema declarations for typical and variable
+// relations, the @spatial(w) and @weight(w) annotations, spatial data types,
+// derivation rules, inference rules with spatial predicates in their
+// condition lists, constants, and UDF (function) declarations. A validated
+// Program is the input to the grounding module.
+package ddlog
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tColon    // ':' (labels like "R1:"; ':-' lexes as tTurnstile)
+	tAt       // @
+	tQuestion // ?
+	tLParen
+	tRParen
+	tLBracket
+	tRBracket
+	tComma
+	tDot       // statement terminator
+	tDash      // '-' (wildcard or minus)
+	tUnder     // '_' wildcard
+	tImplies   // =>
+	tTurnstile // :-
+	tPlusEq    // +=
+	tCaret     // ^
+	tPipe      // |
+	tAmp       // &
+	tBang      // !
+	tEq        // =
+	tNe        // != or <>
+	tLt
+	tLe
+	tGt
+	tGe
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of program"
+	}
+	return fmt.Sprintf("%q (line %d)", t.text, t.line)
+}
+
+// lex scans a DDlog program. '#' and '//' start line comments.
+func lex(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	i := 0
+	n := len(src)
+	emit := func(k tokKind, text string) {
+		out = append(out, tok{kind: k, text: text, line: line})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			continue
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+			continue
+		case isLetter(c):
+			start := i
+			for i < n && (isLetter(src[i]) || isDigit(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			if word == "_" {
+				emit(tUnder, word)
+				continue
+			}
+			emit(tIdent, word)
+			continue
+		case isDigit(c):
+			start := i
+			for i < n && (isDigit(src[i]) || src[i] == '.') {
+				// A '.' not followed by a digit terminates the number (it is
+				// the statement dot).
+				if src[i] == '.' && (i+1 >= n || !isDigit(src[i+1])) {
+					break
+				}
+				i++
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < n && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < n && isDigit(src[j]) {
+					i = j
+					for i < n && isDigit(src[i]) {
+						i++
+					}
+				}
+			}
+			emit(tNumber, src[start:i])
+			continue
+		case c == '\'' || c == '"':
+			quote := c
+			i++
+			start := i
+			var buf []byte
+			for i < n && src[i] != quote {
+				if src[i] == '\n' {
+					line++
+				}
+				buf = append(buf, src[i])
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("ddlog: line %d: unterminated string starting at %q", line, src[start-1:min(start+10, n)])
+			}
+			i++
+			emit(tString, string(buf))
+			continue
+		}
+		two := ""
+		if i+1 < n {
+			two = src[i : i+2]
+		}
+		switch two {
+		case "=>":
+			emit(tImplies, two)
+			i += 2
+			continue
+		case ":-":
+			emit(tTurnstile, two)
+			i += 2
+			continue
+		case "+=":
+			emit(tPlusEq, two)
+			i += 2
+			continue
+		case "!=", "<>":
+			emit(tNe, two)
+			i += 2
+			continue
+		case "<=":
+			emit(tLe, two)
+			i += 2
+			continue
+		case ">=":
+			emit(tGe, two)
+			i += 2
+			continue
+		}
+		switch c {
+		case ':':
+			emit(tColon, ":")
+		case '@':
+			emit(tAt, "@")
+		case '?':
+			emit(tQuestion, "?")
+		case '(':
+			emit(tLParen, "(")
+		case ')':
+			emit(tRParen, ")")
+		case '[':
+			emit(tLBracket, "[")
+		case ']':
+			emit(tRBracket, "]")
+		case ',':
+			emit(tComma, ",")
+		case '.':
+			emit(tDot, ".")
+		case '-':
+			emit(tDash, "-")
+		case '^':
+			emit(tCaret, "^")
+		case '|':
+			emit(tPipe, "|")
+		case '&':
+			emit(tAmp, "&")
+		case '!':
+			emit(tBang, "!")
+		case '=':
+			emit(tEq, "=")
+		case '<':
+			emit(tLt, "<")
+		case '>':
+			emit(tGt, ">")
+		default:
+			return nil, fmt.Errorf("ddlog: line %d: unexpected character %q", line, string(c))
+		}
+		i++
+	}
+	out = append(out, tok{kind: tEOF, line: line})
+	return out, nil
+}
+
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

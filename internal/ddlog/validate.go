@@ -1,0 +1,322 @@
+package ddlog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// spatialPredicates lists the spatial predicates and functions allowed in
+// rule conditions (paper Section III, "Spatial Predicates"): name → arity
+// range and whether the call yields a boolean (usable bare) or a number
+// (must appear in a comparison).
+var spatialPredicates = map[string]struct {
+	minArity, maxArity int
+	boolean            bool
+}{
+	"distance":   {2, 3, false}, // distance(L1, L2 [, 'miles'|'km'])
+	"within":     {2, 2, true},
+	"overlaps":   {2, 2, true},
+	"intersects": {2, 2, true},
+	"contains":   {2, 2, true},
+	"buffer":     {2, 2, false}, // buffer(geom, d) → geometry
+	"union":      {2, 2, false}, // union(a, b) → geometry
+}
+
+// Validate semantically checks a parsed program:
+//
+//   - relation and column declarations are well-formed; @spatial appears
+//     only on variable relations that have a spatial attribute (the rule
+//     stated in Section III);
+//   - rule bodies reference declared relations with the right arity, head
+//     variables are bound in the body, and heads are variable relations;
+//   - bracketed conditions reference bound variables, declared constants
+//     (which are substituted in place), or valid spatial predicate calls;
+//   - UDF declarations and applications line up.
+//
+// Validate mutates the program in one benign way: condition terms naming a
+// declared constant are rewritten to that constant's value.
+func (p *Program) Validate() error {
+	if p.relByName == nil {
+		if err := p.indexRelations(); err != nil {
+			return err
+		}
+	}
+	if err := p.validateRelations(); err != nil {
+		return err
+	}
+	if err := p.validateConsts(); err != nil {
+		return err
+	}
+	if err := p.validateFunctions(); err != nil {
+		return err
+	}
+	for _, d := range p.Derivations {
+		if err := p.validateDerivation(d); err != nil {
+			return err
+		}
+	}
+	for _, r := range p.Rules {
+		if err := p.validateInference(r); err != nil {
+			return err
+		}
+	}
+	for _, a := range p.Apps {
+		if err := p.validateApp(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateRelations() error {
+	if len(p.Relations) == 0 {
+		return fmt.Errorf("ddlog: program declares no relations")
+	}
+	for _, r := range p.Relations {
+		seen := map[string]bool{}
+		for _, c := range r.Cols {
+			key := strings.ToLower(c.Name)
+			if seen[key] {
+				return fmt.Errorf("ddlog: line %d: relation %s: duplicate column %q", r.Line, r.Name, c.Name)
+			}
+			seen[key] = true
+		}
+		if r.Spatial != "" {
+			if !r.IsVariable {
+				return fmt.Errorf("ddlog: line %d: @spatial may only annotate variable relations (%s is a typical relation)", r.Line, r.Name)
+			}
+			if r.SpatialCol() < 0 {
+				return fmt.Errorf("ddlog: line %d: @spatial requires %s to have a spatial attribute", r.Line, r.Name)
+			}
+		}
+		if r.Categorical != 0 {
+			if !r.IsVariable {
+				return fmt.Errorf("ddlog: line %d: categorical(h) may only annotate variable relations", r.Line)
+			}
+			if r.Categorical < 2 {
+				return fmt.Errorf("ddlog: line %d: categorical domain must have at least 2 values, got %d", r.Line, r.Categorical)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateConsts() error {
+	seen := map[string]bool{}
+	for _, c := range p.Consts {
+		key := strings.ToLower(c.Name)
+		if seen[key] {
+			return fmt.Errorf("ddlog: line %d: constant %s declared twice", c.Line, c.Name)
+		}
+		seen[key] = true
+		if _, isRel := p.Relation(c.Name); isRel {
+			return fmt.Errorf("ddlog: line %d: constant %s shadows a relation", c.Line, c.Name)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunctions() error {
+	byName := map[string]*FunctionDecl{}
+	for _, f := range p.Functions {
+		key := strings.ToLower(f.Name)
+		if byName[key] != nil {
+			return fmt.Errorf("ddlog: line %d: function %s declared twice", f.Line, f.Name)
+		}
+		byName[key] = f
+		if f.Implementation == "" {
+			return fmt.Errorf("ddlog: line %d: function %s has no implementation", f.Line, f.Name)
+		}
+		// Resolve "returns rows like Rel".
+		if len(f.Out) == 1 && strings.HasPrefix(f.Out[0].Name, "@like:") {
+			relName := strings.TrimPrefix(f.Out[0].Name, "@like:")
+			rel, ok := p.Relation(relName)
+			if !ok {
+				return fmt.Errorf("ddlog: line %d: function %s returns rows like unknown relation %s", f.Line, f.Name, relName)
+			}
+			f.Out = nil
+			for _, c := range rel.Cols {
+				f.Out = append(f.Out, ColDecl{Name: c.Name, Type: c.Type})
+			}
+		}
+	}
+	for _, a := range p.Apps {
+		fn := byName[strings.ToLower(a.Fn)]
+		if fn == nil {
+			return fmt.Errorf("ddlog: line %d: application of undeclared function %s", a.Line, a.Fn)
+		}
+		if len(a.Args) != len(fn.In) {
+			return fmt.Errorf("ddlog: line %d: function %s takes %d arguments, got %d", a.Line, a.Fn, len(fn.In), len(a.Args))
+		}
+		target, ok := p.Relation(a.Target)
+		if !ok {
+			return fmt.Errorf("ddlog: line %d: function application targets unknown relation %s", a.Line, a.Target)
+		}
+		if len(target.Cols) != len(fn.Out) {
+			return fmt.Errorf("ddlog: line %d: function %s returns %d columns but %s has %d",
+				a.Line, a.Fn, len(fn.Out), a.Target, len(target.Cols))
+		}
+	}
+	return nil
+}
+
+// boundVars collects variables bound by body atoms, checking relation
+// references and arity along the way.
+func (p *Program) boundVars(body []Atom) (map[string]bool, error) {
+	bound := map[string]bool{}
+	for _, a := range body {
+		rel, ok := p.Relation(a.Rel)
+		if !ok {
+			return nil, fmt.Errorf("ddlog: line %d: unknown relation %s in body", a.Line, a.Rel)
+		}
+		if len(a.Terms) != len(rel.Cols) {
+			return nil, fmt.Errorf("ddlog: line %d: %s has %d columns, atom has %d terms",
+				a.Line, rel.Name, len(rel.Cols), len(a.Terms))
+		}
+		for _, t := range a.Terms {
+			if t.Kind == TermVar {
+				bound[strings.ToLower(t.Var)] = true
+			}
+		}
+	}
+	return bound, nil
+}
+
+func (p *Program) checkHeadAtom(a Atom, bound map[string]bool, what string) error {
+	rel, ok := p.Relation(a.Rel)
+	if !ok {
+		return fmt.Errorf("ddlog: line %d: unknown relation %s in %s head", a.Line, a.Rel, what)
+	}
+	if !rel.IsVariable {
+		return fmt.Errorf("ddlog: line %d: %s head %s must be a variable relation", a.Line, what, a.Rel)
+	}
+	if len(a.Terms) != len(rel.Cols) {
+		return fmt.Errorf("ddlog: line %d: %s has %d columns, head atom has %d terms",
+			a.Line, rel.Name, len(rel.Cols), len(a.Terms))
+	}
+	for _, t := range a.Terms {
+		switch t.Kind {
+		case TermVar:
+			if !bound[strings.ToLower(t.Var)] {
+				return fmt.Errorf("ddlog: line %d: head variable %s is not bound in the body (unsafe rule)", a.Line, t.Var)
+			}
+		case TermWildcard:
+			return fmt.Errorf("ddlog: line %d: wildcards are not allowed in rule heads", a.Line)
+		}
+	}
+	return nil
+}
+
+// resolveCondExpr checks a condition expression and substitutes declared
+// constants for free identifiers. It returns the (possibly rewritten)
+// expression and whether it is boolean-valued.
+func (p *Program) resolveCondExpr(e CondExpr, bound map[string]bool, line int) (CondExpr, bool, error) {
+	if e.Kind == CondTermExpr {
+		if e.Term.Kind == TermVar {
+			name := strings.ToLower(e.Term.Var)
+			if bound[name] {
+				return e, false, nil
+			}
+			if v, ok := p.Const(e.Term.Var); ok {
+				return CondExpr{Kind: CondTermExpr, Term: Term{Kind: TermConst, Const: v}}, v.Kind == storage.KindBool, nil
+			}
+			return e, false, fmt.Errorf("ddlog: line %d: %s is neither a bound variable nor a declared constant", line, e.Term.Var)
+		}
+		return e, e.Term.Kind == TermConst && e.Term.Const.Kind == storage.KindBool, nil
+	}
+	spec, ok := spatialPredicates[e.Call]
+	if !ok {
+		return e, false, fmt.Errorf("ddlog: line %d: unknown predicate %s in condition", line, e.Call)
+	}
+	if len(e.Args) < spec.minArity || len(e.Args) > spec.maxArity {
+		return e, false, fmt.Errorf("ddlog: line %d: %s takes %d..%d arguments, got %d",
+			line, e.Call, spec.minArity, spec.maxArity, len(e.Args))
+	}
+	out := CondExpr{Kind: CondCallExpr, Call: e.Call, Args: make([]CondExpr, len(e.Args))}
+	for i, a := range e.Args {
+		ra, _, err := p.resolveCondExpr(a, bound, line)
+		if err != nil {
+			return e, false, err
+		}
+		out.Args[i] = ra
+	}
+	return out, spec.boolean, nil
+}
+
+func (p *Program) resolveConds(conds []Cond, bound map[string]bool) error {
+	for i := range conds {
+		c := &conds[i]
+		l, lBool, err := p.resolveCondExpr(c.L, bound, c.Line)
+		if err != nil {
+			return err
+		}
+		c.L = l
+		if c.Op == CondTrue {
+			if c.L.Kind == CondCallExpr && !lBool {
+				return fmt.Errorf("ddlog: line %d: %s yields a value and must be compared (e.g. %s < 150)",
+					c.Line, c.L.Call, c.L.String())
+			}
+			continue
+		}
+		r, _, err := p.resolveCondExpr(c.R, bound, c.Line)
+		if err != nil {
+			return err
+		}
+		c.R = r
+	}
+	return nil
+}
+
+func (p *Program) validateDerivation(d *DerivationRule) error {
+	bound, err := p.boundVars(d.Body)
+	if err != nil {
+		return err
+	}
+	if err := p.checkHeadAtom(d.Head, bound, "derivation"); err != nil {
+		return err
+	}
+	if d.LabelTerm.Kind == TermVar && !bound[strings.ToLower(d.LabelTerm.Var)] {
+		return fmt.Errorf("ddlog: line %d: derivation label variable %s is not bound in the body", d.Line, d.LabelTerm.Var)
+	}
+	return p.resolveConds(d.Conds, bound)
+}
+
+func (p *Program) validateInference(r *InferenceRule) error {
+	bound, err := p.boundVars(r.Body)
+	if err != nil {
+		return err
+	}
+	if len(r.Head) == 0 {
+		return fmt.Errorf("ddlog: line %d: inference rule has no head", r.Line)
+	}
+	if r.Connective == ConnSingle && len(r.Head) != 1 {
+		return fmt.Errorf("ddlog: line %d: internal: multi-atom head without connective", r.Line)
+	}
+	if r.Connective == ConnImply && len(r.Head) != 2 {
+		return fmt.Errorf("ddlog: line %d: '=>' takes exactly two head atoms", r.Line)
+	}
+	for _, h := range r.Head {
+		if err := p.checkHeadAtom(h.Atom, bound, "inference"); err != nil {
+			return err
+		}
+	}
+	return p.resolveConds(r.Conds, bound)
+}
+
+func (p *Program) validateApp(a *FunctionApp) error {
+	bound, err := p.boundVars(a.Body)
+	if err != nil {
+		return err
+	}
+	for _, t := range a.Args {
+		if t.Kind == TermVar && !bound[strings.ToLower(t.Var)] {
+			return fmt.Errorf("ddlog: line %d: function argument %s is not bound in the body", a.Line, t.Var)
+		}
+		if t.Kind == TermWildcard {
+			return fmt.Errorf("ddlog: line %d: wildcards are not allowed as function arguments", a.Line)
+		}
+	}
+	return p.resolveConds(a.Conds, bound)
+}

@@ -1,0 +1,190 @@
+// Package deepdive implements the paper's baseline: a DeepDive-mode
+// pipeline over the same substrates. DeepDive [36] treats every spatial
+// predicate as a boolean condition (satisfied or not), generates no spatial
+// factors, and infers with standard parallel Gibbs sampling [46], [47].
+//
+// Two transformations produce DeepDive behaviour from a Sya program:
+//
+//   - StripSpatial removes @spatial annotations, so grounding yields the
+//     plain ground factor graph of Eq. 1 — boolean spatial predicates in
+//     rule bodies still evaluate (DeepDive can compute distances through a
+//     materialized UDF relation, Fig. 7 bottom; our engine evaluates them
+//     directly, which is outcome-equivalent and favours the baseline's
+//     grounding time).
+//
+//   - ExpandStepRules implements the Fig. 10 workaround: one inference rule
+//     with a distance predicate becomes n band rules ("10 ≤ distance < 20"
+//     etc.) whose weights step down with distance, approximating Sya's
+//     continuous distance decay at the cost of n× the grounding work.
+package deepdive
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ddlog"
+	"repro/internal/storage"
+	"repro/internal/weighting"
+)
+
+// StripSpatial returns a copy of the program with all @spatial annotations
+// removed: grounding it produces no spatial factors, exactly DeepDive's
+// model. The underlying rule set is untouched, matching the paper's "two
+// equivalent DDlog programs" methodology (Section VI-A).
+func StripSpatial(prog *ddlog.Program) (*ddlog.Program, error) {
+	cp := &ddlog.Program{
+		Consts:      prog.Consts,
+		Derivations: prog.Derivations,
+		Rules:       prog.Rules,
+		Functions:   prog.Functions,
+		Apps:        prog.Apps,
+	}
+	for _, rel := range prog.Relations {
+		r := *rel
+		r.Spatial = ""
+		cp.Relations = append(cp.Relations, &r)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("deepdive: stripped program invalid: %w", err)
+	}
+	return cp, nil
+}
+
+// findDistanceCond locates the (single) compared distance predicate of a
+// rule: distance(a, b [, metric]) op D with a constant bound.
+func findDistanceCond(rule *ddlog.InferenceRule) (idx int, bound float64, err error) {
+	idx = -1
+	for i, c := range rule.Conds {
+		if c.L.Kind != ddlog.CondCallExpr || c.L.Call != "distance" {
+			continue
+		}
+		if c.Op != ddlog.CondLt && c.Op != ddlog.CondLe {
+			continue
+		}
+		if c.R.Kind != ddlog.CondTermExpr || c.R.Term.Kind != ddlog.TermConst {
+			continue
+		}
+		b, ferr := c.R.Term.Const.AsFloat()
+		if ferr != nil {
+			continue
+		}
+		if idx >= 0 {
+			return -1, 0, fmt.Errorf("deepdive: rule %s has multiple distance predicates", rule.Label)
+		}
+		idx, bound = i, b
+	}
+	if idx < 0 {
+		return -1, 0, fmt.Errorf("deepdive: rule %s has no compared distance predicate", rule.Label)
+	}
+	return idx, bound, nil
+}
+
+// ExpandStepRules returns a copy of the program in which the labelled rule
+// is replaced by n step-function band rules over [0, maxDist): band i
+// covers lo ≤ distance < hi and carries the step function's weight for that
+// band (large weights at small distances, per the Fig. 10 setup). maxDist
+// defaults to the rule's own distance bound when ≤ 0. Weights decay
+// linearly from maxWeight.
+func ExpandStepRules(prog *ddlog.Program, label string, n int, maxDist, maxWeight float64) (*ddlog.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("deepdive: need at least one band, got %d", n)
+	}
+	return expandStepRules(prog, label, n, maxDist, func(nBands int, dist float64) (weighting.Step, error) {
+		return weighting.UniformSteps(nBands, dist, maxWeight)
+	})
+}
+
+// ExpandStepRulesWeighted is ExpandStepRules with band weights sampled from
+// an arbitrary weighing function at each band's midpoint — the natural way
+// to approximate Sya's continuous spatial decay with DeepDive rules, and
+// what the Fig. 10 experiment sweeps: more bands → a finer piecewise-
+// constant approximation of the decay.
+func ExpandStepRulesWeighted(prog *ddlog.Program, label string, n int, maxDist float64, fn weighting.Func) (*ddlog.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("deepdive: need at least one band, got %d", n)
+	}
+	return expandStepRules(prog, label, n, maxDist, func(nBands int, dist float64) (weighting.Step, error) {
+		breaks := make([]float64, nBands)
+		weights := make([]float64, nBands)
+		for i := 0; i < nBands; i++ {
+			breaks[i] = dist * float64(i+1) / float64(nBands)
+			mid := dist * (float64(i) + 0.5) / float64(nBands)
+			weights[i] = fn.Weight(mid)
+		}
+		return weighting.NewStep(breaks, weights)
+	})
+}
+
+func expandStepRules(prog *ddlog.Program, label string, n int, maxDist float64,
+	build func(n int, maxDist float64) (weighting.Step, error)) (*ddlog.Program, error) {
+	var target *ddlog.InferenceRule
+	for _, r := range prog.Rules {
+		if strings.EqualFold(r.Label, label) {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("deepdive: no rule labelled %s", label)
+	}
+	condIdx, bound, err := findDistanceCond(target)
+	if err != nil {
+		return nil, err
+	}
+	if maxDist <= 0 {
+		maxDist = bound
+	}
+	step, err := build(n, maxDist)
+	if err != nil {
+		return nil, err
+	}
+	cp := &ddlog.Program{
+		Relations:   prog.Relations,
+		Consts:      prog.Consts,
+		Derivations: prog.Derivations,
+		Functions:   prog.Functions,
+		Apps:        prog.Apps,
+	}
+	for _, r := range prog.Rules {
+		if r != target {
+			cp.Rules = append(cp.Rules, r)
+			continue
+		}
+		lo := 0.0
+		distCall := r.Conds[condIdx].L
+		for i := 0; i < n; i++ {
+			hi := step.Breaks[i]
+			band := *r
+			band.Label = fmt.Sprintf("%s_band%d", r.Label, i+1)
+			band.Weight = step.Weights[i]
+			band.HasWeight = true
+			band.Conds = append([]ddlog.Cond(nil), r.Conds...)
+			// Replace the original distance predicate with the band bounds.
+			band.Conds[condIdx] = ddlog.Cond{
+				Op: ddlog.CondLt,
+				L:  distCall,
+				R:  constExpr(storage.Float(hi)),
+			}
+			if i > 0 {
+				band.Conds = append(band.Conds, ddlog.Cond{
+					Op: ddlog.CondGe,
+					L:  distCall,
+					R:  constExpr(storage.Float(lo)),
+				})
+			}
+			cp.Rules = append(cp.Rules, &band)
+			lo = hi
+		}
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("deepdive: expanded program invalid: %w", err)
+	}
+	return cp, nil
+}
+
+func constExpr(v storage.Value) ddlog.CondExpr {
+	return ddlog.CondExpr{
+		Kind: ddlog.CondTermExpr,
+		Term: ddlog.Term{Kind: ddlog.TermConst, Const: v},
+	}
+}

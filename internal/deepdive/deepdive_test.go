@@ -1,0 +1,216 @@
+package deepdive
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddlog"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+	"repro/internal/grounding"
+	"repro/internal/storage"
+	"repro/internal/translate"
+	"repro/internal/weighting"
+)
+
+const gwdbSrc = `
+Well (id bigint, location point, arsenic_ratio double).
+@spatial(exp)
+IsSafe? (id bigint, location point).
+D1: IsSafe(W, L) = NULL :- Well(W, L, _).
+R1: @weight(0.7)
+IsSafe(W1, L1) => IsSafe(W2, L2) :-
+    Well(W1, L1, R1), Well(W2, L2, R2)
+    [distance(L1, L2) < 50, R1 < 0.2, R2 < 0.2].
+`
+
+func compile(t *testing.T, src string) *ddlog.Program {
+	t.Helper()
+	p, err := ddlog.ParseAndValidate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wellsDB(t *testing.T, prog *ddlog.Program) *storage.DB {
+	t.Helper()
+	db := storage.NewDB()
+	rel, _ := prog.Relation("Well")
+	wells, err := db.Create(translate.SchemaFor(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []storage.Row{
+		{storage.Int(1), storage.Geom(geom.Pt(0, 0)), storage.Float(0.1)},
+		{storage.Int(2), storage.Geom(geom.Pt(10, 0)), storage.Float(0.15)},
+		{storage.Int(3), storage.Geom(geom.Pt(30, 0)), storage.Float(0.05)},
+		{storage.Int(4), storage.Geom(geom.Pt(500, 0)), storage.Float(0.1)},
+	}
+	if err := wells.AppendAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestStripSpatialRemovesSpatialFactors(t *testing.T) {
+	prog := compile(t, gwdbSrc)
+	stripped, err := StripSpatial(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := stripped.Relation("IsSafe")
+	if rel.Spatial != "" {
+		t.Fatal("annotation not stripped")
+	}
+	// Original untouched.
+	orig, _ := prog.Relation("IsSafe")
+	if orig.Spatial != "exp" {
+		t.Fatal("original program mutated")
+	}
+	// Grounding the stripped program yields no spatial pairs; the original
+	// yields some.
+	gSya, err := grounding.New(prog, wellsDB(t, prog), grounding.Options{
+		Weighting: weighting.NewRegistry(20, 1),
+	}).Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDD, err := grounding.New(stripped, wellsDB(t, prog), grounding.Options{
+		Weighting: weighting.NewRegistry(20, 1),
+	}).Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSya.Stats.SpatialPairs == 0 {
+		t.Error("Sya grounding should produce spatial pairs")
+	}
+	if gDD.Stats.SpatialPairs != 0 {
+		t.Errorf("DeepDive grounding produced %d spatial pairs", gDD.Stats.SpatialPairs)
+	}
+	// Logical factors identical across modes (same rules).
+	if gSya.Stats.LogicalFactors != gDD.Stats.LogicalFactors {
+		t.Errorf("logical factors differ: %d vs %d", gSya.Stats.LogicalFactors, gDD.Stats.LogicalFactors)
+	}
+}
+
+func TestExpandStepRules(t *testing.T) {
+	prog := compile(t, gwdbSrc)
+	expanded, err := ExpandStepRules(prog, "R1", 5, 0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expanded.Rules) != 5 {
+		t.Fatalf("rules = %d, want 5", len(expanded.Rules))
+	}
+	// Band 1: distance < 10, weight 0.9; band 5: 40 ≤ distance < 50,
+	// weight 0.18.
+	b1 := expanded.Rules[0]
+	if b1.Label != "R1_band1" || b1.Weight != 0.9 {
+		t.Errorf("band1 = %s w=%v", b1.Label, b1.Weight)
+	}
+	if len(b1.Conds) != 3 { // dist<10, R1<0.2, R2<0.2
+		t.Errorf("band1 conds = %d", len(b1.Conds))
+	}
+	b5 := expanded.Rules[4]
+	if len(b5.Conds) != 4 { // adds dist >= 40
+		t.Errorf("band5 conds = %d", len(b5.Conds))
+	}
+	if b5.Weight >= b1.Weight {
+		t.Errorf("weights not decaying: %v vs %v", b5.Weight, b1.Weight)
+	}
+	// Bands partition the original groundings: total factors across bands
+	// equal the single rule's factors.
+	db1 := wellsDB(t, prog)
+	gOrig, err := grounding.New(prog, db1, grounding.Options{Weighting: weighting.NewRegistry(20, 1)}).Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := wellsDB(t, prog)
+	gExp, err := grounding.New(expanded, db2, grounding.Options{Weighting: weighting.NewRegistry(20, 1)}).Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gOrig.Stats.LogicalFactors != gExp.Stats.LogicalFactors {
+		t.Errorf("band factors %d != original %d", gExp.Stats.LogicalFactors, gOrig.Stats.LogicalFactors)
+	}
+	// More rules ground → more SQL executions; stats carry per-band counts.
+	bands := 0
+	for name := range gExp.Stats.RuleFactors {
+		if strings.HasPrefix(name, "R1_band") {
+			bands++
+		}
+	}
+	if bands == 0 {
+		t.Error("no band rules grounded")
+	}
+}
+
+func TestExpandStepRulesWeighted(t *testing.T) {
+	prog := compile(t, gwdbSrc)
+	fn := weighting.Exponential{Bandwidth: 20, Scale: 1}
+	expanded, err := ExpandStepRulesWeighted(prog, "R1", 4, 80, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expanded.Rules) != 4 {
+		t.Fatalf("rules = %d", len(expanded.Rules))
+	}
+	// Band weights sample the decay at band midpoints: 10, 30, 50, 70.
+	for i, r := range expanded.Rules {
+		mid := 80 * (float64(i) + 0.5) / 4
+		want := fn.Weight(mid)
+		if r.Weight != want {
+			t.Errorf("band %d weight = %v, want %v", i+1, r.Weight, want)
+		}
+	}
+	// Monotone decreasing.
+	for i := 1; i < len(expanded.Rules); i++ {
+		if expanded.Rules[i].Weight >= expanded.Rules[i-1].Weight {
+			t.Errorf("weights not decreasing at band %d", i)
+		}
+	}
+	if _, err := ExpandStepRulesWeighted(prog, "R1", 0, 80, fn); err == nil {
+		t.Error("zero bands should fail")
+	}
+	if _, err := ExpandStepRulesWeighted(prog, "nope", 3, 80, fn); err == nil {
+		t.Error("unknown rule should fail")
+	}
+}
+
+func TestExpandStepRulesErrors(t *testing.T) {
+	prog := compile(t, gwdbSrc)
+	if _, err := ExpandStepRules(prog, "R1", 0, 0, 1); err == nil {
+		t.Error("zero bands should fail")
+	}
+	if _, err := ExpandStepRules(prog, "nope", 3, 0, 1); err == nil {
+		t.Error("unknown rule should fail")
+	}
+	noDist := compile(t, `
+A (id bigint).
+V? (id bigint).
+R1: @weight(1) V(I) :- A(I).
+`)
+	if _, err := ExpandStepRules(noDist, "R1", 3, 0, 1); err == nil {
+		t.Error("rule without distance predicate should fail")
+	}
+}
+
+func TestDeepDivePipelineEndToEnd(t *testing.T) {
+	// Full baseline: strip, ground, hogwild-sample.
+	prog := compile(t, gwdbSrc)
+	stripped, err := StripSpatial(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grounding.New(stripped, wellsDB(t, prog), grounding.Options{}).Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := gibbs.NewHogwild(res.Graph, 3, 2)
+	h.RunEpochs(500)
+	m := h.Marginals()
+	if len(m) != res.Stats.Vars {
+		t.Fatalf("marginals = %d", len(m))
+	}
+}

@@ -1,0 +1,212 @@
+package factorgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates variables and factors, then Finalize produces an
+// immutable Graph with CSR adjacency. The grounding module is the main
+// client.
+type Builder struct {
+	vars []Variable
+
+	factorKind   []FactorKind
+	factorWeight []float64
+	factorOff    []int64
+	factorVars   []VarID
+	factorNeg    []bool
+
+	spatialA, spatialB []VarID
+	spatialW           []float64
+	spatialSeen        map[[2]VarID]bool
+
+	allowedPairs map[int32][]bool
+	domainOf     map[int32]int32
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		factorOff:    []int64{0},
+		spatialSeen:  map[[2]VarID]bool{},
+		allowedPairs: map[int32][]bool{},
+		domainOf:     map[int32]int32{},
+	}
+}
+
+// AddVariable adds a ground atom and returns its ID.
+func (b *Builder) AddVariable(v Variable) (VarID, error) {
+	if v.Domain < 2 {
+		return 0, fmt.Errorf("factorgraph: variable %q domain %d < 2", v.Name, v.Domain)
+	}
+	if v.Evidence != NoEvidence && (v.Evidence < 0 || v.Evidence >= v.Domain) {
+		return 0, fmt.Errorf("factorgraph: variable %q evidence %d outside domain %d", v.Name, v.Evidence, v.Domain)
+	}
+	id := VarID(len(b.vars))
+	b.vars = append(b.vars, v)
+	return id, nil
+}
+
+// NumVars returns the variables added so far.
+func (b *Builder) NumVars() int { return len(b.vars) }
+
+// AddFactor adds a logical factor over vars; neg may be nil (no negations)
+// or parallel to vars.
+func (b *Builder) AddFactor(kind FactorKind, weight float64, vars []VarID, neg []bool) error {
+	if len(vars) == 0 {
+		return fmt.Errorf("factorgraph: factor needs at least one variable")
+	}
+	if neg != nil && len(neg) != len(vars) {
+		return fmt.Errorf("factorgraph: negation flags length %d != vars length %d", len(neg), len(vars))
+	}
+	if kind == FactorIsTrue && len(vars) != 1 {
+		return fmt.Errorf("factorgraph: istrue factor must be unary")
+	}
+	if kind == FactorImply && len(vars) < 2 {
+		return fmt.Errorf("factorgraph: imply factor needs at least two variables")
+	}
+	for _, v := range vars {
+		if int(v) >= len(b.vars) || v < 0 {
+			return fmt.Errorf("factorgraph: factor references unknown variable %d", v)
+		}
+	}
+	b.factorKind = append(b.factorKind, kind)
+	b.factorWeight = append(b.factorWeight, weight)
+	b.factorVars = append(b.factorVars, vars...)
+	if neg == nil {
+		neg = make([]bool, len(vars))
+	}
+	b.factorNeg = append(b.factorNeg, neg...)
+	b.factorOff = append(b.factorOff, int64(len(b.factorVars)))
+	return nil
+}
+
+// AddSpatialPair adds a spatial factor between two atoms of the same
+// spatial variable relation with the given distance-derived weight.
+// Duplicate pairs (in either order) are rejected.
+func (b *Builder) AddSpatialPair(a, c VarID, w float64) error {
+	if a == c {
+		return fmt.Errorf("factorgraph: spatial self-pair on %d", a)
+	}
+	if int(a) >= len(b.vars) || int(c) >= len(b.vars) || a < 0 || c < 0 {
+		return fmt.Errorf("factorgraph: spatial pair references unknown variable")
+	}
+	va, vc := b.vars[a], b.vars[c]
+	if va.Relation != vc.Relation {
+		return fmt.Errorf("factorgraph: spatial pair crosses relations")
+	}
+	if !va.HasLoc || !vc.HasLoc {
+		return fmt.Errorf("factorgraph: spatial pair on non-spatial atoms")
+	}
+	if w < 0 {
+		return fmt.Errorf("factorgraph: spatial weight must be non-negative, got %v", w)
+	}
+	key := [2]VarID{a, c}
+	if a > c {
+		key = [2]VarID{c, a}
+	}
+	if b.spatialSeen[key] {
+		return fmt.Errorf("factorgraph: duplicate spatial pair (%d, %d)", a, c)
+	}
+	b.spatialSeen[key] = true
+	b.spatialA = append(b.spatialA, a)
+	b.spatialB = append(b.spatialB, c)
+	b.spatialW = append(b.spatialW, w)
+	return nil
+}
+
+// SetAllowedPairs installs the co-occurrence pruning mask for a relation's
+// categorical domain (Section IV-C): mask[i*h+j] reports whether the
+// (i, j) domain-value pair generates a spatial factor. A nil mask allows
+// everything.
+func (b *Builder) SetAllowedPairs(relation int32, h int32, mask []bool) error {
+	if mask != nil && int32(len(mask)) != h*h {
+		return fmt.Errorf("factorgraph: mask length %d != h² = %d", len(mask), h*h)
+	}
+	b.domainOf[relation] = h
+	if mask == nil {
+		delete(b.allowedPairs, relation)
+		return nil
+	}
+	b.allowedPairs[relation] = mask
+	return nil
+}
+
+// Finalize builds the immutable graph with adjacency indexes.
+func (b *Builder) Finalize() (*Graph, error) {
+	g := &Graph{
+		vars:         b.vars,
+		factorKind:   b.factorKind,
+		factorWeight: b.factorWeight,
+		factorOff:    b.factorOff,
+		factorVars:   b.factorVars,
+		factorNeg:    b.factorNeg,
+		spatialA:     b.spatialA,
+		spatialB:     b.spatialB,
+		spatialW:     b.spatialW,
+		allowedPairs: b.allowedPairs,
+		domainOf:     b.domainOf,
+	}
+	n := len(g.vars)
+	// CSR adjacency for logical factors.
+	counts := make([]int64, n+1)
+	for f := int32(0); f < int32(len(g.factorKind)); f++ {
+		vars, _ := g.FactorVars(f)
+		for _, v := range dedupVars(vars) {
+			counts[v+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		counts[i] += counts[i-1]
+	}
+	g.varFactorOff = counts
+	g.varFactors = make([]int32, counts[n])
+	cursor := make([]int64, n)
+	for f := int32(0); f < int32(len(g.factorKind)); f++ {
+		vars, _ := g.FactorVars(f)
+		for _, v := range dedupVars(vars) {
+			g.varFactors[g.varFactorOff[v]+cursor[v]] = f
+			cursor[v]++
+		}
+	}
+	// CSR adjacency for spatial pairs.
+	scounts := make([]int64, n+1)
+	for s := range g.spatialA {
+		scounts[g.spatialA[s]+1]++
+		scounts[g.spatialB[s]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		scounts[i] += scounts[i-1]
+	}
+	g.varSpatialOff = scounts
+	g.varSpatial = make([]int32, scounts[n])
+	scursor := make([]int64, n)
+	for s := range g.spatialA {
+		for _, v := range []VarID{g.spatialA[s], g.spatialB[s]} {
+			g.varSpatial[g.varSpatialOff[v]+scursor[v]] = int32(s)
+			scursor[v]++
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// dedupVars returns the distinct variables of a factor edge list (a factor
+// may mention a variable twice, e.g. X => X; adjacency should list it once).
+func dedupVars(vars []VarID) []VarID {
+	if len(vars) <= 1 {
+		return vars
+	}
+	sorted := append([]VarID(nil), vars...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:1]
+	for _, v := range sorted[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package factorgraph
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+)
+
+// The paper stores the ground factor graph in a relational database so the
+// expensive grounding phase can be reused across inference sessions. This
+// file provides the equivalent capability for the in-memory graph: a
+// versioned binary snapshot (gob-encoded) that round-trips every field,
+// including the categorical pruning masks.
+
+// snapshotVersion guards against decoding incompatible files.
+const snapshotVersion = 1
+
+// snapshot is the exported mirror of Graph for encoding.
+type snapshot struct {
+	Version int
+
+	Names    []string
+	Domains  []int32
+	Evidence []int32
+	LocX     []float64
+	LocY     []float64
+	HasLoc   []bool
+	Relation []int32
+
+	FactorKind   []FactorKind
+	FactorWeight []float64
+	FactorOff    []int64
+	FactorVars   []VarID
+	FactorNeg    []bool
+
+	SpatialA []VarID
+	SpatialB []VarID
+	SpatialW []float64
+
+	AllowedPairs map[int32][]bool
+	DomainOf     map[int32]int32
+}
+
+// WriteTo serializes the graph. It implements the usual (n, err) contract
+// loosely: n is 0 because gob does not expose byte counts.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	s := snapshot{
+		Version:      snapshotVersion,
+		FactorKind:   g.factorKind,
+		FactorWeight: g.factorWeight,
+		FactorOff:    g.factorOff,
+		FactorVars:   g.factorVars,
+		FactorNeg:    g.factorNeg,
+		SpatialA:     g.spatialA,
+		SpatialB:     g.spatialB,
+		SpatialW:     g.spatialW,
+		AllowedPairs: g.allowedPairs,
+		DomainOf:     g.domainOf,
+	}
+	for _, v := range g.vars {
+		s.Names = append(s.Names, v.Name)
+		s.Domains = append(s.Domains, v.Domain)
+		s.Evidence = append(s.Evidence, v.Evidence)
+		s.LocX = append(s.LocX, v.Loc.X)
+		s.LocY = append(s.LocY, v.Loc.Y)
+		s.HasLoc = append(s.HasLoc, v.HasLoc)
+		s.Relation = append(s.Relation, v.Relation)
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return 0, fmt.Errorf("factorgraph: encoding snapshot: %w", err)
+	}
+	return 0, nil
+}
+
+// ReadGraph deserializes a graph written by WriteTo, rebuilding the
+// adjacency indexes and re-validating every invariant.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("factorgraph: decoding snapshot: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("factorgraph: snapshot version %d, want %d", s.Version, snapshotVersion)
+	}
+	b := NewBuilder()
+	for i := range s.Names {
+		v := Variable{
+			Name:     s.Names[i],
+			Domain:   s.Domains[i],
+			Evidence: s.Evidence[i],
+			Loc:      geom.Pt(s.LocX[i], s.LocY[i]),
+			HasLoc:   s.HasLoc[i],
+			Relation: s.Relation[i],
+		}
+		if _, err := b.AddVariable(v); err != nil {
+			return nil, fmt.Errorf("factorgraph: snapshot variable %d: %w", i, err)
+		}
+	}
+	if len(s.FactorOff) == 0 || len(s.FactorKind) != len(s.FactorWeight) ||
+		len(s.FactorOff) != len(s.FactorKind)+1 {
+		return nil, fmt.Errorf("factorgraph: corrupt factor arrays in snapshot")
+	}
+	for f := 0; f < len(s.FactorKind); f++ {
+		lo, hi := s.FactorOff[f], s.FactorOff[f+1]
+		if lo < 0 || hi > int64(len(s.FactorVars)) || lo > hi || hi > int64(len(s.FactorNeg)) {
+			return nil, fmt.Errorf("factorgraph: corrupt factor offsets in snapshot")
+		}
+		if err := b.AddFactor(s.FactorKind[f], s.FactorWeight[f],
+			s.FactorVars[lo:hi], s.FactorNeg[lo:hi]); err != nil {
+			return nil, fmt.Errorf("factorgraph: snapshot factor %d: %w", f, err)
+		}
+	}
+	if len(s.SpatialA) != len(s.SpatialB) || len(s.SpatialA) != len(s.SpatialW) {
+		return nil, fmt.Errorf("factorgraph: corrupt spatial arrays in snapshot")
+	}
+	for i := range s.SpatialA {
+		if err := b.AddSpatialPair(s.SpatialA[i], s.SpatialB[i], s.SpatialW[i]); err != nil {
+			return nil, fmt.Errorf("factorgraph: snapshot spatial pair %d: %w", i, err)
+		}
+	}
+	for rel, h := range s.DomainOf {
+		if err := b.SetAllowedPairs(rel, h, s.AllowedPairs[rel]); err != nil {
+			return nil, fmt.Errorf("factorgraph: snapshot mask for relation %d: %w", rel, err)
+		}
+	}
+	return b.Finalize()
+}

@@ -1,0 +1,165 @@
+package factorgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomGraph builds a graph exercising every feature: categorical and
+// binary variables, all factor kinds, negations, spatial pairs, and a
+// pruning mask.
+func randomGraph(t *testing.T, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	n := 40
+	for i := 0; i < n; i++ {
+		domain := int32(2)
+		rel := int32(0)
+		if i%5 == 0 {
+			domain = 4
+			rel = 1
+		}
+		ev := NoEvidence
+		if rng.Intn(3) == 0 {
+			ev = int32(rng.Intn(int(domain)))
+		}
+		if _, err := b.AddVariable(Variable{
+			Name: "v", Domain: domain, Evidence: ev, Relation: rel,
+			Loc: geom.Pt(rng.Float64()*100, rng.Float64()*100), HasLoc: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kinds := []FactorKind{FactorImply, FactorAnd, FactorOr, FactorEqual}
+	for f := 0; f < 60; f++ {
+		// Binary variables only for logical factors in this test.
+		var vars []VarID
+		for len(vars) < 2 {
+			v := VarID(rng.Intn(n))
+			if v%5 != 0 {
+				vars = append(vars, v)
+			}
+		}
+		neg := []bool{rng.Intn(2) == 0, rng.Intn(2) == 0}
+		if err := b.AddFactor(kinds[rng.Intn(len(kinds))], rng.NormFloat64(), vars, neg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddFactor(FactorIsTrue, 0.4, []VarID{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	added := map[[2]VarID]bool{}
+	for s := 0; s < 30; s++ {
+		a, c := VarID(rng.Intn(n)), VarID(rng.Intn(n))
+		if a == c || (a%5 == 0) != (c%5 == 0) {
+			continue
+		}
+		key := [2]VarID{min32(a, c), max32(a, c)}
+		if added[key] {
+			continue
+		}
+		added[key] = true
+		if err := b.AddSpatialPair(a, c, rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mask := make([]bool, 16)
+	for i := range mask {
+		mask[i] = rng.Intn(2) == 0
+	}
+	mask[0] = true
+	if err := b.SetAllowedPairs(1, 4, mask); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func min32(a, b VarID) VarID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b VarID) VarID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := randomGraph(t, 11)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVars() != g.NumVars() || g2.NumFactors() != g.NumFactors() ||
+		g2.NumSpatialFactors() != g.NumSpatialFactors() {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d",
+			g2.NumVars(), g2.NumFactors(), g2.NumSpatialFactors(),
+			g.NumVars(), g.NumFactors(), g.NumSpatialFactors())
+	}
+	// Energies agree on random assignments — the strongest equality check.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		assign := make(Assignment, g.NumVars())
+		for i := range assign {
+			assign[i] = int32(rng.Intn(int(g.Var(VarID(i)).Domain)))
+		}
+		e1, e2 := g.Energy(assign), g2.Energy(assign)
+		if e1 != e2 {
+			t.Fatalf("trial %d: energy %v vs %v", trial, e1, e2)
+		}
+	}
+	// Variable metadata round-trips.
+	for i := 0; i < g.NumVars(); i++ {
+		if g.Var(VarID(i)) != g2.Var(VarID(i)) {
+			t.Fatalf("variable %d metadata differs", i)
+		}
+	}
+	if g2.CountGroundSpatialFactors() != g.CountGroundSpatialFactors() {
+		t.Error("pruning mask did not round-trip")
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	if _, err := ReadGraph(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadGraph(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestRoundTripDeterministicBytes(t *testing.T) {
+	g := randomGraph(t, 21)
+	var b1, b2 bytes.Buffer
+	if _, err := g.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraph(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	// Apart from gob's map ordering (the mask map has one key here), the
+	// re-encoded bytes match.
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("re-encoded snapshot differs")
+	}
+}

@@ -1,0 +1,191 @@
+// Package geom provides the spatial data types and predicates that Sya adds
+// to the DDlog schema language (paper Section III): point, rectangle,
+// polygon, and linestring, together with OGC-style spatial predicates
+// (distance, within, overlaps, intersects, contains) used by the grounding
+// module when evaluating spatial rule bodies.
+//
+// Coordinates are planar by default. For geographic data (longitude,
+// latitude in degrees) the Haversine metric is available; the EbolaKB
+// example in the paper measures county distances in miles, which Haversine
+// reproduces.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Type identifies one of the four spatial data types Sya adds to DDlog.
+type Type uint8
+
+// The spatial data types of paper Section III ("Spatial Data Types").
+const (
+	TypePoint Type = iota
+	TypeRect
+	TypePolygon
+	TypeLineString
+)
+
+// String returns the DDlog keyword for the type.
+func (t Type) String() string {
+	switch t {
+	case TypePoint:
+		return "point"
+	case TypeRect:
+		return "rectangle"
+	case TypePolygon:
+		return "polygon"
+	case TypeLineString:
+		return "linestring"
+	default:
+		return fmt.Sprintf("geom.Type(%d)", uint8(t))
+	}
+}
+
+// ParseType maps a DDlog spatial type keyword to its Type.
+func ParseType(s string) (Type, bool) {
+	switch s {
+	case "point":
+		return TypePoint, true
+	case "rectangle", "rect":
+		return TypeRect, true
+	case "polygon":
+		return TypePolygon, true
+	case "linestring":
+		return TypeLineString, true
+	}
+	return 0, false
+}
+
+// Point is a 2-D point. For geographic use, X is longitude and Y is latitude
+// in degrees.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Rect is an axis-aligned rectangle with Min ≤ Max on both axes.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanning the two corner points, normalizing
+// the corner order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{X: math.Min(a.X, b.X), Y: math.Min(a.Y, b.Y)},
+		Max: Point{X: math.Max(a.X, b.X), Y: math.Max(a.Y, b.Y)},
+	}
+}
+
+// Polygon is a simple polygon given by its exterior ring. The ring may be
+// open (first vertex not repeated at the end); all predicates treat it as
+// implicitly closed. Vertex order may be either orientation.
+type Polygon struct {
+	Ring []Point
+}
+
+// LineString is a polyline of two or more vertices.
+type LineString struct {
+	Points []Point
+}
+
+// Geometry is the interface implemented by all four spatial types.
+type Geometry interface {
+	// GeomType reports which of the four DDlog spatial types this is.
+	GeomType() Type
+	// Bounds returns the minimal axis-aligned bounding rectangle.
+	Bounds() Rect
+}
+
+// GeomType implements Geometry.
+func (Point) GeomType() Type { return TypePoint }
+
+// GeomType implements Geometry.
+func (Rect) GeomType() Type { return TypeRect }
+
+// GeomType implements Geometry.
+func (Polygon) GeomType() Type { return TypePolygon }
+
+// GeomType implements Geometry.
+func (LineString) GeomType() Type { return TypeLineString }
+
+// Bounds implements Geometry.
+func (p Point) Bounds() Rect { return Rect{Min: p, Max: p} }
+
+// Bounds implements Geometry.
+func (r Rect) Bounds() Rect { return r }
+
+// Bounds implements Geometry.
+func (pg Polygon) Bounds() Rect { return boundsOf(pg.Ring) }
+
+// Bounds implements Geometry.
+func (ls LineString) Bounds() Rect { return boundsOf(ls.Points) }
+
+func boundsOf(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.Min.X + r.Max.X) / 2, Y: (r.Min.Y + r.Max.Y) / 2}
+}
+
+// ContainsPoint reports whether p lies inside r (boundary inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether o lies entirely inside r (boundary inclusive).
+func (r Rect) ContainsRect(o Rect) bool {
+	return o.Min.X >= r.Min.X && o.Max.X <= r.Max.X &&
+		o.Min.Y >= r.Min.Y && o.Max.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and o share any point (boundary inclusive).
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		Min: Point{X: math.Min(r.Min.X, o.Min.X), Y: math.Min(r.Min.Y, o.Min.Y)},
+		Max: Point{X: math.Max(r.Max.X, o.Max.X), Y: math.Max(r.Max.Y, o.Max.Y)},
+	}
+}
+
+// Expand returns r grown by d on every side.
+func (r Rect) Expand(d float64) Rect {
+	return Rect{
+		Min: Point{X: r.Min.X - d, Y: r.Min.Y - d},
+		Max: Point{X: r.Max.X + d, Y: r.Max.Y + d},
+	}
+}
+
+// Valid reports whether r has Min ≤ Max on both axes.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y
+}

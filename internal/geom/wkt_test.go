@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWKTPointRoundTrip(t *testing.T) {
+	p := Pt(-10.8047, 6.3156)
+	s := MarshalWKT(p)
+	if s != "POINT (-10.8047 6.3156)" {
+		t.Errorf("MarshalWKT = %q", s)
+	}
+	g, err := ParseWKT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != p {
+		t.Errorf("round trip = %v, want %v", g, p)
+	}
+}
+
+func TestWKTPolygonRoundTrip(t *testing.T) {
+	pg := Polygon{Ring: []Point{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)}}
+	s := MarshalWKT(pg)
+	g, err := ParseWKT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.(Polygon)
+	if !ok {
+		t.Fatalf("parsed %T, want Polygon", g)
+	}
+	if len(got.Ring) != len(pg.Ring) {
+		t.Fatalf("ring size = %d, want %d", len(got.Ring), len(pg.Ring))
+	}
+	for i := range pg.Ring {
+		if got.Ring[i] != pg.Ring[i] {
+			t.Errorf("vertex %d = %v, want %v", i, got.Ring[i], pg.Ring[i])
+		}
+	}
+}
+
+func TestWKTLineStringRoundTrip(t *testing.T) {
+	ls := LineString{Points: []Point{Pt(0, 0), Pt(1, 2), Pt(3, -1)}}
+	g, err := ParseWKT(MarshalWKT(ls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.(LineString)
+	if !ok || len(got.Points) != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestWKTRectMarshalsAsPolygon(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(2, 3))
+	g, err := ParseWKT(MarshalWKT(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, ok := g.(Polygon)
+	if !ok {
+		t.Fatalf("rect should round-trip as polygon, got %T", g)
+	}
+	if b := pg.Bounds(); b != r {
+		t.Errorf("bounds = %+v, want %+v", b, r)
+	}
+}
+
+func TestWKTCaseInsensitiveAndErrors(t *testing.T) {
+	if _, err := ParseWKT("point (1 2)"); err != nil {
+		t.Errorf("lowercase point: %v", err)
+	}
+	bad := []string{
+		"",
+		"CIRCLE (1 2 3)",
+		"POINT (1)",
+		"POINT (1 2, 3 4)",
+		"POINT (a b)",
+		"LINESTRING (1 1)",
+		"POLYGON ((0 0, 1 1))",
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q) should fail", s)
+		}
+	}
+}
+
+func TestWKTFuzzRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		p := Pt(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		g, err := ParseWKT(MarshalWKT(p))
+		if err != nil {
+			t.Fatalf("point %v: %v", p, err)
+		}
+		if g != p {
+			t.Fatalf("round trip %v != %v", g, p)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package geoner is a gazetteer-based spatial named-entity recognizer: the
+// repository's stand-in for the GeoTxt library the paper wires into Sya's
+// ready-to-use spatial UDFs (Section III). It scans text for known place
+// names (longest match first, word-boundary aware, case-insensitive) and
+// returns each mention with its gazetteer coordinate, exercising the same
+// UDF code path in the grounding module that GeoTxt would.
+package geoner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// Place is one gazetteer entry.
+type Place struct {
+	Name string
+	// Aliases are alternative surface forms that resolve to this place.
+	Aliases []string
+	Loc     geom.Point
+}
+
+// Mention is one recognized place occurrence in a text.
+type Mention struct {
+	Name   string // canonical gazetteer name
+	Text   string // matched surface form
+	Offset int    // byte offset in the input
+	Loc    geom.Point
+}
+
+// Gazetteer resolves place names to coordinates.
+type Gazetteer struct {
+	places []Place
+	// surface maps lower-cased surface forms to place indexes.
+	surface map[string]int
+	// forms, longest first, for greedy matching.
+	forms []string
+}
+
+// NewGazetteer builds a gazetteer; duplicate surface forms are an error.
+func NewGazetteer(places []Place) (*Gazetteer, error) {
+	g := &Gazetteer{places: places, surface: map[string]int{}}
+	for i, p := range places {
+		if p.Name == "" {
+			return nil, fmt.Errorf("geoner: place %d has no name", i)
+		}
+		for _, form := range append([]string{p.Name}, p.Aliases...) {
+			key := strings.ToLower(form)
+			if prev, dup := g.surface[key]; dup && prev != i {
+				return nil, fmt.Errorf("geoner: surface form %q maps to both %s and %s",
+					form, places[prev].Name, p.Name)
+			}
+			if _, dup := g.surface[key]; !dup {
+				g.surface[key] = i
+				g.forms = append(g.forms, key)
+			}
+		}
+	}
+	sort.Slice(g.forms, func(i, j int) bool {
+		if len(g.forms[i]) != len(g.forms[j]) {
+			return len(g.forms[i]) > len(g.forms[j])
+		}
+		return g.forms[i] < g.forms[j]
+	})
+	return g, nil
+}
+
+// Len returns the number of gazetteer places.
+func (g *Gazetteer) Len() int { return len(g.places) }
+
+// Lookup resolves a surface form.
+func (g *Gazetteer) Lookup(name string) (Place, bool) {
+	i, ok := g.surface[strings.ToLower(name)]
+	if !ok {
+		return Place{}, false
+	}
+	return g.places[i], true
+}
+
+func isWordChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Extract finds all non-overlapping place mentions in the text, greedily
+// preferring longer forms.
+func (g *Gazetteer) Extract(text string) []Mention {
+	lower := strings.ToLower(text)
+	var out []Mention
+	pos := 0
+	for pos < len(lower) {
+		matched := false
+		for _, form := range g.forms {
+			if !strings.HasPrefix(lower[pos:], form) {
+				continue
+			}
+			// Word boundaries on both sides.
+			if pos > 0 {
+				prev := rune(lower[pos-1])
+				if isWordChar(prev) {
+					continue
+				}
+			}
+			end := pos + len(form)
+			if end < len(lower) && isWordChar(rune(lower[end])) {
+				continue
+			}
+			p := g.places[g.surface[form]]
+			out = append(out, Mention{
+				Name:   p.Name,
+				Text:   text[pos:end],
+				Offset: pos,
+				Loc:    p.Loc,
+			})
+			pos = end
+			matched = true
+			break
+		}
+		if !matched {
+			pos++
+		}
+	}
+	return out
+}
+
+// UDF adapts the gazetteer to the grounding module's UDF signature: input
+// (id, text), output rows (id, name, location) — suitable for a DDlog
+// function declared as
+//
+//	function extract_places over (id bigint, body text)
+//	    returns (doc bigint, place text, location point)
+//	    implementation "geoner".
+func (g *Gazetteer) UDF(args []storage.Value) ([]storage.Row, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("geoner: UDF wants (id, text), got %d args", len(args))
+	}
+	if args[1].Kind != storage.KindString {
+		return nil, fmt.Errorf("geoner: UDF text argument is %s", args[1].Kind)
+	}
+	var out []storage.Row
+	for _, m := range g.Extract(args[1].S) {
+		out = append(out, storage.Row{args[0], storage.Str(m.Name), storage.Geom(m.Loc)})
+	}
+	return out, nil
+}
+
+// LiberiaCounties is a small built-in gazetteer for the paper's EbolaKB
+// example: the four counties of Fig. 1 at the synthetic coordinates used
+// throughout this repository (distances match the paper's narrative).
+func LiberiaCounties() *Gazetteer {
+	g, err := NewGazetteer([]Place{
+		{Name: "Montserrado", Aliases: []string{"Monrovia"}, Loc: geom.Pt(-10.80, 6.32)},
+		{Name: "Margibi", Aliases: []string{"Kakata"}, Loc: geom.Pt(-10.45, 6.55)},
+		{Name: "Bong", Aliases: []string{"Gbarnga"}, Loc: geom.Pt(-9.45, 7.05)},
+		{Name: "Gbarpolu", Aliases: []string{"Bopolu"}, Loc: geom.Pt(-8.90, 7.60)},
+	})
+	if err != nil {
+		panic(err) // static data
+	}
+	return g
+}

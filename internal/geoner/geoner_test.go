@@ -1,0 +1,108 @@
+package geoner
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+func TestGazetteerBasics(t *testing.T) {
+	g := LiberiaCounties()
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	p, ok := g.Lookup("monrovia")
+	if !ok || p.Name != "Montserrado" {
+		t.Errorf("alias lookup = %+v %v", p, ok)
+	}
+	if _, ok := g.Lookup("Paris"); ok {
+		t.Error("unknown place found")
+	}
+}
+
+func TestNewGazetteerValidation(t *testing.T) {
+	if _, err := NewGazetteer([]Place{{Name: ""}}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewGazetteer([]Place{
+		{Name: "A", Aliases: []string{"X"}},
+		{Name: "B", Aliases: []string{"x"}},
+	}); err == nil {
+		t.Error("conflicting surface forms should fail")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	g := LiberiaCounties()
+	text := "The outbreak spread from Monrovia to Kakata, then toward Bong county."
+	ms := g.Extract(text)
+	if len(ms) != 3 {
+		t.Fatalf("mentions = %d: %+v", len(ms), ms)
+	}
+	if ms[0].Name != "Montserrado" || ms[0].Text != "Monrovia" {
+		t.Errorf("mention 0 = %+v", ms[0])
+	}
+	if ms[1].Name != "Margibi" || ms[2].Name != "Bong" {
+		t.Errorf("mentions = %+v", ms)
+	}
+	if ms[0].Offset != 25 {
+		t.Errorf("offset = %d", ms[0].Offset)
+	}
+}
+
+func TestExtractWordBoundaries(t *testing.T) {
+	g, err := NewGazetteer([]Place{{Name: "Bong", Loc: geom.Pt(1, 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms := g.Extract("the bongos played"); len(ms) != 0 {
+		t.Errorf("substring matched: %+v", ms)
+	}
+	if ms := g.Extract("in Bong."); len(ms) != 1 {
+		t.Errorf("punctuation boundary failed: %+v", ms)
+	}
+	if ms := g.Extract("BONG"); len(ms) != 1 {
+		t.Errorf("case-insensitive match failed: %+v", ms)
+	}
+}
+
+func TestExtractLongestMatchWins(t *testing.T) {
+	g, err := NewGazetteer([]Place{
+		{Name: "York", Loc: geom.Pt(-1.08, 53.96)},
+		{Name: "New York", Loc: geom.Pt(-74.0, 40.7)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := g.Extract("flights to New York daily")
+	if len(ms) != 1 || ms[0].Name != "New York" {
+		t.Errorf("mentions = %+v", ms)
+	}
+}
+
+func TestUDF(t *testing.T) {
+	g := LiberiaCounties()
+	rows, err := g.UDF([]storage.Value{storage.Int(7), storage.Str("Monrovia and Gbarnga")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if id, _ := rows[0][0].AsInt(); id != 7 {
+		t.Errorf("id = %v", rows[0][0])
+	}
+	if rows[0][1].S != "Montserrado" {
+		t.Errorf("name = %v", rows[0][1])
+	}
+	if _, err := rows[0][2].AsGeom(); err != nil {
+		t.Errorf("loc: %v", err)
+	}
+	if _, err := g.UDF([]storage.Value{storage.Int(1)}); err == nil {
+		t.Error("arity error expected")
+	}
+	if _, err := g.UDF([]storage.Value{storage.Int(1), storage.Int(2)}); err == nil {
+		t.Error("type error expected")
+	}
+}

@@ -1,0 +1,205 @@
+// Package gibbs implements the inference module of the paper (Section V):
+// marginal-probability estimation over a (spatial) factor graph via Gibbs
+// sampling. Three sampler variants are provided:
+//
+//   - Sequential: single-site sweeps in variable order — the textbook
+//     baseline [46].
+//   - Hogwild: DeepDive/DimmWitted-style parallel Gibbs [46], [47] that
+//     randomly partitions variables across workers which sweep
+//     asynchronously over a shared assignment.
+//   - Spatial: the paper's Spatial Gibbs Sampling (Algorithm 1), which
+//     partitions spatial atoms with an in-memory partial pyramid index,
+//     sweeps conclique-by-conclique (cells within one conclique in
+//     parallel), runs K sampler instances concurrently, and averages their
+//     sample counts every epoch. It also supports the paper's incremental
+//     inference: after evidence updates only the concliques of affected
+//     cells are resampled (Fig. 13a).
+//
+// Randomness is seeded: parallel sections derive per-task PRNGs from
+// (seed, epoch, task) with splitmix64, so the sampling schedule does not
+// depend on goroutine scheduling. The sequential sampler is fully
+// deterministic. The parallel samplers are deterministic up to the
+// interleaving of dependent variables sampled concurrently: hogwild by
+// design, and the spatial sampler when the spatial interaction radius
+// exceeds the cell width at a swept level, in which case two cells of one
+// conclique may hold dependent atoms — the same heuristic-independence
+// trade-off the paper accepts for conclique partitioning.
+package gibbs
+
+import (
+	"math"
+
+	"repro/internal/factorgraph"
+)
+
+// prng is a splitmix64 pseudo-random generator. Samplers create one PRNG
+// per parallel task (cell, worker, epoch); unlike math/rand sources, its
+// construction is a single mix rather than an O(600) seeding pass, which
+// matters when the spatial sweep derives thousands of deterministic streams
+// per second.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *prng) Float64() float64 {
+	return float64(p.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (p *prng) Intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// Sampler is the common interface of the three variants.
+type Sampler interface {
+	// Name identifies the variant.
+	Name() string
+	// RunEpochs advances the chain by n epochs, accumulating sample counts.
+	RunEpochs(n int)
+	// Marginals returns the estimated marginal distribution of every
+	// variable: marginals[v][x] ≈ P(v = x). Evidence variables get a point
+	// mass. Before any sampling it returns uniform distributions for query
+	// variables.
+	Marginals() [][]float64
+	// TotalEpochs reports epochs run so far.
+	TotalEpochs() int
+}
+
+// counts accumulates per-variable value counts.
+type counts struct {
+	c      [][]int64 // [var][value]
+	totals []int64   // [var]
+}
+
+func newCounts(g *factorgraph.Graph) *counts {
+	n := g.NumVars()
+	cs := &counts{c: make([][]int64, n), totals: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		cs.c[i] = make([]int64, g.Var(factorgraph.VarID(i)).Domain)
+	}
+	return cs
+}
+
+func (cs *counts) add(v factorgraph.VarID, x int32) {
+	cs.c[v][x]++
+	cs.totals[v]++
+}
+
+func (cs *counts) reset() {
+	for i := range cs.c {
+		for j := range cs.c[i] {
+			cs.c[i][j] = 0
+		}
+		cs.totals[i] = 0
+	}
+}
+
+// marginalsFrom converts counts to probabilities; evidence variables get a
+// point mass and unsampled query variables a uniform distribution.
+func marginalsFrom(g *factorgraph.Graph, get func(v int) ([]float64, float64)) [][]float64 {
+	n := g.NumVars()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		v := g.Var(factorgraph.VarID(i))
+		m := make([]float64, v.Domain)
+		if v.Evidence != factorgraph.NoEvidence {
+			m[v.Evidence] = 1
+			out[i] = m
+			continue
+		}
+		vals, total := get(i)
+		if total == 0 {
+			for j := range m {
+				m[j] = 1 / float64(v.Domain)
+			}
+		} else {
+			for j := range m {
+				m[j] = vals[j] / total
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// sampleOne draws a new value for v from its conditional distribution and
+// stores it in the assignment. buf must have capacity ≥ the max domain.
+func sampleOne(g *factorgraph.Graph, v factorgraph.VarID, assign factorgraph.Assignment,
+	rng *prng, buf []float64) int32 {
+	scores := g.ConditionalScores(v, assign, buf)
+	// Softmax sampling with max subtraction for stability.
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for i, s := range scores {
+		scores[i] = math.Exp(s - maxS)
+		z += scores[i]
+	}
+	u := rng.Float64() * z
+	var x int32
+	for i, p := range scores {
+		u -= p
+		if u <= 0 {
+			x = int32(i)
+			break
+		}
+		if i == len(scores)-1 {
+			x = int32(i)
+		}
+	}
+	assign.Set(v, x)
+	return x
+}
+
+// queryVars lists the variables that need sampling.
+func queryVars(g *factorgraph.Graph) []factorgraph.VarID {
+	var out []factorgraph.VarID
+	g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+		if v.Evidence == factorgraph.NoEvidence {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// maxDomain returns the largest variable domain (for score buffers).
+func maxDomain(g *factorgraph.Graph) int {
+	d := 2
+	g.Vars(func(_ factorgraph.VarID, v factorgraph.Variable) bool {
+		if int(v.Domain) > d {
+			d = int(v.Domain)
+		}
+		return true
+	})
+	return d
+}
+
+// splitmix64 advances a seed and returns a decorrelated value; used to give
+// every parallel task an independent deterministic PRNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// taskRNG builds a deterministic PRNG for a (seed, parts...) task identity.
+func taskRNG(seed int64, parts ...uint64) *prng {
+	x := uint64(seed)
+	for _, p := range parts {
+		x = splitmix64(x ^ p)
+	}
+	return &prng{state: splitmix64(x)}
+}

@@ -1,0 +1,536 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+)
+
+// smallSpatialGraph builds a compact spatial graph with known exact
+// marginals: a 3×3 grid of binary spatial atoms, the center observed true,
+// neighbours linked by spatial pairs and a few imply factors.
+func smallSpatialGraph(t testing.TB) *factorgraph.Graph {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	ids := map[[2]int]factorgraph.VarID{}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			ev := factorgraph.NoEvidence
+			if x == 1 && y == 1 {
+				ev = 1
+			}
+			id, err := b.AddVariable(factorgraph.Variable{
+				Name: "v", Domain: 2, Evidence: ev,
+				Loc: geom.Pt(float64(x)*10, float64(y)*10), HasLoc: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[[2]int{x, y}] = id
+		}
+	}
+	// Spatial pairs between 4-neighbours, weight decaying with distance
+	// (all distances equal here, so constant weight).
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 3; x++ {
+			if x+1 < 3 {
+				if err := b.AddSpatialPair(ids[[2]int{x, y}], ids[[2]int{x + 1, y}], 0.4); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if y+1 < 3 {
+				if err := b.AddSpatialPair(ids[[2]int{x, y}], ids[[2]int{x, y + 1}], 0.4); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// A couple of imply factors.
+	if err := b.AddFactor(factorgraph.FactorImply, 0.5,
+		[]factorgraph.VarID{ids[[2]int{1, 1}], ids[[2]int{0, 0}]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddFactor(factorgraph.FactorImply, 0.5,
+		[]factorgraph.VarID{ids[[2]int{1, 1}], ids[[2]int{2, 2}]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxAbsDiff(t testing.TB, got, want [][]float64) float64 {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("marginal count %d vs %d", len(got), len(want))
+	}
+	worst := 0.0
+	for i := range got {
+		for j := range got[i] {
+			if d := math.Abs(got[i][j] - want[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func TestSequentialConvergesToExact(t *testing.T) {
+	g := smallSpatialGraph(t)
+	exact, err := factorgraph.ExactMarginals(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSequential(g, 7)
+	s.RunEpochs(20000)
+	if d := maxAbsDiff(t, s.Marginals(), exact); d > 0.02 {
+		t.Errorf("sequential max marginal error %v > 0.02", d)
+	}
+	if s.TotalEpochs() != 20000 || s.Name() != "sequential" {
+		t.Error("metadata mismatch")
+	}
+}
+
+func TestHogwildConvergesToExact(t *testing.T) {
+	g := smallSpatialGraph(t)
+	exact, err := factorgraph.ExactMarginals(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHogwild(g, 7, 4)
+	h.RunEpochs(30000)
+	if d := maxAbsDiff(t, h.Marginals(), exact); d > 0.03 {
+		t.Errorf("hogwild max marginal error %v > 0.03", d)
+	}
+}
+
+func TestSpatialConvergesToExact(t *testing.T) {
+	g := smallSpatialGraph(t)
+	exact, err := factorgraph.ExactMarginals(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunTotalEpochs(20000)
+	if d := maxAbsDiff(t, s.Marginals(), exact); d > 0.02 {
+		t.Errorf("spatial max marginal error %v > 0.02", d)
+	}
+}
+
+func TestSpatialSeedStability(t *testing.T) {
+	// The sampling schedule is seed-derived, but when dependent atoms land
+	// in different cells of one conclique their concurrent sampling order
+	// depends on goroutine timing, so repeated runs agree only
+	// statistically (see the package comment). With enough epochs the same
+	// seed must land within sampling noise.
+	g := smallSpatialGraph(t)
+	run := func() [][]float64 {
+		s, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 3, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunEpochs(4000)
+		return s.Marginals()
+	}
+	a, b := run(), run()
+	if d := maxAbsDiff(t, a, b); d > 0.05 {
+		t.Errorf("same seed diverged by %v", d)
+	}
+}
+
+func TestSpatialDeterministicWhenIndependent(t *testing.T) {
+	// With far-apart atom clusters (interaction radius well under the cell
+	// width) the conclique guarantee is exact and runs are bit-identical.
+	b := factorgraph.NewBuilder()
+	var prev factorgraph.VarID
+	for i := 0; i < 8; i++ {
+		id, err := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: factorgraph.NoEvidence,
+			Loc: geom.Pt(float64(i)*1000, 0), HasLoc: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && i%2 == 1 {
+			// Pair only within a tight cluster (distance 1000 ≥ cell width
+			// is avoided by pairing identical-cell atoms only — here we
+			// just add a unary prior instead to keep cells independent).
+			_ = prev
+		}
+		_ = b.AddFactor(factorgraph.FactorIsTrue, 0.3+0.1*float64(i), []factorgraph.VarID{id}, nil)
+		prev = id
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() [][]float64 {
+		s, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunEpochs(300)
+		return s.Marginals()
+	}
+	a, c := run(), run()
+	if d := maxAbsDiff(t, a, c); d != 0 {
+		t.Errorf("independent-cell runs diverged by %v", d)
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	g := smallSpatialGraph(t)
+	s1 := NewSequential(g, 99)
+	s2 := NewSequential(g, 99)
+	s1.RunEpochs(500)
+	s2.RunEpochs(500)
+	if d := maxAbsDiff(t, s1.Marginals(), s2.Marginals()); d != 0 {
+		t.Errorf("same seed diverged by %v", d)
+	}
+}
+
+func TestMarginalsBeforeSampling(t *testing.T) {
+	g := smallSpatialGraph(t)
+	s := NewSequential(g, 1)
+	m := s.Marginals()
+	// Query variables uniform, evidence a point mass.
+	if m[0][0] != 0.5 || m[0][1] != 0.5 {
+		t.Errorf("query prior = %v", m[0])
+	}
+	if m[4][1] != 1 { // center atom is index 4 (row-major 3×3)
+		t.Errorf("evidence marginal = %v", m[4])
+	}
+}
+
+func TestSpatialEvidencePointMass(t *testing.T) {
+	g := smallSpatialGraph(t)
+	s, err := NewSpatial(g, SpatialOptions{Levels: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpochs(50)
+	m := s.Marginals()
+	if m[4][1] != 1 || m[4][0] != 0 {
+		t.Errorf("evidence marginal = %v", m[4])
+	}
+}
+
+func TestSpatialUpdateEvidenceAndIncremental(t *testing.T) {
+	g := smallSpatialGraph(t)
+	s, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpochs(2000)
+	before := s.Marginals()
+	// Corner (0,0) is variable 0; pin it false and resample incrementally.
+	if err := s.UpdateEvidence(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunIncremental(2000)
+	after := s.Marginals()
+	if after[0][0] != 1 {
+		t.Fatalf("pinned marginal = %v", after[0])
+	}
+	// Its direct neighbour (1,0)=var 1 should shift toward false relative
+	// to before (spatial clustering pulls it down).
+	if !(after[1][1] < before[1][1]+0.02) {
+		t.Errorf("neighbour did not respond: before=%v after=%v", before[1][1], after[1][1])
+	}
+	// Errors for bad updates.
+	if err := s.UpdateEvidence(-1, 0); err == nil {
+		t.Error("negative id should fail")
+	}
+	if err := s.UpdateEvidence(0, 5); err == nil {
+		t.Error("out-of-domain value should fail")
+	}
+}
+
+func TestIncrementalMovesTowardFullRecompute(t *testing.T) {
+	// Incremental inference resamples only the updated variables'
+	// concliques (one-hop neighbourhood), so boundary values stay stale and
+	// exact equality with a full recompute is not expected — the paper's
+	// Fig. 13a claim is about latency. We verify that the dirty
+	// neighbourhood moves in the same direction as a full recompute and
+	// that the pinned variable is exact.
+	g := smallSpatialGraph(t)
+	full, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.UpdateEvidence(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	full.RunEpochs(8000)
+
+	base, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.RunEpochs(4000)
+	baseM := base.Marginals()
+	if err := base.UpdateEvidence(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	base.RunIncremental(8000)
+	fm, im := full.Marginals(), base.Marginals()
+	if im[0][0] != 1 {
+		t.Fatalf("pinned marginal = %v", im[0])
+	}
+	// Neighbour vars 1 and 3: the full recompute pulls them down relative
+	// to the unpinned baseline; incremental must move the same way.
+	for _, v := range []int{1, 3} {
+		if !(fm[v][1] < baseM[v][1]) {
+			t.Fatalf("test premise broken: full %v not below baseline %v", fm[v][1], baseM[v][1])
+		}
+		if !(im[v][1] < baseM[v][1]+0.02) {
+			t.Errorf("var %d: incremental %v did not move toward full %v (baseline %v)",
+				v, im[v][1], fm[v][1], baseM[v][1])
+		}
+	}
+}
+
+func TestSpatialNonSpatialVarsAreSampled(t *testing.T) {
+	// Graph with a located and a non-located query variable connected by a
+	// factor: both must be sampled by the spatial sampler.
+	b := factorgraph.NewBuilder()
+	a, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: 1, HasLoc: true})
+	c, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: factorgraph.NoEvidence, HasLoc: true, Loc: geom.Pt(1, 1)})
+	d, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: factorgraph.NoEvidence})
+	if err := b.AddFactor(factorgraph.FactorImply, 1.2, []factorgraph.VarID{a, d}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSpatialPair(a, c, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpatial(g, SpatialOptions{Levels: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpochs(5000)
+	exact, err := factorgraph.ExactMarginals(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := maxAbsDiff(t, s.Marginals(), exact); diff > 0.03 {
+		t.Errorf("mixed graph error %v", diff)
+	}
+}
+
+func TestSpatialNoSpatialAtomsAtAll(t *testing.T) {
+	b := factorgraph.NewBuilder()
+	a, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: 1})
+	c, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: factorgraph.NoEvidence})
+	_ = b.AddFactor(factorgraph.FactorImply, 0.8, []factorgraph.VarID{a, c}, nil)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpatial(g, SpatialOptions{Levels: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pyramid() != nil {
+		t.Error("pyramid should be nil without located atoms")
+	}
+	s.RunEpochs(5000)
+	want := math.Exp(0.8) / (math.Exp(0.8) + 1)
+	if got := s.Marginals()[c][1]; math.Abs(got-want) > 0.03 {
+		t.Errorf("P = %v, want %v", got, want)
+	}
+}
+
+func TestCategoricalSampling(t *testing.T) {
+	// Categorical pair with one endpoint observed: the sampler must respect
+	// the pruning mask (pruned pairs contribute nothing).
+	b := factorgraph.NewBuilder()
+	h := int32(4)
+	a, _ := b.AddVariable(factorgraph.Variable{Domain: h, Evidence: 2, HasLoc: true})
+	c, _ := b.AddVariable(factorgraph.Variable{Domain: h, Evidence: factorgraph.NoEvidence, HasLoc: true, Loc: geom.Pt(1, 0)})
+	if err := b.AddSpatialPair(a, c, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSequential(g, 21)
+	s.RunEpochs(30000)
+	exact, err := factorgraph.ExactMarginals(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, s.Marginals(), exact); d > 0.02 {
+		t.Errorf("categorical error %v", d)
+	}
+	// Value 2 (agreement) must dominate.
+	m := s.Marginals()[c]
+	for x := 0; x < int(h); x++ {
+		if x != 2 && m[x] >= m[2] {
+			t.Errorf("marginal %v does not favour agreement", m)
+		}
+	}
+}
+
+func TestHogwildWorkerClamping(t *testing.T) {
+	g := smallSpatialGraph(t) // 8 query vars
+	h := NewHogwild(g, 1, 100)
+	if h.workers > 8 {
+		t.Errorf("workers = %d not clamped", h.workers)
+	}
+	h2 := NewHogwild(g, 1, 0)
+	if h2.workers < 1 {
+		t.Error("auto workers < 1")
+	}
+}
+
+func TestSpatialCellStats(t *testing.T) {
+	g := smallSpatialGraph(t)
+	s, err := NewSpatial(g, SpatialOptions{Levels: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := s.CellStats(); len(stats) == 0 {
+		t.Error("no cell stats")
+	}
+}
+
+func TestSampleOneDistribution(t *testing.T) {
+	// Sampling a single unary factor must follow the softmax of its scores.
+	b := factorgraph.NewBuilder()
+	v, _ := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: factorgraph.NoEvidence})
+	w := 1.0
+	_ = b.AddFactor(factorgraph.FactorIsTrue, w, []factorgraph.VarID{v}, nil)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := g.InitialAssignment()
+	rng := taskRNG(5, 0xabc)
+	buf := make([]float64, 2)
+	ones := 0
+	n := 200000
+	for i := 0; i < n; i++ {
+		if sampleOne(g, v, assign, rng, buf) == 1 {
+			ones++
+		}
+	}
+	want := math.Exp(w) / (math.Exp(w) + 1)
+	got := float64(ones) / float64(n)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(1) = %v, want %v", got, want)
+	}
+}
+
+func TestSplitmixDecorrelation(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		v := splitmix64(i)
+		if seen[v] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: on random small graphs, all three samplers converge to the
+// exact marginals. Catches systematic bias in any sweep schedule.
+func TestSamplersMatchExactOnRandomGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running convergence property")
+	}
+	rng := newTestRand(31)
+	for trial := 0; trial < 5; trial++ {
+		b := factorgraph.NewBuilder()
+		n := 6 + int(rng.next()%4)
+		for i := 0; i < n; i++ {
+			ev := factorgraph.NoEvidence
+			if rng.next()%4 == 0 {
+				ev = int32(rng.next() % 2)
+			}
+			if _, err := b.AddVariable(factorgraph.Variable{
+				Domain: 2, Evidence: ev,
+				Loc:    geom.Pt(float64(rng.next()%100), float64(rng.next()%100)),
+				HasLoc: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		kinds := []factorgraph.FactorKind{
+			factorgraph.FactorImply, factorgraph.FactorAnd,
+			factorgraph.FactorOr, factorgraph.FactorEqual,
+		}
+		for f := 0; f < n; f++ {
+			a := factorgraph.VarID(rng.next() % uint64(n))
+			c := factorgraph.VarID(rng.next() % uint64(n))
+			if a == c {
+				continue
+			}
+			w := float64(rng.next()%200)/100 - 1 // [-1, 1)
+			if err := b.AddFactor(kinds[rng.next()%4], w, []factorgraph.VarID{a, c}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for s := 0; s < n/2; s++ {
+			a := factorgraph.VarID(rng.next() % uint64(n))
+			c := factorgraph.VarID(rng.next() % uint64(n))
+			if a == c {
+				continue
+			}
+			_ = b.AddSpatialPair(a, c, float64(rng.next()%100)/150) // dup ok to fail
+		}
+		g, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := factorgraph.ExactMarginals(g, 1<<22)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mk := range []func() Sampler{
+			func() Sampler { return NewSequential(g, 5) },
+			func() Sampler { return NewHogwild(g, 5, 2) },
+			func() Sampler {
+				sp, err := NewSpatial(g, SpatialOptions{Levels: 4, Instances: 2, Seed: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sp
+			},
+		} {
+			s := mk()
+			if sp, ok := s.(*Spatial); ok {
+				sp.RunTotalEpochs(30000)
+			} else {
+				s.RunEpochs(30000)
+			}
+			if d := maxAbsDiff(t, s.Marginals(), exact); d > 0.04 {
+				t.Errorf("trial %d: %s max marginal error %v", trial, s.Name(), d)
+			}
+		}
+	}
+}
+
+// newTestRand returns a tiny deterministic generator for graph synthesis.
+func newTestRand(seed uint64) *testRand { return &testRand{state: seed} }
+
+type testRand struct{ state uint64 }
+
+func (r *testRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

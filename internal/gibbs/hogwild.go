@@ -1,0 +1,117 @@
+package gibbs
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/factorgraph"
+)
+
+// Hogwild is the DeepDive-style parallel Gibbs sampler ([46], [47] in the
+// paper): query variables are randomly partitioned into W buckets, and each
+// epoch the buckets sweep concurrently over one shared assignment. The
+// paper's Section V observes that this strategy is fast per epoch but
+// converges slowly when variables are spatially correlated, because
+// dependent variables are sampled simultaneously and ignore each other's
+// fresh values — exactly the deficiency the spatial sampler removes.
+type Hogwild struct {
+	g       *factorgraph.Graph
+	assign  factorgraph.Assignment
+	seed    int64
+	workers int
+	buckets [][]factorgraph.VarID
+	counts  []*counts // per worker, merged on demand
+	epochs  int
+	burnIn  int
+}
+
+// SetBurnIn discards the first n chain epochs from the marginal counters.
+// Call before the first RunEpochs.
+func (h *Hogwild) SetBurnIn(n int) { h.burnIn = n }
+
+// NewHogwild builds a hogwild sampler; workers ≤ 0 selects GOMAXPROCS.
+func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	query := queryVars(g)
+	if workers > len(query) && len(query) > 0 {
+		workers = len(query)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	h := &Hogwild{
+		g:       g,
+		assign:  g.InitialAssignment(),
+		seed:    seed,
+		workers: workers,
+		buckets: make([][]factorgraph.VarID, workers),
+		counts:  make([]*counts, workers),
+	}
+	// Random partition (the paper's "randomly partition the variables into
+	// a set of buckets").
+	rng := taskRNG(seed, 0xb0c4e7)
+	perm := make([]int, len(query))
+	for i := range perm {
+		perm[i] = i
+	}
+	// Fisher–Yates shuffle.
+	for i := len(perm) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, pi := range perm {
+		w := i % workers
+		h.buckets[w] = append(h.buckets[w], query[pi])
+	}
+	for w := range h.counts {
+		h.counts[w] = newCounts(g)
+	}
+	return h
+}
+
+// Name implements Sampler.
+func (h *Hogwild) Name() string { return "hogwild" }
+
+// TotalEpochs implements Sampler.
+func (h *Hogwild) TotalEpochs() int { return h.epochs }
+
+// RunEpochs implements Sampler.
+func (h *Hogwild) RunEpochs(n int) {
+	for e := 0; e < n; e++ {
+		count := h.epochs+e >= h.burnIn
+		var wg sync.WaitGroup
+		for w := 0; w < h.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := taskRNG(h.seed, uint64(h.epochs+e)+1, uint64(w)<<32)
+				buf := make([]float64, maxDomain(h.g))
+				for _, v := range h.buckets[w] {
+					x := sampleOne(h.g, v, h.assign, rng, buf)
+					if count {
+						h.counts[w].add(v, x)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	h.epochs += n
+}
+
+// Marginals implements Sampler.
+func (h *Hogwild) Marginals() [][]float64 {
+	return marginalsFrom(h.g, func(v int) ([]float64, float64) {
+		vals := make([]float64, h.g.Var(factorgraph.VarID(v)).Domain)
+		var total int64
+		for _, cs := range h.counts {
+			for i, c := range cs.c[v] {
+				vals[i] += float64(c)
+			}
+			total += cs.totals[v]
+		}
+		return vals, float64(total)
+	})
+}

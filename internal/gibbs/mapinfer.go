@@ -1,0 +1,137 @@
+package gibbs
+
+import (
+	"math"
+
+	"repro/internal/factorgraph"
+)
+
+// MAPOptions configures MAP (maximum a-posteriori) inference.
+type MAPOptions struct {
+	// Sweeps is the number of annealing sweeps. Default 500.
+	Sweeps int
+	// StartTemp is the initial sampling temperature. Default 2.
+	StartTemp float64
+	// EndTemp is the final temperature (→ greedy). Default 0.05.
+	EndTemp float64
+	// Restarts runs independent annealing chains and keeps the best.
+	// Default 2.
+	Restarts int
+	// Seed drives the chains.
+	Seed int64
+}
+
+func (o MAPOptions) withDefaults() MAPOptions {
+	if o.Sweeps <= 0 {
+		o.Sweeps = 500
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 2
+	}
+	if o.EndTemp <= 0 {
+		o.EndTemp = 0.05
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 2
+	}
+	return o
+}
+
+// MAP estimates the most probable world of a (spatial) factor graph by
+// simulated annealing: Gibbs sweeps whose conditional scores are divided by
+// a temperature that decays geometrically from StartTemp to EndTemp, with
+// independent restarts keeping the highest-energy assignment. Evidence
+// variables stay clamped. It returns the best assignment found and its
+// energy (the Eq. 3 exponent; higher is more probable).
+//
+// Marginal inference (the samplers) is what the paper's factual scores use;
+// MAP is the companion query mode MLN systems such as DeepDive and Tuffy
+// also offer, useful to extract the single most likely knowledge base.
+func MAP(g *factorgraph.Graph, opts MAPOptions) (factorgraph.Assignment, float64) {
+	opts = opts.withDefaults()
+	query := queryVars(g)
+	var best factorgraph.Assignment
+	bestE := 0.0
+	decay := 1.0
+	if opts.Sweeps > 1 {
+		decay = math.Pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Sweeps-1))
+	}
+	for r := 0; r < opts.Restarts; r++ {
+		assign := g.InitialAssignment()
+		rng := taskRNG(opts.Seed, 0x3a9, uint64(r)+1)
+		// Random initialization of query variables for chain diversity.
+		for _, v := range query {
+			assign.Set(v, int32(rng.Intn(int(g.Var(v).Domain))))
+		}
+		buf := make([]float64, maxDomain(g))
+		temp := opts.StartTemp
+		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			for _, v := range query {
+				scores := g.ConditionalScores(v, assign, buf)
+				sampleTempered(assign, v, scores, temp, rng)
+			}
+			temp *= decay
+		}
+		// Final greedy polish: local moves until no single flip improves.
+		greedy(g, assign, query, buf)
+		e := g.Energy(assign)
+		if best == nil || e > bestE {
+			best, bestE = assign.Clone(), e
+		}
+	}
+	return best, bestE
+}
+
+// sampleTempered draws from softmax(scores / temp).
+func sampleTempered(assign factorgraph.Assignment, v factorgraph.VarID,
+	scores []float64, temp float64, rng *prng) {
+	maxS := scores[0]
+	for _, s := range scores[1:] {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var z float64
+	for i, s := range scores {
+		scores[i] = math.Exp((s - maxS) / temp)
+		z += scores[i]
+	}
+	u := rng.Float64() * z
+	var x int32
+	for i, p := range scores {
+		u -= p
+		if u <= 0 {
+			x = int32(i)
+			break
+		}
+		if i == len(scores)-1 {
+			x = int32(i)
+		}
+	}
+	assign.Set(v, x)
+}
+
+// greedy applies best-single-flip moves until a local optimum.
+func greedy(g *factorgraph.Graph, assign factorgraph.Assignment,
+	query []factorgraph.VarID, buf []float64) {
+	for {
+		improved := false
+		for _, v := range query {
+			scores := g.ConditionalScores(v, assign, buf)
+			cur := assign.Get(v)
+			best := cur
+			for x := range scores {
+				if scores[x] > scores[best] {
+					best = int32(x)
+				}
+			}
+			if best != cur {
+				assign.Set(v, best)
+				improved = true
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}

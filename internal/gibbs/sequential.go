@@ -1,0 +1,68 @@
+package gibbs
+
+import (
+	"repro/internal/factorgraph"
+)
+
+// Sequential is the classic single-chain Gibbs sampler: each epoch sweeps
+// every query variable once in ID order.
+type Sequential struct {
+	g      *factorgraph.Graph
+	assign factorgraph.Assignment
+	rng    *prng
+	counts *counts
+	query  []factorgraph.VarID
+	buf    []float64
+	epochs int
+	burnIn int
+}
+
+// SetBurnIn discards the first n chain epochs from the marginal counters.
+// Call before the first RunEpochs.
+func (s *Sequential) SetBurnIn(n int) { s.burnIn = n }
+
+// NewSequential builds a sequential sampler with the given seed.
+func NewSequential(g *factorgraph.Graph, seed int64) *Sequential {
+	return &Sequential{
+		g:      g,
+		assign: g.InitialAssignment(),
+		rng:    taskRNG(seed, 0x5e90),
+		counts: newCounts(g),
+		query:  queryVars(g),
+		buf:    make([]float64, maxDomain(g)),
+	}
+}
+
+// Name implements Sampler.
+func (s *Sequential) Name() string { return "sequential" }
+
+// TotalEpochs implements Sampler.
+func (s *Sequential) TotalEpochs() int { return s.epochs }
+
+// RunEpochs implements Sampler.
+func (s *Sequential) RunEpochs(n int) {
+	for e := 0; e < n; e++ {
+		count := s.epochs+e >= s.burnIn
+		for _, v := range s.query {
+			x := sampleOne(s.g, v, s.assign, s.rng, s.buf)
+			if count {
+				s.counts.add(v, x)
+			}
+		}
+	}
+	s.epochs += n
+}
+
+// Marginals implements Sampler.
+func (s *Sequential) Marginals() [][]float64 {
+	return marginalsFrom(s.g, func(v int) ([]float64, float64) {
+		vals := make([]float64, len(s.counts.c[v]))
+		for i, c := range s.counts.c[v] {
+			vals[i] = float64(c)
+		}
+		return vals, float64(s.counts.totals[v])
+	})
+}
+
+// Assignment exposes the current chain state (read-only use).
+func (s *Sequential) Assignment() factorgraph.Assignment { return s.assign }

@@ -1,0 +1,505 @@
+package gibbs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/conclique"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/index/pyramid"
+)
+
+// SpatialOptions configures the spatial Gibbs sampler (paper Algorithm 1).
+type SpatialOptions struct {
+	// Levels is the pyramid height L. Default 8 (the paper's setting).
+	Levels int
+	// LocalityLevel is the deepest pyramid level swept; the paper's
+	// Fig. 13b knob. Default Levels-1 (the lowest level).
+	LocalityLevel int
+	// Instances is K, the number of parallel sampler instances whose counts
+	// are averaged each epoch. Default 2.
+	Instances int
+	// Capacity is the pyramid split threshold. Default 32.
+	Capacity int
+	// Seed drives all randomness deterministically.
+	Seed int64
+	// BurnIn discards the first BurnIn epochs of each instance's chain from
+	// the marginal counters (they are still sampled, moving the chain).
+	BurnIn int
+	// Workers caps the goroutines used per conclique sweep. Default
+	// GOMAXPROCS.
+	Workers int
+	// Space overrides the pyramid bounding space (derived from atom
+	// locations when zero).
+	Space geom.Rect
+}
+
+func (o SpatialOptions) withDefaults() SpatialOptions {
+	if o.Levels <= 0 {
+		o.Levels = 8
+	}
+	if o.LocalityLevel <= 0 || o.LocalityLevel > o.Levels-1 {
+		o.LocalityLevel = o.Levels - 1
+	}
+	if o.Instances <= 0 {
+		o.Instances = 2
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// instance is one of the K parallel sampler instances of Algorithm 1: its
+// own Markov chain (assignment) and sample counters C_k.
+type instance struct {
+	assign factorgraph.Assignment
+	counts *counts
+	epochs int // chain epochs run (for burn-in accounting)
+}
+
+// cellTask is one cell's sampling work: the query atoms homed at this cell.
+type cellTask struct {
+	key  pyramid.CellKey
+	vars []factorgraph.VarID
+}
+
+// levelSweep is the precomputed per-level schedule: cell tasks grouped by
+// conclique (Algorithm 1 lines 10–15). Cells within one group are mutually
+// non-adjacent and sampled in parallel; groups run serially.
+type levelSweep struct {
+	level  int
+	groups [conclique.Count][]cellTask
+}
+
+// Spatial implements the paper's Spatial Gibbs Sampling (Algorithm 1). It
+// spatially partitions the query atoms with a partial pyramid index, then
+// every epoch sweeps the pyramid levels; within a level it processes the
+// minimum conclique cover of the non-empty cells — concliques serially, the
+// cells of one conclique in parallel, the variables inside a cell
+// sequentially with standard Gibbs steps. K instances run concurrently and
+// their counters are averaged (line 16); marginals come from the averaged
+// counters.
+//
+// Each atom is sampled exactly once per epoch, at its *home* cell (its
+// lowest maintained pyramid cell, clamped to LocalityLevel) — the Figure 6
+// reading where a parent cell's partial graph is divided among its
+// maintained children. Atoms whose home lies above the swept range
+// (sparse, merged-away quadrants) and atoms without a location are swept
+// sequentially at the end of the epoch.
+type Spatial struct {
+	g    *factorgraph.Graph
+	opts SpatialOptions
+	pyr  *pyramid.Index // nil when the graph has no located query atoms
+
+	instances  []*instance
+	sweep      []levelSweep
+	nonSpatial []factorgraph.VarID // query vars without location
+	residual   []factorgraph.VarID // home level above the swept range
+	homeCell   map[factorgraph.VarID]pyramid.CellKey
+	pinned     []bool // evidence added after construction
+	dirty      map[factorgraph.VarID]bool
+	epochs     int
+}
+
+// NewSpatial builds the sampler, including the pyramid index over the
+// spatial query atoms and the per-level conclique schedule (Algorithm 1
+// lines 5–6).
+func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
+	opts = opts.withDefaults()
+	s := &Spatial{
+		g:        g,
+		opts:     opts,
+		pinned:   make([]bool, g.NumVars()),
+		dirty:    map[factorgraph.VarID]bool{},
+		homeCell: map[factorgraph.VarID]pyramid.CellKey{},
+	}
+	var entries []pyramid.Entry
+	var space geom.Rect
+	first := true
+	for _, v := range queryVars(g) {
+		meta := g.Var(v)
+		if !meta.HasLoc {
+			s.nonSpatial = append(s.nonSpatial, v)
+			continue
+		}
+		entries = append(entries, pyramid.Entry{ID: int64(v), Loc: meta.Loc})
+		b := meta.Loc.Bounds()
+		if first {
+			space, first = b, false
+		} else {
+			space = space.Union(b)
+		}
+	}
+	if opts.Space.Valid() && opts.Space.Area() > 0 {
+		space = opts.Space
+	} else if !first {
+		// Grow slightly so boundary atoms do not land outside due to
+		// floating-point division in cell addressing.
+		pad := 1e-9 + 0.001*(space.Width()+space.Height())
+		space = space.Expand(pad)
+	}
+	if len(entries) > 0 {
+		pyr, err := pyramid.Build(space, entries, pyramid.Options{
+			Levels:   opts.Levels,
+			Capacity: opts.Capacity,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gibbs: building pyramid: %w", err)
+		}
+		s.pyr = pyr
+		s.buildSchedule(entries)
+	}
+	for k := 0; k < opts.Instances; k++ {
+		s.instances = append(s.instances, &instance{
+			assign: g.InitialAssignment(),
+			counts: newCounts(g),
+		})
+	}
+	return s, nil
+}
+
+// buildSchedule computes each atom's home cell and the per-level conclique
+// cell tasks.
+func (s *Spatial) buildSchedule(entries []pyramid.Entry) {
+	levels := s.sweepLevels()
+	minSwept, maxSwept := levels[0], levels[len(levels)-1]
+	byCell := map[pyramid.CellKey][]factorgraph.VarID{}
+	for _, e := range entries {
+		v := factorgraph.VarID(e.ID)
+		home := s.pyr.LowestCell(e.Loc)
+		if home == nil {
+			s.residual = append(s.residual, v)
+			continue
+		}
+		hl := home.Key.Level
+		if hl > maxSwept {
+			hl = maxSwept
+		}
+		if hl < minSwept {
+			s.residual = append(s.residual, v)
+			continue
+		}
+		key := pyramid.CellKey{Level: hl, X: home.Key.X >> (home.Key.Level - hl), Y: home.Key.Y >> (home.Key.Level - hl)}
+		s.homeCell[v] = key
+		byCell[key] = append(byCell[key], v)
+	}
+	sort.Slice(s.residual, func(i, j int) bool { return s.residual[i] < s.residual[j] })
+	s.sweep = nil
+	for _, l := range levels {
+		sw := levelSweep{level: l}
+		var keys []pyramid.CellKey
+		for k := range byCell {
+			if k.Level == l {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Y != keys[j].Y {
+				return keys[i].Y < keys[j].Y
+			}
+			return keys[i].X < keys[j].X
+		})
+		for _, k := range keys {
+			vars := byCell[k]
+			sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+			q := conclique.Of(k)
+			sw.groups[q] = append(sw.groups[q], cellTask{key: k, vars: vars})
+		}
+		s.sweep = append(s.sweep, sw)
+	}
+}
+
+// Name implements Sampler.
+func (s *Spatial) Name() string { return "spatial" }
+
+// TotalEpochs implements Sampler.
+func (s *Spatial) TotalEpochs() int { return s.epochs }
+
+// Pyramid exposes the index (for tests and diagnostics).
+func (s *Spatial) Pyramid() *pyramid.Index { return s.pyr }
+
+// sweepLevels returns the pyramid levels visited per epoch: 2..LocalityLevel
+// as in Algorithm 1 line 10, or the single deepest available level when the
+// pyramid is too shallow for that range.
+func (s *Spatial) sweepLevels() []int {
+	top := s.opts.LocalityLevel
+	if top > s.opts.Levels-1 {
+		top = s.opts.Levels - 1
+	}
+	if top < 2 {
+		return []int{top}
+	}
+	var out []int
+	for l := 2; l <= top; l++ {
+		out = append(out, l)
+	}
+	return out
+}
+
+// RunEpochs implements Sampler: each call runs n epochs on every instance,
+// instances in parallel (so one call does the work of n·K raw epochs in n
+// rounds, matching Algorithm 1's e = E/K).
+func (s *Spatial) RunEpochs(n int) {
+	for e := 0; e < n; e++ {
+		var wg sync.WaitGroup
+		for k, inst := range s.instances {
+			wg.Add(1)
+			go func(k int, inst *instance) {
+				defer wg.Done()
+				s.runInstanceEpoch(k, inst, nil, nil)
+			}(k, inst)
+		}
+		wg.Wait()
+	}
+	s.epochs += n
+}
+
+// RunTotalEpochs runs approximately total raw epochs of work split across
+// the K instances (Algorithm 1 line 4: e = E/K).
+func (s *Spatial) RunTotalEpochs(total int) {
+	per := (total + len(s.instances) - 1) / len(s.instances)
+	if per < 1 {
+		per = 1
+	}
+	s.RunEpochs(per)
+}
+
+// runInstanceEpoch performs one epoch for one instance. When restrict is
+// non-nil, only cells whose key is in restrict are swept and extra (instead
+// of the residual/non-spatial lists) is swept sequentially — the
+// incremental path.
+func (s *Spatial) runInstanceEpoch(k int, inst *instance, restrict map[pyramid.CellKey]bool, extra []factorgraph.VarID) {
+	count := inst.epochs >= s.opts.BurnIn
+	inst.epochs++
+	epoch := uint64(inst.epochs)
+	for _, sw := range s.sweep {
+		for q := 0; q < conclique.Count; q++ {
+			group := sw.groups[q]
+			if restrict != nil {
+				var kept []cellTask
+				for _, task := range group {
+					if restrict[task.key] {
+						kept = append(kept, task)
+					}
+				}
+				group = kept
+			}
+			if len(group) == 0 {
+				continue
+			}
+			s.sampleGroup(k, epoch, inst, group, count)
+		}
+	}
+	if restrict == nil {
+		extra = nil
+		if len(s.residual) > 0 || len(s.nonSpatial) > 0 {
+			extra = append(append([]factorgraph.VarID{}, s.residual...), s.nonSpatial...)
+		}
+	}
+	if len(extra) > 0 {
+		rng := taskRNG(s.opts.Seed, uint64(k)+1, epoch<<8, 0xfeed)
+		buf := make([]float64, maxDomain(s.g))
+		for _, v := range extra {
+			if s.pinned[v] {
+				continue
+			}
+			x := sampleOne(s.g, v, inst.assign, rng, buf)
+			if count {
+				inst.counts.add(v, x)
+			}
+		}
+	}
+}
+
+// sampleGroup samples one conclique's cells, chunked across at most
+// opts.Workers goroutines; within a chunk, cells and their variables are
+// swept sequentially with a deterministic per-cell PRNG.
+func (s *Spatial) sampleGroup(k int, epoch uint64, inst *instance, group []cellTask, count bool) {
+	workers := s.opts.Workers
+	if workers > len(group) {
+		workers = len(group)
+	}
+	sampleCells := func(tasks []cellTask, buf []float64) {
+		for _, task := range tasks {
+			rng := taskRNG(s.opts.Seed, uint64(k)+1, epoch<<8, uint64(task.key.Level)<<40,
+				uint64(uint32(task.key.X))<<16|uint64(uint32(task.key.Y)))
+			for _, v := range task.vars {
+				if s.pinned[v] {
+					continue
+				}
+				x := sampleOne(s.g, v, inst.assign, rng, buf)
+				if count {
+					inst.counts.add(v, x)
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		buf := make([]float64, maxDomain(s.g))
+		sampleCells(group, buf)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(group) + workers - 1) / workers
+	for off := 0; off < len(group); off += chunk {
+		end := off + chunk
+		if end > len(group) {
+			end = len(group)
+		}
+		wg.Add(1)
+		go func(tasks []cellTask) {
+			defer wg.Done()
+			buf := make([]float64, maxDomain(s.g))
+			sampleCells(tasks, buf)
+		}(group[off:end])
+	}
+	wg.Wait()
+}
+
+// UpdateEvidence pins a variable to an observed value after construction
+// and marks it dirty for incremental inference. Its cells' concliques are
+// resampled by the next RunIncremental call.
+func (s *Spatial) UpdateEvidence(v factorgraph.VarID, val int32) error {
+	if int(v) >= s.g.NumVars() || v < 0 {
+		return fmt.Errorf("gibbs: unknown variable %d", v)
+	}
+	if val < 0 || val >= s.g.Var(v).Domain {
+		return fmt.Errorf("gibbs: value %d outside domain of variable %d", val, v)
+	}
+	s.pinned[v] = true
+	s.dirty[v] = true
+	for _, inst := range s.instances {
+		inst.assign.Set(v, val)
+		// Pinning invalidates the variable's accumulated counts.
+		for x := range inst.counts.c[v] {
+			inst.counts.c[v][x] = 0
+		}
+		inst.counts.totals[v] = 0
+	}
+	return nil
+}
+
+// RunIncremental resamples, for n epochs, only the cells containing dirty
+// variables and their factor neighbourhoods — the paper's incremental
+// inference ("the sampler is invoked on the concliques of the updated
+// variables only"). The dirty set is cleared afterwards.
+func (s *Spatial) RunIncremental(n int) {
+	if len(s.dirty) == 0 {
+		return
+	}
+	restrict := map[pyramid.CellKey]bool{}
+	extraSet := map[factorgraph.VarID]bool{}
+	touch := func(v factorgraph.VarID) {
+		if home, ok := s.homeCell[v]; ok {
+			restrict[home] = true
+			return
+		}
+		if s.g.Var(v).Evidence == factorgraph.NoEvidence && !s.pinned[v] {
+			extraSet[v] = true
+		}
+	}
+	for v := range s.dirty {
+		touch(v)
+		// Neighbouring atoms are affected too: the updated atom's spatial
+		// and logical factors cross cell borders.
+		for _, u := range s.g.VarSpatialPairs(v) {
+			a, b, _ := s.g.SpatialPair(u)
+			other := a
+			if other == v {
+				other = b
+			}
+			touch(other)
+		}
+		for _, f := range s.g.VarLogicalFactors(v) {
+			vars, _ := s.g.FactorVars(f)
+			for _, other := range vars {
+				if other != v {
+					touch(other)
+				}
+			}
+		}
+	}
+	var extra []factorgraph.VarID
+	for v := range extraSet {
+		extra = append(extra, v)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	for e := 0; e < n; e++ {
+		var wg sync.WaitGroup
+		for k, inst := range s.instances {
+			wg.Add(1)
+			go func(k int, inst *instance) {
+				defer wg.Done()
+				s.runInstanceEpoch(k, inst, restrict, extra)
+			}(k, inst)
+		}
+		wg.Wait()
+	}
+	s.epochs += n
+	s.dirty = map[factorgraph.VarID]bool{}
+}
+
+// Marginals implements Sampler: the average of the K instances' counters
+// (Algorithm 1 lines 16 and 18–19). Variables pinned by UpdateEvidence get
+// a point mass like original evidence.
+func (s *Spatial) Marginals() [][]float64 {
+	n := s.g.NumVars()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		vid := factorgraph.VarID(i)
+		meta := s.g.Var(vid)
+		m := make([]float64, meta.Domain)
+		if meta.Evidence != factorgraph.NoEvidence {
+			m[meta.Evidence] = 1
+			out[i] = m
+			continue
+		}
+		if s.pinned[vid] {
+			m[s.instances[0].assign.Get(vid)] = 1
+			out[i] = m
+			continue
+		}
+		var total float64
+		for _, inst := range s.instances {
+			for x, c := range inst.counts.c[i] {
+				m[x] += float64(c)
+			}
+			total += float64(inst.counts.totals[i])
+		}
+		if total == 0 {
+			for x := range m {
+				m[x] = 1 / float64(meta.Domain)
+			}
+		} else {
+			for x := range m {
+				m[x] /= total
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// CellStats summarizes the sweep schedule for diagnostics: per swept level,
+// the number of home cells and conclique cover size.
+func (s *Spatial) CellStats() []string {
+	if s.pyr == nil {
+		return []string{"no spatial atoms"}
+	}
+	var out []string
+	for _, sw := range s.sweep {
+		cells, cover := 0, 0
+		for _, g := range sw.groups {
+			cells += len(g)
+			if len(g) > 0 {
+				cover++
+			}
+		}
+		out = append(out, fmt.Sprintf("level %d: %d cells, %d concliques", sw.level, cells, cover))
+	}
+	return out
+}

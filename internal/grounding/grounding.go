@@ -1,0 +1,688 @@
+// Package grounding implements Sya's grounding module (paper Section IV):
+// it evaluates a validated DDlog program against the storage database and
+// constructs the spatial factor graph.
+//
+// The phases mirror the paper's pipeline:
+//
+//  1. UDF applications run first (feature extraction, e.g. spatial NER);
+//  2. derivation rules materialize the variable relations — one ground atom
+//     per distinct head-key tuple, with evidence from the label term;
+//  3. inference rules are translated to SQL (internal/translate), executed
+//     by the sqlx engine (which re-orders range predicates before spatial
+//     joins, Fig. 5), and every result row becomes one weighted logical
+//     factor (Eq. 1);
+//  4. for every @spatial variable relation, spatial factors (Eq. 2/Eq. 4)
+//     are generated between atom pairs within the weighing function's
+//     support radius, using an R-tree to avoid the all-pairs scan;
+//  5. for categorical spatial relations, the co-occurrence pruning of
+//     Section IV-C computes P(i|j) and P(j|i) over neighbouring evidence
+//     atoms and keeps only domain-value pairs exceeding the threshold T.
+package grounding
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/ddlog"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/sqlx"
+	"repro/internal/storage"
+	"repro/internal/translate"
+	"repro/internal/weighting"
+)
+
+// UDF is a user-defined function implementation: one input tuple in, zero
+// or more output rows out (paper Section III, "Spatial UDFs").
+type UDF func(args []storage.Value) ([]storage.Row, error)
+
+// Options configures grounding.
+type Options struct {
+	// Metric is the distance metric for rule distance predicates and
+	// spatial-factor weights.
+	Metric geom.Metric
+	// Weighting resolves @spatial(w) names; nil uses a default registry
+	// with bandwidth 50 and unit scale.
+	Weighting *weighting.Registry
+	// PruneThreshold is T of Section IV-C; used only for categorical
+	// spatial relations. Default 0.5.
+	PruneThreshold float64
+	// SupportRadius overrides the weighing function's support radius for
+	// spatial-factor generation (0 keeps the function's own).
+	SupportRadius float64
+	// MaxNeighbors caps spatial factors per atom to its k nearest
+	// neighbours (0 = unlimited). A scalability valve for dense data.
+	MaxNeighbors int
+	// UDFs resolves function implementation keys.
+	UDFs map[string]UDF
+	// SkipFactorTables disables materializing per-rule factor relations
+	// (sya_factors_<label>) in the database. The paper stores the ground
+	// factor graph in the RDBMS; keeping the tables is faithful but costs
+	// memory on large runs.
+	SkipFactorTables bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Weighting == nil {
+		o.Weighting = weighting.NewRegistry(50, 1)
+	}
+	if o.PruneThreshold == 0 {
+		o.PruneThreshold = 0.5
+	}
+	return o
+}
+
+// Stats reports what grounding produced and how long the phases took
+// (Table I and the grounding-time series of Figs. 9–11 come from here).
+type Stats struct {
+	Vars                 int
+	EvidenceVars         int
+	QueryVars            int
+	LogicalFactors       int
+	SpatialPairs         int
+	GroundSpatialFactors int64
+	SkippedHeadLookups   int
+	DuplicateDerivations int
+	PrunedValuePairs     int
+	AllowedValuePairs    int
+	RuleFactors          map[string]int
+	DerivationRows       map[string]int
+	RuleSQL              map[string]string
+
+	RulesTime   time.Duration
+	SpatialTime time.Duration
+	TotalTime   time.Duration
+}
+
+// Result is the grounding output.
+type Result struct {
+	Graph *factorgraph.Graph
+	Stats Stats
+	// VarID resolves "Relation|k1|k2|..." ground-atom keys.
+	VarID map[string]factorgraph.VarID
+	// RelationIndex maps variable relation names (lower-cased) to the
+	// Relation field used in factorgraph variables.
+	RelationIndex map[string]int32
+	// RuleNames lists the inference rules in grounding order; FactorRule
+	// maps every logical factor to its rule index — the tying structure
+	// weight learning (internal/learn) needs.
+	RuleNames  []string
+	FactorRule []int32
+}
+
+// Grounder drives grounding of one program over one database.
+type Grounder struct {
+	prog *ddlog.Program
+	db   *storage.DB
+	eng  *sqlx.Engine
+	opts Options
+	// spatial collects the located ground atoms of each @spatial relation
+	// (keyed by lower-cased relation name) during derivation, for the
+	// spatial-factor phase.
+	spatial map[string][]spatialAtom
+}
+
+// New creates a grounder.
+func New(prog *ddlog.Program, db *storage.DB, opts Options) *Grounder {
+	return &Grounder{
+		prog:    prog,
+		db:      db,
+		eng:     sqlx.NewEngine(db),
+		opts:    opts.withDefaults(),
+		spatial: map[string][]spatialAtom{},
+	}
+}
+
+// EnsureSchemas creates any program relations missing from the database
+// (callers typically pre-create and load the typical relations; variable
+// relations are materialized here).
+func (gr *Grounder) EnsureSchemas() error {
+	for _, rel := range gr.prog.Relations {
+		if _, err := gr.db.Table(rel.Name); err == nil {
+			continue
+		}
+		if _, err := gr.db.Create(translate.SchemaFor(rel)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtomKey builds the ground-atom identity used by Result.VarID from a
+// relation name and the atom's term values: "relname|v1|v2|..." with the
+// relation lower-cased and values rendered by storage.Value.String.
+func AtomKey(rel string, vals []storage.Value) string {
+	parts := make([]string, 0, len(vals)+1)
+	parts = append(parts, strings.ToLower(rel))
+	for _, v := range vals {
+		parts = append(parts, v.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+// atomKey is the internal alias.
+func atomKey(rel string, vals []storage.Value) string { return AtomKey(rel, vals) }
+
+// Ground runs all phases and returns the spatial factor graph.
+func (gr *Grounder) Ground() (*Result, error) {
+	start := time.Now()
+	if err := gr.EnsureSchemas(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		VarID:         map[string]factorgraph.VarID{},
+		RelationIndex: map[string]int32{},
+	}
+	res.Stats.RuleFactors = map[string]int{}
+	res.Stats.DerivationRows = map[string]int{}
+	res.Stats.RuleSQL = map[string]string{}
+	for i, rel := range gr.prog.VariableRelations() {
+		res.RelationIndex[strings.ToLower(rel.Name)] = int32(i)
+	}
+	builder := factorgraph.NewBuilder()
+
+	rulesStart := time.Now()
+	if err := gr.runApps(); err != nil {
+		return nil, err
+	}
+	if err := gr.runDerivations(builder, res); err != nil {
+		return nil, err
+	}
+	if err := gr.runInferenceRules(builder, res); err != nil {
+		return nil, err
+	}
+	res.Stats.RulesTime = time.Since(rulesStart)
+
+	spatialStart := time.Now()
+	if err := gr.groundSpatialFactors(builder, res); err != nil {
+		return nil, err
+	}
+	res.Stats.SpatialTime = time.Since(spatialStart)
+
+	g, err := builder.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	res.Graph = g
+	res.Stats.Vars = g.NumVars()
+	res.Stats.LogicalFactors = g.NumFactors()
+	res.Stats.SpatialPairs = g.NumSpatialFactors()
+	res.Stats.GroundSpatialFactors = g.CountGroundSpatialFactors()
+	g.Vars(func(_ factorgraph.VarID, v factorgraph.Variable) bool {
+		if v.Evidence == factorgraph.NoEvidence {
+			res.Stats.QueryVars++
+		} else {
+			res.Stats.EvidenceVars++
+		}
+		return true
+	})
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// runApps executes UDF applications.
+func (gr *Grounder) runApps() error {
+	for _, app := range gr.prog.Apps {
+		var impl UDF
+		var implKey string
+		for _, fn := range gr.prog.Functions {
+			if strings.EqualFold(fn.Name, app.Fn) {
+				implKey = fn.Implementation
+				break
+			}
+		}
+		impl = gr.opts.UDFs[implKey]
+		if impl == nil {
+			return fmt.Errorf("grounding: no implementation registered for UDF %q (key %q)", app.Fn, implKey)
+		}
+		q, err := translate.App(gr.prog, app, translate.Options{Metric: gr.opts.Metric})
+		if err != nil {
+			return err
+		}
+		rows, err := gr.eng.Exec(q.SQL, q.Params)
+		if err != nil {
+			return fmt.Errorf("grounding: UDF %s body: %w", app.Fn, err)
+		}
+		target, err := gr.db.Table(app.Target)
+		if err != nil {
+			return err
+		}
+		for _, in := range rows.Rows {
+			outs, err := impl(in)
+			if err != nil {
+				return fmt.Errorf("grounding: UDF %s: %w", app.Fn, err)
+			}
+			for _, out := range outs {
+				if err := target.Append(out); err != nil {
+					return fmt.Errorf("grounding: UDF %s output: %w", app.Fn, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// derivedAtom accumulates one ground atom before variable creation.
+type derivedAtom struct {
+	rel      *ddlog.RelationDecl
+	vals     []storage.Value
+	evidence int32
+	order    int
+}
+
+// runDerivations materializes variable relations and creates ground atoms.
+func (gr *Grounder) runDerivations(b *factorgraph.Builder, res *Result) error {
+	atoms := map[string]*derivedAtom{}
+	order := 0
+	for _, d := range gr.prog.Derivations {
+		q, err := translate.Derivation(gr.prog, d, translate.Options{Metric: gr.opts.Metric})
+		if err != nil {
+			return err
+		}
+		res.Stats.RuleSQL[ruleName("derivation", d.Label, len(res.Stats.RuleSQL))] = q.SQL
+		rows, err := gr.eng.Exec(q.SQL, q.Params)
+		if err != nil {
+			return fmt.Errorf("grounding: derivation %s: %w", d.Label, err)
+		}
+		rel, _ := gr.prog.Relation(d.Head.Rel)
+		width := len(d.Head.Terms)
+		for _, row := range rows.Rows {
+			key := atomKey(rel.Name, row[:width])
+			ev, err := labelToEvidence(rel, row[width])
+			if err != nil {
+				return fmt.Errorf("grounding: derivation %s: %w", d.Label, err)
+			}
+			res.Stats.DerivationRows[derLabel(d)]++
+			if existing, dup := atoms[key]; dup {
+				res.Stats.DuplicateDerivations++
+				// Evidence beats NULL; conflicting evidence keeps the first.
+				if existing.evidence == factorgraph.NoEvidence && ev != factorgraph.NoEvidence {
+					existing.evidence = ev
+				}
+				continue
+			}
+			atoms[key] = &derivedAtom{
+				rel:      rel,
+				vals:     append([]storage.Value(nil), row[:width]...),
+				evidence: ev,
+				order:    order,
+			}
+			order++
+		}
+	}
+	// Deterministic creation order: derivation order.
+	sorted := make([]*derivedAtom, 0, len(atoms))
+	keys := make([]string, 0, len(atoms))
+	for k := range atoms {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return atoms[keys[i]].order < atoms[keys[j]].order })
+	for _, k := range keys {
+		sorted = append(sorted, atoms[k])
+	}
+	for i, a := range sorted {
+		domain := int32(2)
+		if a.rel.Categorical > 0 {
+			domain = int32(a.rel.Categorical)
+		}
+		v := factorgraph.Variable{
+			Name:     a.rel.Name + "(" + keys[i] + ")",
+			Domain:   domain,
+			Evidence: a.evidence,
+			Relation: res.RelationIndex[strings.ToLower(a.rel.Name)],
+		}
+		if sc := a.rel.SpatialCol(); sc >= 0 && !a.vals[sc].IsNull() {
+			if g, err := a.vals[sc].AsGeom(); err == nil {
+				v.Loc = g.Bounds().Center()
+				v.HasLoc = true
+			}
+		}
+		vid, err := b.AddVariable(v)
+		if err != nil {
+			return err
+		}
+		res.VarID[keys[i]] = vid
+		if a.rel.Spatial != "" && v.HasLoc {
+			relKey := strings.ToLower(a.rel.Name)
+			gr.spatial[relKey] = append(gr.spatial[relKey], spatialAtom{
+				vid: vid, loc: v.Loc, evidence: a.evidence,
+			})
+		}
+		// Materialize the atom into the variable relation table.
+		tbl, err := gr.db.Table(a.rel.Name)
+		if err != nil {
+			return err
+		}
+		row := make(storage.Row, len(a.vals)+1)
+		copy(row, a.vals)
+		row[len(a.vals)] = storage.Int(int64(vid))
+		if err := tbl.Append(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func derLabel(d *ddlog.DerivationRule) string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "derivation@" + fmt.Sprint(d.Line)
+}
+
+func ruleName(kind, label string, n int) string {
+	if label != "" {
+		return label
+	}
+	return fmt.Sprintf("%s#%d", kind, n)
+}
+
+// labelToEvidence converts a derivation label value into an evidence value.
+func labelToEvidence(rel *ddlog.RelationDecl, v storage.Value) (int32, error) {
+	if v.IsNull() {
+		return factorgraph.NoEvidence, nil
+	}
+	switch v.Kind {
+	case storage.KindBool:
+		if rel.Categorical > 0 {
+			return 0, fmt.Errorf("boolean label for categorical relation %s", rel.Name)
+		}
+		if v.I != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case storage.KindInt, storage.KindFloat:
+		iv, err := v.AsInt()
+		if err != nil {
+			return 0, err
+		}
+		domain := int64(2)
+		if rel.Categorical > 0 {
+			domain = int64(rel.Categorical)
+		}
+		if iv < 0 || iv >= domain {
+			return 0, fmt.Errorf("label %d outside domain of %s", iv, rel.Name)
+		}
+		return int32(iv), nil
+	default:
+		return 0, fmt.Errorf("unsupported label kind %s for %s", v.Kind, rel.Name)
+	}
+}
+
+// runInferenceRules grounds logical factors.
+func (gr *Grounder) runInferenceRules(b *factorgraph.Builder, res *Result) error {
+	for ri, rule := range gr.prog.Rules {
+		q, err := translate.Inference(gr.prog, rule, translate.Options{Metric: gr.opts.Metric})
+		if err != nil {
+			return err
+		}
+		name := ruleName("rule", rule.Label, ri)
+		res.RuleNames = append(res.RuleNames, name)
+		ruleIdx := int32(len(res.RuleNames) - 1)
+		res.Stats.RuleSQL[name] = q.SQL
+		rows, err := gr.eng.Exec(q.SQL, q.Params)
+		if err != nil {
+			return fmt.Errorf("grounding: rule %s: %w", name, err)
+		}
+		kind, err := factorKindFor(rule)
+		if err != nil {
+			return fmt.Errorf("grounding: rule %s: %w", name, err)
+		}
+		var factorTable *storage.Table
+		if !gr.opts.SkipFactorTables {
+			factorTable, err = gr.ensureFactorTable(name, len(rule.Head))
+			if err != nil {
+				return err
+			}
+		}
+		for _, row := range rows.Rows {
+			vars := make([]factorgraph.VarID, 0, len(rule.Head))
+			neg := make([]bool, 0, len(rule.Head))
+			off := 0
+			ok := true
+			for hi, h := range rule.Head {
+				w := q.HeadWidths[hi]
+				key := atomKey(h.Atom.Rel, row[off:off+w])
+				off += w
+				vid, found := res.VarID[key]
+				if !found {
+					res.Stats.SkippedHeadLookups++
+					ok = false
+					break
+				}
+				vars = append(vars, vid)
+				neg = append(neg, h.Negated)
+			}
+			if !ok {
+				continue
+			}
+			if err := b.AddFactor(kind, rule.Weight, vars, neg); err != nil {
+				return fmt.Errorf("grounding: rule %s: %w", name, err)
+			}
+			res.FactorRule = append(res.FactorRule, ruleIdx)
+			res.Stats.RuleFactors[name]++
+			if factorTable != nil {
+				frow := make(storage.Row, len(rule.Head)+2)
+				for i, v := range vars {
+					frow[i] = storage.Int(int64(v))
+				}
+				frow[len(rule.Head)] = storage.Str(kind.String())
+				frow[len(rule.Head)+1] = storage.Float(rule.Weight)
+				if err := factorTable.Append(frow); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ensureFactorTable creates the per-rule factor relation the paper's Fig. 5
+// inserts into (INSERT INTO R1_Factors ...).
+func (gr *Grounder) ensureFactorTable(rule string, heads int) (*storage.Table, error) {
+	name := "sya_factors_" + rule
+	if t, err := gr.db.Table(name); err == nil {
+		return t, nil
+	}
+	schema := storage.Schema{Name: name}
+	for i := 0; i < heads; i++ {
+		schema.Cols = append(schema.Cols, storage.Column{Name: fmt.Sprintf("v%d", i+1), Kind: storage.KindInt})
+	}
+	schema.Cols = append(schema.Cols,
+		storage.Column{Name: "type", Kind: storage.KindString},
+		storage.Column{Name: "weight", Kind: storage.KindFloat},
+	)
+	return gr.db.Create(schema)
+}
+
+// factorKindFor maps head connectives to factor kinds.
+func factorKindFor(r *ddlog.InferenceRule) (factorgraph.FactorKind, error) {
+	switch r.Connective {
+	case ddlog.ConnImply:
+		return factorgraph.FactorImply, nil
+	case ddlog.ConnAnd:
+		return factorgraph.FactorAnd, nil
+	case ddlog.ConnOr:
+		return factorgraph.FactorOr, nil
+	case ddlog.ConnSingle:
+		return factorgraph.FactorIsTrue, nil
+	default:
+		return 0, fmt.Errorf("unsupported head connective")
+	}
+}
+
+// spatialAtom is one located ground atom of a spatial relation.
+type spatialAtom struct {
+	vid      factorgraph.VarID
+	loc      geom.Point
+	evidence int32
+}
+
+// groundSpatialFactors generates Eq. 2 / Eq. 4 factors for every @spatial
+// relation, plus the Section IV-C pruning mask for categorical domains.
+func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) error {
+	for _, rel := range gr.prog.VariableRelations() {
+		if rel.Spatial == "" {
+			continue
+		}
+		fn, err := gr.opts.Weighting.Lookup(rel.Spatial)
+		if err != nil {
+			return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
+		}
+		radius := gr.opts.SupportRadius
+		if radius <= 0 {
+			radius = fn.Support()
+		}
+		atoms := gr.spatial[strings.ToLower(rel.Name)]
+		if len(atoms) == 0 {
+			continue
+		}
+		// Categorical pruning mask (Section IV-C).
+		if rel.Categorical > 0 {
+			mask, pruned, allowed := gr.cooccurrenceMask(rel, atoms, radius)
+			relIdx := res.RelationIndex[strings.ToLower(rel.Name)]
+			if err := b.SetAllowedPairs(relIdx, int32(rel.Categorical), mask); err != nil {
+				return err
+			}
+			res.Stats.PrunedValuePairs += pruned
+			res.Stats.AllowedValuePairs += allowed
+		}
+		// R-tree over atoms for neighbour search.
+		items := make([]rtree.Item, len(atoms))
+		for i, a := range atoms {
+			items[i] = rtree.Item{Rect: a.loc.Bounds(), Data: int64(i)}
+		}
+		tree := rtree.Bulk(items)
+		seen := map[[2]factorgraph.VarID]bool{}
+		for i, a := range atoms {
+			window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
+			var cands []int
+			tree.Search(window, func(it rtree.Item) bool {
+				cands = append(cands, int(it.Data))
+				return true
+			})
+			sort.Ints(cands)
+			type scored struct {
+				j int
+				d float64
+			}
+			var within []scored
+			for _, j := range cands {
+				if j == i {
+					continue
+				}
+				d := gr.opts.Metric.Dist(a.loc, atoms[j].loc)
+				if d > radius {
+					continue
+				}
+				within = append(within, scored{j: j, d: d})
+			}
+			if gr.opts.MaxNeighbors > 0 && len(within) > gr.opts.MaxNeighbors {
+				sort.Slice(within, func(x, y int) bool { return within[x].d < within[y].d })
+				within = within[:gr.opts.MaxNeighbors]
+				sort.Slice(within, func(x, y int) bool { return within[x].j < within[y].j })
+			}
+			for _, sc := range within {
+				other := atoms[sc.j]
+				key := [2]factorgraph.VarID{a.vid, other.vid}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if err := b.AddSpatialPair(a.vid, other.vid, fn.Weight(sc.d)); err != nil {
+					return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cooccurrenceMask computes the Section IV-C pruning mask: for each pair of
+// domain values (i, j), P(i|j) and P(j|i) are estimated from pairs of
+// neighbouring evidence atoms; the pair survives when either conditional
+// probability reaches the threshold T.
+func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAtom, radius float64) (mask []bool, pruned, allowed int) {
+	h := rel.Categorical
+	cooc := make([][]float64, h)
+	for i := range cooc {
+		cooc[i] = make([]float64, h)
+	}
+	occ := make([]float64, h)
+	// Evidence atoms only.
+	var ev []spatialAtom
+	for _, a := range atoms {
+		if a.evidence != factorgraph.NoEvidence {
+			ev = append(ev, a)
+		}
+	}
+	items := make([]rtree.Item, len(ev))
+	for i, a := range ev {
+		items[i] = rtree.Item{Rect: a.loc.Bounds(), Data: int64(i)}
+	}
+	tree := rtree.Bulk(items)
+	for i, a := range ev {
+		occ[a.evidence]++
+		window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
+		tree.Search(window, func(it rtree.Item) bool {
+			j := int(it.Data)
+			if j <= i {
+				return true
+			}
+			if gr.opts.Metric.Dist(a.loc, ev[j].loc) > radius {
+				return true
+			}
+			vi, vj := a.evidence, ev[j].evidence
+			cooc[vi][vj]++
+			cooc[vj][vi]++
+			return true
+		})
+	}
+	mask = make([]bool, h*h)
+	anyPairs := false
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			if cooc[i][j] > 0 {
+				anyPairs = true
+			}
+		}
+	}
+	if !anyPairs {
+		// No evidence statistics: keep everything (no basis to prune).
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask, 0, h * h
+	}
+	// A domain-value pair survives when its co-occurrence probabilities
+	// exceed the threshold — both conditionals, per Section IV-C's "co-occur
+	// with certain probabilities that exceed a pre-defined threshold T".
+	// Requiring both makes T the recall/precision dial of Fig. 11: small T
+	// admits wide value ranges (recall), large T keeps only the strongest
+	// spatial correlations (precision, and far fewer factors).
+	T := gr.opts.PruneThreshold
+	for i := 0; i < h; i++ {
+		for j := 0; j < h; j++ {
+			var pij, pji float64
+			if occ[j] > 0 {
+				pij = cooc[i][j] / occ[j] // P(i|j)
+			}
+			if occ[i] > 0 {
+				pji = cooc[i][j] / occ[i] // P(j|i)
+			}
+			if pij >= T && pji >= T {
+				mask[i*h+j] = true
+				allowed++
+			} else {
+				pruned++
+			}
+		}
+	}
+	return mask, pruned, allowed
+}

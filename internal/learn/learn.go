@@ -1,0 +1,275 @@
+// Package learn implements MLN weight learning over a ground (spatial)
+// factor graph. The paper notes that inference-rule weights can either be
+// fixed by the program author or "learned ... based on training data"
+// (Section IV-A); DeepDive learns them by stochastic gradient ascent on the
+// sampled likelihood. This package provides that capability for both
+// engines: rule weights are tied across a rule's ground factors, and
+// optionally a global spatial-scale multiplier is learned for the spatial
+// factors.
+//
+// The gradient of the log-likelihood for a tied weight w_r is
+//
+//	∂L/∂w_r = E_data[n_r] − E_model[n_r]
+//
+// where n_r is the number of satisfied ground factors of rule r. Both
+// expectations are estimated with persistent Gibbs chains (contrastive
+// divergence): the data chain keeps the training labels (the graph's
+// evidence) clamped, the model chain samples every variable freely.
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/factorgraph"
+)
+
+// Options configures learning.
+type Options struct {
+	// Iterations of stochastic gradient ascent. Default 100.
+	Iterations int
+	// SweepsPerIteration advances each persistent chain this many Gibbs
+	// sweeps before the gradient estimate. Default 2.
+	SweepsPerIteration int
+	// LearningRate scales gradient steps; it is normalized internally by
+	// the per-rule factor counts so rules with many groundings do not
+	// dominate. Default 0.5.
+	LearningRate float64
+	// L2 is the weight-decay regularizer. Default 0.01.
+	L2 float64
+	// LearnSpatialScale also learns one multiplier applied to every
+	// spatial factor weight (preserving the distance-decay shape).
+	LearnSpatialScale bool
+	// MaxWeight clamps learned weights into [-MaxWeight, MaxWeight].
+	// Default 5.
+	MaxWeight float64
+	// Seed drives the chains.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	if o.SweepsPerIteration <= 0 {
+		o.SweepsPerIteration = 2
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.5
+	}
+	if o.L2 == 0 {
+		o.L2 = 0.01
+	}
+	if o.MaxWeight == 0 {
+		o.MaxWeight = 5
+	}
+	return o
+}
+
+// Result reports the learned parameters.
+type Result struct {
+	// Weights holds the learned tied weight per rule.
+	Weights []float64
+	// SpatialScale is the learned multiplier (1 when not learned).
+	SpatialScale float64
+	// GradNorms records the per-iteration gradient norm (diagnostics).
+	GradNorms []float64
+}
+
+// chain is one persistent Gibbs chain used for expectation estimates.
+type chain struct {
+	assign factorgraph.Assignment
+	vars   []factorgraph.VarID // variables this chain resamples
+	rng    *prng
+	buf    []float64
+}
+
+func (c *chain) sweep(g *factorgraph.Graph, n int) {
+	for i := 0; i < n; i++ {
+		for _, v := range c.vars {
+			scores := g.ConditionalScores(v, c.assign, c.buf)
+			maxS := scores[0]
+			for _, s := range scores[1:] {
+				if s > maxS {
+					maxS = s
+				}
+			}
+			var z float64
+			for j, s := range scores {
+				scores[j] = math.Exp(s - maxS)
+				z += scores[j]
+			}
+			u := c.rng.Float64() * z
+			var x int32
+			for j, p := range scores {
+				u -= p
+				if u <= 0 {
+					x = int32(j)
+					break
+				}
+				if j == len(scores)-1 {
+					x = int32(j)
+				}
+			}
+			c.assign.Set(v, x)
+		}
+	}
+}
+
+// Weights learns tied rule weights on a ground graph. factorRule maps every
+// logical factor to its rule index (as produced by grounding.Result); the
+// graph's factor weights are updated in place and the learned values
+// returned. The graph's evidence is the training signal: variables with
+// evidence are clamped in the data chain and free in the model chain.
+func Weights(g *factorgraph.Graph, factorRule []int32, numRules int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if len(factorRule) != g.NumFactors() {
+		return nil, fmt.Errorf("learn: factorRule has %d entries for %d factors", len(factorRule), g.NumFactors())
+	}
+	for f, r := range factorRule {
+		if r < 0 || int(r) >= numRules {
+			return nil, fmt.Errorf("learn: factor %d maps to rule %d outside [0,%d)", f, r, numRules)
+		}
+	}
+	// Per-rule grounding counts, for gradient normalization.
+	ruleCount := make([]float64, numRules)
+	for _, r := range factorRule {
+		ruleCount[r]++
+	}
+	var evidenceVars int
+	g.Vars(func(_ factorgraph.VarID, v factorgraph.Variable) bool {
+		if v.Evidence != factorgraph.NoEvidence {
+			evidenceVars++
+		}
+		return true
+	})
+	if evidenceVars == 0 {
+		return nil, fmt.Errorf("learn: the graph has no evidence to train on")
+	}
+
+	// Data chain: evidence clamped (sample query vars only).
+	// Model chain: everything free.
+	var queryVars, allVars []factorgraph.VarID
+	g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+		allVars = append(allVars, id)
+		if v.Evidence == factorgraph.NoEvidence {
+			queryVars = append(queryVars, id)
+		}
+		return true
+	})
+	maxDom := 2
+	g.Vars(func(_ factorgraph.VarID, v factorgraph.Variable) bool {
+		if int(v.Domain) > maxDom {
+			maxDom = int(v.Domain)
+		}
+		return true
+	})
+	data := &chain{assign: g.InitialAssignment(), vars: queryVars,
+		rng: newPrng(opts.Seed, 1), buf: make([]float64, maxDom)}
+	model := &chain{assign: g.InitialAssignment(), vars: allVars,
+		rng: newPrng(opts.Seed, 2), buf: make([]float64, maxDom)}
+
+	res := &Result{Weights: make([]float64, numRules), SpatialScale: 1}
+	for r := int32(0); int(r) < numRules; r++ {
+		// Start from the program's weights (first factor of each rule).
+		for f, fr := range factorRule {
+			if fr == r {
+				res.Weights[r] = g.FactorWeightOf(int32(f))
+				break
+			}
+		}
+	}
+	// Base spatial weights, so the scale multiplier preserves decay shape.
+	baseSpatial := make([]float64, g.NumSpatialFactors())
+	var totalSpatialBase float64
+	for s := int32(0); int(s) < g.NumSpatialFactors(); s++ {
+		_, _, w := g.SpatialPair(s)
+		baseSpatial[s] = w
+		totalSpatialBase += w
+	}
+
+	nData := make([]float64, numRules)
+	nModel := make([]float64, numRules)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		data.sweep(g, opts.SweepsPerIteration)
+		model.sweep(g, opts.SweepsPerIteration)
+		for r := range nData {
+			nData[r], nModel[r] = 0, 0
+		}
+		for f := int32(0); int(f) < g.NumFactors(); f++ {
+			r := factorRule[f]
+			if g.FactorSatisfied(f, data.assign) {
+				nData[r]++
+			}
+			if g.FactorSatisfied(f, model.assign) {
+				nModel[r]++
+			}
+		}
+		var norm float64
+		for r := 0; r < numRules; r++ {
+			grad := (nData[r] - nModel[r]) / math.Max(1, ruleCount[r])
+			res.Weights[r] += opts.LearningRate*grad - opts.L2*res.Weights[r]
+			res.Weights[r] = clampWeight(res.Weights[r], opts.MaxWeight)
+			norm += grad * grad
+		}
+		if opts.LearnSpatialScale && totalSpatialBase > 0 {
+			var agreeData, agreeModel float64
+			for s := int32(0); int(s) < g.NumSpatialFactors(); s++ {
+				agreeData += baseSpatial[s] * g.SpatialAgreement(s, data.assign)
+				agreeModel += baseSpatial[s] * g.SpatialAgreement(s, model.assign)
+			}
+			grad := (agreeData - agreeModel) / totalSpatialBase
+			res.SpatialScale += opts.LearningRate * grad
+			if res.SpatialScale < 0 {
+				res.SpatialScale = 0
+			}
+			if res.SpatialScale > opts.MaxWeight {
+				res.SpatialScale = opts.MaxWeight
+			}
+			norm += grad * grad
+		}
+		res.GradNorms = append(res.GradNorms, math.Sqrt(norm))
+		// Push the updated tied weights into the graph so the next sweeps
+		// sample under them.
+		for f := int32(0); int(f) < g.NumFactors(); f++ {
+			g.SetFactorWeight(f, res.Weights[factorRule[f]])
+		}
+		if opts.LearnSpatialScale {
+			for s := int32(0); int(s) < g.NumSpatialFactors(); s++ {
+				g.SetSpatialWeight(s, baseSpatial[s]*res.SpatialScale)
+			}
+		}
+	}
+	return res, nil
+}
+
+func clampWeight(w, maxW float64) float64 {
+	if w > maxW {
+		return maxW
+	}
+	if w < -maxW {
+		return -maxW
+	}
+	return w
+}
+
+// prng is a splitmix64 generator (a local copy of the one in
+// internal/gibbs; both packages need cheap per-chain streams).
+type prng struct{ state uint64 }
+
+func newPrng(seed int64, stream uint64) *prng {
+	x := uint64(seed) ^ (stream * 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return &prng{state: x ^ (x >> 31)}
+}
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *prng) Float64() float64 { return float64(p.next()>>11) / (1 << 53) }

@@ -1,0 +1,193 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+)
+
+// plantedGraph builds a chain of binary variables whose labels were drawn
+// from a known MLN: a strong "agree with the left neighbour" rule and a
+// weak prior rule. Two thirds of the variables carry their sampled label
+// as evidence (so some factors connect two observed atoms — without any
+// such factor the likelihood gradient at w = 0 vanishes and learning
+// cannot bootstrap); learning should recover a clearly positive agreement
+// weight and a near-zero prior weight.
+func plantedGraph(t *testing.T, n int, agreeW, priorW float64, seed int64) (*factorgraph.Graph, []int32, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Draw labels by sequential simulation of the chain model.
+	labels := make([]int32, n)
+	labels[0] = int32(rng.Intn(2))
+	for i := 1; i < n; i++ {
+		// P(x_i = x_{i-1}) from the agreement factor (equal-kind factor).
+		pAgree := math.Exp(agreeW) / (math.Exp(agreeW) + 1)
+		if rng.Float64() < pAgree {
+			labels[i] = labels[i-1]
+		} else {
+			labels[i] = 1 - labels[i-1]
+		}
+	}
+	b := factorgraph.NewBuilder()
+	for i := 0; i < n; i++ {
+		ev := factorgraph.NoEvidence
+		if i%3 != 0 {
+			ev = labels[i]
+		}
+		if _, err := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: ev, Loc: geom.Pt(float64(i), 0), HasLoc: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var factorRule []int32
+	for i := 0; i+1 < n; i++ {
+		// Rule 0: agreement between neighbours (initial weight 0).
+		if err := b.AddFactor(factorgraph.FactorEqual, 0,
+			[]factorgraph.VarID{int32(i), int32(i + 1)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		factorRule = append(factorRule, 0)
+	}
+	for i := 0; i < n; i++ {
+		// Rule 1: "is true" prior (initial weight 0; planted weight priorW).
+		if err := b.AddFactor(factorgraph.FactorIsTrue, 0,
+			[]factorgraph.VarID{int32(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		factorRule = append(factorRule, 1)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, factorRule, 2
+}
+
+func TestWeightsRecoverAgreement(t *testing.T) {
+	g, factorRule, nRules := plantedGraph(t, 120, 1.5, 0, 3)
+	res, err := Weights(g, factorRule, nRules, Options{
+		Iterations: 300, SweepsPerIteration: 2, LearningRate: 0.4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] < 0.4 {
+		t.Errorf("agreement weight = %v, want clearly positive", res.Weights[0])
+	}
+	if math.Abs(res.Weights[1]) > 0.5 {
+		t.Errorf("prior weight = %v, want near zero", res.Weights[1])
+	}
+	// The learned weights are live in the graph.
+	if g.FactorWeightOf(0) != res.Weights[0] {
+		t.Error("graph weights not updated")
+	}
+	if len(res.GradNorms) != 300 {
+		t.Errorf("grad norms = %d", len(res.GradNorms))
+	}
+}
+
+func TestWeightsImproveInference(t *testing.T) {
+	// Inference with learned weights must predict held-out labels better
+	// than the zero-weight model (which is uniform).
+	g, factorRule, nRules := plantedGraph(t, 120, 1.5, 0, 5)
+	if _, err := Weights(g, factorRule, nRules, Options{
+		Iterations: 300, LearningRate: 0.4, Seed: 11,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := gibbs.NewSequential(g, 13)
+	s.RunEpochs(3000)
+	m := s.Marginals()
+	// Query vars should be pulled toward their evidence neighbours:
+	// decisiveness well above uniform on average.
+	var dec float64
+	count := 0
+	g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+		if v.Evidence == factorgraph.NoEvidence {
+			dec += math.Abs(m[id][1] - 0.5)
+			count++
+		}
+		return true
+	})
+	if avg := dec / float64(count); avg < 0.1 {
+		t.Errorf("average decisiveness %v: learned weights not informative", avg)
+	}
+}
+
+func TestWeightsSpatialScale(t *testing.T) {
+	// Graph whose only structure is spatial pairs between same-label
+	// evidence atoms: the learned scale should grow above its 0.1 start.
+	b := factorgraph.NewBuilder()
+	n := 60
+	rng := rand.New(rand.NewSource(7))
+	label := int32(0)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.1 {
+			label = 1 - label
+		}
+		ev := factorgraph.NoEvidence
+		if i%2 == 0 {
+			ev = label
+		}
+		if _, err := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: ev, Loc: geom.Pt(float64(i), 0), HasLoc: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddSpatialPair(int32(i), int32(i+1), 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One dummy logical rule so numRules > 0.
+	if err := b.AddFactor(factorgraph.FactorIsTrue, 0, []factorgraph.VarID{0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Weights(g, []int32{0}, 1, Options{
+		Iterations: 200, LearningRate: 0.3, Seed: 21, LearnSpatialScale: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpatialScale <= 1 {
+		t.Errorf("spatial scale = %v, want > 1 (labels are strongly autocorrelated)", res.SpatialScale)
+	}
+	// Graph spatial weights rescaled in place.
+	_, _, w := g.SpatialPair(0)
+	if math.Abs(w-0.1*res.SpatialScale) > 1e-9 {
+		t.Errorf("spatial weight = %v, want %v", w, 0.1*res.SpatialScale)
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	g, factorRule, nRules := plantedGraph(t, 10, 1, 0, 1)
+	if _, err := Weights(g, factorRule[:2], nRules, Options{}); err == nil {
+		t.Error("short factorRule should fail")
+	}
+	bad := append([]int32(nil), factorRule...)
+	bad[0] = 99
+	if _, err := Weights(g, bad, nRules, Options{}); err == nil {
+		t.Error("out-of-range rule index should fail")
+	}
+	// Graph without evidence cannot be trained on.
+	b := factorgraph.NewBuilder()
+	_, _ = b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: factorgraph.NoEvidence})
+	_ = b.AddFactor(factorgraph.FactorIsTrue, 1, []factorgraph.VarID{0}, nil)
+	g2, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Weights(g2, []int32{0}, 1, Options{}); err == nil {
+		t.Error("no-evidence graph should fail")
+	}
+}

@@ -1,0 +1,461 @@
+package sqlx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// env resolves column references during evaluation: one binding per table
+// alias in the current joined tuple.
+type env struct {
+	aliases []string         // lower-cased
+	schemas []storage.Schema // aligned with aliases
+	rows    []storage.Row    // aligned with aliases
+	params  map[string]storage.Value
+}
+
+// resolve finds the binding and column index for a reference.
+func (e *env) resolve(c ColRef) (int, int, error) {
+	if c.Table != "" {
+		want := strings.ToLower(c.Table)
+		for bi, a := range e.aliases {
+			if a == want {
+				ci := e.schemas[bi].ColIndex(c.Col)
+				if ci < 0 {
+					return 0, 0, fmt.Errorf("sqlx: %s has no column %q", c.Table, c.Col)
+				}
+				return bi, ci, nil
+			}
+		}
+		return 0, 0, fmt.Errorf("sqlx: unknown table alias %q", c.Table)
+	}
+	foundB, foundC := -1, -1
+	for bi := range e.aliases {
+		if ci := e.schemas[bi].ColIndex(c.Col); ci >= 0 {
+			if foundB >= 0 {
+				return 0, 0, fmt.Errorf("sqlx: ambiguous column %q", c.Col)
+			}
+			foundB, foundC = bi, ci
+		}
+	}
+	if foundB < 0 {
+		return 0, 0, fmt.Errorf("sqlx: unknown column %q", c.Col)
+	}
+	return foundB, foundC, nil
+}
+
+// eval evaluates an expression in the environment.
+func (e *env) eval(x Expr) (storage.Value, error) {
+	switch v := x.(type) {
+	case Lit:
+		return v.Val, nil
+	case Param:
+		val, ok := e.params[v.Name]
+		if !ok {
+			return storage.Null, fmt.Errorf("sqlx: unbound parameter :%s", v.Name)
+		}
+		return val, nil
+	case ColRef:
+		bi, ci, err := e.resolve(v)
+		if err != nil {
+			return storage.Null, err
+		}
+		return e.rows[bi][ci], nil
+	case Neg:
+		val, err := e.eval(v.E)
+		if err != nil {
+			return storage.Null, err
+		}
+		f, err := val.AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		if val.Kind == storage.KindInt {
+			return storage.Int(-val.I), nil
+		}
+		return storage.Float(-f), nil
+	case Not:
+		val, err := e.eval(v.E)
+		if err != nil {
+			return storage.Null, err
+		}
+		if val.IsNull() {
+			return storage.Null, nil
+		}
+		b, err := val.AsBool()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(!b), nil
+	case Binary:
+		return e.evalBinary(v)
+	case Call:
+		return e.evalCall(v)
+	default:
+		return storage.Null, fmt.Errorf("sqlx: cannot evaluate %T", x)
+	}
+}
+
+func (e *env) evalBinary(b Binary) (storage.Value, error) {
+	switch b.Op {
+	case OpAnd, OpOr:
+		l, err := e.eval(b.L)
+		if err != nil {
+			return storage.Null, err
+		}
+		// SQL three-valued logic with short circuit on the decisive value.
+		if !l.IsNull() {
+			lb, err := l.AsBool()
+			if err != nil {
+				return storage.Null, err
+			}
+			if b.Op == OpAnd && !lb {
+				return storage.Bool(false), nil
+			}
+			if b.Op == OpOr && lb {
+				return storage.Bool(true), nil
+			}
+		}
+		r, err := e.eval(b.R)
+		if err != nil {
+			return storage.Null, err
+		}
+		if l.IsNull() || r.IsNull() {
+			if !r.IsNull() {
+				rb, err := r.AsBool()
+				if err != nil {
+					return storage.Null, err
+				}
+				if b.Op == OpAnd && !rb {
+					return storage.Bool(false), nil
+				}
+				if b.Op == OpOr && rb {
+					return storage.Bool(true), nil
+				}
+			}
+			return storage.Null, nil
+		}
+		rb, err := r.AsBool()
+		if err != nil {
+			return storage.Null, err
+		}
+		if b.Op == OpAnd {
+			return storage.Bool(rb), nil // l already known true
+		}
+		return storage.Bool(rb), nil // l already known false
+	}
+	l, err := e.eval(b.L)
+	if err != nil {
+		return storage.Null, err
+	}
+	r, err := e.eval(b.R)
+	if err != nil {
+		return storage.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return storage.Null, nil
+	}
+	switch b.Op {
+	case OpEq:
+		return storage.Bool(l.Equal(r)), nil
+	case OpNe:
+		return storage.Bool(!l.Equal(r)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		c, err := l.Compare(r)
+		if err != nil {
+			return storage.Null, err
+		}
+		switch b.Op {
+		case OpLt:
+			return storage.Bool(c < 0), nil
+		case OpLe:
+			return storage.Bool(c <= 0), nil
+		case OpGt:
+			return storage.Bool(c > 0), nil
+		default:
+			return storage.Bool(c >= 0), nil
+		}
+	case OpAdd, OpSub, OpMul, OpDiv:
+		lf, err := l.AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		rf, err := r.AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		var out float64
+		switch b.Op {
+		case OpAdd:
+			out = lf + rf
+		case OpSub:
+			out = lf - rf
+		case OpMul:
+			out = lf * rf
+		default:
+			if rf == 0 {
+				return storage.Null, fmt.Errorf("sqlx: division by zero")
+			}
+			out = lf / rf
+		}
+		if l.Kind == storage.KindInt && r.Kind == storage.KindInt && b.Op != OpDiv {
+			return storage.Int(int64(out)), nil
+		}
+		return storage.Float(out), nil
+	}
+	return storage.Null, fmt.Errorf("sqlx: unsupported operator %v", b.Op)
+}
+
+// evalBool evaluates a predicate; NULL counts as false (SQL WHERE
+// semantics).
+func (e *env) evalBool(x Expr) (bool, error) {
+	v, err := e.eval(x)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	return v.AsBool()
+}
+
+// Spatial and scalar builtins. The spatial set mirrors the predicates and
+// functions Sya adds to DDlog rule bodies (paper Section III): distance,
+// within, overlaps, plus union and buffer helpers, named in their PostGIS
+// forms since the translator emits PostGIS-style SQL (Fig. 5).
+func (e *env) evalCall(c Call) (storage.Value, error) {
+	args := make([]storage.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := e.eval(a)
+		if err != nil {
+			return storage.Null, err
+		}
+		args[i] = v
+	}
+	// NULL in, NULL out for all builtins.
+	for _, a := range args {
+		if a.IsNull() {
+			return storage.Null, nil
+		}
+	}
+	switch c.Name {
+	case "ST_DISTANCE":
+		if err := arity(c, 2, 3); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		m, err := metricArg(c.Name, args, 2)
+		if err != nil {
+			return storage.Null, err
+		}
+		pa, aPt := ga.(geom.Point)
+		pb, bPt := gb.(geom.Point)
+		if aPt && bPt {
+			return storage.Float(m.Dist(pa, pb)), nil
+		}
+		return storage.Float(geom.DistanceGeometries(ga, gb)), nil
+	case "ST_DWITHIN":
+		if err := arity(c, 3, 4); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		d, err := args[2].AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		m, err := metricArg(c.Name, args, 3)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(geom.DWithin(ga, gb, d, m)), nil
+	case "ST_WITHIN":
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(geom.Within(ga, gb)), nil
+	case "ST_CONTAINS":
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(geom.Contains(ga, gb)), nil
+	case "ST_OVERLAPS":
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(geom.Overlaps(ga, gb)), nil
+	case "ST_INTERSECTS":
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Bool(geom.Intersects(ga, gb)), nil
+	case "ST_GEOMFROMTEXT":
+		if err := arity(c, 1, 1); err != nil {
+			return storage.Null, err
+		}
+		if args[0].Kind != storage.KindString {
+			return storage.Null, fmt.Errorf("sqlx: ST_GEOMFROMTEXT wants a WKT string")
+		}
+		g, err := geom.ParseWKT(args[0].S)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Geom(g), nil
+	case "ST_POINT", "ST_MAKEPOINT":
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		x, err := args[0].AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		y, err := args[1].AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Geom(geom.Pt(x, y)), nil
+	case "ST_BUFFER":
+		// Rectangular buffer approximation: the grounding queries only use
+		// buffers as windows for subsequent containment checks.
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		g, err := args[0].AsGeom()
+		if err != nil {
+			return storage.Null, err
+		}
+		d, err := args[1].AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Geom(g.Bounds().Expand(d)), nil
+	case "ST_UNION":
+		// Bounding-box union, sufficient for window construction.
+		if err := arity(c, 2, 2); err != nil {
+			return storage.Null, err
+		}
+		ga, gb, err := twoGeoms(c.Name, args)
+		if err != nil {
+			return storage.Null, err
+		}
+		return storage.Geom(ga.Bounds().Union(gb.Bounds())), nil
+	case "ST_X", "ST_Y":
+		if err := arity(c, 1, 1); err != nil {
+			return storage.Null, err
+		}
+		g, err := args[0].AsGeom()
+		if err != nil {
+			return storage.Null, err
+		}
+		p, ok := g.(geom.Point)
+		if !ok {
+			return storage.Null, fmt.Errorf("sqlx: %s wants a point", c.Name)
+		}
+		if c.Name == "ST_X" {
+			return storage.Float(p.X), nil
+		}
+		return storage.Float(p.Y), nil
+	case "ABS":
+		if err := arity(c, 1, 1); err != nil {
+			return storage.Null, err
+		}
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return storage.Null, err
+		}
+		if args[0].Kind == storage.KindInt {
+			if args[0].I < 0 {
+				return storage.Int(-args[0].I), nil
+			}
+			return args[0], nil
+		}
+		return storage.Float(math.Abs(f)), nil
+	case "LEAST", "GREATEST":
+		if len(args) == 0 {
+			return storage.Null, fmt.Errorf("sqlx: %s wants at least one argument", c.Name)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			cmp, err := a.Compare(best)
+			if err != nil {
+				return storage.Null, err
+			}
+			if (c.Name == "LEAST" && cmp < 0) || (c.Name == "GREATEST" && cmp > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	default:
+		return storage.Null, fmt.Errorf("sqlx: unknown function %s", c.Name)
+	}
+}
+
+func arity(c Call, min, max int) error {
+	if len(c.Args) < min || len(c.Args) > max {
+		return fmt.Errorf("sqlx: %s takes %d..%d arguments, got %d", c.Name, min, max, len(c.Args))
+	}
+	return nil
+}
+
+func twoGeoms(name string, args []storage.Value) (geom.Geometry, geom.Geometry, error) {
+	ga, err := args[0].AsGeom()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sqlx: %s argument 1: %w", name, err)
+	}
+	gb, err := args[1].AsGeom()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sqlx: %s argument 2: %w", name, err)
+	}
+	return ga, gb, nil
+}
+
+// metricArg parses an optional trailing metric name argument
+// ('euclidean' | 'miles' | 'km'); Euclidean when absent.
+func metricArg(name string, args []storage.Value, idx int) (geom.Metric, error) {
+	if len(args) <= idx {
+		return geom.Euclidean, nil
+	}
+	if args[idx].Kind != storage.KindString {
+		return 0, fmt.Errorf("sqlx: %s metric argument must be a string", name)
+	}
+	return ParseMetric(args[idx].S)
+}
+
+// ParseMetric maps a metric name to a geom.Metric.
+func ParseMetric(s string) (geom.Metric, error) {
+	switch strings.ToLower(s) {
+	case "", "euclidean":
+		return geom.Euclidean, nil
+	case "miles", "haversine_miles":
+		return geom.HaversineMiles, nil
+	case "km", "haversine_km":
+		return geom.HaversineKm, nil
+	default:
+		return 0, fmt.Errorf("sqlx: unknown metric %q", s)
+	}
+}

@@ -1,0 +1,527 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// Parse parses one SQL statement from src.
+func Parse(src string) (*Stmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("sqlx: trailing input at %s", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) at(k tokenKind) bool { return p.peek().kind == k }
+
+// atKeyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("sqlx: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("sqlx: expected %s, got %s", what, p.peek())
+	}
+	return p.advance(), nil
+}
+
+// reserved keywords cannot be used as implicit aliases.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "join": true, "inner": true, "on": true, "insert": true,
+	"into": true, "as": true, "order": true, "by": true, "asc": true, "group": true, "having": true,
+	"desc": true, "limit": true, "true": true, "false": true, "null": true,
+	"explain": true, "distinct": true, "values": true,
+}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	explain := false
+	if p.atKeyword("explain") {
+		p.advance()
+		explain = true
+	}
+	switch {
+	case p.atKeyword("select"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Select: sel, Explain: explain}, nil
+	case p.atKeyword("insert"):
+		ins, err := p.parseInsert()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Insert: ins, Explain: explain}, nil
+	default:
+		return nil, fmt.Errorf("sqlx: expected SELECT or INSERT, got %s", p.peek())
+	}
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name.text}
+	if p.at(tokLParen) {
+		p.advance()
+		for {
+			col, err := p.expect(tokIdent, "column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Cols = append(ins.Cols, col.text)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.atKeyword("select") {
+		return nil, fmt.Errorf("sqlx: INSERT supports only INSERT ... SELECT, got %s", p.peek())
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	ins.Select = sel
+	return ins, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.advance() // SELECT
+	sel := &SelectStmt{Limit: -1}
+	if p.atKeyword("distinct") {
+		p.advance()
+		sel.Distinct = true
+	}
+	// Projections.
+	for {
+		if p.at(tokStar) {
+			p.advance()
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.atKeyword("as") {
+				p.advance()
+				alias, err := p.expect(tokIdent, "alias")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias.text
+			} else if p.at(tokIdent) && !p.reservedNext() {
+				item.Alias = p.advance().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	// FROM list with optional JOIN ... ON sugar.
+	var onConds []Expr
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = append(sel.From, ref)
+	for {
+		isJoin := false
+		switch {
+		case p.at(tokComma):
+			p.advance()
+		case p.atKeyword("inner"):
+			p.advance()
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			isJoin = true
+		case p.atKeyword("join"):
+			p.advance()
+			isJoin = true
+		default:
+			goto fromDone
+		}
+		ref, err = p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if isJoin && p.atKeyword("on") {
+			p.advance()
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			onConds = append(onConds, cond)
+		}
+	}
+fromDone:
+	if p.atKeyword("where") {
+		p.advance()
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		onConds = append(onConds, w)
+	}
+	sel.Where = conjoin(onConds)
+	if p.atKeyword("group") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if p.atKeyword("having") {
+			p.advance()
+			h, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = h
+		}
+	}
+	if p.atKeyword("order") {
+		p.advance()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.atKeyword("asc") {
+				p.advance()
+			} else if p.atKeyword("desc") {
+				p.advance()
+				item.Desc = true
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.at(tokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKeyword("limit") {
+		p.advance()
+		n, err := p.expect(tokNumber, "limit count")
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return nil, fmt.Errorf("sqlx: bad LIMIT %q", n.text)
+		}
+		sel.Limit = lim
+	}
+	return sel, nil
+}
+
+func (p *parser) reservedNext() bool {
+	return reserved[strings.ToLower(p.peek().text)]
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name.text}
+	if p.atKeyword("as") {
+		p.advance()
+		alias, err := p.expect(tokIdent, "alias")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias.text
+	} else if p.at(tokIdent) && !p.reservedNext() {
+		ref.Alias = p.advance().text
+	}
+	return ref, nil
+}
+
+// Expression parsing, by descending precedence:
+// OR < AND < NOT < comparison < additive < multiplicative < unary < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("not") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+var compOps = map[string]BinOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokOp) {
+		if op, ok := compOps[p.peek().text]; ok {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp) && (p.peek().text == "+" || p.peek().text == "-") {
+		op := OpAdd
+		if p.advance().text == "-" {
+			op = OpSub
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.at(tokOp) && p.peek().text == "/") || p.at(tokStar) {
+		op := OpMul
+		if p.advance().text == "/" {
+			op = OpDiv
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(tokOp) && p.peek().text == "-" {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlx: bad number %q: %w", t.text, err)
+			}
+			return Lit{Val: storage.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("sqlx: bad number %q: %w", t.text, err)
+			}
+			return Lit{Val: storage.Float(f)}, nil
+		}
+		return Lit{Val: storage.Int(i)}, nil
+	case tokString:
+		p.advance()
+		return Lit{Val: storage.Str(t.text)}, nil
+	case tokParam:
+		p.advance()
+		return Param{Name: t.text}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return Lit{Val: storage.Bool(true)}, nil
+		case "false":
+			p.advance()
+			return Lit{Val: storage.Bool(false)}, nil
+		case "null":
+			p.advance()
+			return Lit{Val: storage.Null}, nil
+		}
+		p.advance()
+		// Function call?
+		if p.at(tokLParen) {
+			p.advance()
+			call := Call{Name: strings.ToUpper(t.text)}
+			// COUNT(*) — a bare star argument.
+			if p.at(tokStar) && call.Name == "COUNT" {
+				p.advance()
+				call.Star = true
+			}
+			if !p.at(tokRParen) && !call.Star {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.at(tokComma) {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.at(tokDot) {
+			p.advance()
+			col, err := p.expect(tokIdent, "column name")
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Table: t.text, Col: col.text}, nil
+		}
+		return ColRef{Col: t.text}, nil
+	default:
+		return nil, fmt.Errorf("sqlx: unexpected %s in expression", t)
+	}
+}

@@ -1,0 +1,259 @@
+package sqlx
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func mustParse(t *testing.T, sql string) *Stmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lexAll("SELECT a.b, 'it''s', 1.5e-3, :p FROM t WHERE x <= 3 AND y <> 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF")
+	}
+	// Spot checks: SELECT(0) a(1) .(2) b(3).
+	if toks[2].kind != tokDot {
+		t.Errorf("token 2 = %v", toks[2])
+	}
+	var str, num, param string
+	for _, tk := range toks {
+		switch tk.kind {
+		case tokString:
+			str = tk.text
+		case tokParam:
+			param = tk.text
+		case tokNumber:
+			if strings.Contains(tk.text, "e") {
+				num = tk.text
+			}
+		}
+	}
+	if str != "it's" {
+		t.Errorf("string = %q", str)
+	}
+	if num != "1.5e-3" {
+		t.Errorf("number = %q", num)
+	}
+	if param != "p" {
+		t.Errorf("param = %q", param)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", ":", "!x", "#"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT id, name FROM users WHERE id = 3")
+	sel := stmt.Select
+	if sel == nil {
+		t.Fatal("no select")
+	}
+	if len(sel.Items) != 2 || len(sel.From) != 1 {
+		t.Fatalf("items=%d from=%d", len(sel.Items), len(sel.From))
+	}
+	if sel.From[0].Table != "users" || sel.From[0].EffectiveAlias() != "users" {
+		t.Errorf("from = %+v", sel.From[0])
+	}
+	if sel.Where == nil {
+		t.Error("where missing")
+	}
+	if sel.Limit != -1 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseAliasesJoinOn(t *testing.T) {
+	stmt := mustParse(t, `SELECT w1.id, w2.id FROM Well w1 JOIN Well AS w2 ON w1.id = w2.id WHERE w1.x < 5`)
+	sel := stmt.Select
+	if len(sel.From) != 2 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	if sel.From[0].Alias != "w1" || sel.From[1].Alias != "w2" {
+		t.Errorf("aliases = %q %q", sel.From[0].Alias, sel.From[1].Alias)
+	}
+	// ON condition folded into WHERE as a conjunct.
+	conjs := splitConjuncts(sel.Where, nil)
+	if len(conjs) != 2 {
+		t.Errorf("conjuncts = %d, want 2 (ON + WHERE)", len(conjs))
+	}
+}
+
+func TestParseInnerJoin(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM a INNER JOIN b ON a.x = b.x`)
+	if len(stmt.Select.From) != 2 {
+		t.Fatalf("from = %d", len(stmt.Select.From))
+	}
+	if !stmt.Select.Items[0].Star {
+		t.Error("star projection expected")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := stmt.Select.Where.(Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top op should be OR, got %v", stmt.Select.Where.SQL())
+	}
+	and, ok := or.R.(Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR should be AND, got %v", or.R.SQL())
+	}
+	// Arithmetic binds tighter than comparison.
+	stmt2 := mustParse(t, "SELECT 1 FROM t WHERE a + b * 2 < 10")
+	cmp := stmt2.Select.Where.(Binary)
+	if cmp.Op != OpLt {
+		t.Fatalf("top should be <, got %v", cmp.Op)
+	}
+	add := cmp.L.(Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("left should be +, got %v", add.Op)
+	}
+}
+
+func TestParseNotAndNeg(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE NOT a = -b")
+	n, ok := stmt.Select.Where.(Not)
+	if !ok {
+		t.Fatalf("want Not, got %T", stmt.Select.Where)
+	}
+	cmp := n.E.(Binary)
+	if _, ok := cmp.R.(Neg); !ok {
+		t.Fatalf("want Neg, got %T", cmp.R)
+	}
+}
+
+func TestParseFunctionCalls(t *testing.T) {
+	stmt := mustParse(t, "SELECT ST_DISTANCE(a.loc, b.loc, 'miles') d FROM t a, t b WHERE ST_DWITHIN(a.loc, b.loc, 150)")
+	item := stmt.Select.Items[0]
+	call, ok := item.Expr.(Call)
+	if !ok || call.Name != "ST_DISTANCE" || len(call.Args) != 3 {
+		t.Fatalf("bad call: %+v", item.Expr)
+	}
+	if item.Alias != "d" {
+		t.Errorf("alias = %q", item.Alias)
+	}
+	w := stmt.Select.Where.(Call)
+	if w.Name != "ST_DWITHIN" {
+		t.Errorf("where = %v", w.Name)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "SELECT true, false, null, 'str', 42, 2.5 FROM t")
+	vals := []storage.Value{
+		storage.Bool(true), storage.Bool(false), storage.Null,
+		storage.Str("str"), storage.Int(42), storage.Float(2.5),
+	}
+	for i, want := range vals {
+		lit, ok := stmt.Select.Items[i].Expr.(Lit)
+		if !ok {
+			t.Fatalf("item %d not literal: %T", i, stmt.Select.Items[i].Expr)
+		}
+		if !lit.Val.Equal(want) && !(lit.Val.IsNull() && want.IsNull()) {
+			t.Errorf("item %d = %v, want %v", i, lit.Val, want)
+		}
+	}
+}
+
+func TestParseOrderByLimitDistinct(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT a FROM t ORDER BY a DESC, b ASC LIMIT 10")
+	sel := stmt.Select
+	if !sel.Distinct {
+		t.Error("distinct missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("orderby = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseInsertSelect(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO facts (v1, v2, w) SELECT a.id, b.id, 0.5 FROM t a, t b")
+	ins := stmt.Insert
+	if ins == nil || ins.Table != "facts" || len(ins.Cols) != 3 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ins.Select == nil || len(ins.Select.From) != 2 {
+		t.Error("insert select missing")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt := mustParse(t, "EXPLAIN SELECT 1 FROM t")
+	if !stmt.Explain {
+		t.Error("explain flag missing")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1 FROM t WHERE ST_WITHIN(loc, :region)")
+	call := stmt.Select.Where.(Call)
+	if p, ok := call.Args[1].(Param); !ok || p.Name != "region" {
+		t.Errorf("param = %+v", call.Args[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM t",
+		"SELECT",
+		"SELECT 1",      // missing FROM
+		"SELECT 1 FROM", // missing table
+		"SELECT 1 FROM t t2 t3",
+		"SELECT 1 FROM t WHERE",
+		"SELECT 1 FROM t LIMIT x",
+		"SELECT 1 FROM t LIMIT -1",
+		"INSERT INTO t VALUES (1)",
+		"INSERT INTO t (a SELECT 1 FROM u",
+		"SELECT f(1, FROM t",
+		"SELECT (1 FROM t",
+		"SELECT a. FROM t",
+		"SELECT 1 FROM t extra garbage here",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestExprSQLRoundTrip(t *testing.T) {
+	// SQL() output of a parsed expression re-parses to the same SQL.
+	srcs := []string{
+		"SELECT 1 FROM t WHERE (a = 1 AND b < 2) OR NOT c >= 3",
+		"SELECT 1 FROM t WHERE ST_DWITHIN(a.loc, b.loc, 150, 'miles')",
+		"SELECT 1 FROM t WHERE x + 1 * 2 - 3 / 4 <> 0",
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src).Select.Where.SQL()
+		re := mustParse(t, "SELECT 1 FROM t WHERE "+s1).Select.Where.SQL()
+		if s1 != re {
+			t.Errorf("round trip:\n%s\n%s", s1, re)
+		}
+	}
+}

@@ -1,0 +1,647 @@
+package sqlx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+	"repro/internal/storage"
+)
+
+// The planner turns a SELECT into an ordered pipeline:
+//
+//  1. per-table scans with pushed-down single-table predicates — the
+//     paper's "range query" step (Fig. 5 runs the within-range filter
+//     before the distance join);
+//  2. a greedy join order over the filtered tables, preferring hash
+//     equi-joins, then R-tree–assisted spatial joins, then theta/cross
+//     joins — smaller inputs first, which is exactly the heuristic
+//     re-ordering optimization of Section IV-B;
+//  3. residual filters, projection, DISTINCT, ORDER BY, LIMIT.
+//
+// Because tables are in memory, the planner materializes filtered row-id
+// lists eagerly and uses their true sizes as cardinalities.
+
+// conjunct classification.
+type conjunctKind uint8
+
+const (
+	conjFilter  conjunctKind = iota // references ≤ 1 alias
+	conjEqui                        // a.x = b.y
+	conjSpatial                     // ST_DWITHIN(a.g, b.g, d) or ST_DISTANCE(a.g,b.g) < d
+	conjTheta                       // anything else across aliases
+)
+
+type conjunct struct {
+	expr    Expr
+	kind    conjunctKind
+	aliases []string // lower-cased, sorted
+	applied bool
+
+	// equi-join detail
+	leftCol, rightCol ColRef
+	// spatial-join detail
+	leftGeom, rightGeom ColRef
+	radius              float64
+	metric              geom.Metric
+}
+
+type scanNode struct {
+	ref     TableRef
+	alias   string // lower-cased
+	tbl     *storage.Table
+	filters []Expr
+	ids     []int // filtered row ids
+}
+
+type planStep struct {
+	node    *scanNode
+	joinVia *conjunct // nil for the first (scan) step
+	extra   []Expr    // residual predicates applied after this step
+}
+
+type plan struct {
+	steps []planStep
+	sel   *SelectStmt
+}
+
+// Explain renders the plan as human-readable lines, one per pipeline step.
+func (p *plan) Explain() []string {
+	var out []string
+	for i, s := range p.steps {
+		var b strings.Builder
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "scan %s", s.node.ref.Table)
+		case s.joinVia == nil:
+			fmt.Fprintf(&b, "cross-join %s", s.node.ref.Table)
+		case s.joinVia.kind == conjEqui:
+			fmt.Fprintf(&b, "hash-join %s ON %s", s.node.ref.Table, s.joinVia.expr.SQL())
+		case s.joinVia.kind == conjSpatial:
+			fmt.Fprintf(&b, "spatial-join %s ON %s", s.node.ref.Table, s.joinVia.expr.SQL())
+		default:
+			fmt.Fprintf(&b, "theta-join %s ON %s", s.node.ref.Table, s.joinVia.expr.SQL())
+		}
+		if s.node.ref.Alias != "" {
+			fmt.Fprintf(&b, " AS %s", s.node.ref.Alias)
+		}
+		if len(s.node.filters) > 0 {
+			parts := make([]string, len(s.node.filters))
+			for j, f := range s.node.filters {
+				parts[j] = f.SQL()
+			}
+			fmt.Fprintf(&b, " filter [%s]", strings.Join(parts, " AND "))
+		}
+		fmt.Fprintf(&b, " (%d rows)", len(s.node.ids))
+		for _, e := range s.extra {
+			b.WriteString(" then-filter " + e.SQL())
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// buildPlan analyses a SELECT against the database.
+func buildPlan(db *storage.DB, sel *SelectStmt, params map[string]storage.Value) (*plan, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("sqlx: SELECT requires FROM")
+	}
+	// Resolve tables and aliases.
+	nodes := make([]*scanNode, len(sel.From))
+	byAlias := map[string]*scanNode{}
+	for i, ref := range sel.From {
+		tbl, err := db.Table(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := strings.ToLower(ref.EffectiveAlias())
+		if byAlias[alias] != nil {
+			return nil, fmt.Errorf("sqlx: duplicate table alias %q", ref.EffectiveAlias())
+		}
+		n := &scanNode{ref: ref, alias: alias, tbl: tbl}
+		nodes[i] = n
+		byAlias[alias] = n
+	}
+	// Qualify unqualified column references so alias analysis is exact.
+	qualify := func(e Expr) (Expr, error) { return qualifyExpr(e, nodes) }
+	if sel.Where != nil {
+		w, err := qualify(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		sel = cloneSelectWithWhere(sel, w)
+	}
+	for i, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		q, err := qualify(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		sel.Items[i].Expr = q
+	}
+	for i := range sel.OrderBy {
+		// ORDER BY may name a SELECT-item alias; substitute its expression
+		// (already qualified above).
+		if cr, ok := sel.OrderBy[i].Expr.(ColRef); ok && cr.Table == "" {
+			substituted := false
+			for _, item := range sel.Items {
+				if !item.Star && strings.EqualFold(item.Alias, cr.Col) {
+					sel.OrderBy[i].Expr = item.Expr
+					substituted = true
+					break
+				}
+			}
+			if substituted {
+				continue
+			}
+		}
+		q, err := qualify(sel.OrderBy[i].Expr)
+		if err != nil {
+			return nil, err
+		}
+		sel.OrderBy[i].Expr = q
+	}
+	for i := range sel.GroupBy {
+		q, err := qualify(sel.GroupBy[i])
+		if err != nil {
+			return nil, err
+		}
+		sel.GroupBy[i] = q
+	}
+	if sel.Having != nil {
+		q, err := qualify(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = q
+	}
+
+	// Classify conjuncts.
+	var conjuncts []*conjunct
+	if sel.Where != nil {
+		for _, e := range splitConjuncts(sel.Where, nil) {
+			conjuncts = append(conjuncts, classify(e, params))
+		}
+	}
+	// Push single-alias filters into scans.
+	for _, c := range conjuncts {
+		if c.kind == conjFilter {
+			if len(c.aliases) == 1 {
+				n := byAlias[c.aliases[0]]
+				if n == nil {
+					return nil, fmt.Errorf("sqlx: unknown alias %q in predicate %s", c.aliases[0], c.expr.SQL())
+				}
+				n.filters = append(n.filters, c.expr)
+			}
+			// Zero-alias (constant) predicates are handled below.
+			c.applied = true
+		}
+	}
+	// Constant predicates: evaluate once; false → empty plan via filters.
+	constFalse := false
+	for _, c := range conjuncts {
+		if c.kind == conjFilter && len(c.aliases) == 0 {
+			ev := &env{params: params}
+			ok, err := ev.evalBool(c.expr)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				constFalse = true
+			}
+		}
+	}
+
+	// Materialize filtered scans — the "range query first" stage.
+	for _, n := range nodes {
+		if constFalse {
+			n.ids = nil
+			continue
+		}
+		ids, err := filterScan(n, params)
+		if err != nil {
+			return nil, err
+		}
+		n.ids = ids
+	}
+
+	// Greedy join order.
+	remaining := map[string]*scanNode{}
+	for _, n := range nodes {
+		remaining[n.alias] = n
+	}
+	var steps []planStep
+	bound := map[string]bool{}
+	// Seed with the smallest filtered table.
+	first := smallestNode(remaining)
+	steps = append(steps, planStep{node: first})
+	bound[first.alias] = true
+	delete(remaining, first.alias)
+	for len(remaining) > 0 {
+		next, via := pickNext(remaining, bound, conjuncts)
+		steps = append(steps, planStep{node: next, joinVia: via})
+		if via != nil {
+			via.applied = true
+		}
+		bound[next.alias] = true
+		delete(remaining, next.alias)
+		// Attach any now-evaluable residual predicates to this step.
+		for _, c := range conjuncts {
+			if c.applied {
+				continue
+			}
+			if aliasesBound(c.aliases, bound) {
+				steps[len(steps)-1].extra = append(steps[len(steps)-1].extra, c.expr)
+				c.applied = true
+			}
+		}
+	}
+	// Anything left (e.g. single-table query with a theta conjunct that
+	// references that table twice — impossible — or zero-alias handled
+	// above) is attached to the last step.
+	for _, c := range conjuncts {
+		if !c.applied && c.kind != conjFilter {
+			steps[len(steps)-1].extra = append(steps[len(steps)-1].extra, c.expr)
+			c.applied = true
+		}
+	}
+	return &plan{steps: steps, sel: sel}, nil
+}
+
+func cloneSelectWithWhere(sel *SelectStmt, w Expr) *SelectStmt {
+	out := *sel
+	out.Where = w
+	out.Items = append([]SelectItem(nil), sel.Items...)
+	out.OrderBy = append([]OrderItem(nil), sel.OrderBy...)
+	out.GroupBy = append([]Expr(nil), sel.GroupBy...)
+	out.Having = sel.Having
+	return &out
+}
+
+// qualifyExpr rewrites unqualified ColRefs to qualified ones; errors on
+// ambiguity.
+func qualifyExpr(e Expr, nodes []*scanNode) (Expr, error) {
+	switch v := e.(type) {
+	case ColRef:
+		if v.Table != "" {
+			return v, nil
+		}
+		var found *scanNode
+		for _, n := range nodes {
+			if n.tbl.Schema().ColIndex(v.Col) >= 0 {
+				if found != nil {
+					return nil, fmt.Errorf("sqlx: ambiguous column %q", v.Col)
+				}
+				found = n
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("sqlx: unknown column %q", v.Col)
+		}
+		return ColRef{Table: found.alias, Col: v.Col}, nil
+	case Binary:
+		l, err := qualifyExpr(v.L, nodes)
+		if err != nil {
+			return nil, err
+		}
+		r, err := qualifyExpr(v.R, nodes)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: v.Op, L: l, R: r}, nil
+	case Not:
+		inner, err := qualifyExpr(v.E, nodes)
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: inner}, nil
+	case Neg:
+		inner, err := qualifyExpr(v.E, nodes)
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: inner}, nil
+	case Call:
+		out := Call{Name: v.Name, Args: make([]Expr, len(v.Args))}
+		for i, a := range v.Args {
+			q, err := qualifyExpr(a, nodes)
+			if err != nil {
+				return nil, err
+			}
+			out.Args[i] = q
+		}
+		return out, nil
+	default:
+		return e, nil
+	}
+}
+
+// classify analyses one conjunct.
+func classify(e Expr, params map[string]storage.Value) *conjunct {
+	aliases := aliasesOf(e)
+	sort.Strings(aliases)
+	c := &conjunct{expr: e, aliases: aliases}
+	if len(aliases) <= 1 {
+		c.kind = conjFilter
+		return c
+	}
+	if len(aliases) != 2 {
+		c.kind = conjTheta
+		return c
+	}
+	// a.x = b.y ?
+	if b, ok := e.(Binary); ok && b.Op == OpEq {
+		lc, lok := b.L.(ColRef)
+		rc, rok := b.R.(ColRef)
+		if lok && rok && !strings.EqualFold(lc.Table, rc.Table) {
+			c.kind = conjEqui
+			c.leftCol, c.rightCol = lc, rc
+			return c
+		}
+	}
+	// ST_DWITHIN(a.g, b.g, d [, metric]) ?
+	if call, ok := e.(Call); ok && call.Name == "ST_DWITHIN" && len(call.Args) >= 3 {
+		if sc := spatialPair(call.Args[0], call.Args[1]); sc != nil {
+			if d, m, ok := constRadius(call.Args[2], call.Args[3:], params); ok {
+				c.kind = conjSpatial
+				c.leftGeom, c.rightGeom = sc[0], sc[1]
+				c.radius, c.metric = d, m
+				return c
+			}
+		}
+	}
+	// ST_DISTANCE(a.g, b.g [, metric]) < d (or <=) ?
+	if b, ok := e.(Binary); ok && (b.Op == OpLt || b.Op == OpLe) {
+		if call, ok := b.L.(Call); ok && call.Name == "ST_DISTANCE" && len(call.Args) >= 2 {
+			if sc := spatialPair(call.Args[0], call.Args[1]); sc != nil {
+				if d, m, ok := constRadius(b.R, call.Args[2:], params); ok {
+					c.kind = conjSpatial
+					c.leftGeom, c.rightGeom = sc[0], sc[1]
+					c.radius, c.metric = d, m
+					return c
+				}
+			}
+		}
+	}
+	c.kind = conjTheta
+	return c
+}
+
+// spatialPair extracts two geometry column refs on distinct aliases.
+func spatialPair(a, b Expr) []ColRef {
+	ca, aok := a.(ColRef)
+	cb, bok := b.(ColRef)
+	if aok && bok && !strings.EqualFold(ca.Table, cb.Table) {
+		return []ColRef{ca, cb}
+	}
+	return nil
+}
+
+// constRadius evaluates the radius expression (which must reference no
+// columns) and the optional metric argument.
+func constRadius(radiusExpr Expr, metricArgs []Expr, params map[string]storage.Value) (float64, geom.Metric, bool) {
+	if as := aliasesOf(radiusExpr); len(as) != 0 {
+		return 0, 0, false
+	}
+	ev := &env{params: params}
+	v, err := ev.eval(radiusExpr)
+	if err != nil {
+		return 0, 0, false
+	}
+	d, err := v.AsFloat()
+	if err != nil {
+		return 0, 0, false
+	}
+	m := geom.Euclidean
+	if len(metricArgs) > 0 {
+		mv, err := ev.eval(metricArgs[0])
+		if err != nil || mv.Kind != storage.KindString {
+			return 0, 0, false
+		}
+		m, err = ParseMetric(mv.S)
+		if err != nil {
+			return 0, 0, false
+		}
+	}
+	return d, m, true
+}
+
+// filterScan materializes the row ids of a node passing its filters.
+// Single spatial window predicates (ST_WITHIN / ST_DWITHIN against a
+// constant geometry) use the table's R-tree when present.
+func filterScan(n *scanNode, params map[string]storage.Value) ([]int, error) {
+	candidates, prefiltered, err := spatialCandidates(n, params)
+	if err != nil {
+		return nil, err
+	}
+	ev := &env{
+		aliases: []string{n.alias},
+		schemas: []storage.Schema{n.tbl.Schema()},
+		rows:    make([]storage.Row, 1),
+		params:  params,
+	}
+	var ids []int
+	check := func(id int) error {
+		ev.rows[0] = n.tbl.Row(id)
+		for _, f := range n.filters {
+			ok, err := ev.evalBool(f)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		ids = append(ids, id)
+		return nil
+	}
+	if prefiltered {
+		for _, id := range candidates {
+			if err := check(id); err != nil {
+				return nil, err
+			}
+		}
+		return ids, nil
+	}
+	var scanErr error
+	n.tbl.Scan(func(id int, _ storage.Row) bool {
+		if err := check(id); err != nil {
+			scanErr = err
+			return false
+		}
+		return true
+	})
+	return ids, scanErr
+}
+
+// spatialCandidates looks for a window-shaped filter (ST_WITHIN(col, const)
+// or ST_DWITHIN(col, const, d)) and uses the R-tree to pre-filter; the exact
+// predicate is still applied afterwards by filterScan.
+func spatialCandidates(n *scanNode, params map[string]storage.Value) ([]int, bool, error) {
+	for _, f := range n.filters {
+		call, ok := f.(Call)
+		if !ok {
+			continue
+		}
+		var colArg ColRef
+		var window geom.Rect
+		ev := &env{params: params}
+		switch call.Name {
+		case "ST_WITHIN":
+			if len(call.Args) != 2 {
+				continue
+			}
+			c, cok := call.Args[0].(ColRef)
+			if !cok || len(aliasesOf(call.Args[1])) != 0 {
+				continue
+			}
+			v, err := ev.eval(call.Args[1])
+			if err != nil {
+				continue
+			}
+			g, err := v.AsGeom()
+			if err != nil {
+				continue
+			}
+			colArg, window = c, g.Bounds()
+		case "ST_DWITHIN":
+			if len(call.Args) < 3 {
+				continue
+			}
+			c, cok := call.Args[0].(ColRef)
+			if !cok || len(aliasesOf(call.Args[1])) != 0 {
+				continue
+			}
+			v, err := ev.eval(call.Args[1])
+			if err != nil {
+				continue
+			}
+			g, err := v.AsGeom()
+			if err != nil {
+				continue
+			}
+			d, m, ok := constRadius(call.Args[2], call.Args[3:], params)
+			if !ok {
+				continue
+			}
+			window = expandWindow(g.Bounds(), d, m)
+			colArg = c
+		default:
+			continue
+		}
+		if !n.tbl.HasSpatialIndex(colArg.Col) {
+			// Build the on-the-fly index the paper describes; worthwhile
+			// for repeated rule evaluation over the same relation.
+			if err := n.tbl.BuildSpatialIndex(colArg.Col); err != nil {
+				continue
+			}
+		}
+		ids, err := n.tbl.SearchSpatial(colArg.Col, window)
+		if err != nil {
+			return nil, false, err
+		}
+		return ids, true, nil
+	}
+	return nil, false, nil
+}
+
+// expandWindow delegates to geom.ExpandWindow (metric-aware bounding-box
+// growth for filter windows).
+func expandWindow(r geom.Rect, d float64, m geom.Metric) geom.Rect {
+	return geom.ExpandWindow(r, d, m)
+}
+
+func smallestNode(m map[string]*scanNode) *scanNode {
+	var best *scanNode
+	for _, n := range m {
+		if best == nil || len(n.ids) < len(best.ids) ||
+			(len(n.ids) == len(best.ids) && n.alias < best.alias) {
+			best = n
+		}
+	}
+	return best
+}
+
+// pickNext chooses the next table to join: equi-join edges first, then
+// spatial, then theta, then cross; ties break on smaller filtered input
+// and then alias for determinism.
+func pickNext(remaining map[string]*scanNode, bound map[string]bool, conjuncts []*conjunct) (*scanNode, *conjunct) {
+	type option struct {
+		n    *scanNode
+		c    *conjunct
+		rank int
+	}
+	var best *option
+	consider := func(o option) {
+		if best == nil || o.rank < best.rank ||
+			(o.rank == best.rank && len(o.n.ids) < len(best.n.ids)) ||
+			(o.rank == best.rank && len(o.n.ids) == len(best.n.ids) && o.n.alias < best.n.alias) {
+			b := o
+			best = &b
+		}
+	}
+	for _, n := range remaining {
+		joined := false
+		for _, c := range conjuncts {
+			if c.applied || len(c.aliases) != 2 {
+				continue
+			}
+			other := ""
+			switch {
+			case c.aliases[0] == n.alias:
+				other = c.aliases[1]
+			case c.aliases[1] == n.alias:
+				other = c.aliases[0]
+			default:
+				continue
+			}
+			if !bound[other] {
+				continue
+			}
+			joined = true
+			switch c.kind {
+			case conjEqui:
+				consider(option{n: n, c: c, rank: 0})
+			case conjSpatial:
+				consider(option{n: n, c: c, rank: 1})
+			default:
+				consider(option{n: n, c: c, rank: 2})
+			}
+		}
+		if !joined {
+			consider(option{n: n, rank: 3})
+		}
+	}
+	return best.n, best.c
+}
+
+func aliasesBound(aliases []string, bound map[string]bool) bool {
+	for _, a := range aliases {
+		if a != "" && !bound[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// spatialJoinIndex builds an R-tree over the filtered rows of a node's
+// geometry column for the probe side of a spatial join.
+func spatialJoinIndex(n *scanNode, col string) (*rtree.Tree, error) {
+	ci := n.tbl.Schema().ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("sqlx: %s has no column %q", n.ref.Table, col)
+	}
+	items := make([]rtree.Item, 0, len(n.ids))
+	for _, id := range n.ids {
+		g, err := n.tbl.Row(id)[ci].AsGeom()
+		if err != nil {
+			continue // NULL geometry never matches
+		}
+		items = append(items, rtree.Item{Rect: g.Bounds(), Data: int64(id)})
+	}
+	return rtree.Bulk(items), nil
+}

@@ -1,0 +1,337 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/index/rtree"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+	// GeomType refines KindGeom columns with the declared DDlog spatial
+	// type (point, rectangle, polygon, linestring).
+	GeomType geom.Type
+}
+
+// Schema is an ordered set of named, typed columns.
+type Schema struct {
+	Name string
+	Cols []Column
+}
+
+// ColIndex returns the position of a column by case-insensitive name, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks schema well-formedness: non-empty name, at least one
+// column, unique column names.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("storage: schema has no name")
+	}
+	if len(s.Cols) == 0 {
+		return fmt.Errorf("storage: relation %s has no columns", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cols {
+		key := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("storage: relation %s has an unnamed column", s.Name)
+		}
+		if seen[key] {
+			return fmt.Errorf("storage: relation %s: duplicate column %q", s.Name, c.Name)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// Row is one tuple, positionally matching the schema columns.
+type Row []Value
+
+// Table is an in-memory relation with optional secondary indexes.
+type Table struct {
+	schema Schema
+	rows   []Row
+
+	mu      sync.RWMutex
+	hashIdx map[int]map[string][]int // column -> value bucket -> row ids
+	rtrees  map[int]*rtree.Tree      // geom column -> R-tree over row ids
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(s Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		schema:  s,
+		hashIdx: map[int]map[string][]int{},
+		rtrees:  map[int]*rtree.Tree{},
+	}, nil
+}
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// checkRow validates a row against the schema; NULLs are allowed in any
+// column (the paper's derivation rules create variables with NULL labels).
+func (t *Table) checkRow(r Row) error {
+	if len(r) != len(t.schema.Cols) {
+		return fmt.Errorf("storage: %s: row has %d values, schema has %d columns",
+			t.schema.Name, len(r), len(t.schema.Cols))
+	}
+	for i, v := range r {
+		c := t.schema.Cols[i]
+		if v.IsNull() {
+			continue
+		}
+		ok := v.Kind == c.Kind || (isNumeric(v.Kind) && isNumeric(c.Kind))
+		if !ok {
+			return fmt.Errorf("storage: %s.%s: value kind %s does not match column kind %s",
+				t.schema.Name, c.Name, v.Kind, c.Kind)
+		}
+	}
+	return nil
+}
+
+// Append adds a row, updating secondary indexes. The row is stored by
+// reference; callers must not mutate it afterwards.
+func (t *Table) Append(r Row) error {
+	if err := t.checkRow(r); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := len(t.rows)
+	t.rows = append(t.rows, r)
+	for col, buckets := range t.hashIdx {
+		k := r[col].hashKey()
+		buckets[k] = append(buckets[k], id)
+	}
+	for col, tree := range t.rtrees {
+		if g, err := r[col].AsGeom(); err == nil {
+			tree.Insert(rtree.Item{Rect: g.Bounds(), Data: int64(id)})
+		}
+	}
+	return nil
+}
+
+// AppendAll adds many rows, failing on the first invalid one.
+func (t *Table) AppendAll(rows []Row) error {
+	for i, r := range rows {
+		if err := t.Append(r); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Row returns the i-th row.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Scan calls fn for each row id and row; returning false stops the scan.
+func (t *Table) Scan(fn func(id int, r Row) bool) {
+	for i, r := range t.rows {
+		if !fn(i, r) {
+			return
+		}
+	}
+}
+
+// BuildHashIndex creates (or rebuilds) a hash index on the named column.
+// The grounding queries use it for equi-joins.
+func (t *Table) BuildHashIndex(col string) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s has no column %q", t.schema.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buckets := map[string][]int{}
+	for id, r := range t.rows {
+		k := r[ci].hashKey()
+		buckets[k] = append(buckets[k], id)
+	}
+	t.hashIdx[ci] = buckets
+	return nil
+}
+
+// LookupHash returns the ids of rows whose column equals v, using the hash
+// index if present, else a scan.
+func (t *Table) LookupHash(col string, v Value) ([]int, error) {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: %s has no column %q", t.schema.Name, col)
+	}
+	t.mu.RLock()
+	buckets, ok := t.hashIdx[ci]
+	t.mu.RUnlock()
+	if ok {
+		ids := buckets[v.hashKey()]
+		// Defensive re-check: hash keys for numerics are normalized, but
+		// keep equality authoritative.
+		out := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if t.rows[id][ci].Equal(v) {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	for id, r := range t.rows {
+		if r[ci].Equal(v) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// BuildSpatialIndex creates (or rebuilds) an R-tree over the named geometry
+// column — the paper's "on-fly spatial indices" (Section IV-B). Rows with
+// NULL geometry are skipped.
+func (t *Table) BuildSpatialIndex(col string) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s has no column %q", t.schema.Name, col)
+	}
+	if t.schema.Cols[ci].Kind != KindGeom {
+		return fmt.Errorf("storage: %s.%s is not a geometry column", t.schema.Name, col)
+	}
+	items := make([]rtree.Item, 0, len(t.rows))
+	for id, r := range t.rows {
+		g, err := r[ci].AsGeom()
+		if err != nil {
+			continue
+		}
+		items = append(items, rtree.Item{Rect: g.Bounds(), Data: int64(id)})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rtrees[ci] = rtree.Bulk(items)
+	return nil
+}
+
+// HasSpatialIndex reports whether an R-tree exists for the column.
+func (t *Table) HasSpatialIndex(col string) bool {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rtrees[ci] != nil
+}
+
+// SearchSpatial returns ids of rows whose geometry bounding box intersects
+// the query window, using the R-tree if present (else scanning). Callers
+// must apply the exact predicate afterwards — this is the filter step of
+// the classic filter-and-refine spatial query plan.
+func (t *Table) SearchSpatial(col string, window geom.Rect) ([]int, error) {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("storage: %s has no column %q", t.schema.Name, col)
+	}
+	t.mu.RLock()
+	tree := t.rtrees[ci]
+	t.mu.RUnlock()
+	if tree != nil {
+		var ids []int
+		tree.Search(window, func(it rtree.Item) bool {
+			ids = append(ids, int(it.Data))
+			return true
+		})
+		sort.Ints(ids)
+		return ids, nil
+	}
+	var ids []int
+	for id, r := range t.rows {
+		g, err := r[ci].AsGeom()
+		if err != nil {
+			continue
+		}
+		if g.Bounds().Intersects(window) {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// DB is a named collection of tables: the "database" the grounding module
+// evaluates translated rule queries against.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// Create creates a new table; it fails if the name is taken.
+func (db *DB) Create(s Schema) (*Table, error) {
+	t, err := NewTable(s)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(s.Name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("storage: table %s already exists", s.Name)
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns a table by case-insensitive name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) error {
+	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[key]; !ok {
+		return fmt.Errorf("storage: no table %q", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// Names returns the sorted table names.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		names = append(names, t.schema.Name)
+	}
+	sort.Strings(names)
+	return names
+}
