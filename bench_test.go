@@ -20,6 +20,7 @@ func benchParams() bench.Params {
 	p.NYCCASSide = 14
 	p.Epochs = 150
 	p.Runs = 1
+	p.Workers = 0 // sampler worker-pool width: GOMAXPROCS
 	return p
 }
 

@@ -50,6 +50,7 @@ func main() {
 		ep    = flag.Int("epochs", defaults.Epochs, "inference epoch budget E")
 		runs  = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
 		seed  = flag.Int64("seed", defaults.Seed, "base RNG seed")
+		work  = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *list {
@@ -72,6 +73,7 @@ func main() {
 	p.Epochs = *ep
 	p.Runs = *runs
 	p.Seed = *seed
+	p.Workers = *work
 	if *paper {
 		// Flag overrides apply on top of paper scale only when changed.
 		pp := bench.PaperScaleParams()

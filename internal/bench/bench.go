@@ -40,6 +40,10 @@ type Params struct {
 	PyramidLevels int
 	// Instances is the spatial sampler's K.
 	Instances int
+	// Workers is the sampler worker-pool width (0 → GOMAXPROCS): parallel
+	// workers per instance for the spatial sampler, total workers for the
+	// hogwild baseline.
+	Workers int
 }
 
 // DefaultParams returns laptop-scale defaults.

@@ -427,12 +427,13 @@ func Fig14(p Params) (*Table, error) {
 		spatial, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
 			Levels: p.PyramidLevels, Instances: p.Instances, Seed: p.Seed + 6,
 			LocalityLevel: s.Config().LocalityLevel,
+			Workers:       p.Workers,
 			BurnIn:        burn / p.Instances,
 		})
 		if err != nil {
 			return nil, err
 		}
-		standard := gibbs.NewHogwild(g, p.Seed+6, 0)
+		standard := gibbs.NewHogwild(g, p.Seed+6, p.Workers)
 		standard.SetBurnIn(burn)
 		checkpoints := []int{p.Epochs, p.Epochs * 2, p.Epochs * 4}
 		var spTime, stTime time.Duration
@@ -496,13 +497,14 @@ func Ablation(p Params) (*Table, error) {
 				sp, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
 					Levels: p.PyramidLevels, Instances: p.Instances, Seed: p.Seed + 3,
 					LocalityLevel: s.Config().LocalityLevel,
+					Workers:       p.Workers,
 				})
 				if err != nil {
 					return nil, err
 				}
 				sampler = sp
 			} else {
-				sampler = gibbs.NewHogwild(g, p.Seed+3, 0)
+				sampler = gibbs.NewHogwild(g, p.Seed+3, p.Workers)
 			}
 			t0 := time.Now()
 			if sp, ok := sampler.(*gibbs.Spatial); ok {

@@ -73,6 +73,7 @@ func (k *gwdbKB) system(engine core.Engine, seed int64) *core.System {
 		PyramidLevels:    k.p.PyramidLevels,
 		LocalityLevel:    localityFor(k.data.Config.Extent, k.p.SupportRadius, k.p.PyramidLevels),
 		Instances:        k.p.Instances,
+		Workers:          k.p.Workers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,
@@ -167,6 +168,7 @@ func (k *nyccasKB) Build(engine core.Engine, seed int64) (*core.System, error) {
 		PyramidLevels:    k.p.PyramidLevels,
 		LocalityLevel:    localityFor(k.data.Config.Extent, 4*cell, k.p.PyramidLevels),
 		Instances:        k.p.Instances,
+		Workers:          k.p.Workers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,

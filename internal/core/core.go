@@ -79,7 +79,9 @@ type Config struct {
 	Epochs int
 	// Instances is K for the spatial sampler (0 → 2).
 	Instances int
-	// Workers for the hogwild baseline (0 → GOMAXPROCS).
+	// Workers is the sampler worker-pool width: per-instance parallel
+	// workers for the spatial sampler and total workers for the hogwild
+	// baseline (0 → GOMAXPROCS).
 	Workers int
 	// Seed drives all sampling randomness.
 	Seed int64
@@ -256,6 +258,7 @@ func (s *System) newSampler() (gibbs.Sampler, error) {
 			Levels:        s.cfg.PyramidLevels,
 			LocalityLevel: s.cfg.LocalityLevel,
 			Instances:     s.cfg.Instances,
+			Workers:       s.cfg.Workers,
 			Seed:          s.cfg.Seed,
 			BurnIn:        s.burnIn(s.cfg.Instances),
 		})

@@ -1,0 +1,50 @@
+package factorgraph_test
+
+// External test package so the harness generators in gibbs/testutil can be
+// reused without an import cycle.
+
+import (
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs/testutil"
+)
+
+// TestBinaryConditionalScoresMatchesGeneric checks the buffer-free binary
+// fast path against the generic ConditionalScores on random graphs —
+// logical-only, spatial, and spatial with a pruning mask — over many random
+// assignments. The two must agree exactly (same accumulation order per
+// candidate), since the samplers treat them as interchangeable.
+func TestBinaryConditionalScoresMatchesGeneric(t *testing.T) {
+	specs := []testutil.Spec{
+		{Domain: 2, Vars: 30, LogicalFactors: 60, Seed: 101},
+		{Domain: 2, Vars: 30, Spatial: true, LogicalFactors: 40, SpatialPairs: 70, Seed: 102},
+		{Domain: 2, Vars: 30, Spatial: true, LogicalFactors: 40, SpatialPairs: 70, PruneMask: true, Seed: 103},
+	}
+	for si, spec := range specs {
+		g, err := testutil.RandomGraph(spec)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		rng := testutil.NewRand(uint64(si) + 7)
+		assign := g.InitialAssignment()
+		buf := make([]float64, 2)
+		for trial := 0; trial < 50; trial++ {
+			g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+				if v.Evidence == factorgraph.NoEvidence {
+					assign.Set(id, int32(rng.Intn(2)))
+				}
+				return true
+			})
+			g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+				want := g.ConditionalScores(id, assign, buf)
+				s0, s1 := g.BinaryConditionalScores(id, assign)
+				if s0 != want[0] || s1 != want[1] {
+					t.Fatalf("spec %d trial %d var %d: fast path (%v, %v), generic (%v, %v)",
+						si, trial, id, s0, s1, want[0], want[1])
+				}
+				return true
+			})
+		}
+	}
+}

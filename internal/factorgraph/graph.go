@@ -158,6 +158,10 @@ func (g *Graph) CountGroundSpatialFactors() int64 {
 // Var returns variable metadata.
 func (g *Graph) Var(id VarID) Variable { return g.vars[id] }
 
+// DomainOf returns a variable's domain size without copying the full
+// metadata struct — the samplers call this once per Gibbs step.
+func (g *Graph) DomainOf(id VarID) int32 { return g.vars[id].Domain }
+
 // Vars iterates variable IDs with metadata.
 func (g *Graph) Vars(fn func(id VarID, v Variable) bool) {
 	for i := range g.vars {
@@ -362,6 +366,63 @@ func (g *Graph) ConditionalScores(v VarID, assign Assignment, buf []float64) []f
 		buf[x] = e
 	}
 	return buf
+}
+
+// BinaryConditionalScores is the buffer-free fast path of ConditionalScores
+// for binary variables: it returns the unnormalized log-probabilities of
+// v = 0 and v = 1 given the rest of the assignment, accumulating both
+// candidates in one pass so each incident spatial pair reads its other
+// endpoint exactly once. It matches ConditionalScores bit-for-bit (same
+// accumulation order per candidate) and never mutates assign.
+func (g *Graph) BinaryConditionalScores(v VarID, assign Assignment) (s0, s1 float64) {
+	for _, f := range g.VarLogicalFactors(v) {
+		w := g.factorWeight[f]
+		if g.satisfied(f, assign, v, 0) {
+			s0 += w
+		}
+		if g.satisfied(f, assign, v, 1) {
+			s1 += w
+		}
+	}
+	for _, s := range g.VarSpatialPairs(v) {
+		a, b, w := g.spatialA[s], g.spatialB[s], g.spatialW[s]
+		other := a
+		if other == v {
+			other = b
+		}
+		ov := assign.Get(other)
+		if mask := g.allowedPairs[g.vars[a].Relation]; mask != nil {
+			// Pruned candidate pairs contribute nothing (Definition 2).
+			h := g.domainOf[g.vars[a].Relation]
+			for x := int32(0); x < 2; x++ {
+				tj, tk := x, ov
+				if v != a {
+					tj, tk = ov, x
+				}
+				if !mask[tj*h+tk] {
+					continue
+				}
+				e := w
+				if x != ov {
+					e = -w
+				}
+				if x == 0 {
+					s0 += e
+				} else {
+					s1 += e
+				}
+			}
+			continue
+		}
+		if ov == 0 {
+			s0 += w
+			s1 -= w
+		} else {
+			s0 -= w
+			s1 += w
+		}
+	}
+	return s0, s1
 }
 
 // Validate checks structural invariants (for tests): edge variables in

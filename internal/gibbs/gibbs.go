@@ -28,6 +28,7 @@ package gibbs
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/factorgraph"
 )
@@ -52,9 +53,20 @@ func (p *prng) Float64() float64 {
 	return float64(p.next()>>11) / (1 << 53)
 }
 
-// Intn returns a uniform value in [0, n).
+// Intn returns a uniform value in [0, n) using Lemire's nearly-divisionless
+// bounded-random method: the 64×n product maps the generator output onto
+// [0, n) without the modulo bias of next()%n, and the rare low-fraction
+// rejection loop removes the residual bias exactly.
 func (p *prng) Intn(n int) int {
-	return int(p.next() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(p.next(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(p.next(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Sampler is the common interface of the three variants.
@@ -130,9 +142,25 @@ func marginalsFrom(g *factorgraph.Graph, get func(v int) ([]float64, float64)) [
 }
 
 // sampleOne draws a new value for v from its conditional distribution and
-// stores it in the assignment. buf must have capacity ≥ the max domain.
+// stores it in the assignment. buf must have capacity ≥ the max domain; it
+// is untouched on the buffer-free binary fast path.
 func sampleOne(g *factorgraph.Graph, v factorgraph.VarID, assign factorgraph.Assignment,
 	rng *prng, buf []float64) int32 {
+	if g.DomainOf(v) == 2 {
+		s0, s1 := g.BinaryConditionalScores(v, assign)
+		maxS := s0
+		if s1 > maxS {
+			maxS = s1
+		}
+		e0 := math.Exp(s0 - maxS)
+		e1 := math.Exp(s1 - maxS)
+		var x int32
+		if rng.Float64()*(e0+e1) > e0 {
+			x = 1
+		}
+		assign.Set(v, x)
+		return x
+	}
 	scores := g.ConditionalScores(v, assign, buf)
 	// Softmax sampling with max subtraction for stability.
 	maxS := scores[0]
@@ -195,11 +223,18 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// taskRNG builds a deterministic PRNG for a (seed, parts...) task identity.
-func taskRNG(seed int64, parts ...uint64) *prng {
+// taskSeed folds a (seed, parts...) task identity into a PRNG state. Hot
+// paths place a prng{state: taskSeed(...)} value on the stack instead of
+// calling taskRNG, so deriving a per-cell stream costs no allocation.
+func taskSeed(seed int64, parts ...uint64) uint64 {
 	x := uint64(seed)
 	for _, p := range parts {
 		x = splitmix64(x ^ p)
 	}
-	return &prng{state: splitmix64(x)}
+	return splitmix64(x)
+}
+
+// taskRNG builds a deterministic PRNG for a (seed, parts...) task identity.
+func taskRNG(seed int64, parts ...uint64) *prng {
+	return &prng{state: taskSeed(seed, parts...)}
 }

@@ -1,0 +1,345 @@
+package gibbs_test
+
+// The statistical correctness harness (see internal/gibbs/testutil): every
+// sampler variant is validated against exact marginals on the four
+// canonical graph shapes under total-variation-distance tolerances, the
+// determinism contract of the package comment is pinned down, and the
+// incremental path is checked against the exact conditional distribution
+// of the re-pinned graph. These tests are what make rewrites of the
+// sampler execution core (such as the persistent worker pool) safe.
+
+import (
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+)
+
+// tvTol is the harness tolerance: with the epoch budgets below, sampling
+// noise keeps the worst per-variable TV distance well under it.
+const tvTol = 0.04
+
+func mustGraph(t testing.TB, spec testutil.Spec) *factorgraph.Graph {
+	t.Helper()
+	g, err := testutil.RandomGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSamplersMatchExactOnShapes is the core of the harness: all three
+// samplers against exact marginals on binary/categorical ×
+// logical-only/spatial graphs.
+func TestSamplersMatchExactOnShapes(t *testing.T) {
+	for _, shape := range testutil.Shapes(900) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			g := mustGraph(t, shape.Spec)
+			exact, err := testutil.Exact(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samplers := []struct {
+				name string
+				run  func() [][]float64
+			}{
+				{"sequential", func() [][]float64 {
+					s := gibbs.NewSequential(g, 17)
+					s.RunEpochs(20000)
+					return s.Marginals()
+				}},
+				{"hogwild", func() [][]float64 {
+					h := gibbs.NewHogwild(g, 17, 3)
+					defer h.Close()
+					h.RunEpochs(25000)
+					return h.Marginals()
+				}},
+				{"spatial", func() [][]float64 {
+					s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
+						Levels: 4, Instances: 2, Seed: 17, Workers: 2,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer s.Close()
+					s.RunTotalEpochs(25000)
+					return s.Marginals()
+				}},
+			}
+			for _, s := range samplers {
+				if d := testutil.MaxTV(s.run(), exact); d > tvTol {
+					t.Errorf("%s: max TV distance %.4f > %.2f", s.name, d, tvTol)
+				}
+			}
+		})
+	}
+}
+
+// TestSequentialDeterministicOnShapes pins the determinism contract: the
+// sequential chain is a pure function of (graph, seed).
+func TestSequentialDeterministicOnShapes(t *testing.T) {
+	for _, shape := range testutil.Shapes(901) {
+		g := mustGraph(t, shape.Spec)
+		run := func() [][]float64 {
+			s := gibbs.NewSequential(g, 23)
+			s.RunEpochs(400)
+			return s.Marginals()
+		}
+		if d := testutil.MaxTV(run(), run()); d != 0 {
+			t.Errorf("%s: same-seed sequential runs diverged by %v", shape.Name, d)
+		}
+	}
+}
+
+// TestSpatialWorkerCountInvariance checks the pooled scheduler does not
+// bias the chain: Workers=1 and Workers=4 agree within sampling tolerance
+// (they are distinct but equally valid interleavings of the same
+// seed-derived per-cell streams).
+func TestSpatialWorkerCountInvariance(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{Domain: 2, Spatial: true, Seed: 77})
+	exact, err := testutil.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) [][]float64 {
+		s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
+			Levels: 4, Instances: 2, Seed: 19, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.RunEpochs(12000)
+		return s.Marginals()
+	}
+	m1, m4 := run(1), run(4)
+	if d := testutil.MaxTV(m1, m4); d > tvTol {
+		t.Errorf("Workers=1 vs Workers=4 diverged by %.4f", d)
+	}
+	for name, m := range map[string][][]float64{"Workers=1": m1, "Workers=4": m4} {
+		if d := testutil.MaxTV(m, exact); d > tvTol {
+			t.Errorf("%s: max TV distance %.4f from exact", name, d)
+		}
+	}
+}
+
+// starGraph builds a tight spatial star: a center atom linked to leaves by
+// spatial pairs, leaves carrying alternating unary priors. Given the
+// center, the leaves are mutually independent, so pinning the center and
+// resampling only its neighbourhood must reach the exact conditional.
+func starGraph(t testing.TB, leaves int) (*factorgraph.Graph, factorgraph.VarID) {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	center, err := b.AddVariable(factorgraph.Variable{
+		Domain: 2, Evidence: factorgraph.NoEvidence,
+		Loc: geom.Pt(50, 50), HasLoc: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < leaves; i++ {
+		leaf, err := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: factorgraph.NoEvidence,
+			Loc: geom.Pt(50+0.3*float64(i%3+1), 50+0.3*float64(i/3+1)), HasLoc: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddSpatialPair(center, leaf, 0.6); err != nil {
+			t.Fatal(err)
+		}
+		w := 0.4
+		if i%2 == 1 {
+			w = -0.4
+		}
+		if err := b.AddFactor(factorgraph.FactorIsTrue, w, []factorgraph.VarID{leaf}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, center
+}
+
+// TestIncrementalConvergesToExactConditional: UpdateEvidence + RunIncremental
+// must converge to the exact conditional marginals of the re-pinned graph.
+func TestIncrementalConvergesToExactConditional(t *testing.T) {
+	const leaves = 6
+	g, center := starGraph(t, leaves)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 4, Instances: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.UpdateEvidence(center, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.RunIncremental(15000)
+
+	// Exact reference: the same graph built with the evidence baked in.
+	b := factorgraph.NewBuilder()
+	cid, _ := b.AddVariable(factorgraph.Variable{
+		Domain: 2, Evidence: 1, Loc: geom.Pt(50, 50), HasLoc: true,
+	})
+	for i := 0; i < leaves; i++ {
+		leaf, _ := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: factorgraph.NoEvidence,
+			Loc: geom.Pt(50+0.3*float64(i%3+1), 50+0.3*float64(i/3+1)), HasLoc: true,
+		})
+		if err := b.AddSpatialPair(cid, leaf, 0.6); err != nil {
+			t.Fatal(err)
+		}
+		w := 0.4
+		if i%2 == 1 {
+			w = -0.4
+		}
+		if err := b.AddFactor(factorgraph.FactorIsTrue, w, []factorgraph.VarID{leaf}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := testutil.Exact(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Marginals()
+	if m[center][1] != 1 {
+		t.Fatalf("pinned marginal = %v", m[center])
+	}
+	if d := testutil.MaxTV(m, exact); d > tvTol {
+		t.Errorf("incremental conditional max TV %.4f > %.2f", d, tvTol)
+	}
+}
+
+// twoClusterGraph places two well-separated spatial clusters with
+// intra-cluster pairs only, so incremental inference after pinning an atom
+// of cluster A must never touch cluster B's cells.
+func twoClusterGraph(t testing.TB, perCluster int) (*factorgraph.Graph, []factorgraph.VarID, []factorgraph.VarID) {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	// Spacing is wide enough that each cluster spans several pyramid cells
+	// at the swept levels (a single-cell cluster would be merged up above
+	// the swept range by the partial pyramid's sparse-quadrant rule).
+	addCluster := func(cx, cy float64) []factorgraph.VarID {
+		var ids []factorgraph.VarID
+		for i := 0; i < perCluster; i++ {
+			id, err := b.AddVariable(factorgraph.Variable{
+				Domain: 2, Evidence: factorgraph.NoEvidence,
+				Loc:    geom.Pt(cx+12*float64(i%3), cy+12*float64(i/3)),
+				HasLoc: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for i := 1; i < len(ids); i++ {
+			if err := b.AddSpatialPair(ids[i-1], ids[i], 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ids
+	}
+	a := addCluster(5, 5)
+	c := addCluster(165, 165)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, a, c
+}
+
+// TestIncrementalSweepsOnlyDirtyCells asserts via schedule instrumentation
+// that RunIncremental resamples only the dirty concliques' cells while
+// RunEpochs sweeps the whole schedule.
+func TestIncrementalSweepsOnlyDirtyCells(t *testing.T) {
+	g, clusterA, clusterB := twoClusterGraph(t, 6)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 5, Instances: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ScheduledCells() < 2 {
+		t.Fatalf("test premise broken: %d scheduled cells", s.ScheduledCells())
+	}
+
+	// A full epoch sweeps every scheduled cell.
+	s.InstrumentSweeps()
+	s.RunEpochs(2)
+	full := s.SweptCells()
+	homes := 0
+	for _, v := range append(append([]factorgraph.VarID{}, clusterA...), clusterB...) {
+		if key, ok := s.HomeCell(v); ok {
+			homes++
+			if full[key] != 2 {
+				t.Errorf("full sweep hit cell %+v %d times, want 2", key, full[key])
+			}
+		}
+	}
+	if homes == 0 {
+		t.Fatal("test premise broken: no atom has a scheduled home cell")
+	}
+
+	// An incremental run after pinning a cluster-A atom touches cluster-A
+	// cells only.
+	if err := s.UpdateEvidence(clusterA[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	s.InstrumentSweeps()
+	s.RunIncremental(3)
+	inc := s.SweptCells()
+	if len(inc) == 0 && s.SweptTailVars() == 0 {
+		t.Fatal("incremental run swept nothing")
+	}
+	if len(inc) >= s.ScheduledCells() {
+		t.Errorf("incremental run swept %d of %d cells — not restricted", len(inc), s.ScheduledCells())
+	}
+	for _, v := range clusterB {
+		if key, ok := s.HomeCell(v); ok {
+			if n := inc[key]; n != 0 {
+				t.Errorf("incremental run swept cluster-B cell %+v %d times", key, n)
+			}
+		}
+	}
+}
+
+// TestSpatialSteadyStateEpochAllocFree pins the pooled epoch loop's
+// zero-allocation property (the benchmark counterpart records numbers; this
+// enforces the invariant in every test run).
+func TestSpatialSteadyStateEpochAllocFree(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{
+		Vars: 400, Domain: 2, Spatial: true,
+		LogicalFactors: 300, SpatialPairs: 600, Seed: 5,
+	})
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 5, Instances: 2, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.RunEpochs(3) // warm the pool, touched-list capacities and sudog caches
+	if allocs := testing.AllocsPerRun(5, func() { s.RunEpochs(1) }); allocs > 0 {
+		t.Errorf("steady-state spatial epoch allocated %.1f times", allocs)
+	}
+}
+
+// TestHogwildSteadyStateEpochAllocFree is the hogwild counterpart.
+func TestHogwildSteadyStateEpochAllocFree(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{
+		Vars: 400, Domain: 2, Spatial: true,
+		LogicalFactors: 300, SpatialPairs: 600, Seed: 6,
+	})
+	h := gibbs.NewHogwild(g, 3, 2)
+	defer h.Close()
+	h.RunEpochs(3)
+	if allocs := testing.AllocsPerRun(5, func() { h.RunEpochs(1) }); allocs > 0 {
+		t.Errorf("steady-state hogwild epoch allocated %.1f times", allocs)
+	}
+}

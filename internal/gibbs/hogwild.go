@@ -2,7 +2,6 @@ package gibbs
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/factorgraph"
 )
@@ -14,15 +13,23 @@ import (
 // converges slowly when variables are spatially correlated, because
 // dependent variables are sampled simultaneously and ignore each other's
 // fresh values — exactly the deficiency the spatial sampler removes.
+//
+// Execution shares the spatial sampler's pooled backend: the shuffled
+// query variables live in one flat slice, buckets are contiguous ranges of
+// it dispatched to persistent workers, and per-worker count deltas merge
+// into the sampler's counters at each epoch barrier.
 type Hogwild struct {
-	g       *factorgraph.Graph
-	assign  factorgraph.Assignment
-	seed    int64
-	workers int
-	buckets [][]factorgraph.VarID
-	counts  []*counts // per worker, merged on demand
-	epochs  int
-	burnIn  int
+	g         *factorgraph.Graph
+	assign    factorgraph.Assignment
+	seed      int64
+	workers   int
+	flat      []factorgraph.VarID // shuffled query variables, bucket-major
+	bucketOff []int32             // len = workers+1, ranges into flat
+	counts    *counts
+	pool      *Pool
+	run       *hogwildRun
+	epochs    int
+	burnIn    int
 }
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
@@ -46,9 +53,10 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
 		assign:  g.InitialAssignment(),
 		seed:    seed,
 		workers: workers,
-		buckets: make([][]factorgraph.VarID, workers),
-		counts:  make([]*counts, workers),
+		counts:  newCounts(g),
+		pool:    newPool(workers, 1, g),
 	}
+	h.run = &hogwildRun{h: h}
 	// Random partition (the paper's "randomly partition the variables into
 	// a set of buckets").
 	rng := taskRNG(seed, 0xb0c4e7)
@@ -61,15 +69,22 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
 		j := rng.Intn(i + 1)
 		perm[i], perm[j] = perm[j], perm[i]
 	}
+	// Deal round-robin into buckets, then flatten bucket-major.
+	buckets := make([][]factorgraph.VarID, workers)
 	for i, pi := range perm {
 		w := i % workers
-		h.buckets[w] = append(h.buckets[w], query[pi])
+		buckets[w] = append(buckets[w], query[pi])
 	}
-	for w := range h.counts {
-		h.counts[w] = newCounts(g)
+	h.bucketOff = append(h.bucketOff, 0)
+	for _, b := range buckets {
+		h.flat = append(h.flat, b...)
+		h.bucketOff = append(h.bucketOff, int32(len(h.flat)))
 	}
 	return h
 }
+
+// Close releases the sampler's worker pool (optional; finalizer-backed).
+func (h *Hogwild) Close() { h.pool.Close() }
 
 // Name implements Sampler.
 func (h *Hogwild) Name() string { return "hogwild" }
@@ -77,26 +92,34 @@ func (h *Hogwild) Name() string { return "hogwild" }
 // TotalEpochs implements Sampler.
 func (h *Hogwild) TotalEpochs() int { return h.epochs }
 
+// hogwildRun is the pool batch descriptor: chunk lo identifies the bucket.
+type hogwildRun struct {
+	h     *Hogwild
+	epoch uint64
+	count bool
+}
+
+func (r *hogwildRun) runChunk(w *workerState, bucket, _ int32) {
+	h := r.h
+	rng := prng{state: taskSeed(h.seed, r.epoch, uint64(bucket)<<32)}
+	for _, v := range h.flat[h.bucketOff[bucket]:h.bucketOff[bucket+1]] {
+		x := sampleOne(h.g, v, h.assign, &rng, w.buf)
+		if r.count {
+			w.record(0, v, x)
+		}
+	}
+}
+
 // RunEpochs implements Sampler.
 func (h *Hogwild) RunEpochs(n int) {
 	for e := 0; e < n; e++ {
-		count := h.epochs+e >= h.burnIn
-		var wg sync.WaitGroup
-		for w := 0; w < h.workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				rng := taskRNG(h.seed, uint64(h.epochs+e)+1, uint64(w)<<32)
-				buf := make([]float64, maxDomain(h.g))
-				for _, v := range h.buckets[w] {
-					x := sampleOne(h.g, v, h.assign, rng, buf)
-					if count {
-						h.counts[w].add(v, x)
-					}
-				}
-			}(w)
+		h.run.epoch = uint64(h.epochs+e) + 1
+		h.run.count = h.epochs+e >= h.burnIn
+		for b := 0; b < h.workers; b++ {
+			h.pool.dispatch(h.run, int32(b), 0)
 		}
-		wg.Wait()
+		h.pool.wait()
+		h.pool.mergeDeltas(0, h.counts)
 	}
 	h.epochs += n
 }
@@ -104,14 +127,10 @@ func (h *Hogwild) RunEpochs(n int) {
 // Marginals implements Sampler.
 func (h *Hogwild) Marginals() [][]float64 {
 	return marginalsFrom(h.g, func(v int) ([]float64, float64) {
-		vals := make([]float64, h.g.Var(factorgraph.VarID(v)).Domain)
-		var total int64
-		for _, cs := range h.counts {
-			for i, c := range cs.c[v] {
-				vals[i] += float64(c)
-			}
-			total += cs.totals[v]
+		vals := make([]float64, len(h.counts.c[v]))
+		for i, c := range h.counts.c[v] {
+			vals[i] = float64(c)
 		}
-		return vals, float64(total)
+		return vals, float64(h.counts.totals[v])
 	})
 }

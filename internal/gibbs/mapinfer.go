@@ -117,12 +117,21 @@ func greedy(g *factorgraph.Graph, assign factorgraph.Assignment,
 	for {
 		improved := false
 		for _, v := range query {
-			scores := g.ConditionalScores(v, assign, buf)
 			cur := assign.Get(v)
 			best := cur
-			for x := range scores {
-				if scores[x] > scores[best] {
-					best = int32(x)
+			if g.DomainOf(v) == 2 {
+				// Ties keep the current value, matching the generic argmax.
+				if s0, s1 := g.BinaryConditionalScores(v, assign); s1 > s0 {
+					best = 1
+				} else if s0 > s1 {
+					best = 0
+				}
+			} else {
+				scores := g.ConditionalScores(v, assign, buf)
+				for x := range scores {
+					if scores[x] > scores[best] {
+						best = int32(x)
+					}
 				}
 			}
 			if best != cur {

@@ -1,0 +1,162 @@
+package gibbs
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/factorgraph"
+)
+
+// Pool is the persistent worker pool behind the parallel samplers
+// (DimmWitted-style long-lived execution engine). A pool is created once
+// per sampler; its goroutines start lazily on the first dispatch, block on
+// a work channel between batches, and own all reusable per-worker state:
+//
+//   - a score buffer sized to the graph's maximum domain (unused on the
+//     binary fast path),
+//   - per-instance count deltas plus a touched-variable list, merged into
+//     the owning instance's counters at epoch barriers,
+//
+// so a steady-state epoch performs no allocations: issuers send chunk
+// values over the channel, workers run them against pre-flattened
+// schedules, and a shared WaitGroup forms the batch barrier.
+//
+// Concurrency contract: one batch is in flight at a time (dispatch* then
+// wait, all from a single issuer goroutine). The samplers uphold this —
+// their RunEpochs/RunIncremental calls must not race with each other,
+// which was already the seed implementation's contract.
+//
+// Lifetime: Close releases the worker goroutines; a finalizer backstops
+// samplers that are dropped without Close (the workers hold only the
+// channel and their own state, never the Pool itself, so an abandoned pool
+// becomes collectable and its finalizer shuts the workers down).
+type Pool struct {
+	work    chan chunk
+	wg      *sync.WaitGroup // in-flight chunks of the current batch
+	ws      []*workerState
+	start   sync.Once
+	stop    sync.Once
+	workers int
+}
+
+// chunk is one unit of dispatched work. The meaning of [lo, hi) belongs to
+// the runner: a cell-index range for spatial sweeps, a bucket index for
+// hogwild, ignored for serial tails.
+type chunk struct {
+	cr     chunkRunner
+	lo, hi int32
+}
+
+// chunkRunner is implemented by the per-sampler batch descriptors
+// (spatialRun, tailRun, hogwildRun). Implementations must only touch the
+// worker's own state and data owned by their chunk.
+type chunkRunner interface {
+	runChunk(w *workerState, lo, hi int32)
+}
+
+// workerState is one worker's private, reusable scratch. Each state is a
+// separate allocation so adjacent workers do not false-share slice headers.
+type workerState struct {
+	buf []float64 // score buffer (categorical path), len = maxDomain
+	// Per-instance count deltas: dc[k] accumulates this worker's samples
+	// for instance k since the last epoch barrier, touched[k] lists the
+	// variables with non-zero deltas (so merging is O(samples), not
+	// O(vars×domain)). Capacity is fixed at pool construction; appends
+	// never reallocate in steady state.
+	dc      []*counts
+	touched [][]factorgraph.VarID
+}
+
+// record accumulates one sample into the worker-local delta for instance k.
+func (w *workerState) record(k int, v factorgraph.VarID, x int32) {
+	d := w.dc[k]
+	if d.totals[v] == 0 {
+		w.touched[k] = append(w.touched[k], v)
+	}
+	d.c[v][x]++
+	d.totals[v]++
+}
+
+// newPool sizes a pool for a sampler over g with the given worker count and
+// number of sampler instances (hogwild uses one instance).
+func newPool(workers, instances int, g *factorgraph.Graph) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	nq := len(queryVars(g))
+	p := &Pool{
+		work:    make(chan chunk, workers*4),
+		wg:      new(sync.WaitGroup),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		w := &workerState{
+			buf:     make([]float64, maxDomain(g)),
+			dc:      make([]*counts, instances),
+			touched: make([][]factorgraph.VarID, instances),
+		}
+		for k := 0; k < instances; k++ {
+			w.dc[k] = newCounts(g)
+			w.touched[k] = make([]factorgraph.VarID, 0, nq)
+		}
+		p.ws = append(p.ws, w)
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+	return p
+}
+
+// dispatch queues one chunk of the current batch, starting the workers on
+// first use. The issuer must follow a sequence of dispatches with wait.
+func (p *Pool) dispatch(cr chunkRunner, lo, hi int32) {
+	p.start.Do(func() {
+		for _, w := range p.ws {
+			// Workers capture only the channel, the batch WaitGroup and
+			// their own state — not p — so an abandoned pool can be
+			// finalized while its workers are parked.
+			go poolWorker(p.work, p.wg, w)
+		}
+	})
+	p.wg.Add(1)
+	p.work <- chunk{cr: cr, lo: lo, hi: hi}
+}
+
+// wait blocks until every dispatched chunk of the current batch completed.
+func (p *Pool) wait() { p.wg.Wait() }
+
+// mergeDeltas folds every worker's count deltas for instance k into dst and
+// resets them; called at epoch barriers with no batch in flight (the
+// wg.Done→Wait edge orders the workers' writes before this read).
+func (p *Pool) mergeDeltas(k int, dst *counts) {
+	for _, w := range p.ws {
+		d := w.dc[k]
+		for _, v := range w.touched[k] {
+			row, drow := d.c[v], dst.c[v]
+			for x, c := range row {
+				if c != 0 {
+					drow[x] += c
+					row[x] = 0
+				}
+			}
+			dst.totals[v] += d.totals[v]
+			d.totals[v] = 0
+		}
+		w.touched[k] = w.touched[k][:0]
+	}
+}
+
+// Close releases the worker goroutines. Safe to call multiple times; the
+// pool must be idle (no batch in flight).
+func (p *Pool) Close() {
+	p.stop.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		p.start.Do(func() {}) // never started ⇒ nothing to release
+		close(p.work)
+	})
+}
+
+func poolWorker(work chan chunk, wg *sync.WaitGroup, w *workerState) {
+	for c := range work {
+		c.cr.runChunk(w, c.lo, c.hi)
+		wg.Done()
+	}
+}

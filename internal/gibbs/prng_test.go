@@ -1,0 +1,63 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntnUniform checks the Lemire bounded-random implementation: every
+// residue of several moduli (including non-powers-of-two, where the old
+// next()%n had modulo bias) appears with frequency within 4σ of uniform.
+func TestIntnUniform(t *testing.T) {
+	const draws = 240000
+	for _, n := range []int{2, 3, 5, 6, 7, 10, 100} {
+		rng := taskRNG(99, uint64(n))
+		hist := make([]int, n)
+		for i := 0; i < draws; i++ {
+			x := rng.Intn(n)
+			if x < 0 || x >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, x)
+			}
+			hist[x]++
+		}
+		p := 1 / float64(n)
+		sigma := math.Sqrt(float64(draws) * p * (1 - p))
+		want := float64(draws) * p
+		for x, c := range hist {
+			if math.Abs(float64(c)-want) > 4*sigma {
+				t.Errorf("Intn(%d): residue %d count %d, want %.0f ± %.0f",
+					n, x, c, want, 4*sigma)
+			}
+		}
+	}
+}
+
+// TestIntnSmallAndEdgeBounds covers degenerate bounds.
+func TestIntnSmallAndEdgeBounds(t *testing.T) {
+	rng := taskRNG(7)
+	for i := 0; i < 1000; i++ {
+		if x := rng.Intn(1); x != 0 {
+			t.Fatalf("Intn(1) = %d", x)
+		}
+	}
+	// A power-of-two bound exercises the no-rejection path exactly.
+	for i := 0; i < 1000; i++ {
+		if x := rng.Intn(8); x < 0 || x > 7 {
+			t.Fatalf("Intn(8) = %d", x)
+		}
+	}
+}
+
+// TestIntnMatchesScaledFloat sanity-checks the mapping direction: with a
+// large bound, Intn(n)/n must track Float64 uniformity (mean ≈ 1/2).
+func TestIntnMatchesScaledFloat(t *testing.T) {
+	rng := taskRNG(11)
+	const n, draws = 1 << 30, 200000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += float64(rng.Intn(n)) / n
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("Intn(2^30) mean %.4f, want ≈ 0.5", mean)
+	}
+}

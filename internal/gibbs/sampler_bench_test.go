@@ -1,0 +1,99 @@
+package gibbs_test
+
+// Steady-state epoch benchmarks for the pooled sampler core. The
+// ReportAllocs numbers are the acceptance gauge for the persistent worker
+// pool: after warm-up, an epoch of the spatial and hogwild samplers must
+// run at 0 allocs/op (also enforced by the AllocsPerRun tests in
+// harness_test.go). Results are recorded in BENCH_sampler.json.
+
+import (
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+)
+
+// benchSamplerGraph is a mid-size spatial graph (~2000 vars) comparable to
+// the reduced-scale GWDB workloads of internal/bench.
+func benchSamplerGraph(tb testing.TB) *factorgraph.Graph {
+	tb.Helper()
+	g, err := testutil.RandomGraph(testutil.Spec{
+		Vars: 2000, Domain: 2, Spatial: true,
+		LogicalFactors: 1500, SpatialPairs: 3500,
+		EvidencePer1000: 150, Seed: 424242,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSpatialEpoch(b *testing.B) {
+	g := benchSamplerGraph(b)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 6, Instances: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.RunEpochs(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpochs(1)
+	}
+}
+
+func BenchmarkHogwildEpoch(b *testing.B) {
+	g := benchSamplerGraph(b)
+	h := gibbs.NewHogwild(g, 1, 0)
+	defer h.Close()
+	h.RunEpochs(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RunEpochs(1)
+	}
+}
+
+func BenchmarkSequentialEpoch(b *testing.B) {
+	g := benchSamplerGraph(b)
+	s := gibbs.NewSequential(g, 1)
+	s.RunEpochs(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunEpochs(1)
+	}
+}
+
+// BenchmarkSpatialIncremental measures the restricted sweep after one
+// evidence update (the Fig. 13a latency path).
+func BenchmarkSpatialIncremental(b *testing.B) {
+	g := benchSamplerGraph(b)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 6, Instances: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.RunEpochs(3)
+	var pin factorgraph.VarID = -1
+	g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+		if v.Evidence == factorgraph.NoEvidence && v.HasLoc {
+			pin = id
+			return false
+		}
+		return true
+	})
+	if pin < 0 {
+		b.Fatal("no query variable to pin")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.UpdateEvidence(pin, int32(i%2)); err != nil {
+			b.Fatal(err)
+		}
+		s.RunIncremental(1)
+	}
+}

@@ -5,7 +5,11 @@ import (
 )
 
 // Sequential is the classic single-chain Gibbs sampler: each epoch sweeps
-// every query variable once in ID order.
+// every query variable once in ID order. It is fully deterministic for a
+// given seed — the correctness harness uses it as the reference chain — and
+// shares the sampleOne core (including the buffer-free binary fast path)
+// with the pooled parallel samplers, so all variants draw from identical
+// conditional distributions.
 type Sequential struct {
 	g      *factorgraph.Graph
 	assign factorgraph.Assignment

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/conclique"
 	"repro/internal/factorgraph"
@@ -29,7 +28,8 @@ type SpatialOptions struct {
 	// BurnIn discards the first BurnIn epochs of each instance's chain from
 	// the marginal counters (they are still sampled, moving the chain).
 	BurnIn int
-	// Workers caps the goroutines used per conclique sweep. Default
+	// Workers caps the parallelism used per instance per conclique sweep;
+	// the pool holds Workers × Instances persistent goroutines. Default
 	// GOMAXPROCS.
 	Workers int
 	// Space overrides the pyramid bounding space (derived from atom
@@ -61,18 +61,24 @@ type instance struct {
 	epochs int // chain epochs run (for burn-in accounting)
 }
 
-// cellTask is one cell's sampling work: the query atoms homed at this cell.
-type cellTask struct {
-	key  pyramid.CellKey
-	vars []factorgraph.VarID
+// schedule is the flattened per-epoch sweep plan (Algorithm 1 lines 10–15),
+// precomputed once so an epoch issues no per-group allocations: every
+// scheduled variable sits in one contiguous vars slice, cells are contiguous
+// ranges of it, and groups — one per (level, conclique) with at least one
+// cell — are contiguous ranges of the cell array. Cells within one group
+// are mutually non-adjacent and sampled in parallel; groups run serially.
+type schedule struct {
+	vars   []factorgraph.VarID // all scheduled home-cell atoms
+	varOff []int32             // per cell: range into vars; len = numCells+1
+	keys   []pyramid.CellKey   // per cell: its pyramid cell
+
+	allCells   []int32 // identity cell-index list (full-sweep batch)
+	groupOff   []int32 // per group: range into allCells; len = numGroups+1
+	groupLevel []int   // per group: pyramid level (diagnostics)
 }
 
-// levelSweep is the precomputed per-level schedule: cell tasks grouped by
-// conclique (Algorithm 1 lines 10–15). Cells within one group are mutually
-// non-adjacent and sampled in parallel; groups run serially.
-type levelSweep struct {
-	level  int
-	groups [conclique.Count][]cellTask
+func (sc *schedule) cellVars(ci int32) []factorgraph.VarID {
+	return sc.vars[sc.varOff[ci]:sc.varOff[ci+1]]
 }
 
 // Spatial implements the paper's Spatial Gibbs Sampling (Algorithm 1). It
@@ -83,6 +89,12 @@ type levelSweep struct {
 // sequentially with standard Gibbs steps. K instances run concurrently and
 // their counters are averaged (line 16); marginals come from the averaged
 // counters.
+//
+// Execution goes through a persistent Pool: the instances' cell tasks for
+// one conclique are chunked across long-lived workers, an epoch barrier
+// merges the workers' count deltas into each instance's counters, and the
+// flattened schedule plus per-worker scratch make a steady-state epoch
+// allocation-free.
 //
 // Each atom is sampled exactly once per epoch, at its *home* cell (its
 // lowest maintained pyramid cell, clamped to LocalityLevel) — the Figure 6
@@ -95,35 +107,46 @@ type Spatial struct {
 	opts SpatialOptions
 	pyr  *pyramid.Index // nil when the graph has no located query atoms
 
-	instances  []*instance
-	sweep      []levelSweep
-	nonSpatial []factorgraph.VarID // query vars without location
-	residual   []factorgraph.VarID // home level above the swept range
-	homeCell   map[factorgraph.VarID]pyramid.CellKey
-	pinned     []bool // evidence added after construction
-	dirty      map[factorgraph.VarID]bool
-	epochs     int
+	instances []*instance
+	sched     schedule
+	tail      []factorgraph.VarID // residual + non-spatial vars, serial sweep
+	homeCell  map[factorgraph.VarID]pyramid.CellKey
+	cellIndex map[pyramid.CellKey]int32 // cell key → schedule cell index
+	pinned    []bool                    // evidence added after construction
+	dirty     map[factorgraph.VarID]bool
+	epochs    int
+
+	pool     *Pool
+	runs     []*spatialRun // per instance, reused every batch
+	tailRuns []*tailRun    // per instance, reused every epoch
+
+	// Instrumentation (nil unless InstrumentSweeps was called): cells and
+	// tail variables swept per epoch, counted once per group dispatch.
+	sweptCells map[pyramid.CellKey]int
+	sweptTail  int
 }
 
 // NewSpatial builds the sampler, including the pyramid index over the
-// spatial query atoms and the per-level conclique schedule (Algorithm 1
-// lines 5–6).
+// spatial query atoms, the flattened per-level conclique schedule
+// (Algorithm 1 lines 5–6), and the persistent worker pool.
 func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 	opts = opts.withDefaults()
 	s := &Spatial{
-		g:        g,
-		opts:     opts,
-		pinned:   make([]bool, g.NumVars()),
-		dirty:    map[factorgraph.VarID]bool{},
-		homeCell: map[factorgraph.VarID]pyramid.CellKey{},
+		g:         g,
+		opts:      opts,
+		pinned:    make([]bool, g.NumVars()),
+		dirty:     map[factorgraph.VarID]bool{},
+		homeCell:  map[factorgraph.VarID]pyramid.CellKey{},
+		cellIndex: map[pyramid.CellKey]int32{},
 	}
 	var entries []pyramid.Entry
 	var space geom.Rect
+	var nonSpatial, residual []factorgraph.VarID
 	first := true
 	for _, v := range queryVars(g) {
 		meta := g.Var(v)
 		if !meta.HasLoc {
-			s.nonSpatial = append(s.nonSpatial, v)
+			nonSpatial = append(nonSpatial, v)
 			continue
 		}
 		entries = append(entries, pyramid.Entry{ID: int64(v), Loc: meta.Loc})
@@ -151,20 +174,32 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 			return nil, fmt.Errorf("gibbs: building pyramid: %w", err)
 		}
 		s.pyr = pyr
-		s.buildSchedule(entries)
+		residual = s.buildSchedule(entries)
 	}
+	sort.Slice(residual, func(i, j int) bool { return residual[i] < residual[j] })
+	s.tail = append(residual, nonSpatial...)
+	s.pool = newPool(opts.Workers*opts.Instances, opts.Instances, g)
 	for k := 0; k < opts.Instances; k++ {
-		s.instances = append(s.instances, &instance{
+		inst := &instance{
 			assign: g.InitialAssignment(),
 			counts: newCounts(g),
-		})
+		}
+		s.instances = append(s.instances, inst)
+		s.runs = append(s.runs, &spatialRun{s: s, inst: inst, k: k})
+		s.tailRuns = append(s.tailRuns, &tailRun{s: s, inst: inst, k: k})
 	}
 	return s, nil
 }
 
-// buildSchedule computes each atom's home cell and the per-level conclique
-// cell tasks.
-func (s *Spatial) buildSchedule(entries []pyramid.Entry) {
+// Close releases the sampler's worker pool. Optional — abandoned samplers
+// are cleaned up by a finalizer — but deterministic for callers that create
+// many samplers.
+func (s *Spatial) Close() { s.pool.Close() }
+
+// buildSchedule computes each atom's home cell and flattens the per-level
+// conclique cell tasks into the contiguous schedule arrays. It returns the
+// atoms whose home lies above the swept range.
+func (s *Spatial) buildSchedule(entries []pyramid.Entry) (residual []factorgraph.VarID) {
 	levels := s.sweepLevels()
 	minSwept, maxSwept := levels[0], levels[len(levels)-1]
 	byCell := map[pyramid.CellKey][]factorgraph.VarID{}
@@ -172,7 +207,7 @@ func (s *Spatial) buildSchedule(entries []pyramid.Entry) {
 		v := factorgraph.VarID(e.ID)
 		home := s.pyr.LowestCell(e.Loc)
 		if home == nil {
-			s.residual = append(s.residual, v)
+			residual = append(residual, v)
 			continue
 		}
 		hl := home.Key.Level
@@ -180,17 +215,16 @@ func (s *Spatial) buildSchedule(entries []pyramid.Entry) {
 			hl = maxSwept
 		}
 		if hl < minSwept {
-			s.residual = append(s.residual, v)
+			residual = append(residual, v)
 			continue
 		}
 		key := pyramid.CellKey{Level: hl, X: home.Key.X >> (home.Key.Level - hl), Y: home.Key.Y >> (home.Key.Level - hl)}
 		s.homeCell[v] = key
 		byCell[key] = append(byCell[key], v)
 	}
-	sort.Slice(s.residual, func(i, j int) bool { return s.residual[i] < s.residual[j] })
-	s.sweep = nil
+	sc := &s.sched
+	sc.varOff = append(sc.varOff, 0)
 	for _, l := range levels {
-		sw := levelSweep{level: l}
 		var keys []pyramid.CellKey
 		for k := range byCell {
 			if k.Level == l {
@@ -203,14 +237,32 @@ func (s *Spatial) buildSchedule(entries []pyramid.Entry) {
 			}
 			return keys[i].X < keys[j].X
 		})
-		for _, k := range keys {
-			vars := byCell[k]
-			sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
-			q := conclique.Of(k)
-			sw.groups[q] = append(sw.groups[q], cellTask{key: k, vars: vars})
+		for q := conclique.ID(0); q < conclique.Count; q++ {
+			start := int32(len(sc.keys))
+			for _, k := range keys {
+				if conclique.Of(k) != q {
+					continue
+				}
+				vars := byCell[k]
+				sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+				s.cellIndex[k] = int32(len(sc.keys))
+				sc.keys = append(sc.keys, k)
+				sc.vars = append(sc.vars, vars...)
+				sc.varOff = append(sc.varOff, int32(len(sc.vars)))
+			}
+			if int32(len(sc.keys)) == start {
+				continue // empty (level, conclique) groups are dropped
+			}
+			sc.groupOff = append(sc.groupOff, start)
+			sc.groupLevel = append(sc.groupLevel, l)
 		}
-		s.sweep = append(s.sweep, sw)
 	}
+	sc.groupOff = append(sc.groupOff, int32(len(sc.keys)))
+	sc.allCells = make([]int32, len(sc.keys))
+	for i := range sc.allCells {
+		sc.allCells[i] = int32(i)
+	}
+	return residual
 }
 
 // Name implements Sampler.
@@ -240,22 +292,67 @@ func (s *Spatial) sweepLevels() []int {
 	return out
 }
 
+// spatialRun describes one instance's share of the batch currently in
+// flight: which cells to sweep, under which epoch identity. One descriptor
+// per instance is allocated at construction and mutated only between
+// batches, so dispatching is allocation-free.
+type spatialRun struct {
+	s     *Spatial
+	inst  *instance
+	k     int
+	epoch uint64
+	count bool
+	cells []int32 // cell-index list the chunk [lo, hi) ranges refer to
+}
+
+func (r *spatialRun) runChunk(w *workerState, lo, hi int32) {
+	s := r.s
+	for _, ci := range r.cells[lo:hi] {
+		key := s.sched.keys[ci]
+		rng := prng{state: taskSeed(s.opts.Seed, uint64(r.k)+1, r.epoch<<8,
+			uint64(key.Level)<<40, uint64(uint32(key.X))<<16|uint64(uint32(key.Y)))}
+		for _, v := range s.sched.cellVars(ci) {
+			if s.pinned[v] {
+				continue
+			}
+			x := sampleOne(s.g, v, r.inst.assign, &rng, w.buf)
+			if r.count {
+				w.record(r.k, v, x)
+			}
+		}
+	}
+}
+
+// tailRun sweeps one instance's residual + non-spatial variables (or the
+// incremental extra list) sequentially, as one chunk.
+type tailRun struct {
+	s     *Spatial
+	inst  *instance
+	k     int
+	epoch uint64
+	count bool
+	vars  []factorgraph.VarID
+}
+
+func (r *tailRun) runChunk(w *workerState, _, _ int32) {
+	s := r.s
+	rng := prng{state: taskSeed(s.opts.Seed, uint64(r.k)+1, r.epoch<<8, 0xfeed)}
+	for _, v := range r.vars {
+		if s.pinned[v] {
+			continue
+		}
+		x := sampleOne(s.g, v, r.inst.assign, &rng, w.buf)
+		if r.count {
+			w.record(r.k, v, x)
+		}
+	}
+}
+
 // RunEpochs implements Sampler: each call runs n epochs on every instance,
 // instances in parallel (so one call does the work of n·K raw epochs in n
 // rounds, matching Algorithm 1's e = E/K).
 func (s *Spatial) RunEpochs(n int) {
-	for e := 0; e < n; e++ {
-		var wg sync.WaitGroup
-		for k, inst := range s.instances {
-			wg.Add(1)
-			go func(k int, inst *instance) {
-				defer wg.Done()
-				s.runInstanceEpoch(k, inst, nil, nil)
-			}(k, inst)
-		}
-		wg.Wait()
-	}
-	s.epochs += n
+	s.sweepEpochs(n, s.sched.allCells, s.sched.groupOff, s.tail)
 }
 
 // RunTotalEpochs runs approximately total raw epochs of work split across
@@ -268,96 +365,59 @@ func (s *Spatial) RunTotalEpochs(total int) {
 	s.RunEpochs(per)
 }
 
-// runInstanceEpoch performs one epoch for one instance. When restrict is
-// non-nil, only cells whose key is in restrict are swept and extra (instead
-// of the residual/non-spatial lists) is swept sequentially — the
-// incremental path.
-func (s *Spatial) runInstanceEpoch(k int, inst *instance, restrict map[pyramid.CellKey]bool, extra []factorgraph.VarID) {
-	count := inst.epochs >= s.opts.BurnIn
-	inst.epochs++
-	epoch := uint64(inst.epochs)
-	for _, sw := range s.sweep {
-		for q := 0; q < conclique.Count; q++ {
-			group := sw.groups[q]
-			if restrict != nil {
-				var kept []cellTask
-				for _, task := range group {
-					if restrict[task.key] {
-						kept = append(kept, task)
+// sweepEpochs runs n epochs over the given cell batch: groups serially,
+// each group's cells chunked across the pool for all K instances at once,
+// then the serial tail, then the epoch barrier where worker count deltas
+// merge into the instances' counters. The full sweep passes the
+// precomputed schedule; RunIncremental passes its restricted copy. Nothing
+// in the per-epoch loop allocates.
+func (s *Spatial) sweepEpochs(n int, cells, groupOff []int32, tail []factorgraph.VarID) {
+	for e := 0; e < n; e++ {
+		for k, inst := range s.instances {
+			count := inst.epochs >= s.opts.BurnIn
+			inst.epochs++
+			r := s.runs[k]
+			r.epoch, r.count, r.cells = uint64(inst.epochs), count, cells
+			tr := s.tailRuns[k]
+			tr.epoch, tr.count, tr.vars = uint64(inst.epochs), count, tail
+		}
+		for gi := 0; gi+1 < len(groupOff); gi++ {
+			lo, hi := groupOff[gi], groupOff[gi+1]
+			if lo == hi {
+				continue
+			}
+			if s.sweptCells != nil {
+				for _, ci := range cells[lo:hi] {
+					s.sweptCells[s.sched.keys[ci]]++
+				}
+			}
+			per := (hi - lo + int32(s.opts.Workers) - 1) / int32(s.opts.Workers)
+			for k := range s.instances {
+				r := s.runs[k]
+				for off := lo; off < hi; off += per {
+					end := off + per
+					if end > hi {
+						end = hi
 					}
-				}
-				group = kept
-			}
-			if len(group) == 0 {
-				continue
-			}
-			s.sampleGroup(k, epoch, inst, group, count)
-		}
-	}
-	if restrict == nil {
-		extra = nil
-		if len(s.residual) > 0 || len(s.nonSpatial) > 0 {
-			extra = append(append([]factorgraph.VarID{}, s.residual...), s.nonSpatial...)
-		}
-	}
-	if len(extra) > 0 {
-		rng := taskRNG(s.opts.Seed, uint64(k)+1, epoch<<8, 0xfeed)
-		buf := make([]float64, maxDomain(s.g))
-		for _, v := range extra {
-			if s.pinned[v] {
-				continue
-			}
-			x := sampleOne(s.g, v, inst.assign, rng, buf)
-			if count {
-				inst.counts.add(v, x)
-			}
-		}
-	}
-}
-
-// sampleGroup samples one conclique's cells, chunked across at most
-// opts.Workers goroutines; within a chunk, cells and their variables are
-// swept sequentially with a deterministic per-cell PRNG.
-func (s *Spatial) sampleGroup(k int, epoch uint64, inst *instance, group []cellTask, count bool) {
-	workers := s.opts.Workers
-	if workers > len(group) {
-		workers = len(group)
-	}
-	sampleCells := func(tasks []cellTask, buf []float64) {
-		for _, task := range tasks {
-			rng := taskRNG(s.opts.Seed, uint64(k)+1, epoch<<8, uint64(task.key.Level)<<40,
-				uint64(uint32(task.key.X))<<16|uint64(uint32(task.key.Y)))
-			for _, v := range task.vars {
-				if s.pinned[v] {
-					continue
-				}
-				x := sampleOne(s.g, v, inst.assign, rng, buf)
-				if count {
-					inst.counts.add(v, x)
+					s.pool.dispatch(r, off, end)
 				}
 			}
+			s.pool.wait()
+		}
+		if len(tail) > 0 {
+			if s.sweptCells != nil {
+				s.sweptTail += len(tail)
+			}
+			for k := range s.instances {
+				s.pool.dispatch(s.tailRuns[k], 0, 0)
+			}
+			s.pool.wait()
+		}
+		for k, inst := range s.instances {
+			s.pool.mergeDeltas(k, inst.counts)
 		}
 	}
-	if workers <= 1 {
-		buf := make([]float64, maxDomain(s.g))
-		sampleCells(group, buf)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (len(group) + workers - 1) / workers
-	for off := 0; off < len(group); off += chunk {
-		end := off + chunk
-		if end > len(group) {
-			end = len(group)
-		}
-		wg.Add(1)
-		go func(tasks []cellTask) {
-			defer wg.Done()
-			buf := make([]float64, maxDomain(s.g))
-			sampleCells(tasks, buf)
-		}(group[off:end])
-	}
-	wg.Wait()
+	s.epochs += n
 }
 
 // UpdateEvidence pins a variable to an observed value after construction
@@ -374,7 +434,8 @@ func (s *Spatial) UpdateEvidence(v factorgraph.VarID, val int32) error {
 	s.dirty[v] = true
 	for _, inst := range s.instances {
 		inst.assign.Set(v, val)
-		// Pinning invalidates the variable's accumulated counts.
+		// Pinning invalidates the variable's accumulated counts. Worker
+		// deltas need no reset: they are empty outside sweepEpochs.
 		for x := range inst.counts.c[v] {
 			inst.counts.c[v][x] = 0
 		}
@@ -386,16 +447,18 @@ func (s *Spatial) UpdateEvidence(v factorgraph.VarID, val int32) error {
 // RunIncremental resamples, for n epochs, only the cells containing dirty
 // variables and their factor neighbourhoods — the paper's incremental
 // inference ("the sampler is invoked on the concliques of the updated
-// variables only"). The dirty set is cleared afterwards.
+// variables only"). The dirty set is cleared afterwards. The restricted
+// schedule is computed once per call; the n epochs then run allocation-free
+// through the same pooled sweep as RunEpochs.
 func (s *Spatial) RunIncremental(n int) {
 	if len(s.dirty) == 0 {
 		return
 	}
-	restrict := map[pyramid.CellKey]bool{}
+	restrict := map[int32]bool{}
 	extraSet := map[factorgraph.VarID]bool{}
 	touch := func(v factorgraph.VarID) {
 		if home, ok := s.homeCell[v]; ok {
-			restrict[home] = true
+			restrict[s.cellIndex[home]] = true
 			return
 		}
 		if s.g.Var(v).Evidence == factorgraph.NoEvidence && !s.pinned[v] {
@@ -423,23 +486,24 @@ func (s *Spatial) RunIncremental(n int) {
 			}
 		}
 	}
-	var extra []factorgraph.VarID
+	// Restrict the flat schedule: keep dirty cells, preserving group
+	// boundaries (and hence the serial-conclique sweep order).
+	cells := make([]int32, 0, len(restrict))
+	groupOff := make([]int32, 1, len(s.sched.groupOff))
+	for gi := 0; gi+1 < len(s.sched.groupOff); gi++ {
+		for ci := s.sched.groupOff[gi]; ci < s.sched.groupOff[gi+1]; ci++ {
+			if restrict[ci] {
+				cells = append(cells, ci)
+			}
+		}
+		groupOff = append(groupOff, int32(len(cells)))
+	}
+	extra := make([]factorgraph.VarID, 0, len(extraSet))
 	for v := range extraSet {
 		extra = append(extra, v)
 	}
 	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
-	for e := 0; e < n; e++ {
-		var wg sync.WaitGroup
-		for k, inst := range s.instances {
-			wg.Add(1)
-			go func(k int, inst *instance) {
-				defer wg.Done()
-				s.runInstanceEpoch(k, inst, restrict, extra)
-			}(k, inst)
-		}
-		wg.Wait()
-	}
-	s.epochs += n
+	s.sweepEpochs(n, cells, groupOff, extra)
 	s.dirty = map[factorgraph.VarID]bool{}
 }
 
@@ -484,22 +548,49 @@ func (s *Spatial) Marginals() [][]float64 {
 	return out
 }
 
+// InstrumentSweeps enables schedule instrumentation: subsequent epochs
+// record how often each pyramid cell was swept and how many tail variables
+// were visited. Test/diagnostic use only (recording is not allocation-free).
+func (s *Spatial) InstrumentSweeps() {
+	s.sweptCells = map[pyramid.CellKey]int{}
+	s.sweptTail = 0
+}
+
+// SweptCells returns the per-cell sweep counts recorded since
+// InstrumentSweeps, keyed by pyramid cell. Counts are per epoch, not per
+// instance (all K instances sweep the same cells).
+func (s *Spatial) SweptCells() map[pyramid.CellKey]int { return s.sweptCells }
+
+// SweptTailVars returns the number of tail-variable visits recorded since
+// InstrumentSweeps.
+func (s *Spatial) SweptTailVars() int { return s.sweptTail }
+
+// HomeCell reports the pyramid cell where v is sampled, or ok=false when v
+// is swept in the serial tail (no location, or home above the swept range).
+func (s *Spatial) HomeCell(v factorgraph.VarID) (pyramid.CellKey, bool) {
+	key, ok := s.homeCell[v]
+	return key, ok
+}
+
+// ScheduledCells returns the number of cells in the full sweep schedule.
+func (s *Spatial) ScheduledCells() int { return len(s.sched.keys) }
+
 // CellStats summarizes the sweep schedule for diagnostics: per swept level,
 // the number of home cells and conclique cover size.
 func (s *Spatial) CellStats() []string {
 	if s.pyr == nil {
 		return []string{"no spatial atoms"}
 	}
+	cellsAt := map[int]int{}
+	coverAt := map[int]int{}
+	for gi := 0; gi+1 < len(s.sched.groupOff); gi++ {
+		l := s.sched.groupLevel[gi]
+		cellsAt[l] += int(s.sched.groupOff[gi+1] - s.sched.groupOff[gi])
+		coverAt[l]++
+	}
 	var out []string
-	for _, sw := range s.sweep {
-		cells, cover := 0, 0
-		for _, g := range sw.groups {
-			cells += len(g)
-			if len(g) > 0 {
-				cover++
-			}
-		}
-		out = append(out, fmt.Sprintf("level %d: %d cells, %d concliques", sw.level, cells, cover))
+	for _, l := range s.sweepLevels() {
+		out = append(out, fmt.Sprintf("level %d: %d cells, %d concliques", l, cellsAt[l], coverAt[l]))
 	}
 	return out
 }
