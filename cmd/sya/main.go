@@ -6,24 +6,37 @@
 //
 //	sya -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
 //	    [-engine sya|deepdive] [-metric euclidean|miles|km] [-epochs N] \
-//	    [-bandwidth B] [-scale S] [-seed N] [-stats]
+//	    [-bandwidth B] [-scale S] [-seed N] [-stats] \
+//	    [-timeout D] [-checkpoint file] [-checkpoint-every N]
 //
 // CSV files need a header row naming the relation's columns (order free).
 // Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
 // true/false/1/0; empty cells load as NULL.
+//
+// Long runs are interruptible: -timeout bounds the whole pipeline, and ^C
+// (SIGINT/SIGTERM) stops sampling gracefully — either way the scores
+// accumulated so far are still printed, flagged as partial. With
+// -checkpoint the sampler snapshots its chain state every -checkpoint-every
+// epochs and a rerun pointing at the same file resumes where it left off.
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/gibbs"
 	"repro/internal/learn"
 	"repro/internal/storage"
 )
@@ -57,6 +70,9 @@ func main() {
 		showStats   = flag.Bool("stats", false, "print grounding statistics")
 		learnIters  = flag.Int("learn", 0, "learn rule weights from evidence for N iterations before inference")
 		saveGraph   = flag.String("save-graph", "", "write the ground factor graph snapshot to this file")
+		timeout     = flag.Duration("timeout", 0, "bound the whole run; partial scores are still printed (0 = none)")
+		ckptPath    = flag.String("checkpoint", "", "snapshot sampler state to this file and resume from it if it exists")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "epochs between checkpoint snapshots (0 = 100)")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -65,7 +81,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*programPath, loads.pairs, *engine, *metric, *epochs, *bandwidth, *scale, *seed, *showStats, *learnIters, *saveGraph); err != nil {
+	if err := run(*programPath, loads.pairs, *engine, *metric, *epochs, *bandwidth, *scale, *seed, *showStats, *learnIters, *saveGraph, *timeout, *ckptPath, *ckptEvery); err != nil {
 		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
 		os.Exit(1)
 	}
@@ -73,7 +89,16 @@ func main() {
 
 func run(programPath string, loads [][2]string, engineName, metricName string,
 	epochs int, bandwidth, scale float64, seed int64, showStats bool,
-	learnIters int, saveGraph string) error {
+	learnIters int, saveGraph string, timeout time.Duration, ckptPath string, ckptEvery int) error {
+	// One context governs the whole pipeline: grounding, learning and
+	// sampling all stop within a chunk of ^C or the -timeout deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	src, err := os.ReadFile(programPath)
 	if err != nil {
 		return err
@@ -81,7 +106,8 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 	cfg := core.Config{
 		Epochs:    epochs,
 		Bandwidth: bandwidth, SpatialScale: scale,
-		Seed: seed,
+		Seed:           seed,
+		CheckpointPath: ckptPath, CheckpointEvery: ckptEvery,
 	}
 	switch strings.ToLower(engineName) {
 	case "sya":
@@ -102,6 +128,7 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 		return fmt.Errorf("unknown metric %q", metricName)
 	}
 	s := core.NewSystem(cfg)
+	defer s.Close()
 	if err := s.LoadProgram(string(src)); err != nil {
 		return err
 	}
@@ -110,7 +137,7 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 			return fmt.Errorf("loading %s from %s: %w", pair[0], pair[1], err)
 		}
 	}
-	gres, err := s.Ground()
+	gres, err := s.GroundContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -143,7 +170,7 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 		fmt.Printf("# ground factor graph saved to %s\n", saveGraph)
 	}
 	if learnIters > 0 {
-		weights, err := s.LearnWeights(learn.Options{Iterations: learnIters, Seed: seed})
+		weights, err := s.LearnWeightsContext(ctx, learn.Options{Iterations: learnIters, Seed: seed})
 		if err != nil {
 			return err
 		}
@@ -156,11 +183,19 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 			fmt.Printf("# learned weight %s = %+.4f\n", r, weights[r])
 		}
 	}
-	scores, err := s.Infer()
+	scores, stats, err := s.InferContext(ctx, epochs)
 	if err != nil {
+		var wp *gibbs.WorkerPanicError
+		if errors.As(err, &wp) {
+			fmt.Fprintf(os.Stderr, "sya: sampler worker panicked; chain state kept at the last epoch barrier\n%s", wp.Stack)
+		}
 		return err
 	}
 	fmt.Printf("# inference: %d epochs in %v (%s engine)\n", epochs, s.InferenceTime().Round(1e6), cfg.Engine)
+	if stats.Reason != gibbs.ReasonDone {
+		fmt.Printf("# WARNING: run stopped early (%s) after %d full epochs — scores below are partial\n",
+			stats.Reason, stats.Epochs)
+	}
 	// Print factual scores per variable relation, sorted by key.
 	for _, rel := range s.Program().VariableRelations() {
 		type entry struct {

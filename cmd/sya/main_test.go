@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/datagen"
 )
@@ -37,7 +39,7 @@ func TestRunEndToEnd(t *testing.T) {
 	program, county, evidence := writeFixtures(t)
 	graphPath := filepath.Join(t.TempDir(), "graph.bin")
 	err := run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
-		"sya", "miles", 300, 60, 1, 7, true, 10, graphPath)
+		"sya", "miles", 300, 60, 1, 7, true, 10, graphPath, 0, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,27 +48,52 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	// DeepDive engine too.
 	err = run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
-		"deepdive", "miles", 100, 60, 1, 7, false, 0, "")
+		"deepdive", "miles", 100, 60, 1, 7, false, 0, "", 0, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunCheckpointAndTimeout(t *testing.T) {
+	program, county, evidence := writeFixtures(t)
+	loads := [][2]string{{"County", county}, {"CountyEvidence", evidence}}
+
+	// A checkpointed run leaves a resumable snapshot behind.
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", 0, ckpt, 50); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	// A second run resumes from it rather than failing.
+	if err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", 0, ckpt, 50); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+
+	// An immediate -timeout interrupts the pipeline during grounding; the
+	// error is the context's, not a crash.
+	err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", time.Nanosecond, "", 0)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("timeout run error = %v, want a deadline error", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	program, county, _ := writeFixtures(t)
-	if err := run("missing.ddlog", nil, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run("missing.ddlog", nil, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("missing program should fail")
 	}
-	if err := run(program, nil, "bogus", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, nil, "bogus", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("bad engine should fail")
 	}
-	if err := run(program, nil, "sya", "bogus", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, nil, "sya", "bogus", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("bad metric should fail")
 	}
-	if err := run(program, [][2]string{{"Nope", county}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, [][2]string{{"Nope", county}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("unknown relation should fail")
 	}
-	if err := run(program, [][2]string{{"County", "missing.csv"}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, [][2]string{{"County", "missing.csv"}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("missing csv should fail")
 	}
 }
@@ -76,17 +103,17 @@ func TestLoadCSVErrors(t *testing.T) {
 	dir := t.TempDir()
 	badHeader := filepath.Join(dir, "bad1.csv")
 	_ = os.WriteFile(badHeader, []byte("id,nope\n1,2\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badHeader}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, [][2]string{{"County", badHeader}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("unknown column should fail")
 	}
 	badBool := filepath.Join(dir, "bad2.csv")
 	_ = os.WriteFile(badBool, []byte("id,location,hasLowSanitation\n1,POINT (0 0),maybe\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badBool}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, [][2]string{{"County", badBool}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("bad bool should fail")
 	}
 	badWKT := filepath.Join(dir, "bad3.csv")
 	_ = os.WriteFile(badWKT, []byte("id,location,hasLowSanitation\n1,CIRCLE (0),true\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badWKT}}, "sya", "miles", 10, 50, 1, 1, false, 0, ""); err == nil {
+	if err := run(program, [][2]string{{"County", badWKT}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
 		t.Error("bad WKT should fail")
 	}
 }

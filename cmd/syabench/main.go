@@ -49,8 +49,9 @@ func main() {
 		side  = flag.Int("side", defaults.NYCCASSide, "NYCCAS raster side length (cells)")
 		ep    = flag.Int("epochs", defaults.Epochs, "inference epoch budget E")
 		runs  = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
-		seed  = flag.Int64("seed", defaults.Seed, "base RNG seed")
-		work  = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
+		work    = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
 	)
 	flag.Parse()
 	if *list {
@@ -99,11 +100,22 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = order
 	}
-	for _, name := range args {
+	// -timeout is a between-experiments budget: each experiment runs to
+	// completion (its tables stay internally consistent), but once the
+	// deadline passes no further experiment starts.
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	for i, name := range args {
 		fn, ok := experiments[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "syabench: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "syabench: -timeout %v reached, skipping %v\n", *timeout, args[i:])
+			break
 		}
 		start := time.Now()
 		tbl, err := fn(p)

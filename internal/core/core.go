@@ -11,8 +11,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -93,6 +95,14 @@ type Config struct {
 	// marginal counters (0 → one tenth of the per-chain epoch budget;
 	// negative → no burn-in).
 	BurnIn int
+
+	// CheckpointPath enables fault-tolerant inference: the sampler snapshots
+	// its chain state to this file every CheckpointEvery epochs (atomic
+	// temp-file+rename writes), and a System whose sampler is freshly built
+	// resumes from the file automatically when it exists. Empty disables.
+	CheckpointPath string
+	// CheckpointEvery is the snapshot interval in epochs (0 → 100).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +228,14 @@ func (s *System) LoadRows(relation string, rows []storage.Row) error {
 
 // Ground runs the grounding module and returns its result.
 func (s *System) Ground() (*grounding.Result, error) {
+	return s.GroundContext(context.Background())
+}
+
+// GroundContext is Ground under a context: cancellation is honoured between
+// grounding phases and inside the row/atom loops. A cancelled grounding
+// returns the context error and leaves the previous grounding (if any)
+// untouched.
+func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 	if s.prog == nil {
 		return nil, fmt.Errorf("core: no program loaded")
 	}
@@ -230,15 +248,29 @@ func (s *System) Ground() (*grounding.Result, error) {
 		MaxNeighbors:     s.cfg.MaxNeighbors,
 		UDFs:             s.cfg.UDFs,
 		SkipFactorTables: s.cfg.SkipFactorTables,
-	}).Ground()
+	}).GroundContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	s.ground = res
-	s.sampler = nil
+	s.closeSampler() // the old sampler's graph is gone; release its pool
 	s.groundDur = time.Since(start)
 	return res, nil
 }
+
+// closeSampler releases the live sampler (and its worker pool), if any.
+func (s *System) closeSampler() {
+	if s.sampler != nil {
+		s.sampler.Close()
+		s.sampler = nil
+	}
+}
+
+// Close releases the System's resources — today that is the pooled sampler,
+// which owns persistent worker goroutines. The System stays usable for
+// loading and grounding; the next inference call builds a fresh sampler.
+// Idempotent.
+func (s *System) Close() { s.closeSampler() }
 
 // Grounding returns the last grounding result (nil before Ground).
 func (s *System) Grounding() *grounding.Result { return s.ground }
@@ -288,29 +320,69 @@ func (s *System) Infer() (*Scores, error) {
 // declares @weight(?) rules and LearnWeights has not run, weights are
 // learned first with default options.
 func (s *System) InferEpochs(epochs int) (*Scores, error) {
+	scores, _, err := s.InferContext(context.Background(), epochs)
+	return scores, err
+}
+
+// InferContext is InferEpochs under a context. Cancellation (or a deadline)
+// stops sampling within one dispatch chunk and still returns the scores
+// estimated so far — partial marginals are statistically valid, just noisier
+// — with stats.Reason recording why the run stopped and stats.Epochs how
+// many full epochs it completed. A non-nil error means the run failed (for
+// example a *gibbs.WorkerPanicError); cancellation alone is not an error.
+//
+// The sampler is built once per grounding and reused across inference calls
+// (its worker pool persists); Close releases it. When CheckpointPath is
+// configured, a freshly built sampler resumes from the checkpoint file if
+// one exists and snapshots periodically while running.
+func (s *System) InferContext(ctx context.Context, epochs int) (*Scores, gibbs.RunStats, error) {
+	var stats gibbs.RunStats
 	if s.ground == nil {
-		return nil, fmt.Errorf("core: Ground must run before Infer")
+		return nil, stats, fmt.Errorf("core: Ground must run before Infer")
 	}
 	if !s.learned && s.hasLearnedRules() {
-		if _, err := s.LearnWeights(learn.Options{Seed: s.cfg.Seed}); err != nil {
-			return nil, fmt.Errorf("core: auto-learning @weight(?) rules: %w", err)
+		if _, err := s.LearnWeightsContext(ctx, learn.Options{Seed: s.cfg.Seed}); err != nil {
+			return nil, stats, fmt.Errorf("core: auto-learning @weight(?) rules: %w", err)
 		}
 	}
-	if s.sampler == nil {
-		sampler, err := s.newSampler()
-		if err != nil {
-			return nil, err
-		}
-		s.sampler = sampler
+	if err := s.ensureSampler(); err != nil {
+		return nil, stats, err
 	}
 	start := time.Now()
+	var err error
 	if sp, ok := s.sampler.(*gibbs.Spatial); ok {
-		sp.RunTotalEpochs(epochs)
+		stats, err = sp.RunTotal(ctx, epochs)
 	} else {
-		s.sampler.RunEpochs(epochs)
+		stats, err = s.sampler.Run(ctx, epochs)
 	}
 	s.inferDur += time.Since(start)
-	return s.scores(), nil
+	if err != nil {
+		return nil, stats, err
+	}
+	return s.scores(), stats, nil
+}
+
+// ensureSampler builds (and possibly resumes) the engine sampler if none is
+// live.
+func (s *System) ensureSampler() error {
+	if s.sampler != nil {
+		return nil
+	}
+	sampler, err := s.newSampler()
+	if err != nil {
+		return err
+	}
+	if s.cfg.CheckpointPath != "" {
+		if _, statErr := os.Stat(s.cfg.CheckpointPath); statErr == nil {
+			if err := gibbs.ResumeFrom(sampler, s.cfg.CheckpointPath); err != nil {
+				sampler.Close()
+				return fmt.Errorf("core: resuming from %s: %w", s.cfg.CheckpointPath, err)
+			}
+		}
+		sampler.SetCheckpointer(&gibbs.Checkpointer{Path: s.cfg.CheckpointPath, Every: s.cfg.CheckpointEvery})
+	}
+	s.sampler = sampler
+	return nil
 }
 
 // InferenceTime reports the cumulative wall time spent sampling.
@@ -336,14 +408,25 @@ func (s *System) UpdateEvidence(relation string, vals []storage.Value, value int
 // InferIncremental resamples only the concliques affected by evidence
 // updates (paper Fig. 13a). Sya engine only.
 func (s *System) InferIncremental(epochs int) (*Scores, error) {
+	scores, _, err := s.InferIncrementalContext(context.Background(), epochs)
+	return scores, err
+}
+
+// InferIncrementalContext is InferIncremental under a context, with the
+// same cancellation and error semantics as InferContext.
+func (s *System) InferIncrementalContext(ctx context.Context, epochs int) (*Scores, gibbs.RunStats, error) {
+	var stats gibbs.RunStats
 	sp, ok := s.sampler.(*gibbs.Spatial)
 	if !ok {
-		return nil, fmt.Errorf("core: incremental inference needs the Sya engine with a live sampler")
+		return nil, stats, fmt.Errorf("core: incremental inference needs the Sya engine with a live sampler")
 	}
 	start := time.Now()
-	sp.RunIncremental(epochs)
+	stats, err := sp.RunIncrementalContext(ctx, epochs)
 	s.inferDur += time.Since(start)
-	return s.scores(), nil
+	if err != nil {
+		return nil, stats, err
+	}
+	return s.scores(), stats, nil
 }
 
 // LearnWeights learns the inference rules' tied weights (and optionally a
@@ -353,15 +436,21 @@ func (s *System) InferIncremental(epochs int) (*Scores, error) {
 // any live sampler is reset so inference restarts under the learned
 // weights. It returns the learned weight per rule, keyed by rule name.
 func (s *System) LearnWeights(opts learn.Options) (map[string]float64, error) {
+	return s.LearnWeightsContext(context.Background(), opts)
+}
+
+// LearnWeightsContext is LearnWeights under a context, checked between
+// gradient iterations; a cancelled run returns the context error.
+func (s *System) LearnWeightsContext(ctx context.Context, opts learn.Options) (map[string]float64, error) {
 	if s.ground == nil {
 		return nil, fmt.Errorf("core: Ground must run before LearnWeights")
 	}
-	res, err := learn.Weights(s.ground.Graph, s.ground.FactorRule, len(s.ground.RuleNames), opts)
+	res, err := learn.Weights(ctx, s.ground.Graph, s.ground.FactorRule, len(s.ground.RuleNames), opts)
 	if err != nil {
 		return nil, err
 	}
 	s.learned = true
-	s.sampler = nil // resample under the learned weights
+	s.closeSampler() // resample under the learned weights
 	out := make(map[string]float64, len(res.Weights))
 	for i, w := range res.Weights {
 		out[s.ground.RuleNames[i]] = w
@@ -400,11 +489,22 @@ func (w *World) Value(relation string, vals []storage.Value) (int32, bool) {
 // MAP estimates the most probable world by simulated annealing (see
 // gibbs.MAP). Grounding must have run.
 func (s *System) MAP(opts gibbs.MAPOptions) (*World, error) {
+	world, _, err := s.MAPContext(context.Background(), opts)
+	return world, err
+}
+
+// MAPContext is MAP under a context. On cancellation the best (greedily
+// polished) world found so far is still returned; interrupted reports
+// whether annealing ran to completion.
+func (s *System) MAPContext(ctx context.Context, opts gibbs.MAPOptions) (world *World, interrupted bool, err error) {
 	if s.ground == nil {
-		return nil, fmt.Errorf("core: Ground must run before MAP")
+		return nil, false, fmt.Errorf("core: Ground must run before MAP")
 	}
-	assign, energy := gibbs.MAP(s.ground.Graph, opts)
-	return &World{assign: assign, Energy: energy, ground: s.ground}, nil
+	assign, energy, ctxErr := gibbs.MAPContext(ctx, s.ground.Graph, opts)
+	if assign == nil {
+		return nil, true, ctxErr
+	}
+	return &World{assign: assign, Energy: energy, ground: s.ground}, ctxErr != nil, nil
 }
 
 // hasLearnedRules reports whether the program declares @weight(?) rules.

@@ -1,0 +1,176 @@
+package core
+
+// System-level tests of the fault-tolerant runtime: end-to-end accuracy of
+// both engines against exact marginals (the statistical harness extended to
+// EngineDeepDive, which previously was only covered at the sampler layer),
+// context cancellation through the public facade, sampler lifecycle
+// (Close/reuse), and checkpoint/resume driven purely by Config.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+)
+
+// engineExactTol is the end-to-end total-variation tolerance. The ebola
+// graph has four variables; at these epoch counts the Monte-Carlo error is
+// well inside it.
+const engineExactTol = 0.04
+
+// exactMarginals enumerates the ground graph.
+func exactMarginals(t *testing.T, g *factorgraph.Graph) [][]float64 {
+	t.Helper()
+	want, err := testutil.Exact(g)
+	if err != nil {
+		t.Fatalf("exact marginals: %v", err)
+	}
+	return want
+}
+
+func TestEnginesMatchExactMarginalsEndToEnd(t *testing.T) {
+	for _, engine := range []Engine{EngineSya, EngineDeepDive} {
+		t.Run(engine.String(), func(t *testing.T) {
+			s := newEbolaSystem(t, Config{Engine: engine, Seed: 5, Epochs: 20000})
+			defer s.Close()
+			res, err := s.Ground()
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores, err := s.Infer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exactMarginals(t, res.Graph)
+			if tv := testutil.MaxTV(scores.Marginals, want); tv > engineExactTol {
+				t.Errorf("%s end-to-end max TV vs exact = %v, want <= %v", engine, tv, engineExactTol)
+			}
+		})
+	}
+}
+
+func TestInferContextCancellation(t *testing.T) {
+	s := newEbolaSystem(t, Config{Engine: EngineSya, Seed: 5})
+	defer s.Close()
+	if _, err := s.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scores, st, err := s.InferContext(ctx, 5000)
+	if err != nil {
+		t.Fatalf("InferContext: %v", err)
+	}
+	if st.Reason != gibbs.ReasonCanceled || st.Epochs != 0 {
+		t.Errorf("stats = %+v, want 0 epochs, ReasonCanceled", st)
+	}
+	if scores == nil {
+		t.Fatal("cancelled inference returned no scores")
+	}
+	// Partial (here: zero-sample) marginals are still well-formed.
+	for v, m := range scores.Marginals {
+		var sum float64
+		for _, p := range m {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("marginal %d not normalized: %v", v, m)
+		}
+	}
+	// A live context finishes the job on the same (reused) sampler.
+	_, st2, err := s.InferContext(context.Background(), 100)
+	if err != nil || st2.Reason != gibbs.ReasonDone {
+		t.Fatalf("follow-up InferContext = %+v, %v", st2, err)
+	}
+}
+
+func TestSamplerReusedAcrossInferCallsAndClosed(t *testing.T) {
+	s := newEbolaSystem(t, Config{Engine: EngineSya, Seed: 5})
+	if _, err := s.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InferEpochs(50); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Sampler()
+	if first == nil {
+		t.Fatal("no live sampler after Infer")
+	}
+	if _, err := s.InferEpochs(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sampler() != first {
+		t.Error("sampler was rebuilt between Infer calls instead of reused")
+	}
+	s.Close()
+	if s.Sampler() != nil {
+		t.Error("sampler still live after Close")
+	}
+	s.Close() // idempotent
+	// The system stays usable: the next inference builds a fresh sampler.
+	if _, err := s.InferEpochs(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sampler() == nil || s.Sampler() == first {
+		t.Error("expected a fresh sampler after Close")
+	}
+	s.Close()
+}
+
+func TestConfigCheckpointResumeEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.ckpt")
+	// BurnIn -1: with the default burn-in these short runs would count no
+	// samples at all and the comparison would be vacuously uniform.
+	base := Config{Engine: EngineSya, Seed: 5, Workers: 1, BurnIn: -1, CheckpointPath: path, CheckpointEvery: 25}
+
+	// Reference: an uninterrupted run with no checkpointing.
+	ref := newEbolaSystem(t, Config{Engine: EngineSya, Seed: 5, Workers: 1, BurnIn: -1})
+	defer ref.Close()
+	if _, err := ref.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	wantScores, _, err := ref.InferContext(context.Background(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First system runs half the budget (the last snapshot lands exactly at
+	// epoch 100 = 4×25 per instance... in sampler epochs: RunTotal splits
+	// the budget across instances) and "crashes".
+	s1 := newEbolaSystem(t, base)
+	if _, err := s1.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.InferContext(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	halfEpochs := s1.Sampler().TotalEpochs()
+	s1.Close()
+
+	// Second system — fresh process in spirit — resumes from the file.
+	s2 := newEbolaSystem(t, base)
+	defer s2.Close()
+	if _, err := s2.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	gotScores, _, err := s2.InferContext(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Sampler().TotalEpochs(); got <= halfEpochs {
+		t.Fatalf("resumed sampler at %d epochs, want beyond the checkpointed %d", got, halfEpochs)
+	}
+	// Workers=1 spatial sampling is scheduling-deterministic, so the resumed
+	// run must reproduce the uninterrupted marginals exactly.
+	for v := range wantScores.Marginals {
+		for x := range wantScores.Marginals[v] {
+			if wantScores.Marginals[v][x] != gotScores.Marginals[v][x] {
+				t.Fatalf("marginal[%d][%d]: uninterrupted %v, resumed %v",
+					v, x, wantScores.Marginals[v][x], gotScores.Marginals[v][x])
+			}
+		}
+	}
+}

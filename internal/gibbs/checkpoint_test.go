@@ -1,0 +1,308 @@
+package gibbs_test
+
+// Checkpoint/resume tests: snapshots must round-trip through the versioned
+// binary format, a run interrupted at a snapshot and resumed into a fresh
+// sampler must be bit-identical to an uninterrupted run, and torn or
+// corrupted checkpoint files must be rejected by the CRC trailer instead of
+// resuming from garbage.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+)
+
+// determGraph is a harness graph for the bit-identical tests.
+func determGraph(t *testing.T) *factorgraph.Graph {
+	t.Helper()
+	g, err := testutil.RandomGraph(testutil.Spec{Vars: 20, Spatial: true, Seed: 1234})
+	if err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	return g
+}
+
+// deterministicSamplers builds one sampler of each kind in its
+// scheduling-deterministic configuration (spatial and hogwild with one
+// worker — see the package comment on the determinism contract), so resumed
+// and uninterrupted runs can be compared float-for-float.
+func deterministicSamplers(t *testing.T, g *factorgraph.Graph) map[string]func() gibbs.Sampler {
+	t.Helper()
+	return map[string]func() gibbs.Sampler{
+		"spatial": func() gibbs.Sampler {
+			sp, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Instances: 2, Workers: 1, Seed: 7})
+			if err != nil {
+				t.Fatalf("NewSpatial: %v", err)
+			}
+			return sp
+		},
+		"hogwild":    func() gibbs.Sampler { return gibbs.NewHogwild(g, 7, 1) },
+		"sequential": func() gibbs.Sampler { return gibbs.NewSequential(g, 7) },
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := determGraph(t)
+	for name, mk := range deterministicSamplers(t, g) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			if _, err := s.Run(context.Background(), 6); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			cp := s.Snapshot()
+			var buf bytes.Buffer
+			if _, err := cp.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			got, err := gibbs.ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadCheckpoint: %v", err)
+			}
+			if !reflect.DeepEqual(cp, got) {
+				t.Errorf("checkpoint did not round-trip:\n  want %+v\n  got  %+v", cp, got)
+			}
+		})
+	}
+}
+
+func TestResumeIsBitIdentical(t *testing.T) {
+	g := determGraph(t)
+	const total, cut = 12, 5
+	for name, mk := range deterministicSamplers(t, g) {
+		t.Run(name, func(t *testing.T) {
+			// Reference: one uninterrupted run.
+			ref := mk()
+			if _, err := ref.Run(context.Background(), total); err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			want := ref.Marginals()
+			ref.Close()
+
+			// Interrupted run: cut epochs, snapshot, resume into a FRESH
+			// sampler, finish the budget.
+			first := mk()
+			if _, err := first.Run(context.Background(), cut); err != nil {
+				t.Fatalf("first leg: %v", err)
+			}
+			cp := first.Snapshot()
+			first.Close()
+
+			resumed := mk()
+			defer resumed.Close()
+			if err := resumed.Restore(cp); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if resumed.TotalEpochs() != cut {
+				t.Fatalf("TotalEpochs after restore = %d, want %d", resumed.TotalEpochs(), cut)
+			}
+			if _, err := resumed.Run(context.Background(), total-cut); err != nil {
+				t.Fatalf("second leg: %v", err)
+			}
+			got := resumed.Marginals()
+			for v := range want {
+				for x := range want[v] {
+					if want[v][x] != got[v][x] {
+						t.Fatalf("marginal[%d][%d]: uninterrupted %v, resumed %v — resume is not bit-identical",
+							v, x, want[v][x], got[v][x])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCheckpointerPeriodicSaveAndResume(t *testing.T) {
+	g := determGraph(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	const total, every = 10, 4
+
+	// Reference run, no checkpointing.
+	mk := deterministicSamplers(t, g)["spatial"]
+	ref := mk()
+	if _, err := ref.Run(context.Background(), total); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	want := ref.Marginals()
+	ref.Close()
+
+	// Checkpointed run "crashes" after 8 epochs (the last snapshot lands at
+	// epoch 8 = 2×every).
+	s := mk()
+	s.SetCheckpointer(&gibbs.Checkpointer{Path: path, Every: every})
+	if _, err := s.Run(context.Background(), 8); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	s.Close() // the crash: state lost, only the file survives
+
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after atomic save: %v", err)
+	}
+	cp, err := gibbs.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if cp.Epochs != 8 {
+		t.Errorf("checkpoint at epoch %d, want 8", cp.Epochs)
+	}
+
+	// Resume from disk and finish the budget: bit-identical to the
+	// uninterrupted reference.
+	resumed := mk()
+	defer resumed.Close()
+	if err := gibbs.ResumeFrom(resumed, path); err != nil {
+		t.Fatalf("ResumeFrom: %v", err)
+	}
+	if _, err := resumed.Run(context.Background(), total-8); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	got := resumed.Marginals()
+	for v := range want {
+		if !reflect.DeepEqual(want[v], got[v]) {
+			t.Fatalf("marginal[%d]: uninterrupted %v, resumed %v", v, want[v], got[v])
+		}
+	}
+}
+
+func TestTornAndCorruptedCheckpointsRejected(t *testing.T) {
+	g := determGraph(t)
+	s := gibbs.NewSequential(g, 7)
+	defer s.Close()
+	if _, err := s.Run(context.Background(), 3); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dir := t.TempDir()
+	write := func(name string) string {
+		path := filepath.Join(dir, name)
+		if err := (&gibbs.Checkpointer{Path: path}).Save(s.Snapshot()); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		return path
+	}
+
+	torn := write("torn.ckpt")
+	if err := testutil.TearFile(torn); err != nil {
+		t.Fatalf("TearFile: %v", err)
+	}
+	if _, err := gibbs.LoadCheckpoint(torn); err == nil {
+		t.Error("torn checkpoint loaded without error")
+	}
+
+	corrupt := write("corrupt.ckpt")
+	if err := testutil.CorruptFile(corrupt); err != nil {
+		t.Fatalf("CorruptFile: %v", err)
+	}
+	if _, err := gibbs.LoadCheckpoint(corrupt); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted checkpoint: got %v, want checksum error", err)
+	}
+
+	empty := filepath.Join(dir, "empty.ckpt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gibbs.LoadCheckpoint(empty); err == nil {
+		t.Error("empty checkpoint loaded without error")
+	}
+
+	notmagic := filepath.Join(dir, "notmagic.ckpt")
+	if err := os.WriteFile(notmagic, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gibbs.LoadCheckpoint(notmagic); err == nil {
+		t.Error("non-checkpoint file loaded without error")
+	}
+}
+
+func TestRestoreValidatesIdentity(t *testing.T) {
+	g := determGraph(t)
+	mk := deterministicSamplers(t, g)
+
+	seq := mk["sequential"]()
+	defer seq.Close()
+	if _, err := seq.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	cp := seq.Snapshot()
+
+	// Wrong sampler kind.
+	sp := mk["spatial"]()
+	defer sp.Close()
+	if err := sp.Restore(cp); err == nil {
+		t.Error("spatial sampler accepted a sequential checkpoint")
+	}
+
+	// Wrong seed.
+	other, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Instances: 2, Workers: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	spcp := func() *gibbs.Checkpoint {
+		s := mk["spatial"]()
+		defer s.Close()
+		if _, err := s.Run(context.Background(), 2); err != nil {
+			t.Fatal(err)
+		}
+		return s.Snapshot()
+	}()
+	if err := other.Restore(spcp); err == nil {
+		t.Error("spatial sampler accepted a checkpoint with a different seed")
+	}
+
+	// Wrong worker width for hogwild (its bucket partition depends on it).
+	h1 := gibbs.NewHogwild(g, 7, 1)
+	defer h1.Close()
+	if _, err := h1.Run(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	hcp := h1.Snapshot()
+	h2 := gibbs.NewHogwild(g, 7, 2)
+	defer h2.Close()
+	if err := h2.Restore(hcp); err == nil {
+		t.Error("hogwild accepted a checkpoint with a different worker width")
+	}
+
+	// Wrong graph shape.
+	small, err := testutil.RandomGraph(testutil.Spec{Vars: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqSmall := gibbs.NewSequential(small, 7)
+	defer seqSmall.Close()
+	if err := seqSmall.Restore(cp); err == nil {
+		t.Error("sampler over a different graph accepted the checkpoint")
+	}
+}
+
+func TestCheckpointDuringCanceledRunKeepsLastSnapshot(t *testing.T) {
+	g := determGraph(t)
+	path := filepath.Join(t.TempDir(), "cancel.ckpt")
+	s := deterministicSamplers(t, g)["spatial"]()
+	defer s.Close()
+	s.SetCheckpointer(&gibbs.Checkpointer{Path: path, Every: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.(hooked).SetTestHooks(gibbs.TestHooks{AfterEpoch: testutil.CancelAtEpoch(cancel, 5)})
+	st, err := s.Run(ctx, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.Reason != gibbs.ReasonCanceled {
+		t.Fatalf("Reason = %v, want ReasonCanceled", st.Reason)
+	}
+	cp, err := gibbs.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after cancel: %v", err)
+	}
+	if cp.Epochs != 4 {
+		t.Errorf("last snapshot at epoch %d, want 4 (the last Every=2 boundary before the cancel at 5)", cp.Epochs)
+	}
+}

@@ -27,6 +27,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 	"math/bits"
 
@@ -74,7 +75,14 @@ type Sampler interface {
 	// Name identifies the variant.
 	Name() string
 	// RunEpochs advances the chain by n epochs, accumulating sample counts.
+	// It is the uninterruptible legacy entry point; a worker panic is
+	// re-raised on the caller.
 	RunEpochs(n int)
+	// Run advances the chain by up to n epochs under ctx: cancellation
+	// returns partial marginals within one chunk boundary with a RunStats
+	// describing why and how far the run got, and a worker panic returns a
+	// *WorkerPanicError. nil ctx means context.Background().
+	Run(ctx context.Context, n int) (RunStats, error)
 	// Marginals returns the estimated marginal distribution of every
 	// variable: marginals[v][x] ≈ P(v = x). Evidence variables get a point
 	// mass. Before any sampling it returns uniform distributions for query
@@ -82,6 +90,17 @@ type Sampler interface {
 	Marginals() [][]float64
 	// TotalEpochs reports epochs run so far.
 	TotalEpochs() int
+	// Snapshot captures the full chain state as a versioned checkpoint;
+	// Restore loads one produced by the same sampler kind over the same
+	// graph and seed, making a resumed run continue exactly where the
+	// snapshot was taken.
+	Snapshot() *Checkpoint
+	Restore(cp *Checkpoint) error
+	// SetCheckpointer enables periodic snapshots during context-aware runs
+	// (nil disables).
+	SetCheckpointer(cp *Checkpointer)
+	// Close releases the sampler's worker pool, if any. Idempotent.
+	Close()
 }
 
 // counts accumulates per-variable value counts.

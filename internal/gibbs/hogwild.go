@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/factorgraph"
@@ -17,7 +18,12 @@ import (
 // Execution shares the spatial sampler's pooled backend: the shuffled
 // query variables live in one flat slice, buckets are contiguous ranges of
 // it dispatched to persistent workers, and per-worker count deltas merge
-// into the sampler's counters at each epoch barrier.
+// into the sampler's counters at each epoch barrier. It also shares the
+// fault-tolerant runtime: Run accepts a context checked at chunk
+// boundaries, worker panics surface as a *WorkerPanicError, and
+// Snapshot/Restore round-trip the chain state (bit-identical resume needs
+// Workers=1 — with more, hogwild's benign races make any run, resumed or
+// not, scheduling-dependent).
 type Hogwild struct {
 	g         *factorgraph.Graph
 	assign    factorgraph.Assignment
@@ -30,11 +36,24 @@ type Hogwild struct {
 	run       *hogwildRun
 	epochs    int
 	burnIn    int
+	hooks     TestHooks
+	ckpt      *Checkpointer
 }
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
 // Call before the first RunEpochs.
 func (h *Hogwild) SetBurnIn(n int) { h.burnIn = n }
+
+// SetTestHooks installs the fault-injection plane (see TestHooks). Call
+// with no run in flight.
+func (h *Hogwild) SetTestHooks(hk TestHooks) {
+	h.hooks = hk
+	h.pool.setHook(hk.BeforeChunk)
+}
+
+// SetCheckpointer enables periodic snapshots: during context-aware runs a
+// checkpoint is written at every epoch multiple of cp.Every. nil disables.
+func (h *Hogwild) SetCheckpointer(cp *Checkpointer) { h.ckpt = cp }
 
 // NewHogwild builds a hogwild sampler; workers ≤ 0 selects GOMAXPROCS.
 func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
@@ -110,18 +129,57 @@ func (r *hogwildRun) runChunk(w *workerState, bucket, _ int32) {
 	}
 }
 
-// RunEpochs implements Sampler.
+// RunEpochs implements Sampler; a worker panic is re-raised on the caller.
 func (h *Hogwild) RunEpochs(n int) {
+	if _, err := h.Run(context.Background(), n); err != nil {
+		panic(err)
+	}
+}
+
+// Run advances the chain by up to n epochs under ctx, with the same
+// cancellation, panic and checkpoint semantics as (*Spatial).Run.
+func (h *Hogwild) Run(ctx context.Context, n int) (RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := RunStats{Reason: ReasonDone}
+	done := ctx.Done()
 	for e := 0; e < n; e++ {
-		h.run.epoch = uint64(h.epochs+e) + 1
-		h.run.count = h.epochs+e >= h.burnIn
+		if ctx.Err() != nil {
+			st.Reason = reasonFromCtx(ctx)
+			return st, nil
+		}
+		h.run.epoch = uint64(h.epochs) + 1
+		h.run.count = h.epochs >= h.burnIn
+		h.epochs++
 		for b := 0; b < h.workers; b++ {
-			h.pool.dispatch(h.run, int32(b), 0)
+			h.pool.dispatch(h.run, int32(b), 0, done)
 		}
 		h.pool.wait()
+		if err := h.pool.err(); err != nil {
+			h.pool.discardDeltas(0)
+			st.Reason = ReasonPanic
+			return st, err
+		}
 		h.pool.mergeDeltas(0, h.counts)
+		if ctx.Err() != nil {
+			// Cancellation landed mid-epoch: buckets pulled after the fire
+			// were skipped, so the epoch is partial — keep its samples but
+			// do not count it.
+			st.Reason = reasonFromCtx(ctx)
+			return st, nil
+		}
+		st.Epochs++
+		if h.ckpt != nil && h.ckpt.due(h.epochs) {
+			if err := h.ckpt.Save(h.Snapshot()); err != nil {
+				return st, err
+			}
+		}
+		if h.hooks.AfterEpoch != nil {
+			h.hooks.AfterEpoch(h.epochs)
+		}
 	}
-	h.epochs += n
+	return st, nil
 }
 
 // Marginals implements Sampler.

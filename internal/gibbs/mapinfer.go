@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/factorgraph"
@@ -48,6 +49,19 @@ func (o MAPOptions) withDefaults() MAPOptions {
 // MAP is the companion query mode MLN systems such as DeepDive and Tuffy
 // also offer, useful to extract the single most likely knowledge base.
 func MAP(g *factorgraph.Graph, opts MAPOptions) (factorgraph.Assignment, float64) {
+	assign, energy, _ := MAPContext(context.Background(), g, opts)
+	return assign, energy
+}
+
+// MAPContext is MAP under a context, checked between annealing sweeps and
+// greedy-polish passes. On cancellation it returns the best assignment found
+// so far — the current chain is greedily polished and considered, so even a
+// run cut off mid-anneal yields a locally-optimal world — together with the
+// context error to mark the result as truncated.
+func MAPContext(ctx context.Context, g *factorgraph.Graph, opts MAPOptions) (factorgraph.Assignment, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	query := queryVars(g)
 	var best factorgraph.Assignment
@@ -65,21 +79,31 @@ func MAP(g *factorgraph.Graph, opts MAPOptions) (factorgraph.Assignment, float64
 		}
 		buf := make([]float64, maxDomain(g))
 		temp := opts.StartTemp
+		interrupted := false
 		for sweep := 0; sweep < opts.Sweeps; sweep++ {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			for _, v := range query {
 				scores := g.ConditionalScores(v, assign, buf)
 				sampleTempered(assign, v, scores, temp, rng)
 			}
 			temp *= decay
 		}
-		// Final greedy polish: local moves until no single flip improves.
-		greedy(g, assign, query, buf)
+		// Final greedy polish: local moves until no single flip improves
+		// (checked for cancellation between passes — each pass is bounded,
+		// the pass count is not).
+		greedyCtx(ctx, g, assign, query, buf)
 		e := g.Energy(assign)
 		if best == nil || e > bestE {
 			best, bestE = assign.Clone(), e
 		}
+		if interrupted {
+			return best, bestE, ctx.Err()
+		}
 	}
-	return best, bestE
+	return best, bestE, ctx.Err()
 }
 
 // sampleTempered draws from softmax(scores / temp).
@@ -111,10 +135,11 @@ func sampleTempered(assign factorgraph.Assignment, v factorgraph.VarID,
 	assign.Set(v, x)
 }
 
-// greedy applies best-single-flip moves until a local optimum.
-func greedy(g *factorgraph.Graph, assign factorgraph.Assignment,
+// greedyCtx applies best-single-flip moves until a local optimum, stopping
+// early between full passes if ctx fires.
+func greedyCtx(ctx context.Context, g *factorgraph.Graph, assign factorgraph.Assignment,
 	query []factorgraph.VarID, buf []float64) {
-	for {
+	for ctx.Err() == nil {
 		improved := false
 		for _, v := range query {
 			cur := assign.Get(v)

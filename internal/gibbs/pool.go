@@ -2,7 +2,9 @@ package gibbs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/factorgraph"
 )
@@ -21,6 +23,15 @@ import (
 // values over the channel, workers run them against pre-flattened
 // schedules, and a shared WaitGroup forms the batch barrier.
 //
+// Fault tolerance: every chunk runs under a recover. A panicking chunk
+// poisons the pool — the first panic's value and stack are captured, and
+// from then on workers acknowledge chunks without executing them — so the
+// batch barrier always completes and the issuer surfaces one
+// *WorkerPanicError instead of deadlocking. Cancellation rides on the
+// chunks themselves: a chunk dispatched with a done channel is skipped when
+// the channel has fired by the time a worker pulls it, bounding a canceled
+// run's latency to at most one in-flight chunk.
+//
 // Concurrency contract: one batch is in flight at a time (dispatch* then
 // wait, all from a single issuer goroutine). The samplers uphold this —
 // their RunEpochs/RunIncremental calls must not race with each other,
@@ -28,23 +39,67 @@ import (
 //
 // Lifetime: Close releases the worker goroutines; a finalizer backstops
 // samplers that are dropped without Close (the workers hold only the
-// channel and their own state, never the Pool itself, so an abandoned pool
-// becomes collectable and its finalizer shuts the workers down).
+// channel and the shared fault state, never the Pool itself, so an
+// abandoned pool becomes collectable and its finalizer shuts the workers
+// down).
 type Pool struct {
 	work    chan chunk
 	wg      *sync.WaitGroup // in-flight chunks of the current batch
+	sh      *poolShared
 	ws      []*workerState
 	start   sync.Once
 	stop    sync.Once
 	workers int
 }
 
+// poolShared is the fault state shared by the issuer and the workers. It is
+// a separate allocation so workers can hold it without keeping the Pool
+// itself alive (finalizer contract).
+type poolShared struct {
+	// poisoned flips on the first worker panic; workers check it before
+	// executing a chunk and the issuer checks it after each barrier.
+	poisoned atomic.Bool
+	mu       sync.Mutex
+	panicErr *WorkerPanicError // first captured panic
+
+	// Fault-injection hook state (nil in production; see TestHooks).
+	hook       func(n uint64)
+	hookChunks atomic.Uint64
+}
+
+// poison records the first panic and poisons the pool.
+func (sh *poolShared) poison(v any, stack []byte) {
+	sh.mu.Lock()
+	if sh.panicErr == nil {
+		sh.panicErr = &WorkerPanicError{Value: v, Stack: string(stack)}
+	}
+	sh.mu.Unlock()
+	sh.poisoned.Store(true)
+}
+
+// err returns the captured WorkerPanicError, or nil. The error is sticky:
+// a poisoned pool reports it on every subsequent batch.
+func (sh *poolShared) err() error {
+	if !sh.poisoned.Load() {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.panicErr == nil {
+		return nil
+	}
+	return sh.panicErr
+}
+
 // chunk is one unit of dispatched work. The meaning of [lo, hi) belongs to
 // the runner: a cell-index range for spatial sweeps, a bucket index for
-// hogwild, ignored for serial tails.
+// hogwild, ignored for serial tails. done, when non-nil, is the issuing
+// run's cancellation channel: a worker that pulls a chunk whose done has
+// fired acknowledges it without executing.
 type chunk struct {
 	cr     chunkRunner
 	lo, hi int32
+	done   <-chan struct{}
 }
 
 // chunkRunner is implemented by the per-sampler batch descriptors
@@ -87,6 +142,7 @@ func newPool(workers, instances int, g *factorgraph.Graph) *Pool {
 	p := &Pool{
 		work:    make(chan chunk, workers*4),
 		wg:      new(sync.WaitGroup),
+		sh:      new(poolShared),
 		workers: workers,
 	}
 	for i := 0; i < workers; i++ {
@@ -106,22 +162,36 @@ func newPool(workers, instances int, g *factorgraph.Graph) *Pool {
 }
 
 // dispatch queues one chunk of the current batch, starting the workers on
-// first use. The issuer must follow a sequence of dispatches with wait.
-func (p *Pool) dispatch(cr chunkRunner, lo, hi int32) {
+// first use. done, when non-nil, lets parked chunks be skipped once the
+// issuing run is canceled. The issuer must follow a sequence of dispatches
+// with wait.
+func (p *Pool) dispatch(cr chunkRunner, lo, hi int32, done <-chan struct{}) {
 	p.start.Do(func() {
 		for _, w := range p.ws {
-			// Workers capture only the channel, the batch WaitGroup and
-			// their own state — not p — so an abandoned pool can be
-			// finalized while its workers are parked.
-			go poolWorker(p.work, p.wg, w)
+			// Workers capture only the channel, the batch WaitGroup, the
+			// shared fault state and their own scratch — not p — so an
+			// abandoned pool can be finalized while its workers are parked.
+			go poolWorker(p.work, p.wg, p.sh, w)
 		}
 	})
 	p.wg.Add(1)
-	p.work <- chunk{cr: cr, lo: lo, hi: hi}
+	p.work <- chunk{cr: cr, lo: lo, hi: hi, done: done}
 }
 
-// wait blocks until every dispatched chunk of the current batch completed.
+// wait blocks until every dispatched chunk of the current batch completed
+// (executed, skipped by cancellation, or dropped by poisoning).
 func (p *Pool) wait() { p.wg.Wait() }
+
+// err reports the pool's sticky WorkerPanicError, if any. Call with no
+// batch in flight (after wait).
+func (p *Pool) err() error { return p.sh.err() }
+
+// setHook installs (or clears) the fault-injection chunk hook. Must be
+// called with no batch in flight.
+func (p *Pool) setHook(h func(n uint64)) {
+	p.sh.hook = h
+	p.sh.hookChunks.Store(0)
+}
 
 // mergeDeltas folds every worker's count deltas for instance k into dst and
 // resets them; called at epoch barriers with no batch in flight (the
@@ -144,6 +214,23 @@ func (p *Pool) mergeDeltas(k int, dst *counts) {
 	}
 }
 
+// discardDeltas drops every worker's unmerged deltas for instance k;
+// used after a worker panic so a partially-executed chunk's samples never
+// reach the instance counters.
+func (p *Pool) discardDeltas(k int) {
+	for _, w := range p.ws {
+		d := w.dc[k]
+		for _, v := range w.touched[k] {
+			row := d.c[v]
+			for x := range row {
+				row[x] = 0
+			}
+			d.totals[v] = 0
+		}
+		w.touched[k] = w.touched[k][:0]
+	}
+}
+
 // Close releases the worker goroutines. Safe to call multiple times; the
 // pool must be idle (no batch in flight).
 func (p *Pool) Close() {
@@ -154,9 +241,36 @@ func (p *Pool) Close() {
 	})
 }
 
-func poolWorker(work chan chunk, wg *sync.WaitGroup, w *workerState) {
+func poolWorker(work chan chunk, wg *sync.WaitGroup, sh *poolShared, w *workerState) {
 	for c := range work {
-		c.cr.runChunk(w, c.lo, c.hi)
+		runPoolChunk(sh, w, c)
 		wg.Done()
 	}
+}
+
+// runPoolChunk executes one chunk under the pool's fault envelope: poisoned
+// pools and fired done channels skip execution (still acknowledging the
+// chunk via the caller's wg.Done), and a panic — from the sampler code or
+// an injected hook — is captured into the shared fault state instead of
+// unwinding the worker.
+func runPoolChunk(sh *poolShared, w *workerState, c chunk) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.poison(r, debug.Stack())
+		}
+	}()
+	if sh.poisoned.Load() {
+		return
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+	}
+	if h := sh.hook; h != nil {
+		h(sh.hookChunks.Add(1) - 1)
+	}
+	c.cr.runChunk(w, c.lo, c.hi)
 }

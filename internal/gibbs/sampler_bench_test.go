@@ -7,6 +7,7 @@ package gibbs_test
 // harness_test.go). Results are recorded in BENCH_sampler.json.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/factorgraph"
@@ -64,6 +65,63 @@ func BenchmarkSequentialEpoch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.RunEpochs(1)
+	}
+}
+
+// BenchmarkSpatialEpochCtx is BenchmarkSpatialEpoch through the
+// context-aware path with a live (never-fired) context: the difference to
+// BenchmarkSpatialEpoch is the whole cost of cancellation plumbing — one
+// ctx.Err() per epoch plus a select per conclique group.
+func BenchmarkSpatialEpochCtx(b *testing.B) {
+	g := benchSamplerGraph(b)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 6, Instances: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Run(ctx, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpatialCancelLatency measures how long a Run takes to return
+// after its context fires mid-run: each iteration starts a long run with an
+// already-expired context budget one epoch in. The reported ns/op bounds the
+// sampler's worst-case responsiveness to ^C (one chunk of work plus barrier
+// teardown), not throughput.
+func BenchmarkSpatialCancelLatency(b *testing.B) {
+	g := benchSamplerGraph(b)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 6, Instances: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	s.RunEpochs(3)
+	hooks := gibbs.TestHooks{}
+	var cancel context.CancelFunc
+	hooks.AfterEpoch = func(int) { cancel() }
+	s.SetTestHooks(hooks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(context.Background())
+		st, err := s.Run(ctx, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Reason != gibbs.ReasonCanceled {
+			b.Fatalf("reason = %v, want canceled", st.Reason)
+		}
+		cancel()
 	}
 }
 

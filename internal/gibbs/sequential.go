@@ -1,6 +1,8 @@
 package gibbs
 
 import (
+	"context"
+
 	"repro/internal/factorgraph"
 )
 
@@ -10,6 +12,11 @@ import (
 // shares the sampleOne core (including the buffer-free binary fast path)
 // with the pooled parallel samplers, so all variants draw from identical
 // conditional distributions.
+//
+// It participates in the fault-tolerant runtime for interface symmetry:
+// Run checks ctx at epoch boundaries (its "chunk" is one full sweep — it
+// has no worker pool to interrupt mid-sweep), and Snapshot/Restore include
+// the chain's PRNG state, making resume bit-identical trivially.
 type Sequential struct {
 	g      *factorgraph.Graph
 	assign factorgraph.Assignment
@@ -19,11 +26,21 @@ type Sequential struct {
 	buf    []float64
 	epochs int
 	burnIn int
+	hooks  TestHooks
+	ckpt   *Checkpointer
 }
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
 // Call before the first RunEpochs.
 func (s *Sequential) SetBurnIn(n int) { s.burnIn = n }
+
+// SetTestHooks installs the fault-injection plane. BeforeChunk fires once
+// per epoch on the calling goroutine (the whole sweep is one chunk).
+func (s *Sequential) SetTestHooks(h TestHooks) { s.hooks = h }
+
+// SetCheckpointer enables periodic snapshots: during context-aware runs a
+// checkpoint is written at every epoch multiple of cp.Every. nil disables.
+func (s *Sequential) SetCheckpointer(cp *Checkpointer) { s.ckpt = cp }
 
 // NewSequential builds a sequential sampler with the given seed.
 func NewSequential(g *factorgraph.Graph, seed int64) *Sequential {
@@ -37,6 +54,10 @@ func NewSequential(g *factorgraph.Graph, seed int64) *Sequential {
 	}
 }
 
+// Close implements Sampler; the sequential sampler holds no pool, so it is
+// a no-op.
+func (s *Sequential) Close() {}
+
 // Name implements Sampler.
 func (s *Sequential) Name() string { return "sequential" }
 
@@ -45,16 +66,50 @@ func (s *Sequential) TotalEpochs() int { return s.epochs }
 
 // RunEpochs implements Sampler.
 func (s *Sequential) RunEpochs(n int) {
+	if _, err := s.Run(context.Background(), n); err != nil {
+		panic(err)
+	}
+}
+
+// Run advances the chain by up to n epochs under ctx. Cancellation is
+// epoch-granular (one epoch is this sampler's chunk); an injected
+// BeforeChunk panic propagates to the caller — there is no worker pool to
+// isolate it, and the single-threaded chain state stays consistent up to
+// the last completed epoch.
+func (s *Sequential) Run(ctx context.Context, n int) (RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	st := RunStats{Reason: ReasonDone}
+	var hookChunks uint64
 	for e := 0; e < n; e++ {
-		count := s.epochs+e >= s.burnIn
+		if ctx.Err() != nil {
+			st.Reason = reasonFromCtx(ctx)
+			return st, nil
+		}
+		if s.hooks.BeforeChunk != nil {
+			s.hooks.BeforeChunk(hookChunks)
+			hookChunks++
+		}
+		count := s.epochs >= s.burnIn
 		for _, v := range s.query {
 			x := sampleOne(s.g, v, s.assign, s.rng, s.buf)
 			if count {
 				s.counts.add(v, x)
 			}
 		}
+		s.epochs++
+		st.Epochs++
+		if s.ckpt != nil && s.ckpt.due(s.epochs) {
+			if err := s.ckpt.Save(s.Snapshot()); err != nil {
+				return st, err
+			}
+		}
+		if s.hooks.AfterEpoch != nil {
+			s.hooks.AfterEpoch(s.epochs)
+		}
 	}
-	s.epochs += n
+	return st, nil
 }
 
 // Marginals implements Sampler.

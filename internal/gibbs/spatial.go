@@ -1,6 +1,7 @@
 package gibbs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -81,6 +82,31 @@ func (sc *schedule) cellVars(ci int32) []factorgraph.VarID {
 	return sc.vars[sc.varOff[ci]:sc.varOff[ci+1]]
 }
 
+// restrictedView is one cached restricted schedule of RunIncremental, keyed
+// by the dirty-variable set that produced it: the dirty cells (with group
+// boundaries preserved) plus the affected tail variables. Views stay valid
+// across later evidence pins because pinned variables are filtered at
+// execution time, never from the view (a view can only over-include).
+type restrictedView struct {
+	dirty    []factorgraph.VarID // sorted member list, for exact key checks
+	cells    []int32
+	groupOff []int32
+	extra    []factorgraph.VarID
+}
+
+// matches reports whether the view was built for exactly this dirty set.
+func (rv *restrictedView) matches(dirty map[factorgraph.VarID]bool) bool {
+	if len(rv.dirty) != len(dirty) {
+		return false
+	}
+	for _, v := range rv.dirty {
+		if !dirty[v] {
+			return false
+		}
+	}
+	return true
+}
+
 // Spatial implements the paper's Spatial Gibbs Sampling (Algorithm 1). It
 // spatially partitions the query atoms with a partial pyramid index, then
 // every epoch sweeps the pyramid levels; within a level it processes the
@@ -102,6 +128,11 @@ func (sc *schedule) cellVars(ci int32) []factorgraph.VarID {
 // maintained children. Atoms whose home lies above the swept range
 // (sparse, merged-away quadrants) and atoms without a location are swept
 // sequentially at the end of the epoch.
+//
+// Fault tolerance (see Run): runs accept a context checked at chunk
+// boundaries, worker panics surface as a *WorkerPanicError instead of
+// deadlocking the epoch barrier, and Snapshot/Restore round-trip the full
+// chain state for checkpoint/resume.
 type Spatial struct {
 	g    *factorgraph.Graph
 	opts SpatialOptions
@@ -119,6 +150,14 @@ type Spatial struct {
 	pool     *Pool
 	runs     []*spatialRun // per instance, reused every batch
 	tailRuns []*tailRun    // per instance, reused every epoch
+
+	// incCache caches restricted schedule views keyed by an
+	// order-independent hash of the dirty set, so repeated incremental
+	// updates of the same cells sweep allocation-free.
+	incCache map[uint64]*restrictedView
+
+	hooks TestHooks     // fault-injection plane (zero in production)
+	ckpt  *Checkpointer // periodic snapshot writer (nil: disabled)
 
 	// Instrumentation (nil unless InstrumentSweeps was called): cells and
 	// tail variables swept per epoch, counted once per group dispatch.
@@ -138,6 +177,7 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 		dirty:     map[factorgraph.VarID]bool{},
 		homeCell:  map[factorgraph.VarID]pyramid.CellKey{},
 		cellIndex: map[pyramid.CellKey]int32{},
+		incCache:  map[uint64]*restrictedView{},
 	}
 	var entries []pyramid.Entry
 	var space geom.Rect
@@ -195,6 +235,17 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 // are cleaned up by a finalizer — but deterministic for callers that create
 // many samplers.
 func (s *Spatial) Close() { s.pool.Close() }
+
+// SetTestHooks installs the fault-injection plane (see TestHooks). Call
+// with no run in flight.
+func (s *Spatial) SetTestHooks(h TestHooks) {
+	s.hooks = h
+	s.pool.setHook(h.BeforeChunk)
+}
+
+// SetCheckpointer enables periodic snapshots: during context-aware runs a
+// checkpoint is written at every epoch multiple of cp.Every. nil disables.
+func (s *Spatial) SetCheckpointer(cp *Checkpointer) { s.ckpt = cp }
 
 // buildSchedule computes each atom's home cell and flattens the per-level
 // conclique cell tasks into the contiguous schedule arrays. It returns the
@@ -350,29 +401,68 @@ func (r *tailRun) runChunk(w *workerState, _, _ int32) {
 
 // RunEpochs implements Sampler: each call runs n epochs on every instance,
 // instances in parallel (so one call does the work of n·K raw epochs in n
-// rounds, matching Algorithm 1's e = E/K).
+// rounds, matching Algorithm 1's e = E/K). It is the uninterruptible legacy
+// entry point: a worker panic (impossible unless sampler internals or an
+// injected fault panic) is re-raised on the caller.
 func (s *Spatial) RunEpochs(n int) {
-	s.sweepEpochs(n, s.sched.allCells, s.sched.groupOff, s.tail)
+	if _, err := s.Run(context.Background(), n); err != nil {
+		panic(err)
+	}
+}
+
+// Run advances every instance by up to n epochs under ctx. Cancellation is
+// chunk-granular: parked chunks are skipped once ctx fires and the call
+// returns after at most one in-flight chunk per worker, keeping the partial
+// samples accumulated so far. A worker panic returns a *WorkerPanicError
+// (the sampler is then poisoned; see WorkerPanicError). A checkpoint write
+// failure returns the write error. nil ctx means context.Background().
+func (s *Spatial) Run(ctx context.Context, n int) (RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.sweepEpochs(ctx, n, s.sched.allCells, s.sched.groupOff, s.tail)
 }
 
 // RunTotalEpochs runs approximately total raw epochs of work split across
 // the K instances (Algorithm 1 line 4: e = E/K).
 func (s *Spatial) RunTotalEpochs(total int) {
+	if _, err := s.RunTotal(context.Background(), total); err != nil {
+		panic(err)
+	}
+}
+
+// RunTotal is the context-aware RunTotalEpochs: total raw epochs split
+// across the K instances.
+func (s *Spatial) RunTotal(ctx context.Context, total int) (RunStats, error) {
 	per := (total + len(s.instances) - 1) / len(s.instances)
 	if per < 1 {
 		per = 1
 	}
-	s.RunEpochs(per)
+	return s.Run(ctx, per)
 }
 
-// sweepEpochs runs n epochs over the given cell batch: groups serially,
-// each group's cells chunked across the pool for all K instances at once,
-// then the serial tail, then the epoch barrier where worker count deltas
-// merge into the instances' counters. The full sweep passes the
-// precomputed schedule; RunIncremental passes its restricted copy. Nothing
+// sweepEpochs runs up to n epochs over the given cell batch: groups
+// serially, each group's cells chunked across the pool for all K instances
+// at once, then the serial tail, then the epoch barrier where worker count
+// deltas merge into the instances' counters. The full sweep passes the
+// precomputed schedule; RunIncremental passes its restricted view. Nothing
 // in the per-epoch loop allocates.
-func (s *Spatial) sweepEpochs(n int, cells, groupOff []int32, tail []factorgraph.VarID) {
+//
+// Interruption points: ctx is checked before each epoch and between
+// conclique groups, and workers skip parked chunks once ctx fires. An
+// epoch cut short by cancellation keeps its merged partial samples but is
+// not counted in RunStats.Epochs (its PRNG epoch identity is consumed). On
+// a worker panic the pending worker deltas are discarded so no partial
+// chunk reaches the counters, and the pool's sticky *WorkerPanicError is
+// returned.
+func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int32, tail []factorgraph.VarID) (RunStats, error) {
+	st := RunStats{Reason: ReasonDone}
+	done := ctx.Done()
 	for e := 0; e < n; e++ {
+		if ctx.Err() != nil {
+			st.Reason = reasonFromCtx(ctx)
+			return st, nil
+		}
 		for k, inst := range s.instances {
 			count := inst.epochs >= s.opts.BurnIn
 			inst.epochs++
@@ -381,10 +471,22 @@ func (s *Spatial) sweepEpochs(n int, cells, groupOff []int32, tail []factorgraph
 			tr := s.tailRuns[k]
 			tr.epoch, tr.count, tr.vars = uint64(inst.epochs), count, tail
 		}
+		s.epochs++
+		interrupted := false
 		for gi := 0; gi+1 < len(groupOff); gi++ {
 			lo, hi := groupOff[gi], groupOff[gi+1]
 			if lo == hi {
 				continue
+			}
+			if done != nil {
+				select {
+				case <-done:
+					interrupted = true
+				default:
+				}
+				if interrupted {
+					break
+				}
 			}
 			if s.sweptCells != nil {
 				for _, ci := range cells[lo:hi] {
@@ -399,25 +501,56 @@ func (s *Spatial) sweepEpochs(n int, cells, groupOff []int32, tail []factorgraph
 					if end > hi {
 						end = hi
 					}
-					s.pool.dispatch(r, off, end)
+					s.pool.dispatch(r, off, end, done)
 				}
 			}
 			s.pool.wait()
+			if err := s.pool.err(); err != nil {
+				s.discardAllDeltas()
+				st.Reason = ReasonPanic
+				return st, err
+			}
 		}
-		if len(tail) > 0 {
+		if !interrupted && len(tail) > 0 {
 			if s.sweptCells != nil {
 				s.sweptTail += len(tail)
 			}
 			for k := range s.instances {
-				s.pool.dispatch(s.tailRuns[k], 0, 0)
+				s.pool.dispatch(s.tailRuns[k], 0, 0, done)
 			}
 			s.pool.wait()
+			if err := s.pool.err(); err != nil {
+				s.discardAllDeltas()
+				st.Reason = ReasonPanic
+				return st, err
+			}
 		}
 		for k, inst := range s.instances {
 			s.pool.mergeDeltas(k, inst.counts)
 		}
+		if interrupted {
+			st.Reason = reasonFromCtx(ctx)
+			return st, nil
+		}
+		st.Epochs++
+		if s.ckpt != nil && s.ckpt.due(s.epochs) {
+			if err := s.ckpt.Save(s.Snapshot()); err != nil {
+				return st, err
+			}
+		}
+		if s.hooks.AfterEpoch != nil {
+			s.hooks.AfterEpoch(s.epochs)
+		}
 	}
-	s.epochs += n
+	return st, nil
+}
+
+// discardAllDeltas drops every instance's unmerged worker deltas (panic
+// path: a partially-executed chunk must not reach the counters).
+func (s *Spatial) discardAllDeltas() {
+	for k := range s.instances {
+		s.pool.discardDeltas(k)
+	}
 }
 
 // UpdateEvidence pins a variable to an observed value after construction
@@ -448,11 +581,47 @@ func (s *Spatial) UpdateEvidence(v factorgraph.VarID, val int32) error {
 // variables and their factor neighbourhoods — the paper's incremental
 // inference ("the sampler is invoked on the concliques of the updated
 // variables only"). The dirty set is cleared afterwards. The restricted
-// schedule is computed once per call; the n epochs then run allocation-free
-// through the same pooled sweep as RunEpochs.
+// schedule is cached keyed by the dirty set, so repeated updates of the
+// same cells (the dominant incremental pattern: fresh evidence arriving at
+// one location) run allocation-free end to end.
 func (s *Spatial) RunIncremental(n int) {
+	if _, err := s.RunIncrementalContext(context.Background(), n); err != nil {
+		panic(err)
+	}
+}
+
+// RunIncrementalContext is the context-aware RunIncremental, with the same
+// cancellation and panic semantics as Run.
+func (s *Spatial) RunIncrementalContext(ctx context.Context, n int) (RunStats, error) {
 	if len(s.dirty) == 0 {
-		return
+		return RunStats{Reason: ReasonDone}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	view := s.restrictedFor(s.dirty)
+	st, err := s.sweepEpochs(ctx, n, view.cells, view.groupOff, view.extra)
+	for v := range s.dirty {
+		delete(s.dirty, v)
+	}
+	return st, err
+}
+
+// dirtyKey folds the dirty set into an order-independent cache key.
+func dirtyKey(dirty map[factorgraph.VarID]bool) uint64 {
+	var key uint64
+	for v := range dirty {
+		key ^= splitmix64(uint64(v) + 0x9e3779b97f4a7c15)
+	}
+	return key
+}
+
+// restrictedFor returns the restricted schedule view for the dirty set,
+// reusing the cached view when the exact same set was restricted before.
+func (s *Spatial) restrictedFor(dirty map[factorgraph.VarID]bool) *restrictedView {
+	key := dirtyKey(dirty)
+	if view, ok := s.incCache[key]; ok && view.matches(dirty) {
+		return view
 	}
 	restrict := map[int32]bool{}
 	extraSet := map[factorgraph.VarID]bool{}
@@ -465,7 +634,7 @@ func (s *Spatial) RunIncremental(n int) {
 			extraSet[v] = true
 		}
 	}
-	for v := range s.dirty {
+	for v := range dirty {
 		touch(v)
 		// Neighbouring atoms are affected too: the updated atom's spatial
 		// and logical factors cross cell borders.
@@ -488,23 +657,34 @@ func (s *Spatial) RunIncremental(n int) {
 	}
 	// Restrict the flat schedule: keep dirty cells, preserving group
 	// boundaries (and hence the serial-conclique sweep order).
-	cells := make([]int32, 0, len(restrict))
-	groupOff := make([]int32, 1, len(s.sched.groupOff))
+	view := &restrictedView{
+		dirty:    make([]factorgraph.VarID, 0, len(dirty)),
+		cells:    make([]int32, 0, len(restrict)),
+		groupOff: make([]int32, 1, len(s.sched.groupOff)),
+		extra:    make([]factorgraph.VarID, 0, len(extraSet)),
+	}
+	for v := range dirty {
+		view.dirty = append(view.dirty, v)
+	}
+	sort.Slice(view.dirty, func(i, j int) bool { return view.dirty[i] < view.dirty[j] })
 	for gi := 0; gi+1 < len(s.sched.groupOff); gi++ {
 		for ci := s.sched.groupOff[gi]; ci < s.sched.groupOff[gi+1]; ci++ {
 			if restrict[ci] {
-				cells = append(cells, ci)
+				view.cells = append(view.cells, ci)
 			}
 		}
-		groupOff = append(groupOff, int32(len(cells)))
+		view.groupOff = append(view.groupOff, int32(len(view.cells)))
 	}
-	extra := make([]factorgraph.VarID, 0, len(extraSet))
 	for v := range extraSet {
-		extra = append(extra, v)
+		view.extra = append(view.extra, v)
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
-	s.sweepEpochs(n, cells, groupOff, extra)
-	s.dirty = map[factorgraph.VarID]bool{}
+	sort.Slice(view.extra, func(i, j int) bool { return view.extra[i] < view.extra[j] })
+	if len(s.incCache) >= 64 {
+		// Crude bound: drop the whole cache rather than track recency.
+		s.incCache = map[uint64]*restrictedView{}
+	}
+	s.incCache[key] = view
+	return view
 }
 
 // Marginals implements Sampler: the average of the K instances' counters

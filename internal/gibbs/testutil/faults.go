@@ -1,0 +1,93 @@
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// This file is the fault-injection plane of the harness: helpers that turn
+// the samplers' TestHooks into reproducible failures (a worker panic at the
+// k-th dispatched chunk, a context cancel at the e-th epoch), corrupt
+// checkpoint files the way a crash would, and assert that the runtime
+// neither leaks goroutines nor deadlocks when those failures strike.
+
+// PanicAtChunk returns a BeforeChunk hook that panics with a recognizable
+// value when the n-th chunk (0-based, in dispatch order) starts executing.
+func PanicAtChunk(n uint64) func(uint64) {
+	return func(chunk uint64) {
+		if chunk == n {
+			panic(fmt.Sprintf("testutil: injected fault at chunk %d", n))
+		}
+	}
+}
+
+// CancelAtEpoch returns an AfterEpoch hook that calls cancel as soon as the
+// sampler finishes its e-th total epoch — the tightest deterministic way to
+// land a cancellation inside a run.
+func CancelAtEpoch(cancel func(), e int) func(int) {
+	return func(epoch int) {
+		if epoch >= e {
+			cancel()
+		}
+	}
+}
+
+// TearFile truncates the file to half its size, simulating a crash mid-write
+// on a filesystem that exposed the partial content (the torn-checkpoint
+// case the CRC trailer exists to catch).
+func TearFile(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, fi.Size()/2)
+}
+
+// CorruptFile flips one bit in the middle of the file — content corruption
+// that keeps the length intact, so only a checksum can notice.
+func CorruptFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("testutil: %s is empty", path)
+	}
+	raw[len(raw)/2] ^= 0x40
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// GoroutineLeakCheck snapshots the goroutine count; calling the returned
+// function asserts the count returned to (at most) the baseline, retrying
+// for a grace period so exiting goroutines can be reaped. Use as
+//
+//	defer testutil.GoroutineLeakCheck(t)()
+//
+// before constructing pooled samplers.
+func GoroutineLeakCheck(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+}) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			runtime.GC() // run pool finalizers for samplers left to the GC
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n > base {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d before, %d after\n%s", base, n, buf)
+		}
+	}
+}

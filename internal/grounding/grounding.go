@@ -20,6 +20,7 @@
 package grounding
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -119,10 +120,24 @@ type Grounder struct {
 	db   *storage.DB
 	eng  *sqlx.Engine
 	opts Options
+	// ctx is the active grounding context, polled between phases and
+	// periodically inside the row/atom loops (set by GroundContext).
+	ctx context.Context
 	// spatial collects the located ground atoms of each @spatial relation
 	// (keyed by lower-cased relation name) during derivation, for the
 	// spatial-factor phase.
 	spatial map[string][]spatialAtom
+}
+
+// checkCtx polls the grounding context on every 256th iteration, so hot
+// loops pay one atomic load amortized rather than a ctx.Err call per row.
+func (gr *Grounder) checkCtx(i int) error {
+	if i&255 == 0 {
+		if err := gr.ctx.Err(); err != nil {
+			return fmt.Errorf("grounding: interrupted: %w", err)
+		}
+	}
+	return nil
 }
 
 // New creates a grounder.
@@ -168,6 +183,18 @@ func atomKey(rel string, vals []storage.Value) string { return AtomKey(rel, vals
 
 // Ground runs all phases and returns the spatial factor graph.
 func (gr *Grounder) Ground() (*Result, error) {
+	return gr.GroundContext(context.Background())
+}
+
+// GroundContext is Ground under a context: cancellation is honoured between
+// phases and periodically inside the per-row and per-atom loops, returning
+// the context error. A cancelled grounding leaves no usable Result — unlike
+// sampling there is no meaningful partial factor graph.
+func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gr.ctx = ctx
 	start := time.Now()
 	if err := gr.EnsureSchemas(); err != nil {
 		return nil, err
@@ -188,7 +215,13 @@ func (gr *Grounder) Ground() (*Result, error) {
 	if err := gr.runApps(); err != nil {
 		return nil, err
 	}
+	if err := gr.checkCtx(0); err != nil {
+		return nil, err
+	}
 	if err := gr.runDerivations(builder, res); err != nil {
+		return nil, err
+	}
+	if err := gr.checkCtx(0); err != nil {
 		return nil, err
 	}
 	if err := gr.runInferenceRules(builder, res); err != nil {
@@ -289,7 +322,10 @@ func (gr *Grounder) runDerivations(b *factorgraph.Builder, res *Result) error {
 		}
 		rel, _ := gr.prog.Relation(d.Head.Rel)
 		width := len(d.Head.Terms)
-		for _, row := range rows.Rows {
+		for ri, row := range rows.Rows {
+			if err := gr.checkCtx(ri); err != nil {
+				return err
+			}
 			key := atomKey(rel.Name, row[:width])
 			ev, err := labelToEvidence(rel, row[width])
 			if err != nil {
@@ -438,7 +474,10 @@ func (gr *Grounder) runInferenceRules(b *factorgraph.Builder, res *Result) error
 				return err
 			}
 		}
-		for _, row := range rows.Rows {
+		for ri, row := range rows.Rows {
+			if err := gr.checkCtx(ri); err != nil {
+				return err
+			}
 			vars := make([]factorgraph.VarID, 0, len(rule.Head))
 			neg := make([]bool, 0, len(rule.Head))
 			off := 0
@@ -558,6 +597,9 @@ func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) er
 		tree := rtree.Bulk(items)
 		seen := map[[2]factorgraph.VarID]bool{}
 		for i, a := range atoms {
+			if err := gr.checkCtx(i); err != nil {
+				return err
+			}
 			window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
 			var cands []int
 			tree.Search(window, func(it rtree.Item) bool {

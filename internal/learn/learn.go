@@ -18,6 +18,7 @@
 package learn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -121,7 +122,15 @@ func (c *chain) sweep(g *factorgraph.Graph, n int) {
 // graph's factor weights are updated in place and the learned values
 // returned. The graph's evidence is the training signal: variables with
 // evidence are clamped in the data chain and free in the model chain.
-func Weights(g *factorgraph.Graph, factorRule []int32, numRules int, opts Options) (*Result, error) {
+//
+// ctx is checked between gradient iterations: on cancellation the weights
+// learned so far (already pushed into the graph) are returned together with
+// the context error, so callers can distinguish a converged result from a
+// truncated one.
+func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numRules int, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if len(factorRule) != g.NumFactors() {
 		return nil, fmt.Errorf("learn: factorRule has %d entries for %d factors", len(factorRule), g.NumFactors())
@@ -191,6 +200,9 @@ func Weights(g *factorgraph.Graph, factorRule []int32, numRules int, opts Option
 	nData := make([]float64, numRules)
 	nModel := make([]float64, numRules)
 	for iter := 0; iter < opts.Iterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("learn: interrupted after %d/%d iterations: %w", iter, opts.Iterations, err)
+		}
 		data.sweep(g, opts.SweepsPerIteration)
 		model.sweep(g, opts.SweepsPerIteration)
 		for r := range nData {

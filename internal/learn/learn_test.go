@@ -1,6 +1,7 @@
 package learn
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -70,7 +71,7 @@ func plantedGraph(t *testing.T, n int, agreeW, priorW float64, seed int64) (*fac
 
 func TestWeightsRecoverAgreement(t *testing.T) {
 	g, factorRule, nRules := plantedGraph(t, 120, 1.5, 0, 3)
-	res, err := Weights(g, factorRule, nRules, Options{
+	res, err := Weights(context.Background(), g, factorRule, nRules, Options{
 		Iterations: 300, SweepsPerIteration: 2, LearningRate: 0.4, Seed: 9,
 	})
 	if err != nil {
@@ -95,7 +96,7 @@ func TestWeightsImproveInference(t *testing.T) {
 	// Inference with learned weights must predict held-out labels better
 	// than the zero-weight model (which is uniform).
 	g, factorRule, nRules := plantedGraph(t, 120, 1.5, 0, 5)
-	if _, err := Weights(g, factorRule, nRules, Options{
+	if _, err := Weights(context.Background(), g, factorRule, nRules, Options{
 		Iterations: 300, LearningRate: 0.4, Seed: 11,
 	}); err != nil {
 		t.Fatal(err)
@@ -153,7 +154,7 @@ func TestWeightsSpatialScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Weights(g, []int32{0}, 1, Options{
+	res, err := Weights(context.Background(), g, []int32{0}, 1, Options{
 		Iterations: 200, LearningRate: 0.3, Seed: 21, LearnSpatialScale: true,
 	})
 	if err != nil {
@@ -171,12 +172,12 @@ func TestWeightsSpatialScale(t *testing.T) {
 
 func TestWeightsValidation(t *testing.T) {
 	g, factorRule, nRules := plantedGraph(t, 10, 1, 0, 1)
-	if _, err := Weights(g, factorRule[:2], nRules, Options{}); err == nil {
+	if _, err := Weights(context.Background(), g, factorRule[:2], nRules, Options{}); err == nil {
 		t.Error("short factorRule should fail")
 	}
 	bad := append([]int32(nil), factorRule...)
 	bad[0] = 99
-	if _, err := Weights(g, bad, nRules, Options{}); err == nil {
+	if _, err := Weights(context.Background(), g, bad, nRules, Options{}); err == nil {
 		t.Error("out-of-range rule index should fail")
 	}
 	// Graph without evidence cannot be trained on.
@@ -187,7 +188,7 @@ func TestWeightsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Weights(g2, []int32{0}, 1, Options{}); err == nil {
+	if _, err := Weights(context.Background(), g2, []int32{0}, 1, Options{}); err == nil {
 		t.Error("no-evidence graph should fail")
 	}
 }

@@ -81,6 +81,37 @@ type LearnOptions = learn.Options
 // the single most probable knowledge base.
 type MAPOptions = gibbs.MAPOptions
 
+// RunStats reports how a context-aware inference run ended: how many full
+// epochs completed and why it stopped (System.InferContext).
+type RunStats = gibbs.RunStats
+
+// StopReason says why an inference run stopped.
+type StopReason = gibbs.StopReason
+
+// Stop reasons.
+const (
+	// ReasonDone: the run completed its epoch budget.
+	ReasonDone = gibbs.ReasonDone
+	// ReasonCanceled: the context was canceled; marginals are partial.
+	ReasonCanceled = gibbs.ReasonCanceled
+	// ReasonDeadline: the context deadline passed; marginals are partial.
+	ReasonDeadline = gibbs.ReasonDeadline
+	// ReasonPanic: a sampler worker panicked; the error is a
+	// *WorkerPanicError.
+	ReasonPanic = gibbs.ReasonPanic
+)
+
+// WorkerPanicError is the error a sampler run returns when a worker
+// goroutine panicked: the panic value plus the worker's stack trace.
+type WorkerPanicError = gibbs.WorkerPanicError
+
+// Checkpointer configures periodic sampler snapshots (see
+// Config.CheckpointPath for the usual way to enable them).
+type Checkpointer = gibbs.Checkpointer
+
+// Checkpoint is a versioned snapshot of sampler chain state.
+type Checkpoint = gibbs.Checkpoint
+
 // World is a MAP assignment of all ground atoms.
 type World = core.World
 
