@@ -7,7 +7,8 @@
 //	sya -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
 //	    [-engine sya|deepdive] [-metric euclidean|miles|km] [-epochs N] \
 //	    [-bandwidth B] [-scale S] [-seed N] [-stats] \
-//	    [-timeout D] [-checkpoint file] [-checkpoint-every N]
+//	    [-timeout D] [-checkpoint file] [-checkpoint-every N] \
+//	    [-metrics-addr host:port] [-trace-out file.jsonl] [-progress N]
 //
 // CSV files need a header row naming the relation's columns (order free).
 // Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
@@ -17,7 +18,15 @@
 // (SIGINT/SIGTERM) stops sampling gracefully — either way the scores
 // accumulated so far are still printed, flagged as partial. With
 // -checkpoint the sampler snapshots its chain state every -checkpoint-every
-// epochs and a rerun pointing at the same file resumes where it left off.
+// epochs (keeping the previous snapshot at <file>.prev) and a rerun pointing
+// at the same file resumes where it left off, falling back to the previous
+// snapshot if the newest is torn.
+//
+// Observability: -metrics-addr serves live Prometheus-text /metrics,
+// /debug/vars and /debug/pprof/ while the run is in flight; -trace-out
+// writes structured JSONL phase events (grounding per rule, learning per
+// iteration, inference per epoch); -progress N prints a convergence
+// diagnostic line to stderr every N epochs.
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/gibbs"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -72,7 +82,10 @@ func main() {
 		saveGraph   = flag.String("save-graph", "", "write the ground factor graph snapshot to this file")
 		timeout     = flag.Duration("timeout", 0, "bound the whole run; partial scores are still printed (0 = none)")
 		ckptPath    = flag.String("checkpoint", "", "snapshot sampler state to this file and resume from it if it exists")
-		ckptEvery   = flag.Int("checkpoint-every", 0, "epochs between checkpoint snapshots (0 = 100)")
+		ckptEvery   = flag.Int("checkpoint-every", 100, "epochs between checkpoint snapshots (≥ 1)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		traceOut    = flag.String("trace-out", "", "write structured JSONL phase-trace events to this file")
+		progress    = flag.Int("progress", 0, "print a convergence diagnostic to stderr every N epochs (0 = off)")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -81,43 +94,109 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*programPath, loads.pairs, *engine, *metric, *epochs, *bandwidth, *scale, *seed, *showStats, *learnIters, *saveGraph, *timeout, *ckptPath, *ckptEvery); err != nil {
+	if *ckptEvery < 1 {
+		fmt.Fprintf(os.Stderr, "sya: -checkpoint-every must be ≥ 1 (got %d)\n", *ckptEvery)
+		flag.Usage()
+		os.Exit(2)
+	}
+	err := run(runOpts{
+		program: *programPath, loads: loads.pairs,
+		engine: *engine, metric: *metric,
+		epochs: *epochs, bandwidth: *bandwidth, scale: *scale, seed: *seed,
+		stats: *showStats, learnIters: *learnIters, saveGraph: *saveGraph,
+		timeout: *timeout, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
+		metricsAddr: *metricsAddr, traceOut: *traceOut, progress: *progress,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(programPath string, loads [][2]string, engineName, metricName string,
-	epochs int, bandwidth, scale float64, seed int64, showStats bool,
-	learnIters int, saveGraph string, timeout time.Duration, ckptPath string, ckptEvery int) error {
+// runOpts carries the resolved command-line configuration into run.
+type runOpts struct {
+	program string
+	loads   [][2]string
+	engine  string
+	metric  string
+
+	epochs     int
+	bandwidth  float64
+	scale      float64
+	seed       int64
+	stats      bool
+	learnIters int
+	saveGraph  string
+
+	timeout   time.Duration
+	ckptPath  string
+	ckptEvery int
+
+	metricsAddr string
+	traceOut    string
+	progress    int
+}
+
+func run(o runOpts) error {
+	if o.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must not be negative (got %d)", o.ckptEvery)
+	}
 	// One context governs the whole pipeline: grounding, learning and
 	// sampling all stop within a chunk of ^C or the -timeout deadline.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if timeout > 0 {
+	if o.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	src, err := os.ReadFile(programPath)
+	src, err := os.ReadFile(o.program)
 	if err != nil {
 		return err
 	}
 	cfg := core.Config{
-		Epochs:    epochs,
-		Bandwidth: bandwidth, SpatialScale: scale,
-		Seed:           seed,
-		CheckpointPath: ckptPath, CheckpointEvery: ckptEvery,
+		Epochs:    o.epochs,
+		Bandwidth: o.bandwidth, SpatialScale: o.scale,
+		Seed:           o.seed,
+		CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 	}
-	switch strings.ToLower(engineName) {
+	if o.metricsAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		srv, err := obs.Serve(o.metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+	if o.traceOut != "" {
+		tr, err := obs.OpenTrace(o.traceOut)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = tr
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "# WARNING: trace %s: %v\n", o.traceOut, err)
+			}
+		}()
+	}
+	if o.progress > 0 {
+		cfg.ProgressEvery = o.progress
+		cfg.Progress = func(p gibbs.Progress) {
+			fmt.Fprintf(os.Stderr, "# progress: %s epoch %d, max-delta %.6f, spread %.6f\n",
+				p.Sampler, p.Epoch, p.Diag.MaxDelta, p.Diag.Spread)
+		}
+	}
+	switch strings.ToLower(o.engine) {
 	case "sya":
 		cfg.Engine = core.EngineSya
 	case "deepdive":
 		cfg.Engine = core.EngineDeepDive
 	default:
-		return fmt.Errorf("unknown engine %q", engineName)
+		return fmt.Errorf("unknown engine %q", o.engine)
 	}
-	switch strings.ToLower(metricName) {
+	switch strings.ToLower(o.metric) {
 	case "", "euclidean":
 		cfg.Metric = geom.Euclidean
 	case "miles":
@@ -125,14 +204,14 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 	case "km":
 		cfg.Metric = geom.HaversineKm
 	default:
-		return fmt.Errorf("unknown metric %q", metricName)
+		return fmt.Errorf("unknown metric %q", o.metric)
 	}
 	s := core.NewSystem(cfg)
 	defer s.Close()
 	if err := s.LoadProgram(string(src)); err != nil {
 		return err
 	}
-	for _, pair := range loads {
+	for _, pair := range o.loads {
 		if err := loadCSV(s, pair[0], pair[1]); err != nil {
 			return fmt.Errorf("loading %s from %s: %w", pair[0], pair[1], err)
 		}
@@ -141,7 +220,7 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 	if err != nil {
 		return err
 	}
-	if showStats {
+	if o.stats {
 		st := gres.Stats
 		fmt.Printf("# grounding: %d vars (%d evidence, %d query), %d logical factors, %d spatial pairs (%d ground spatial factors) in %v\n",
 			st.Vars, st.EvidenceVars, st.QueryVars, st.LogicalFactors,
@@ -155,8 +234,8 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 			fmt.Printf("# rule %s: %d factors\n", r, st.RuleFactors[r])
 		}
 	}
-	if saveGraph != "" {
-		f, err := os.Create(saveGraph)
+	if o.saveGraph != "" {
+		f, err := os.Create(o.saveGraph)
 		if err != nil {
 			return err
 		}
@@ -167,10 +246,10 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("# ground factor graph saved to %s\n", saveGraph)
+		fmt.Printf("# ground factor graph saved to %s\n", o.saveGraph)
 	}
-	if learnIters > 0 {
-		weights, err := s.LearnWeightsContext(ctx, learn.Options{Iterations: learnIters, Seed: seed})
+	if o.learnIters > 0 {
+		weights, err := s.LearnWeightsContext(ctx, learn.Options{Iterations: o.learnIters, Seed: o.seed})
 		if err != nil {
 			return err
 		}
@@ -183,7 +262,7 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 			fmt.Printf("# learned weight %s = %+.4f\n", r, weights[r])
 		}
 	}
-	scores, stats, err := s.InferContext(ctx, epochs)
+	scores, stats, err := s.InferContext(ctx, o.epochs)
 	if err != nil {
 		var wp *gibbs.WorkerPanicError
 		if errors.As(err, &wp) {
@@ -191,7 +270,11 @@ func run(programPath string, loads [][2]string, engineName, metricName string,
 		}
 		return err
 	}
-	fmt.Printf("# inference: %d epochs in %v (%s engine)\n", epochs, s.InferenceTime().Round(1e6), cfg.Engine)
+	fmt.Printf("# inference: %d epochs in %v (%s engine)\n", o.epochs, s.InferenceTime().Round(1e6), cfg.Engine)
+	if stats.DiagValid {
+		fmt.Printf("# convergence: max-delta %.6f, spread %.6f at epoch %d\n",
+			stats.Diag.MaxDelta, stats.Diag.Spread, stats.Diag.Epoch)
+	}
 	if stats.Reason != gibbs.ReasonDone {
 		fmt.Printf("# WARNING: run stopped early (%s) after %d full epochs — scores below are partial\n",
 			stats.Reason, stats.Epochs)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,21 +37,34 @@ func writeFixtures(t *testing.T) (program, countyCSV, evidenceCSV string) {
 	return program, countyCSV, evidenceCSV
 }
 
+// opts builds the baseline runOpts for the fixtures; tests tweak the result.
+func opts(program string, loads [][2]string) runOpts {
+	return runOpts{
+		program: program, loads: loads,
+		engine: "sya", metric: "miles",
+		epochs: 10, bandwidth: 50, scale: 1, seed: 1,
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	program, county, evidence := writeFixtures(t)
+	loads := [][2]string{{"County", county}, {"CountyEvidence", evidence}}
 	graphPath := filepath.Join(t.TempDir(), "graph.bin")
-	err := run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
-		"sya", "miles", 300, 60, 1, 7, true, 10, graphPath, 0, "", 0)
-	if err != nil {
+
+	o := opts(program, loads)
+	o.epochs, o.bandwidth, o.seed = 300, 60, 7
+	o.stats, o.learnIters, o.saveGraph = true, 10, graphPath
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(graphPath); err != nil || fi.Size() == 0 {
 		t.Errorf("graph snapshot not written: %v", err)
 	}
+
 	// DeepDive engine too.
-	err = run(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}},
-		"deepdive", "miles", 100, 60, 1, 7, false, 0, "", 0, "", 0)
-	if err != nil {
+	o = opts(program, loads)
+	o.engine, o.epochs, o.bandwidth, o.seed = "deepdive", 100, 60, 7
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -60,40 +75,100 @@ func TestRunCheckpointAndTimeout(t *testing.T) {
 
 	// A checkpointed run leaves a resumable snapshot behind.
 	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
-	if err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", 0, ckpt, 50); err != nil {
+	o := opts(program, loads)
+	o.epochs, o.bandwidth, o.seed = 300, 60, 7
+	o.ckptPath, o.ckptEvery = ckpt, 50
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
 		t.Fatalf("checkpoint not written: %v", err)
 	}
 	// A second run resumes from it rather than failing.
-	if err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", 0, ckpt, 50); err != nil {
+	if err := run(o); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
 
 	// An immediate -timeout interrupts the pipeline during grounding; the
 	// error is the context's, not a crash.
-	err := run(program, loads, "sya", "miles", 300, 60, 1, 7, false, 0, "", time.Nanosecond, "", 0)
+	o = opts(program, loads)
+	o.epochs, o.bandwidth, o.seed = 300, 60, 7
+	o.timeout = time.Nanosecond
+	err := run(o)
 	if err == nil || !strings.Contains(err.Error(), "deadline") {
 		t.Errorf("timeout run error = %v, want a deadline error", err)
 	}
 }
 
+func TestRunObservability(t *testing.T) {
+	program, county, evidence := writeFixtures(t)
+	loads := [][2]string{{"County", county}, {"CountyEvidence", evidence}}
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+
+	o := opts(program, loads)
+	o.epochs, o.seed = 40, 7
+	o.learnIters = 5
+	o.metricsAddr = "127.0.0.1:0" // bound inside run; we only check it starts
+	o.traceOut = tracePath
+	o.progress = 10
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace file must be parseable JSONL covering all three phases.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	phases := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q not JSON: %v", sc.Text(), err)
+		}
+		phase, _ := ev["phase"].(string)
+		phases[phase]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"grounding", "learning", "inference"} {
+		if phases[phase] == 0 {
+			t.Errorf("trace has no %q events (got %v)", phase, phases)
+		}
+	}
+}
+
+func TestRunRejectsNegativeCheckpointEvery(t *testing.T) {
+	program, county, _ := writeFixtures(t)
+	o := opts(program, [][2]string{{"County", county}})
+	o.ckptEvery = -1
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "checkpoint-every") {
+		t.Errorf("negative -checkpoint-every error = %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	program, county, _ := writeFixtures(t)
-	if err := run("missing.ddlog", nil, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts("missing.ddlog", nil)); err == nil {
 		t.Error("missing program should fail")
 	}
-	if err := run(program, nil, "bogus", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	o := opts(program, nil)
+	o.engine = "bogus"
+	if err := run(o); err == nil {
 		t.Error("bad engine should fail")
 	}
-	if err := run(program, nil, "sya", "bogus", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	o = opts(program, nil)
+	o.metric = "bogus"
+	if err := run(o); err == nil {
 		t.Error("bad metric should fail")
 	}
-	if err := run(program, [][2]string{{"Nope", county}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts(program, [][2]string{{"Nope", county}})); err == nil {
 		t.Error("unknown relation should fail")
 	}
-	if err := run(program, [][2]string{{"County", "missing.csv"}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts(program, [][2]string{{"County", "missing.csv"}})); err == nil {
 		t.Error("missing csv should fail")
 	}
 }
@@ -103,17 +178,17 @@ func TestLoadCSVErrors(t *testing.T) {
 	dir := t.TempDir()
 	badHeader := filepath.Join(dir, "bad1.csv")
 	_ = os.WriteFile(badHeader, []byte("id,nope\n1,2\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badHeader}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts(program, [][2]string{{"County", badHeader}})); err == nil {
 		t.Error("unknown column should fail")
 	}
 	badBool := filepath.Join(dir, "bad2.csv")
 	_ = os.WriteFile(badBool, []byte("id,location,hasLowSanitation\n1,POINT (0 0),maybe\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badBool}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts(program, [][2]string{{"County", badBool}})); err == nil {
 		t.Error("bad bool should fail")
 	}
 	badWKT := filepath.Join(dir, "bad3.csv")
 	_ = os.WriteFile(badWKT, []byte("id,location,hasLowSanitation\n1,CIRCLE (0),true\n"), 0o644)
-	if err := run(program, [][2]string{{"County", badWKT}}, "sya", "miles", 10, 50, 1, 1, false, 0, "", 0, "", 0); err == nil {
+	if err := run(opts(program, [][2]string{{"County", badWKT}})); err == nil {
 		t.Error("bad WKT should fail")
 	}
 }

@@ -9,7 +9,8 @@
 //
 // Experiments: table1, fig1, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, ablation. Flags scale the workloads; -paper approaches the paper's
-// sizes (slow).
+// sizes (slow). -metrics-addr serves live Prometheus metrics and pprof for
+// the duration of the suite; -trace-out records JSONL phase traces.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 var experiments = map[string]func(bench.Params) (*bench.Table, error){
@@ -52,6 +54,9 @@ func main() {
 		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
 		work    = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
+		traceOut    = flag.String("trace-out", "", "write JSONL phase-trace events for every experiment to this file")
 	)
 	flag.Parse()
 	if *list {
@@ -68,6 +73,29 @@ func main() {
 	p := defaults
 	if *paper {
 		p = bench.PaperScaleParams()
+	}
+	if *metricsAddr != "" {
+		p.Metrics = obs.NewRegistry()
+		srv, err := obs.Serve(*metricsAddr, p.Metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+	if *traceOut != "" {
+		tr, err := obs.OpenTrace(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "syabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "# WARNING: trace %s: %v\n", *traceOut, err)
+			}
+		}()
+		p.Trace = tr
 	}
 	p.GWDBWells = *wells
 	p.NYCCASSide = *side
@@ -121,6 +149,7 @@ func main() {
 		tbl, err := fn(p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "syabench: %s: %v\n", name, err)
+			p.Trace.Close() // os.Exit skips the deferred flush
 			os.Exit(1)
 		}
 		tbl.Fprint(os.Stdout)

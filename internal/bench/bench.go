@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Params holds the global scale knobs. Defaults keep the full suite in the
@@ -44,6 +46,14 @@ type Params struct {
 	// workers per instance for the spatial sampler, total workers for the
 	// hogwild baseline.
 	Workers int
+	// Metrics, when non-nil, is threaded into every system the experiments
+	// build — with syabench -metrics-addr the registry is also served live,
+	// so a long `all` run can be watched from /metrics and profiled under
+	// /debug/pprof.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the phase events of every experiment
+	// run (grounding rules, learning iterations, inference epochs).
+	Trace *obs.Trace
 }
 
 // DefaultParams returns laptop-scale defaults.

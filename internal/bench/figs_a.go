@@ -67,6 +67,8 @@ func Fig1(p Params) (*Table, error) {
 			PyramidLevels: 4,
 			Epochs:        6000,
 			Seed:          p.Seed,
+			Metrics:       p.Metrics,
+			Trace:         p.Trace,
 		})
 		if err := s.LoadProgram(datagen.EbolaProgram); err != nil {
 			return nil, err

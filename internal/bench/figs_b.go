@@ -98,6 +98,8 @@ func Fig11(p Params) (*Table, error) {
 			Seed:             p.Seed,
 			PruneThreshold:   T,
 			SkipFactorTables: true,
+			Metrics:          p.Metrics,
+			Trace:            p.Trace,
 		})
 		if err := s.LoadProgram(datagen.GWDBCategoricalProgram); err != nil {
 			return nil, err

@@ -77,6 +77,8 @@ func (k *gwdbKB) system(engine core.Engine, seed int64) *core.System {
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,
+		Metrics:          k.p.Metrics,
+		Trace:            k.p.Trace,
 	})
 }
 
@@ -172,6 +174,8 @@ func (k *nyccasKB) Build(engine core.Engine, seed int64) (*core.System, error) {
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,
+		Metrics:          k.p.Metrics,
+		Trace:            k.p.Trace,
 	})
 	if err := s.LoadProgram(datagen.NYCCASProgram); err != nil {
 		return nil, err

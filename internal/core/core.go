@@ -25,6 +25,7 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/grounding"
 	"repro/internal/learn"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/translate"
 	"repro/internal/weighting"
@@ -98,11 +99,30 @@ type Config struct {
 
 	// CheckpointPath enables fault-tolerant inference: the sampler snapshots
 	// its chain state to this file every CheckpointEvery epochs (atomic
-	// temp-file+rename writes), and a System whose sampler is freshly built
-	// resumes from the file automatically when it exists. Empty disables.
+	// temp-file+rename writes, keeping the previous generation at
+	// CheckpointPath+".prev"), and a System whose sampler is freshly built
+	// resumes from the file automatically when it exists — falling back to
+	// the previous generation when the primary is torn or corrupted. Empty
+	// disables.
 	CheckpointPath string
 	// CheckpointEvery is the snapshot interval in epochs (0 → 100).
 	CheckpointEvery int
+
+	// Metrics, when non-nil, receives pipeline metrics: sampler epoch/chunk
+	// counters and timing histograms, checkpoint save/resume counters, and
+	// grounding size gauges. nil disables (the samplers then skip
+	// instrumentation entirely).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured JSONL phase events covering
+	// grounding (per rule), learning (per iteration) and inference (per
+	// epoch, checkpoint, diagnostic). nil disables.
+	Trace *obs.Trace
+	// ProgressEvery enables sampler convergence diagnostics every that many
+	// epochs (0 disables): running marginal max-delta and cross-instance
+	// spread, surfaced through RunStats, the diag gauges, the trace, and —
+	// when non-nil — the Progress callback.
+	ProgressEvery int
+	Progress      func(gibbs.Progress)
 }
 
 func (c Config) withDefaults() Config {
@@ -248,6 +268,7 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 		MaxNeighbors:     s.cfg.MaxNeighbors,
 		UDFs:             s.cfg.UDFs,
 		SkipFactorTables: s.cfg.SkipFactorTables,
+		Trace:            s.cfg.Trace,
 	}).GroundContext(ctx)
 	if err != nil {
 		return nil, err
@@ -255,6 +276,12 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 	s.ground = res
 	s.closeSampler() // the old sampler's graph is gone; release its pool
 	s.groundDur = time.Since(start)
+	if r := s.cfg.Metrics; r != nil {
+		r.Gauge("sya_ground_vars").Set(float64(res.Stats.Vars))
+		r.Gauge("sya_ground_logical_factors").Set(float64(res.Stats.LogicalFactors))
+		r.Gauge("sya_ground_spatial_pairs").Set(float64(res.Stats.SpatialPairs))
+		r.Gauge("sya_ground_seconds").Set(s.groundDur.Seconds())
+	}
 	return res, nil
 }
 
@@ -363,7 +390,7 @@ func (s *System) InferContext(ctx context.Context, epochs int) (*Scores, gibbs.R
 }
 
 // ensureSampler builds (and possibly resumes) the engine sampler if none is
-// live.
+// live, wiring the observability plane into it.
 func (s *System) ensureSampler() error {
 	if s.sampler != nil {
 		return nil
@@ -372,12 +399,28 @@ func (s *System) ensureSampler() error {
 	if err != nil {
 		return err
 	}
+	sampler.SetMetrics(gibbs.NewMetrics(s.cfg.Metrics))
+	sampler.SetTrace(s.cfg.Trace)
+	sampler.SetProgress(s.cfg.ProgressEvery, s.cfg.Progress)
 	if s.cfg.CheckpointPath != "" {
-		if _, statErr := os.Stat(s.cfg.CheckpointPath); statErr == nil {
-			if err := gibbs.ResumeFrom(sampler, s.cfg.CheckpointPath); err != nil {
-				sampler.Close()
-				return fmt.Errorf("core: resuming from %s: %w", s.cfg.CheckpointPath, err)
+		from, resumeErr := gibbs.ResumeFrom(sampler, s.cfg.CheckpointPath)
+		switch {
+		case resumeErr == nil:
+			fallback := from != s.cfg.CheckpointPath
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.Counter("sya_checkpoint_resumes_total").Inc()
+				if fallback {
+					s.cfg.Metrics.Counter("sya_checkpoint_resume_fallbacks_total").Inc()
+				}
 			}
+			s.cfg.Trace.Emit("inference", "resume",
+				"sampler", sampler.Name(), "path", from, "fallback", fallback,
+				"epoch", sampler.TotalEpochs())
+		case os.IsNotExist(resumeErr):
+			// No checkpoint of either generation: a fresh run.
+		default:
+			sampler.Close()
+			return fmt.Errorf("core: resuming from %s: %w", s.cfg.CheckpointPath, resumeErr)
 		}
 		sampler.SetCheckpointer(&gibbs.Checkpointer{Path: s.cfg.CheckpointPath, Every: s.cfg.CheckpointEvery})
 	}
@@ -444,6 +487,9 @@ func (s *System) LearnWeights(opts learn.Options) (map[string]float64, error) {
 func (s *System) LearnWeightsContext(ctx context.Context, opts learn.Options) (map[string]float64, error) {
 	if s.ground == nil {
 		return nil, fmt.Errorf("core: Ground must run before LearnWeights")
+	}
+	if opts.Trace == nil {
+		opts.Trace = s.cfg.Trace
 	}
 	res, err := learn.Weights(ctx, s.ground.Graph, s.ground.FactorRule, len(s.ground.RuleNames), opts)
 	if err != nil {

@@ -1,0 +1,128 @@
+package core
+
+// System-level observability tests: a Config-supplied registry and trace
+// must see the whole pipeline (grounding gauges, sampler counters,
+// diagnostics, checkpoint resume counters), and the resume telemetry must
+// distinguish primary resumes from .prev fallbacks.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gibbs"
+	"repro/internal/obs"
+)
+
+func TestObservabilityThroughConfig(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	var progress []gibbs.Progress
+	s := newEbolaSystem(t, Config{
+		Engine: EngineSya, Seed: 5, BurnIn: -1,
+		Metrics:       reg,
+		Trace:         tr,
+		ProgressEvery: 10,
+		Progress:      func(p gibbs.Progress) { progress = append(progress, p) },
+	})
+	defer s.Close()
+	if _, err := s.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.InferContext(context.Background(), 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"sya_ground_vars", "sya_ground_logical_factors", "sya_epochs_total", "sya_chunks_total"} {
+		if snap[name] <= 0 {
+			t.Errorf("%s = %v, want > 0 (snapshot %v)", name, snap[name], snap)
+		}
+	}
+	if len(progress) == 0 {
+		t.Error("Progress callback never fired")
+	}
+
+	phases := map[string]int{}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		phase, _ := ev["phase"].(string)
+		phases[phase]++
+	}
+	for _, phase := range []string{"grounding", "inference"} {
+		if phases[phase] == 0 {
+			t.Errorf("trace has no %q events (got %v)", phase, phases)
+		}
+	}
+}
+
+func TestResumeCountersDistinguishFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sys.ckpt")
+	base := Config{Engine: EngineSya, Seed: 5, Workers: 1, BurnIn: -1,
+		CheckpointPath: path, CheckpointEvery: 10}
+
+	// Seed two checkpoint generations.
+	s1 := newEbolaSystem(t, base)
+	if _, err := s1.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.InferContext(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if _, err := os.Stat(gibbs.PrevPath(path)); err != nil {
+		t.Fatalf("no rotated generation after the first run: %v", err)
+	}
+
+	// A healthy resume counts as a primary resume, not a fallback.
+	cfg := base
+	cfg.Metrics = obs.NewRegistry()
+	s2 := newEbolaSystem(t, cfg)
+	if _, err := s2.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.InferContext(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	snap := cfg.Metrics.Snapshot()
+	if snap["sya_checkpoint_resumes_total"] != 1 {
+		t.Errorf("resumes = %v, want 1", snap["sya_checkpoint_resumes_total"])
+	}
+	if snap["sya_checkpoint_resume_fallbacks_total"] != 0 {
+		t.Errorf("fallbacks = %v, want 0", snap["sya_checkpoint_resume_fallbacks_total"])
+	}
+
+	// Corrupt the primary: the resume falls back to .prev and says so.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.Metrics = obs.NewRegistry()
+	s3 := newEbolaSystem(t, cfg)
+	defer s3.Close()
+	if _, err := s3.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s3.InferContext(context.Background(), 20); err != nil {
+		t.Fatal(err)
+	}
+	snap = cfg.Metrics.Snapshot()
+	if snap["sya_checkpoint_resumes_total"] != 1 || snap["sya_checkpoint_resume_fallbacks_total"] != 1 {
+		t.Errorf("fallback resume counters = (%v, %v), want (1, 1)",
+			snap["sya_checkpoint_resumes_total"], snap["sya_checkpoint_resume_fallbacks_total"])
+	}
+}

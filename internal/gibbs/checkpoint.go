@@ -245,12 +245,21 @@ func (d *decoder) str() string {
 // Checkpointer periodically persists sampler snapshots with atomic
 // temp-file+rename writes: a crash mid-write leaves the previous checkpoint
 // intact, and a torn rename target is caught by the CRC trailer on load.
+// Saves rotate a checkpoint pair: before the new snapshot lands on Path the
+// previous one is moved to Path+".prev", so even a save whose rename target
+// is later found corrupted (e.g. a disk hiccup after the rename) leaves a
+// verified older generation for ResumeFrom to fall back to.
 type Checkpointer struct {
-	// Path is the checkpoint file. Writes go to Path+".tmp" first.
+	// Path is the checkpoint file. Writes go to Path+".tmp" first; the
+	// previous generation is kept at Path+".prev".
 	Path string
 	// Every is the epoch interval between snapshots (≤0 → 100).
 	Every int
 }
+
+// PrevPath returns the rotation target holding the previous checkpoint
+// generation for a given checkpoint path.
+func PrevPath(path string) string { return path + ".prev" }
 
 // interval resolves the snapshot cadence.
 func (c *Checkpointer) interval() int {
@@ -264,7 +273,9 @@ func (c *Checkpointer) interval() int {
 func (c *Checkpointer) due(epoch int) bool { return epoch%c.interval() == 0 }
 
 // Save writes the snapshot atomically: serialize to Path+".tmp", fsync,
-// then rename over Path.
+// rotate the current checkpoint to Path+".prev", then rename the temp file
+// over Path. A crash between the two renames leaves only the .prev file,
+// which ResumeFrom loads via its fallback.
 func (c *Checkpointer) Save(cp *Checkpoint) error {
 	tmp := c.Path + ".tmp"
 	f, err := os.Create(tmp)
@@ -285,6 +296,10 @@ func (c *Checkpointer) Save(cp *Checkpoint) error {
 		os.Remove(tmp)
 		return fmt.Errorf("gibbs: checkpoint: %w", err)
 	}
+	if err := os.Rename(c.Path, PrevPath(c.Path)); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmp)
+		return fmt.Errorf("gibbs: checkpoint: rotating previous: %w", err)
+	}
 	if err := os.Rename(tmp, c.Path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("gibbs: checkpoint: %w", err)
@@ -302,15 +317,36 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	return ReadCheckpoint(f)
 }
 
-// ResumeFrom loads the checkpoint at path and restores it into s. The
-// sampler must be freshly constructed over the same graph with the same
-// kind and seed as the snapshotting run.
-func ResumeFrom(s Sampler, path string) error {
+// ResumeFrom loads the checkpoint at path and restores it into s, falling
+// back to the rotated previous generation (PrevPath(path)) when the primary
+// is missing, torn or corrupted. It returns the path actually restored from,
+// so callers can tell a fallback resume apart from a primary one. The
+// sampler must be freshly constructed over the same graph with the same kind
+// and seed as the snapshotting run.
+//
+// The fallback covers load failures only (missing file, bad magic, CRC
+// mismatch, truncation): a checkpoint that reads cleanly but fails Restore
+// validation — wrong sampler kind, seed or graph shape — is a configuration
+// error, not corruption, and is returned as-is. When both generations are
+// unreadable the primary's error is returned (os.IsNotExist when neither
+// file exists).
+func ResumeFrom(s Sampler, path string) (string, error) {
 	cp, err := LoadCheckpoint(path)
 	if err != nil {
-		return err
+		prev := PrevPath(path)
+		pcp, perr := LoadCheckpoint(prev)
+		if perr != nil {
+			return "", err
+		}
+		if rerr := s.Restore(pcp); rerr != nil {
+			return "", rerr
+		}
+		return prev, nil
 	}
-	return s.Restore(cp)
+	if err := s.Restore(cp); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // validateCheckpoint checks a checkpoint against the receiving sampler's

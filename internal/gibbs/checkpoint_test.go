@@ -158,8 +158,12 @@ func TestCheckpointerPeriodicSaveAndResume(t *testing.T) {
 	// uninterrupted reference.
 	resumed := mk()
 	defer resumed.Close()
-	if err := gibbs.ResumeFrom(resumed, path); err != nil {
+	from, err := gibbs.ResumeFrom(resumed, path)
+	if err != nil {
 		t.Fatalf("ResumeFrom: %v", err)
+	}
+	if from != path {
+		t.Errorf("resumed from %q, want the primary %q", from, path)
 	}
 	if _, err := resumed.Run(context.Background(), total-8); err != nil {
 		t.Fatalf("resumed run: %v", err)

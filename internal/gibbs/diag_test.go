@@ -1,0 +1,161 @@
+package gibbs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/obs"
+)
+
+// diagGraph builds the fixture the hand-computed readings below refer to:
+// var0 is evidence pinned at value 1 (domain 2), var1 is a binary query
+// variable, var2 a ternary one. No factors — the tracker only reads the
+// graph's variable table.
+func diagGraph(t testing.TB) *factorgraph.Graph {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	for _, v := range []factorgraph.Variable{
+		{Name: "ev", Domain: 2, Evidence: 1},
+		{Name: "q2", Domain: 2, Evidence: factorgraph.NoEvidence},
+		{Name: "q3", Domain: 3, Evidence: factorgraph.NoEvidence},
+	} {
+		if _, err := b.AddVariable(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDiagTrackerSeedsPriorMarginals(t *testing.T) {
+	g := diagGraph(t)
+	tr := newDiagTracker(g)
+	want := []float64{
+		0, 1, // evidence: point mass at value 1
+		0.5, 0.5, // binary query: uniform
+		1.0 / 3, 1.0 / 3, 1.0 / 3, // ternary query: uniform
+	}
+	if len(tr.prev) != len(want) {
+		t.Fatalf("prev has %d entries, want %d", len(tr.prev), len(want))
+	}
+	for i, w := range want {
+		if !approx(tr.prev[i], w) {
+			t.Errorf("prev[%d] = %v, want %v", i, tr.prev[i], w)
+		}
+	}
+}
+
+func TestDiagTrackerHandComputedSingleChain(t *testing.T) {
+	g := diagGraph(t)
+	tr := newDiagTracker(g)
+	ch := newCounts(g)
+	// Evidence counts must be ignored even when present.
+	ch.c[0] = []int64{4, 0}
+	ch.totals[0] = 4
+	// var1: [3,1]/4 = [0.75, 0.25]; delta vs uniform = 0.25.
+	ch.c[1] = []int64{3, 1}
+	ch.totals[1] = 4
+	// var2: [2,1,1]/4 = [0.5, 0.25, 0.25]; worst delta vs 1/3 = 1/6.
+	ch.c[2] = []int64{2, 1, 1}
+	ch.totals[2] = 4
+
+	d := tr.update(7, []*counts{ch})
+	if d.Epoch != 7 {
+		t.Errorf("Epoch = %d, want 7", d.Epoch)
+	}
+	if !approx(d.MaxDelta, 0.25) {
+		t.Errorf("MaxDelta = %v, want 0.25", d.MaxDelta)
+	}
+	if d.Spread != 0 {
+		t.Errorf("Spread = %v, want 0 for a single chain", d.Spread)
+	}
+	// prev overwritten in place with the merged marginals.
+	if !approx(tr.prev[2], 0.75) || !approx(tr.prev[4], 0.5) {
+		t.Errorf("prev not updated: %v", tr.prev)
+	}
+	// An identical second reading moves nothing.
+	d = tr.update(8, []*counts{ch})
+	if d.MaxDelta != 0 || d.Spread != 0 {
+		t.Errorf("repeat reading = %+v, want zero deltas", d)
+	}
+}
+
+func TestDiagTrackerHandComputedCrossChainSpread(t *testing.T) {
+	g := diagGraph(t)
+	tr := newDiagTracker(g)
+	a, b := newCounts(g), newCounts(g)
+	// var1: chain a [3,1]/4, chain b [1,3]/4. Merged = [4,4]/8 = uniform,
+	// so MaxDelta vs the uniform seed is 0 — but the chains disagree by
+	// 0.75-0.25 = 0.5 on each entry.
+	a.c[1] = []int64{3, 1}
+	a.totals[1] = 4
+	b.c[1] = []int64{1, 3}
+	b.totals[1] = 4
+	// var2: only chain a has counts; chain b reads as uniform. Merged =
+	// [2,1,1]/4; spread on entry 0 is 0.5 - 1/3 = 1/6 < 0.5.
+	a.c[2] = []int64{2, 1, 1}
+	a.totals[2] = 4
+
+	d := tr.update(1, []*counts{a, b})
+	if !approx(d.Spread, 0.5) {
+		t.Errorf("Spread = %v, want 0.5", d.Spread)
+	}
+	// Merged var2 delta: 0.5 - 1/3 = 1/6 is the largest movement.
+	if !approx(d.MaxDelta, 1.0/6) {
+		t.Errorf("MaxDelta = %v, want 1/6", d.MaxDelta)
+	}
+}
+
+func TestDiagTrackerUncountedChainsReadUniform(t *testing.T) {
+	g := diagGraph(t)
+	tr := newDiagTracker(g)
+	// No chain has sampled anything: merged marginals stay uniform, so the
+	// first reading measures no movement away from the seed.
+	d := tr.update(1, []*counts{newCounts(g), newCounts(g)})
+	if d.MaxDelta != 0 || d.Spread != 0 {
+		t.Errorf("empty-chain reading = %+v, want zeros", d)
+	}
+}
+
+func TestDiagTrackerUpdateAllocFree(t *testing.T) {
+	g := diagGraph(t)
+	tr := newDiagTracker(g)
+	ch := newCounts(g)
+	ch.c[1] = []int64{3, 1}
+	ch.totals[1] = 4
+	chains := []*counts{ch}
+	if n := testing.AllocsPerRun(100, func() {
+		ch.c[1][0]++
+		ch.totals[1]++
+		tr.update(1, chains)
+	}); n != 0 {
+		t.Errorf("update allocates %v objects per reading, want 0", n)
+	}
+}
+
+func TestComposeChunkHook(t *testing.T) {
+	if composeChunkHook(nil, nil) != nil {
+		t.Error("both nil should compose to nil (pool skips the call)")
+	}
+	c := obs.NewRegistry().Counter("chunks")
+	composeChunkHook(c, nil)(3)
+	if c.Value() != 1 {
+		t.Errorf("counter-only hook: count = %d, want 1", c.Value())
+	}
+	var faulted []uint64
+	fault := func(n uint64) { faulted = append(faulted, n) }
+	composeChunkHook(nil, fault)(5)
+	composeChunkHook(c, fault)(9)
+	if c.Value() != 2 {
+		t.Errorf("composed hook: count = %d, want 2", c.Value())
+	}
+	if len(faulted) != 2 || faulted[0] != 5 || faulted[1] != 9 {
+		t.Errorf("fault hook saw %v, want [5 9]", faulted)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"math/bits"
 
 	"repro/internal/factorgraph"
+	"repro/internal/obs"
 )
 
 // prng is a splitmix64 pseudo-random generator. Samplers create one PRNG
@@ -99,6 +100,18 @@ type Sampler interface {
 	// SetCheckpointer enables periodic snapshots during context-aware runs
 	// (nil disables).
 	SetCheckpointer(cp *Checkpointer)
+	// SetMetrics attaches metric handles from an obs registry (nil disables;
+	// the disabled path costs one nil check per epoch). Call with no run in
+	// flight.
+	SetMetrics(m *Metrics)
+	// SetTrace attaches a structured-trace sink for per-epoch and checkpoint
+	// spans (nil disables). Call with no run in flight.
+	SetTrace(tr *obs.Trace)
+	// SetProgress enables convergence diagnostics every `every` epochs
+	// (every ≤ 0 disables). fn, when non-nil, is called with each reading on
+	// the run's goroutine; with a nil fn the readings still feed RunStats
+	// and the diag gauges. Call with no run in flight.
+	SetProgress(every int, fn func(Progress))
 	// Close releases the sampler's worker pool, if any. Idempotent.
 	Close()
 }

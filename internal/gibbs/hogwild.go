@@ -3,8 +3,10 @@ package gibbs
 import (
 	"context"
 	"runtime"
+	"time"
 
 	"repro/internal/factorgraph"
+	"repro/internal/obs"
 )
 
 // Hogwild is the DeepDive-style parallel Gibbs sampler ([46], [47] in the
@@ -38,6 +40,8 @@ type Hogwild struct {
 	burnIn    int
 	hooks     TestHooks
 	ckpt      *Checkpointer
+
+	obsState // metrics/trace/diagnostics plane (zero: disabled)
 }
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
@@ -48,7 +52,30 @@ func (h *Hogwild) SetBurnIn(n int) { h.burnIn = n }
 // with no run in flight.
 func (h *Hogwild) SetTestHooks(hk TestHooks) {
 	h.hooks = hk
-	h.pool.setHook(hk.BeforeChunk)
+	h.installChunkHook()
+}
+
+// SetMetrics attaches (or detaches, with nil) the obs metric handles; the
+// chunk counter rides the pool's hook seam. Call with no run in flight.
+func (h *Hogwild) SetMetrics(m *Metrics) {
+	h.met = m
+	h.installChunkHook()
+}
+
+// installChunkHook (re)installs the pool chunk hook composing the obs chunk
+// counter with the fault-injection hook.
+func (h *Hogwild) installChunkHook() {
+	var c *obs.Counter
+	if h.met != nil {
+		c = h.met.Chunks
+	}
+	h.pool.setHook(composeChunkHook(c, h.hooks.BeforeChunk))
+}
+
+// SetProgress enables convergence diagnostics every `every` epochs (see
+// Sampler.SetProgress). Hogwild runs a single chain, so Spread reads 0.
+func (h *Hogwild) SetProgress(every int, fn func(Progress)) {
+	h.enableProgress(h.g, every, fn, []*counts{h.counts})
 }
 
 // SetCheckpointer enables periodic snapshots: during context-aware runs a
@@ -144,16 +171,22 @@ func (h *Hogwild) Run(ctx context.Context, n int) (RunStats, error) {
 	}
 	st := RunStats{Reason: ReasonDone}
 	done := ctx.Done()
+	active := h.obsActive()
 	for e := 0; e < n; e++ {
 		if ctx.Err() != nil {
 			st.Reason = reasonFromCtx(ctx)
+			h.finalDiag("hogwild", h.epochs, &st)
 			return st, nil
 		}
+		eo := beginEpochObs(active)
 		h.run.epoch = uint64(h.epochs) + 1
 		h.run.count = h.epochs >= h.burnIn
 		h.epochs++
 		for b := 0; b < h.workers; b++ {
 			h.pool.dispatch(h.run, int32(b), 0, done)
+		}
+		if active {
+			eo.noteQueue(h.pool.queued())
 		}
 		h.pool.wait()
 		if err := h.pool.err(); err != nil {
@@ -161,17 +194,33 @@ func (h *Hogwild) Run(ctx context.Context, n int) (RunStats, error) {
 			st.Reason = ReasonPanic
 			return st, err
 		}
+		var mergeStart time.Time
+		if active {
+			mergeStart = time.Now()
+		}
 		h.pool.mergeDeltas(0, h.counts)
+		if active {
+			eo.merge = time.Since(mergeStart)
+		}
 		if ctx.Err() != nil {
 			// Cancellation landed mid-epoch: buckets pulled after the fire
 			// were skipped, so the epoch is partial — keep its samples but
 			// do not count it.
 			st.Reason = reasonFromCtx(ctx)
+			h.finalDiag("hogwild", h.epochs, &st)
 			return st, nil
 		}
 		st.Epochs++
+		if active {
+			finishEpochObs(h.met, h.trace, "hogwild", h.epochs, &eo)
+		}
+		if h.diagDue(h.epochs) {
+			h.takeDiag("hogwild", h.epochs, &st)
+		}
 		if h.ckpt != nil && h.ckpt.due(h.epochs) {
-			if err := h.ckpt.Save(h.Snapshot()); err != nil {
+			if err := saveCheckpointObs(h.met, h.trace, "hogwild", h.epochs, func() error {
+				return h.ckpt.Save(h.Snapshot())
+			}); err != nil {
 				return st, err
 			}
 		}
@@ -179,6 +228,7 @@ func (h *Hogwild) Run(ctx context.Context, n int) (RunStats, error) {
 			h.hooks.AfterEpoch(h.epochs)
 		}
 	}
+	h.finalDiag("hogwild", h.epochs, &st)
 	return st, nil
 }
 

@@ -1,0 +1,213 @@
+package gibbs
+
+import (
+	"time"
+
+	"repro/internal/factorgraph"
+	"repro/internal/obs"
+)
+
+// Metrics bundles the sampler-side observability handles, resolved once
+// from a registry at wiring time. All handles are nil-safe, and a nil
+// *Metrics disables epoch-level instrumentation entirely: the samplers
+// guard every measurement behind one `s.met != nil || s.trace != nil`
+// check per epoch (or per conclique group), so the uninstrumented path
+// costs a predictable branch — BenchmarkObsOverhead holds it to noise.
+//
+// Chunk-level counting rides the pool's existing setHook seam (the same
+// one the fault-injection harness uses) instead of touching the inner
+// sampling loop; see composeChunkHook.
+type Metrics struct {
+	// Epochs counts completed full epochs; Chunks counts pool chunks
+	// executed (bumped by workers via the pool hook).
+	Epochs *obs.Counter
+	Chunks *obs.Counter
+	// EpochDur and MergeDur time the whole epoch barrier-to-barrier and the
+	// worker-delta merge inside it (seconds).
+	EpochDur *obs.Histogram
+	MergeDur *obs.Histogram
+	// QueueDepth is the deepest pool work-channel backlog observed in the
+	// last epoch — the scheduling-pressure signal for chunk-size tuning.
+	QueueDepth *obs.Gauge
+	// Checkpoint persistence: successful saves, failed saves, save latency.
+	CkptSaves      *obs.Counter
+	CkptSaveErrors *obs.Counter
+	CkptSaveDur    *obs.Histogram
+	// Convergence diagnostics (set when diagnostics run; see SetProgress).
+	DiagMaxDelta *obs.Gauge
+	DiagSpread   *obs.Gauge
+}
+
+// NewMetrics resolves the sampler metric handles from a registry, creating
+// the metrics on first use. A nil registry returns nil — the disabled mode
+// the samplers treat as "no instrumentation".
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Epochs:         r.Counter("sya_epochs_total"),
+		Chunks:         r.Counter("sya_chunks_total"),
+		EpochDur:       r.Histogram("sya_epoch_seconds", nil),
+		MergeDur:       r.Histogram("sya_merge_seconds", nil),
+		QueueDepth:     r.Gauge("sya_chunk_queue_depth"),
+		CkptSaves:      r.Counter("sya_checkpoint_saves_total"),
+		CkptSaveErrors: r.Counter("sya_checkpoint_save_errors_total"),
+		CkptSaveDur:    r.Histogram("sya_checkpoint_save_seconds", nil),
+		DiagMaxDelta:   r.Gauge("sya_diag_max_delta"),
+		DiagSpread:     r.Gauge("sya_diag_spread"),
+	}
+}
+
+// composeChunkHook merges the obs chunk counter with the fault-injection
+// hook on the pool's single setHook seam: the counter (if any) ticks first,
+// then the injected fault (if any) runs with the chunk ordinal. Returns nil
+// when both are absent so the pool skips the call entirely.
+func composeChunkHook(c *obs.Counter, fault func(uint64)) func(uint64) {
+	switch {
+	case c == nil && fault == nil:
+		return nil
+	case fault == nil:
+		return func(uint64) { c.Inc() }
+	case c == nil:
+		return fault
+	default:
+		return func(n uint64) {
+			c.Inc()
+			fault(n)
+		}
+	}
+}
+
+// epochObs batches one epoch's measurements so the hot loop touches plain
+// struct fields and the atomic/exposition work happens once at the barrier.
+type epochObs struct {
+	start time.Time
+	queue int // deepest work-channel backlog seen this epoch
+	merge time.Duration
+}
+
+// beginEpochObs starts an epoch measurement when instrumentation is active.
+func beginEpochObs(active bool) epochObs {
+	var eo epochObs
+	if active {
+		eo.start = time.Now()
+	}
+	return eo
+}
+
+// noteQueue tracks the deepest pool backlog seen this epoch.
+func (eo *epochObs) noteQueue(depth int) {
+	if depth > eo.queue {
+		eo.queue = depth
+	}
+}
+
+// finishEpochObs publishes one epoch's measurements to the metrics registry
+// and the trace. Either sink may be nil.
+func finishEpochObs(m *Metrics, tr *obs.Trace, sampler string, epoch int, eo *epochObs) {
+	dur := time.Since(eo.start)
+	if m != nil {
+		m.Epochs.Inc()
+		m.EpochDur.Observe(dur.Seconds())
+		m.MergeDur.Observe(eo.merge.Seconds())
+		m.QueueDepth.Set(float64(eo.queue))
+	}
+	tr.Emit("inference", "epoch",
+		"sampler", sampler,
+		"epoch", epoch,
+		"dur_ms", durMs(dur),
+		"merge_ms", durMs(eo.merge),
+		"queue", eo.queue,
+	)
+}
+
+// saveCheckpointObs wraps a checkpoint save with timing, counters and a
+// trace span. Either sink may be nil.
+func saveCheckpointObs(m *Metrics, tr *obs.Trace, sampler string, epoch int, save func() error) error {
+	active := m != nil || tr != nil
+	var t0 time.Time
+	if active {
+		t0 = time.Now()
+	}
+	err := save()
+	if !active {
+		return err
+	}
+	dur := time.Since(t0)
+	if err != nil {
+		if m != nil {
+			m.CkptSaveErrors.Inc()
+		}
+		tr.Emit("inference", "checkpoint_error", "sampler", sampler, "epoch", epoch, "error", err.Error())
+		return err
+	}
+	if m != nil {
+		m.CkptSaves.Inc()
+		m.CkptSaveDur.Observe(dur.Seconds())
+	}
+	tr.Emit("inference", "checkpoint", "sampler", sampler, "epoch", epoch, "dur_ms", durMs(dur))
+	return nil
+}
+
+// durMs renders a duration as fractional milliseconds for trace fields.
+func durMs(d time.Duration) float64 { return obs.Ms(d) }
+
+// obsState is the instrumentation state embedded by the three sampler
+// variants: the metric handles, the trace sink, and the convergence
+// diagnostics enabled via SetProgress. The zero value is fully disabled.
+type obsState struct {
+	met           *Metrics
+	trace         *obs.Trace
+	progressEvery int
+	progressFn    func(Progress)
+	diag          *diagTracker
+	chains        []*counts // the sampler's chain counters, set by SetProgress
+}
+
+// obsActive reports whether per-epoch measurement should run at all — the
+// single branch the uninstrumented hot path pays.
+func (o *obsState) obsActive() bool { return o.met != nil || o.trace != nil }
+
+// SetTrace implements the Sampler method for every variant via embedding.
+func (o *obsState) SetTrace(tr *obs.Trace) { o.trace = tr }
+
+// enableProgress wires the diagnostics: the samplers call it from their
+// SetProgress with their own graph and chain counters.
+func (o *obsState) enableProgress(g *factorgraph.Graph, every int, fn func(Progress), chains []*counts) {
+	o.progressEvery, o.progressFn = every, fn
+	o.chains = chains
+	if every > 0 && o.diag == nil {
+		o.diag = newDiagTracker(g)
+	}
+}
+
+// diagDue reports whether a reading is due at this completed epoch.
+func (o *obsState) diagDue(epoch int) bool {
+	return o.progressEvery > 0 && epoch%o.progressEvery == 0
+}
+
+// takeDiag takes a convergence reading at epoch, records it into st, and
+// publishes it to the gauges, the trace and the progress callback.
+func (o *obsState) takeDiag(sampler string, epoch int, st *RunStats) {
+	d := o.diag.update(epoch, o.chains)
+	st.Diag, st.DiagValid = d, true
+	if o.met != nil {
+		o.met.DiagMaxDelta.Set(d.MaxDelta)
+		o.met.DiagSpread.Set(d.Spread)
+	}
+	o.trace.Emit("inference", "diag",
+		"sampler", sampler, "epoch", epoch, "max_delta", d.MaxDelta, "spread", d.Spread)
+	if o.progressFn != nil {
+		o.progressFn(Progress{Sampler: sampler, Epoch: epoch, Diag: d})
+	}
+}
+
+// finalDiag takes the run's closing reading unless the last diagnostic epoch
+// already covered the current one (avoiding a duplicate zero-delta reading).
+func (o *obsState) finalDiag(sampler string, epoch int, st *RunStats) {
+	if o.progressEvery <= 0 || (st.DiagValid && st.Diag.Epoch == epoch) {
+		return
+	}
+	o.takeDiag(sampler, epoch, st)
+}

@@ -1,0 +1,308 @@
+package gibbs_test
+
+// Observability wiring tests: metric counters, trace events, convergence
+// diagnostics and checkpoint rotation must behave identically across all
+// three sampler variants, and the whole layer must disappear when disabled
+// (nil registry, nil trace — see BenchmarkObsOverhead).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+	"repro/internal/obs"
+)
+
+// obsGraph is a small spatial graph for the wiring tests.
+func obsGraph(t *testing.T) *factorgraph.Graph {
+	t.Helper()
+	g, err := testutil.RandomGraph(testutil.Spec{Vars: 30, Spatial: true, Seed: 99})
+	if err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	return g
+}
+
+// obsSamplers builds one sampler of each kind.
+func obsSamplers(t *testing.T, g *factorgraph.Graph) map[string]gibbs.Sampler {
+	t.Helper()
+	sp, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Instances: 2, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewSpatial: %v", err)
+	}
+	return map[string]gibbs.Sampler{
+		"spatial":    sp,
+		"hogwild":    gibbs.NewHogwild(g, 5, 2),
+		"sequential": gibbs.NewSequential(g, 5),
+	}
+}
+
+// traceEvents parses a trace buffer back into event maps.
+func traceEvents(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestSamplerObsWiring(t *testing.T) {
+	g := obsGraph(t)
+	for name, s := range obsSamplers(t, g) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			reg := obs.NewRegistry()
+			var buf bytes.Buffer
+			tr := obs.NewTrace(&buf)
+			s.SetMetrics(gibbs.NewMetrics(reg))
+			s.SetTrace(tr)
+			var progress []gibbs.Progress
+			s.SetProgress(2, func(p gibbs.Progress) { progress = append(progress, p) })
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			s.SetCheckpointer(&gibbs.Checkpointer{Path: ckpt, Every: 3})
+
+			st, err := s.Run(context.Background(), 6)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+
+			snap := reg.Snapshot()
+			if got := snap["sya_epochs_total"]; got != 6 {
+				t.Errorf("sya_epochs_total = %v, want 6", got)
+			}
+			if snap["sya_chunks_total"] < 6 {
+				t.Errorf("sya_chunks_total = %v, want >= 6", snap["sya_chunks_total"])
+			}
+			// Epochs 3 and 6 are checkpoint epochs.
+			if got := snap["sya_checkpoint_saves_total"]; got != 2 {
+				t.Errorf("sya_checkpoint_saves_total = %v, want 2", got)
+			}
+			if got := snap["sya_checkpoint_save_errors_total"]; got != 0 {
+				t.Errorf("sya_checkpoint_save_errors_total = %v, want 0", got)
+			}
+
+			// Diagnostics ran at epochs 2, 4 and 6; the run ends on a
+			// diagnostic epoch, so no extra closing reading is taken.
+			if len(progress) != 3 {
+				t.Fatalf("progress callbacks = %d, want 3 (%v)", len(progress), progress)
+			}
+			for i, want := range []int{2, 4, 6} {
+				if progress[i].Epoch != want || progress[i].Sampler != name {
+					t.Errorf("progress[%d] = %+v, want epoch %d sampler %s", i, progress[i], want, name)
+				}
+			}
+			if !st.DiagValid || st.Diag != progress[2].Diag {
+				t.Errorf("RunStats diag = %+v (valid %v), want the epoch-6 reading %+v",
+					st.Diag, st.DiagValid, progress[2].Diag)
+			}
+			if name == "spatial" {
+				if st.Diag.Spread <= 0 {
+					t.Errorf("spatial spread = %v, want > 0 across 2 instances", st.Diag.Spread)
+				}
+			} else if st.Diag.Spread != 0 {
+				t.Errorf("%s spread = %v, want 0 for a single chain", name, st.Diag.Spread)
+			}
+			if snap["sya_diag_max_delta"] != st.Diag.MaxDelta || snap["sya_diag_spread"] != st.Diag.Spread {
+				t.Errorf("diag gauges = (%v, %v), want (%v, %v)",
+					snap["sya_diag_max_delta"], snap["sya_diag_spread"], st.Diag.MaxDelta, st.Diag.Spread)
+			}
+
+			events := map[string]int{}
+			for _, ev := range traceEvents(t, &buf) {
+				if ev["phase"] != "inference" {
+					t.Errorf("unexpected phase %v in sampler trace", ev["phase"])
+				}
+				evName, _ := ev["event"].(string)
+				events[evName]++
+			}
+			if events["epoch"] != 6 || events["checkpoint"] != 2 || events["diag"] != 3 {
+				t.Errorf("trace events = %v, want 6 epoch / 2 checkpoint / 3 diag", events)
+			}
+		})
+	}
+}
+
+func TestPreCanceledRunStillReportsDiag(t *testing.T) {
+	g := obsGraph(t)
+	for name, s := range obsSamplers(t, g) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			s.SetProgress(1, nil)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			st, err := s.Run(ctx, 10)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if st.Reason != gibbs.ReasonCanceled {
+				t.Fatalf("reason = %v, want canceled", st.Reason)
+			}
+			// The closing reading is still taken so callers see where the
+			// chains stood — at epoch 0 with nothing sampled, all zeros.
+			if !st.DiagValid || st.Diag.Epoch != 0 || st.Diag.MaxDelta != 0 {
+				t.Errorf("diag = %+v (valid %v), want a zero epoch-0 reading", st.Diag, st.DiagValid)
+			}
+		})
+	}
+}
+
+func TestCheckpointSaveRotatesPreviousGeneration(t *testing.T) {
+	g := obsGraph(t)
+	s := gibbs.NewSequential(g, 5)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck := &gibbs.Checkpointer{Path: path}
+
+	s.RunEpochs(2)
+	if err := ck.Save(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(gibbs.PrevPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("first save should not create a .prev file (err %v)", err)
+	}
+	s.RunEpochs(3)
+	if err := ck.Save(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := gibbs.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := gibbs.LoadCheckpoint(gibbs.PrevPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Epochs != 5 || prev.Epochs != 2 {
+		t.Errorf("generations = (cur %d, prev %d) epochs, want (5, 2)", cur.Epochs, prev.Epochs)
+	}
+}
+
+func TestResumeFromFallsBackToPrev(t *testing.T) {
+	g := obsGraph(t)
+	s := gibbs.NewSequential(g, 5)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck := &gibbs.Checkpointer{Path: path}
+	s.RunEpochs(2)
+	if err := ck.Save(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s.RunEpochs(3)
+	if err := ck.Save(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy primary: resume uses it.
+	r := gibbs.NewSequential(g, 5)
+	from, err := gibbs.ResumeFrom(r, path)
+	if err != nil || from != path {
+		t.Fatalf("healthy resume = (%q, %v), want the primary", from, err)
+	}
+	if r.TotalEpochs() != 5 {
+		t.Errorf("resumed epochs = %d, want 5", r.TotalEpochs())
+	}
+
+	// Corrupted primary: resume falls back to the rotated generation.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r = gibbs.NewSequential(g, 5)
+	from, err = gibbs.ResumeFrom(r, path)
+	if err != nil {
+		t.Fatalf("fallback resume: %v", err)
+	}
+	if from != gibbs.PrevPath(path) {
+		t.Errorf("fallback resumed from %q, want %q", from, gibbs.PrevPath(path))
+	}
+	if r.TotalEpochs() != 2 {
+		t.Errorf("fallback epochs = %d, want 2", r.TotalEpochs())
+	}
+
+	// Both generations unreadable: the primary's error surfaces.
+	if err := os.WriteFile(gibbs.PrevPath(path), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gibbs.ResumeFrom(gibbs.NewSequential(g, 5), path); err == nil {
+		t.Error("resume with both generations corrupt should fail")
+	}
+
+	// Neither file exists: os.IsNotExist, the "fresh run" signal.
+	missing := filepath.Join(t.TempDir(), "none.ckpt")
+	if _, err := gibbs.ResumeFrom(gibbs.NewSequential(g, 5), missing); !os.IsNotExist(err) {
+		t.Errorf("missing resume error = %v, want os.IsNotExist", err)
+	}
+}
+
+// TestResumeFallbackSkipsRestoreErrors pins the fallback boundary: a
+// checkpoint that loads fine but fails Restore validation is a caller bug
+// (wrong graph/seed), not corruption, so the error returns as-is instead of
+// silently resuming an older generation.
+func TestResumeFallbackSkipsRestoreErrors(t *testing.T) {
+	g := obsGraph(t)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck := &gibbs.Checkpointer{Path: path}
+
+	// .prev from the matching sampler, primary from a different variant.
+	match := gibbs.NewSequential(g, 5)
+	match.RunEpochs(2)
+	if err := ck.Save(match.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	other := gibbs.NewHogwild(g, 5, 1)
+	defer other.Close()
+	other.RunEpochs(4)
+	if err := ck.Save(other.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := gibbs.ResumeFrom(gibbs.NewSequential(g, 5), path); err == nil {
+		t.Error("mismatched primary should surface its Restore error, not fall back")
+	}
+}
+
+// BenchmarkObsOverhead compares the fully-instrumented epoch path against
+// the disabled one on the mid-size harness graph. The two sub-benchmarks
+// must stay within noise of each other: with a nil registry and nil trace
+// the instrumentation is one branch per epoch.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		g := benchSamplerGraph(b)
+		s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 6, Instances: 2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if instrument {
+			s.SetMetrics(gibbs.NewMetrics(obs.NewRegistry()))
+		}
+		ctx := context.Background()
+		if _, err := s.Run(ctx, 3); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(ctx, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, false) })
+	b.Run("metrics", func(b *testing.B) { run(b, true) })
+}

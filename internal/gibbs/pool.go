@@ -182,6 +182,11 @@ func (p *Pool) dispatch(cr chunkRunner, lo, hi int32, done <-chan struct{}) {
 // (executed, skipped by cancellation, or dropped by poisoning).
 func (p *Pool) wait() { p.wg.Wait() }
 
+// queued reports the number of chunks parked in the work channel right now —
+// the backlog the samplers sample into the queue-depth gauge after each
+// group's dispatches.
+func (p *Pool) queued() int { return len(p.work) }
+
 // err reports the pool's sticky WorkerPanicError, if any. Call with no
 // batch in flight (after wait).
 func (p *Pool) err() error { return p.sh.err() }

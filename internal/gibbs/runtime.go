@@ -49,6 +49,13 @@ type RunStats struct {
 	Epochs int
 	// Reason tells why the call returned.
 	Reason StopReason
+	// Diag is the final convergence reading of the run and DiagValid reports
+	// whether one was taken. Diagnostics run only when SetProgress enabled
+	// them; a reading is taken at every diagnostic epoch and once more at
+	// return (done and canceled paths — not after a worker panic, whose
+	// unmerged deltas were discarded).
+	Diag      DiagStats
+	DiagValid bool
 }
 
 // reasonFromCtx maps a fired context to its stop reason.

@@ -28,6 +28,8 @@ type Sequential struct {
 	burnIn int
 	hooks  TestHooks
 	ckpt   *Checkpointer
+
+	obsState // metrics/trace/diagnostics plane (zero: disabled)
 }
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
@@ -41,6 +43,17 @@ func (s *Sequential) SetTestHooks(h TestHooks) { s.hooks = h }
 // SetCheckpointer enables periodic snapshots: during context-aware runs a
 // checkpoint is written at every epoch multiple of cp.Every. nil disables.
 func (s *Sequential) SetCheckpointer(cp *Checkpointer) { s.ckpt = cp }
+
+// SetMetrics attaches (or detaches, with nil) the obs metric handles. The
+// sequential sampler has no pool; its whole sweep is one chunk, counted at
+// the epoch boundary.
+func (s *Sequential) SetMetrics(m *Metrics) { s.met = m }
+
+// SetProgress enables convergence diagnostics every `every` epochs (see
+// Sampler.SetProgress). A single chain, so Spread reads 0.
+func (s *Sequential) SetProgress(every int, fn func(Progress)) {
+	s.enableProgress(s.g, every, fn, []*counts{s.counts})
+}
 
 // NewSequential builds a sequential sampler with the given seed.
 func NewSequential(g *factorgraph.Graph, seed int64) *Sequential {
@@ -81,12 +94,15 @@ func (s *Sequential) Run(ctx context.Context, n int) (RunStats, error) {
 		ctx = context.Background()
 	}
 	st := RunStats{Reason: ReasonDone}
+	active := s.obsActive()
 	var hookChunks uint64
 	for e := 0; e < n; e++ {
 		if ctx.Err() != nil {
 			st.Reason = reasonFromCtx(ctx)
+			s.finalDiag("sequential", s.epochs, &st)
 			return st, nil
 		}
+		eo := beginEpochObs(active)
 		if s.hooks.BeforeChunk != nil {
 			s.hooks.BeforeChunk(hookChunks)
 			hookChunks++
@@ -100,8 +116,19 @@ func (s *Sequential) Run(ctx context.Context, n int) (RunStats, error) {
 		}
 		s.epochs++
 		st.Epochs++
+		if active {
+			if s.met != nil {
+				s.met.Chunks.Inc() // the whole sweep is this sampler's chunk
+			}
+			finishEpochObs(s.met, s.trace, "sequential", s.epochs, &eo)
+		}
+		if s.diagDue(s.epochs) {
+			s.takeDiag("sequential", s.epochs, &st)
+		}
 		if s.ckpt != nil && s.ckpt.due(s.epochs) {
-			if err := s.ckpt.Save(s.Snapshot()); err != nil {
+			if err := saveCheckpointObs(s.met, s.trace, "sequential", s.epochs, func() error {
+				return s.ckpt.Save(s.Snapshot())
+			}); err != nil {
 				return st, err
 			}
 		}
@@ -109,6 +136,7 @@ func (s *Sequential) Run(ctx context.Context, n int) (RunStats, error) {
 			s.hooks.AfterEpoch(s.epochs)
 		}
 	}
+	s.finalDiag("sequential", s.epochs, &st)
 	return st, nil
 }
 

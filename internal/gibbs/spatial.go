@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/conclique"
 	"repro/internal/factorgraph"
 	"repro/internal/geom"
 	"repro/internal/index/pyramid"
+	"repro/internal/obs"
 )
 
 // SpatialOptions configures the spatial Gibbs sampler (paper Algorithm 1).
@@ -159,6 +161,8 @@ type Spatial struct {
 	hooks TestHooks     // fault-injection plane (zero in production)
 	ckpt  *Checkpointer // periodic snapshot writer (nil: disabled)
 
+	obsState // metrics/trace/diagnostics plane (zero: disabled)
+
 	// Instrumentation (nil unless InstrumentSweeps was called): cells and
 	// tail variables swept per epoch, counted once per group dispatch.
 	sweptCells map[pyramid.CellKey]int
@@ -240,7 +244,35 @@ func (s *Spatial) Close() { s.pool.Close() }
 // with no run in flight.
 func (s *Spatial) SetTestHooks(h TestHooks) {
 	s.hooks = h
-	s.pool.setHook(h.BeforeChunk)
+	s.installChunkHook()
+}
+
+// SetMetrics attaches (or detaches, with nil) the obs metric handles. The
+// chunk counter rides the pool's hook seam, composed with any installed
+// fault-injection hook. Call with no run in flight.
+func (s *Spatial) SetMetrics(m *Metrics) {
+	s.met = m
+	s.installChunkHook()
+}
+
+// installChunkHook (re)installs the pool chunk hook composing the obs chunk
+// counter with the fault-injection hook.
+func (s *Spatial) installChunkHook() {
+	var c *obs.Counter
+	if s.met != nil {
+		c = s.met.Chunks
+	}
+	s.pool.setHook(composeChunkHook(c, s.hooks.BeforeChunk))
+}
+
+// SetProgress enables convergence diagnostics every `every` epochs over the
+// K instances' counters (see Sampler.SetProgress).
+func (s *Spatial) SetProgress(every int, fn func(Progress)) {
+	chains := make([]*counts, 0, len(s.instances))
+	for _, inst := range s.instances {
+		chains = append(chains, inst.counts)
+	}
+	s.enableProgress(s.g, every, fn, chains)
 }
 
 // SetCheckpointer enables periodic snapshots: during context-aware runs a
@@ -458,11 +490,14 @@ func (s *Spatial) RunTotal(ctx context.Context, total int) (RunStats, error) {
 func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int32, tail []factorgraph.VarID) (RunStats, error) {
 	st := RunStats{Reason: ReasonDone}
 	done := ctx.Done()
+	active := s.obsActive()
 	for e := 0; e < n; e++ {
 		if ctx.Err() != nil {
 			st.Reason = reasonFromCtx(ctx)
+			s.finalDiag("spatial", s.epochs, &st)
 			return st, nil
 		}
+		eo := beginEpochObs(active)
 		for k, inst := range s.instances {
 			count := inst.epochs >= s.opts.BurnIn
 			inst.epochs++
@@ -504,6 +539,9 @@ func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int3
 					s.pool.dispatch(r, off, end, done)
 				}
 			}
+			if active {
+				eo.noteQueue(s.pool.queued())
+			}
 			s.pool.wait()
 			if err := s.pool.err(); err != nil {
 				s.discardAllDeltas()
@@ -525,16 +563,33 @@ func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int3
 				return st, err
 			}
 		}
+		var mergeStart time.Time
+		if active {
+			mergeStart = time.Now()
+		}
 		for k, inst := range s.instances {
 			s.pool.mergeDeltas(k, inst.counts)
 		}
+		if active {
+			eo.merge = time.Since(mergeStart)
+		}
 		if interrupted {
 			st.Reason = reasonFromCtx(ctx)
+			s.finalDiag("spatial", s.epochs, &st)
 			return st, nil
 		}
 		st.Epochs++
+		if active {
+			finishEpochObs(s.met, s.trace, "spatial", s.epochs, &eo)
+		}
+		if s.diagDue(s.epochs) {
+			s.takeDiag("spatial", s.epochs, &st)
+		}
 		if s.ckpt != nil && s.ckpt.due(s.epochs) {
-			if err := s.ckpt.Save(s.Snapshot()); err != nil {
+			epoch := s.epochs
+			if err := saveCheckpointObs(s.met, s.trace, "spatial", epoch, func() error {
+				return s.ckpt.Save(s.Snapshot())
+			}); err != nil {
 				return st, err
 			}
 		}
@@ -542,6 +597,7 @@ func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int3
 			s.hooks.AfterEpoch(s.epochs)
 		}
 	}
+	s.finalDiag("spatial", s.epochs, &st)
 	return st, nil
 }
 

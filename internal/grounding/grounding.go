@@ -30,6 +30,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/geom"
 	"repro/internal/index/rtree"
+	"repro/internal/obs"
 	"repro/internal/sqlx"
 	"repro/internal/storage"
 	"repro/internal/translate"
@@ -64,6 +65,10 @@ type Options struct {
 	// factor graph in the RDBMS; keeping the tables is faithful but costs
 	// memory on large runs.
 	SkipFactorTables bool
+	// Trace, when non-nil, receives structured phase events: one per UDF
+	// application, derivation and inference rule (row and factor counts with
+	// wall time), one per @spatial relation, and a closing summary.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -253,12 +258,21 @@ func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
 		return true
 	})
 	res.Stats.TotalTime = time.Since(start)
+	gr.opts.Trace.Emit("grounding", "done",
+		"vars", res.Stats.Vars,
+		"evidence_vars", res.Stats.EvidenceVars,
+		"query_vars", res.Stats.QueryVars,
+		"logical_factors", res.Stats.LogicalFactors,
+		"spatial_pairs", res.Stats.SpatialPairs,
+		"dur_ms", obs.Ms(res.Stats.TotalTime),
+	)
 	return res, nil
 }
 
 // runApps executes UDF applications.
 func (gr *Grounder) runApps() error {
 	for _, app := range gr.prog.Apps {
+		appStart := time.Now()
 		var impl UDF
 		var implKey string
 		for _, fn := range gr.prog.Functions {
@@ -294,6 +308,8 @@ func (gr *Grounder) runApps() error {
 				}
 			}
 		}
+		gr.opts.Trace.Emit("grounding", "udf",
+			"fn", app.Fn, "rows", len(rows.Rows), "dur_ms", obs.Ms(time.Since(appStart)))
 	}
 	return nil
 }
@@ -311,6 +327,7 @@ func (gr *Grounder) runDerivations(b *factorgraph.Builder, res *Result) error {
 	atoms := map[string]*derivedAtom{}
 	order := 0
 	for _, d := range gr.prog.Derivations {
+		derStart := time.Now()
 		q, err := translate.Derivation(gr.prog, d, translate.Options{Metric: gr.opts.Metric})
 		if err != nil {
 			return err
@@ -348,6 +365,8 @@ func (gr *Grounder) runDerivations(b *factorgraph.Builder, res *Result) error {
 			}
 			order++
 		}
+		gr.opts.Trace.Emit("grounding", "derivation",
+			"label", derLabel(d), "rows", len(rows.Rows), "dur_ms", obs.Ms(time.Since(derStart)))
 	}
 	// Deterministic creation order: derivation order.
 	sorted := make([]*derivedAtom, 0, len(atoms))
@@ -451,6 +470,7 @@ func labelToEvidence(rel *ddlog.RelationDecl, v storage.Value) (int32, error) {
 // runInferenceRules grounds logical factors.
 func (gr *Grounder) runInferenceRules(b *factorgraph.Builder, res *Result) error {
 	for ri, rule := range gr.prog.Rules {
+		ruleStart := time.Now()
 		q, err := translate.Inference(gr.prog, rule, translate.Options{Metric: gr.opts.Metric})
 		if err != nil {
 			return err
@@ -515,6 +535,9 @@ func (gr *Grounder) runInferenceRules(b *factorgraph.Builder, res *Result) error
 				}
 			}
 		}
+		gr.opts.Trace.Emit("grounding", "rule",
+			"rule", name, "rows", len(rows.Rows), "factors", res.Stats.RuleFactors[name],
+			"dur_ms", obs.Ms(time.Since(ruleStart)))
 	}
 	return nil
 }
@@ -567,6 +590,7 @@ func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) er
 		if rel.Spatial == "" {
 			continue
 		}
+		relStart := time.Now()
 		fn, err := gr.opts.Weighting.Lookup(rel.Spatial)
 		if err != nil {
 			return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
@@ -642,6 +666,9 @@ func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) er
 				}
 			}
 		}
+		gr.opts.Trace.Emit("grounding", "spatial",
+			"relation", rel.Name, "atoms", len(atoms), "pairs", len(seen),
+			"dur_ms", obs.Ms(time.Since(relStart)))
 	}
 	return nil
 }

@@ -21,8 +21,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/factorgraph"
+	"repro/internal/obs"
 )
 
 // Options configures learning.
@@ -46,6 +48,9 @@ type Options struct {
 	MaxWeight float64
 	// Seed drives the chains.
 	Seed int64
+	// Trace, when non-nil, receives one "learning" phase event per gradient
+	// iteration (gradient norm and wall time) plus a closing summary.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -199,10 +204,12 @@ func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numR
 
 	nData := make([]float64, numRules)
 	nModel := make([]float64, numRules)
+	learnStart := time.Now()
 	for iter := 0; iter < opts.Iterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return res, fmt.Errorf("learn: interrupted after %d/%d iterations: %w", iter, opts.Iterations, err)
 		}
+		iterStart := time.Now()
 		data.sweep(g, opts.SweepsPerIteration)
 		model.sweep(g, opts.SweepsPerIteration)
 		for r := range nData {
@@ -241,6 +248,8 @@ func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numR
 			norm += grad * grad
 		}
 		res.GradNorms = append(res.GradNorms, math.Sqrt(norm))
+		opts.Trace.Emit("learning", "iteration",
+			"iter", iter, "grad_norm", math.Sqrt(norm), "dur_ms", obs.Ms(time.Since(iterStart)))
 		// Push the updated tied weights into the graph so the next sweeps
 		// sample under them.
 		for f := int32(0); int(f) < g.NumFactors(); f++ {
@@ -252,6 +261,13 @@ func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numR
 			}
 		}
 	}
+	finalNorm := 0.0
+	if len(res.GradNorms) > 0 {
+		finalNorm = res.GradNorms[len(res.GradNorms)-1]
+	}
+	opts.Trace.Emit("learning", "done",
+		"iterations", opts.Iterations, "final_grad_norm", finalNorm,
+		"spatial_scale", res.SpatialScale, "dur_ms", obs.Ms(time.Since(learnStart)))
 	return res, nil
 }
 

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeExposesMetricsExpvarAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sya_epochs_total").Add(3)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "sya_epochs_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	snap, ok := vars["sya_metrics"].(map[string]any)
+	if !ok || snap["sya_epochs_total"] != float64(3) {
+		t.Errorf("sya_metrics expvar = %v", vars["sya_metrics"])
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestServeSecondServerSwapsSnapshotRegistry(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("a").Inc()
+	s1, err := Serve("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	r2 := NewRegistry()
+	r2.Counter("b").Add(2)
+	s2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, body := get(t, "http://"+s2.Addr+"/debug/vars")
+	if !strings.Contains(body, `"b"`) || strings.Contains(body, `"a"`) {
+		t.Errorf("expvar snapshot did not swap to the latest registry: %s", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bogus", NewRegistry()); err == nil {
+		t.Error("expected listen error")
+	}
+}

@@ -1,0 +1,301 @@
+// Package obs is the pipeline's observability layer: a zero-dependency,
+// stdlib-only metrics registry (counters, gauges, histograms), a structured
+// JSONL phase trace, and an HTTP exposition endpoint (Prometheus text,
+// expvar, pprof).
+//
+// The design optimizes for a disabled-by-default hot path: every metric
+// handle is nil-safe — a nil *Registry hands out nil *Counter/*Gauge/
+// *Histogram values whose methods are single-branch no-ops — so call sites
+// can record unconditionally and the uninstrumented sampler epoch pays one
+// predictable nil check per record, a few nanoseconds in total. Enabled
+// counters are one padded atomic add; no locks, no allocation, no
+// formatting until an exposition request renders the registry.
+//
+// Instrumented code never samples inside the inner Gibbs loop: chunk-level
+// events ride the worker pool's existing hook seam and epoch-level events
+// are recorded at barriers, so per-sample cost is untouched either way.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The value is padded out to
+// a cache line so counters laid out contiguously (or next to other hot
+// state) do not false-share under concurrent writers — the chunk counter is
+// bumped by every pool worker.
+//
+// All methods are safe on a nil receiver (no-ops), which is the disabled
+// fast path.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte // pad to 64 bytes against false sharing
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 metric (last-write-wins). Nil-safe like
+// Counter.
+type Gauge struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-boundary cumulative histogram in the Prometheus
+// style: counts[i] tallies observations ≤ bounds[i], with one overflow
+// bucket, plus a running sum and total count. Observation is lock-free
+// (binary search over the boundaries + two atomic adds + a CAS loop for the
+// float sum) and allocation-free. Nil-safe like Counter.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1, last = +Inf overflow
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// DurationBuckets are the default boundaries (seconds) for latency
+// histograms: 1µs to 1min in decade steps with midpoints, covering both a
+// ~µs chunk merge and a multi-second checkpoint fsync.
+var DurationBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+	1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Lower-bound binary search: first boundary ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total observation count (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the running observation sum (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry is a named-metric table. Registration (Counter/Gauge/Histogram)
+// is idempotent — the same name returns the same handle — and guarded by a
+// mutex; handles are resolved once at wiring time, never on the hot path.
+// A nil *Registry is the disabled mode: it hands out nil handles.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = new(Counter)
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil registry →
+// nil handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// boundaries on first use (later calls ignore bounds; nil bounds selects
+// DurationBuckets). Nil registry → nil handle.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DurationBuckets
+		}
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// sortedKeys returns map keys in lexicographic order for stable exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): TYPE lines, cumulative histogram buckets with the
+// canonical le labels, _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range sortedKeys(r.counts) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counts[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
+			name, cum, name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a flat name→value view of the registry (histograms
+// contribute _sum and _count entries); it backs the expvar exposition and
+// test assertions.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counts)+len(r.gauges)+2*len(r.hists))
+	for name, c := range r.counts {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		out[name+"_sum"] = h.Sum()
+		out[name+"_count"] = float64(h.Count())
+	}
+	return out
+}
+
+// Handler serves the registry as Prometheus text (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

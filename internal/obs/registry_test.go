@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total"); again != c {
+		t.Error("re-registration must return the same handle")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %v, want -1.25", got)
+	}
+
+	h := r.Histogram("h_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("hist count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+50; got != want {
+		t.Errorf("hist sum = %v, want %v", got, want)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	// None of these may panic, and reads stay zero.
+	c.Inc()
+	c.Add(10)
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot must be nil")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sya_epochs_total").Add(7)
+	r.Gauge("sya_queue_depth").Set(3)
+	h := r.Histogram("sya_epoch_seconds", []float64{0.1, 1})
+	h.Observe(0.05) // bucket le=0.1
+	h.Observe(0.5)  // bucket le=1
+	h.Observe(5)    // overflow
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE sya_epochs_total counter\nsya_epochs_total 7\n",
+		"# TYPE sya_queue_depth gauge\nsya_queue_depth 3\n",
+		"# TYPE sya_epoch_seconds histogram\n",
+		`sya_epoch_seconds_bucket{le="0.1"} 1`,
+		`sya_epoch_seconds_bucket{le="1"} 2`,
+		`sya_epoch_seconds_bucket{le="+Inf"} 3`,
+		"sya_epoch_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(2)
+	r.Gauge("g").Set(1.5)
+	h := r.Histogram("h", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if snap["c"] != 2 || snap["g"] != 1.5 || snap["h_count"] != 1 || snap["h_sum"] != 0.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10})
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per || h.Sum() != workers*per {
+		t.Errorf("hist count/sum = %d/%v, want %d", h.Count(), h.Sum(), workers*per)
+	}
+}

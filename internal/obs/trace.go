@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace is a structured JSONL event log covering the pipeline's phases:
+// one JSON object per line with a milliseconds-since-start timestamp, a
+// phase ("grounding", "learn", "inference", ...), an event name, and
+// event-specific fields. Writes are buffered and mutex-serialized — spans
+// are emitted at phase boundaries (per rule, per iteration, per epoch),
+// never inside the inner sampling loop — and a nil *Trace is a no-op, so
+// call sites emit unconditionally.
+//
+// The format is deliberately dumb: any JSONL consumer (jq, a spreadsheet
+// import, a flame-chart script) can read it without a schema registry.
+type Trace struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer // non-nil when the trace owns the sink (OpenTrace)
+	start time.Time
+	err   error // first write error, latched
+}
+
+// NewTrace wraps a writer. The caller keeps ownership of w; Close flushes
+// but does not close it.
+func NewTrace(w io.Writer) *Trace {
+	return &Trace{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// OpenTrace creates (truncating) a trace file; Close flushes and closes it.
+func OpenTrace(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening trace: %w", err)
+	}
+	t := NewTrace(f)
+	t.c = f
+	return t, nil
+}
+
+// Emit writes one event. kv lists alternating string keys and JSON-
+// marshalable values; a trailing odd element or a non-string key is
+// dropped rather than corrupting the line. Safe on nil.
+func (t *Trace) Emit(phase, event string, kv ...any) {
+	if t == nil {
+		return
+	}
+	m := make(map[string]any, 3+len(kv)/2)
+	m["t_ms"] = float64(time.Since(t.start).Microseconds()) / 1e3
+	m["phase"] = phase
+	m["event"] = event
+	for i := 0; i+1 < len(kv); i += 2 {
+		if k, ok := kv[i].(string); ok {
+			m[k] = kv[i+1]
+		}
+	}
+	b, err := json.Marshal(m)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.WriteByte('\n'); err != nil {
+		t.err = err
+	}
+}
+
+// Ms renders a duration as fractional milliseconds — the convention for
+// trace duration fields.
+func Ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// Err reports the first write/encode error (nil receiver → nil).
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes buffered events (and closes the sink when the trace owns
+// it). Safe on nil; returns the first error seen.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.c = nil
+	}
+	return t.err
+}

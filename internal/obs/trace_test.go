@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceEmitsParseableJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Emit("grounding", "rule", "rule", "r1", "rows", 42, "dur_ms", 1.5)
+	tr.Emit("inference", "epoch", "epoch", 7)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q not JSON: %v", sc.Text(), err)
+		}
+		events = append(events, m)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	e := events[0]
+	if e["phase"] != "grounding" || e["event"] != "rule" || e["rule"] != "r1" || e["rows"] != float64(42) {
+		t.Errorf("event 0 = %v", e)
+	}
+	if _, ok := e["t_ms"].(float64); !ok {
+		t.Errorf("t_ms missing or not a number: %v", e["t_ms"])
+	}
+	if events[1]["epoch"] != float64(7) {
+		t.Errorf("event 1 = %v", events[1])
+	}
+}
+
+func TestTraceMalformedKVPairsAreDropped(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Emit("p", "e", "good", 1, 99, "non-string-key", "dangling")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if m["good"] != float64(1) {
+		t.Errorf("good pair lost: %v", m)
+	}
+	if len(m) != 4 { // t_ms, phase, event, good
+		t.Errorf("unexpected fields: %v", m)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.Emit("p", "e", "k", 1)
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil Err: %v", err)
+	}
+}
+
+func TestOpenTraceWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Emit("inference", "done", "epochs", 10)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"event":"done"`) {
+		t.Errorf("trace file contents = %q", raw)
+	}
+}
+
+func TestTraceUnmarshalableValueLatchesErr(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace(&buf)
+	tr.Emit("p", "e", "bad", func() {}) // funcs cannot marshal
+	if tr.Err() == nil {
+		t.Error("expected a latched encode error")
+	}
+}
