@@ -6,9 +6,10 @@
 //
 //	sya -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
 //	    [-engine sya|deepdive] [-metric euclidean|miles|km] [-epochs N] \
-//	    [-bandwidth B] [-scale S] [-seed N] [-stats] \
+//	    [-bandwidth B] [-scale S] [-seed N] [-stats] [-ground-workers N] \
 //	    [-timeout D] [-checkpoint file] [-checkpoint-every N] \
-//	    [-metrics-addr host:port] [-trace-out file.jsonl] [-progress N]
+//	    [-metrics-addr host:port] [-trace-out file.jsonl] [-trace-max-mb N] \
+//	    [-progress N]
 //
 // CSV files need a header row naming the relation's columns (order free).
 // Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
@@ -25,8 +26,12 @@
 // Observability: -metrics-addr serves live Prometheus-text /metrics,
 // /debug/vars and /debug/pprof/ while the run is in flight; -trace-out
 // writes structured JSONL phase events (grounding per rule, learning per
-// iteration, inference per epoch); -progress N prints a convergence
-// diagnostic line to stderr every N epochs.
+// iteration, inference per epoch), with -trace-max-mb bounding its on-disk
+// size by rotating to <file>.1; -progress N prints a convergence diagnostic
+// line to stderr every N epochs.
+//
+// Grounding runs on a worker pool sized by -ground-workers (default
+// GOMAXPROCS); the grounded factor graph is bit-identical for any width.
 package main
 
 import (
@@ -85,7 +90,9 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 100, "epochs between checkpoint snapshots (≥ 1)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		traceOut    = flag.String("trace-out", "", "write structured JSONL phase-trace events to this file")
+		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
 		progress    = flag.Int("progress", 0, "print a convergence diagnostic to stderr every N epochs (0 = off)")
+		groundWork  = flag.Int("ground-workers", 0, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -105,7 +112,8 @@ func main() {
 		epochs: *epochs, bandwidth: *bandwidth, scale: *scale, seed: *seed,
 		stats: *showStats, learnIters: *learnIters, saveGraph: *saveGraph,
 		timeout: *timeout, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
-		metricsAddr: *metricsAddr, traceOut: *traceOut, progress: *progress,
+		metricsAddr: *metricsAddr, traceOut: *traceOut, traceMaxMB: *traceMaxMB,
+		progress: *progress, groundWorkers: *groundWork,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
@@ -132,9 +140,11 @@ type runOpts struct {
 	ckptPath  string
 	ckptEvery int
 
-	metricsAddr string
-	traceOut    string
-	progress    int
+	metricsAddr   string
+	traceOut      string
+	traceMaxMB    int
+	progress      int
+	groundWorkers int
 }
 
 func run(o runOpts) error {
@@ -158,6 +168,7 @@ func run(o runOpts) error {
 		Epochs:    o.epochs,
 		Bandwidth: o.bandwidth, SpatialScale: o.scale,
 		Seed:           o.seed,
+		GroundWorkers:  o.groundWorkers,
 		CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 	}
 	if o.metricsAddr != "" {
@@ -170,7 +181,7 @@ func run(o runOpts) error {
 		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 	if o.traceOut != "" {
-		tr, err := obs.OpenTrace(o.traceOut)
+		tr, err := obs.OpenTraceRotating(o.traceOut, int64(o.traceMaxMB)<<20)
 		if err != nil {
 			return err
 		}

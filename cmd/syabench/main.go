@@ -10,7 +10,10 @@
 // Experiments: table1, fig1, fig8, fig9, fig10, fig11, fig12, fig13,
 // fig14, ablation. Flags scale the workloads; -paper approaches the paper's
 // sizes (slow). -metrics-addr serves live Prometheus metrics and pprof for
-// the duration of the suite; -trace-out records JSONL phase traces.
+// the duration of the suite; -trace-out records JSONL phase traces
+// (-trace-max-mb bounds the file via rotation). -phase=grounding restricts
+// the suite to grounding-only comparisons (table1, fig9, fig10 with
+// inference skipped); -ground-workers sizes the grounding worker pool.
 package main
 
 import (
@@ -42,6 +45,15 @@ var order = []string{
 	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
 }
 
+// groundingPhase lists the experiments that remain meaningful under
+// -phase=grounding (their ground-time/size columns do not need inference);
+// the rest are inference-bound and are skipped in that mode.
+var groundingPhase = map[string]bool{
+	"table1": true,
+	"fig9":   true,
+	"fig10":  true,
+}
+
 func main() {
 	defaults := bench.DefaultParams()
 	var (
@@ -53,10 +65,13 @@ func main() {
 		runs  = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
 		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
 		work    = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
+		gwork   = flag.Int("ground-workers", defaults.GroundWorkers, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
+		phase   = flag.String("phase", "", "restrict to one pipeline phase: grounding (skip inference, blank quality columns)")
 		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
 		traceOut    = flag.String("trace-out", "", "write JSONL phase-trace events for every experiment to this file")
+		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
 	)
 	flag.Parse()
 	if *list {
@@ -85,7 +100,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "# metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 	if *traceOut != "" {
-		tr, err := obs.OpenTrace(*traceOut)
+		tr, err := obs.OpenTraceRotating(*traceOut, int64(*traceMaxMB)<<20)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "syabench: %v\n", err)
 			os.Exit(1)
@@ -103,6 +118,15 @@ func main() {
 	p.Runs = *runs
 	p.Seed = *seed
 	p.Workers = *work
+	p.GroundWorkers = *gwork
+	switch *phase {
+	case "":
+	case "grounding":
+		p.GroundOnly = true
+	default:
+		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding)\n", *phase)
+		os.Exit(2)
+	}
 	if *paper {
 		// Flag overrides apply on top of paper scale only when changed.
 		pp := bench.PaperScaleParams()
@@ -140,6 +164,10 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "syabench: unknown experiment %q (try -list)\n", name)
 			os.Exit(2)
+		}
+		if p.GroundOnly && !groundingPhase[name] {
+			fmt.Fprintf(os.Stderr, "syabench: -phase=grounding: skipping inference-bound experiment %s\n", name)
+			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			fmt.Fprintf(os.Stderr, "syabench: -timeout %v reached, skipping %v\n", *timeout, args[i:])

@@ -10,6 +10,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/obs"
@@ -46,6 +47,15 @@ type Params struct {
 	// workers per instance for the spatial sampler, total workers for the
 	// hogwild baseline.
 	Workers int
+	// GroundWorkers is the grounding worker-pool width (0 → GOMAXPROCS,
+	// 1 → fully sequential). The grounded factor graph is identical for any
+	// setting; only wall-clock time changes.
+	GroundWorkers int
+	// GroundOnly restricts experiments to the grounding phase: systems are
+	// built and grounded but inference is skipped, so quality columns are
+	// blank. Used by syabench -phase=grounding for grounding-only
+	// comparisons (Fig. 9/10 style timing without the sampler cost).
+	GroundOnly bool
 	// Metrics, when non-nil, is threaded into every system the experiments
 	// build — with syabench -metrics-addr the registry is also served live,
 	// so a long `all` run can be watched from /metrics and profiled under
@@ -137,7 +147,12 @@ func (t *Table) Fprint(w io.Writer) {
 }
 
 // f formats a float compactly.
-func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f3(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
 
 // ms formats a duration in milliseconds.
 func ms(d float64) string { return fmt.Sprintf("%.1fms", d) }

@@ -67,6 +67,7 @@ func Fig1(p Params) (*Table, error) {
 			PyramidLevels: 4,
 			Epochs:        6000,
 			Seed:          p.Seed,
+			GroundWorkers: p.GroundWorkers,
 			Metrics:       p.Metrics,
 			Trace:         p.Trace,
 		})

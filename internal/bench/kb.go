@@ -74,6 +74,7 @@ func (k *gwdbKB) system(engine core.Engine, seed int64) *core.System {
 		LocalityLevel:    localityFor(k.data.Config.Extent, k.p.SupportRadius, k.p.PyramidLevels),
 		Instances:        k.p.Instances,
 		Workers:          k.p.Workers,
+		GroundWorkers:    k.p.GroundWorkers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,
@@ -171,6 +172,7 @@ func (k *nyccasKB) Build(engine core.Engine, seed int64) (*core.System, error) {
 		LocalityLevel:    localityFor(k.data.Config.Extent, 4*cell, k.p.PyramidLevels),
 		Instances:        k.p.Instances,
 		Workers:          k.p.Workers,
+		GroundWorkers:    k.p.GroundWorkers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		SkipFactorTables: true,
@@ -240,7 +242,8 @@ type RunResult struct {
 
 // evaluateKB runs ground+infer for one engine over p.Runs seeds and
 // averages the metrics; grounding runs once per seed (the data is fixed, so
-// its time is averaged too).
+// its time is averaged too). With p.GroundOnly, inference is skipped and the
+// quality metrics come back NaN (rendered as "-").
 func evaluateKB(k KB, engine core.Engine, p Params) (RunResult, error) {
 	agg := RunResult{KB: k.Name(), Engine: engine.String()}
 	for r := 0; r < p.Runs; r++ {
@@ -252,16 +255,18 @@ func evaluateKB(k KB, engine core.Engine, p Params) (RunResult, error) {
 		if err != nil {
 			return agg, err
 		}
-		scores, err := s.Infer()
-		if err != nil {
-			return agg, err
+		if !p.GroundOnly {
+			scores, err := s.Infer()
+			if err != nil {
+				return agg, err
+			}
+			rep := stats.Evaluate(k.Examples(scores), stats.DefaultOptions())
+			agg.Precision += rep.Precision
+			agg.Recall += rep.Recall
+			agg.F1 += rep.F1
+			agg.InferTime += s.InferenceTime()
 		}
-		rep := stats.Evaluate(k.Examples(scores), stats.DefaultOptions())
-		agg.Precision += rep.Precision
-		agg.Recall += rep.Recall
-		agg.F1 += rep.F1
 		agg.GroundTime += s.GroundingTime()
-		agg.InferTime += s.InferenceTime()
 		agg.Vars = gres.Stats.Vars
 		agg.Factors = int64(gres.Stats.LogicalFactors) + gres.Stats.GroundSpatialFactors
 	}
@@ -271,6 +276,11 @@ func evaluateKB(k KB, engine core.Engine, p Params) (RunResult, error) {
 	agg.F1 /= n
 	agg.GroundTime = time.Duration(float64(agg.GroundTime) / n)
 	agg.InferTime = time.Duration(float64(agg.InferTime) / n)
+	if p.GroundOnly {
+		agg.Precision = math.NaN()
+		agg.Recall = math.NaN()
+		agg.F1 = math.NaN()
+	}
 	return agg, nil
 }
 

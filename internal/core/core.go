@@ -76,6 +76,11 @@ type Config struct {
 	UDFs map[string]grounding.UDF
 	// SkipFactorTables disables materializing per-rule factor relations.
 	SkipFactorTables bool
+	// GroundWorkers is the grounding worker-pool width: concurrent rule and
+	// derivation evaluation, batched join probes, and sharded spatial
+	// sweeps (0 → GOMAXPROCS, 1 → sequential). The grounded factor graph is
+	// identical for any setting.
+	GroundWorkers int
 
 	// Epochs is the total inference epochs E (0 → 1000, the paper's
 	// default).
@@ -268,6 +273,7 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 		MaxNeighbors:     s.cfg.MaxNeighbors,
 		UDFs:             s.cfg.UDFs,
 		SkipFactorTables: s.cfg.SkipFactorTables,
+		Workers:          s.cfg.GroundWorkers,
 		Trace:            s.cfg.Trace,
 	}).GroundContext(ctx)
 	if err != nil {
@@ -280,6 +286,9 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 		r.Gauge("sya_ground_vars").Set(float64(res.Stats.Vars))
 		r.Gauge("sya_ground_logical_factors").Set(float64(res.Stats.LogicalFactors))
 		r.Gauge("sya_ground_spatial_pairs").Set(float64(res.Stats.SpatialPairs))
+		r.Gauge("sya_ground_workers").Set(float64(res.Stats.Workers))
+		r.Gauge("sya_ground_rules_seconds").Set(res.Stats.RulesTime.Seconds())
+		r.Gauge("sya_ground_spatial_seconds").Set(res.Stats.SpatialTime.Seconds())
 		r.Gauge("sya_ground_seconds").Set(s.groundDur.Seconds())
 	}
 	return res, nil

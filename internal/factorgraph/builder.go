@@ -116,6 +116,59 @@ func (b *Builder) AddSpatialPair(a, c VarID, w float64) error {
 	return nil
 }
 
+// SpatialPair is one spatial factor for AddSpatialPairs: two atoms of the
+// same spatial relation and the distance-derived weight.
+type SpatialPair struct {
+	A, B VarID
+	W    float64
+}
+
+// AddSpatialPairs bulk-appends spatial factors with the same per-pair
+// validation as AddSpatialPair but WITHOUT duplicate detection: the caller
+// must guarantee each unordered pair appears at most once across all
+// AddSpatialPair/AddSpatialPairs calls. The grounding sweep guarantees this
+// structurally (canonical-ordered emission — each pair is emitted by
+// exactly one atom's neighbourhood), which keeps the bulk path free of the
+// seen-map's per-pair allocation and hashing.
+func (b *Builder) AddSpatialPairs(pairs []SpatialPair) error {
+	for _, p := range pairs {
+		if p.A == p.B {
+			return fmt.Errorf("factorgraph: spatial self-pair on %d", p.A)
+		}
+		if int(p.A) >= len(b.vars) || int(p.B) >= len(b.vars) || p.A < 0 || p.B < 0 {
+			return fmt.Errorf("factorgraph: spatial pair references unknown variable")
+		}
+		va, vc := b.vars[p.A], b.vars[p.B]
+		if va.Relation != vc.Relation {
+			return fmt.Errorf("factorgraph: spatial pair crosses relations")
+		}
+		if !va.HasLoc || !vc.HasLoc {
+			return fmt.Errorf("factorgraph: spatial pair on non-spatial atoms")
+		}
+		if p.W < 0 {
+			return fmt.Errorf("factorgraph: spatial weight must be non-negative, got %v", p.W)
+		}
+	}
+	if cap(b.spatialA)-len(b.spatialA) < len(pairs) {
+		grow := func(dst []VarID) []VarID {
+			out := make([]VarID, len(dst), len(dst)+len(pairs))
+			copy(out, dst)
+			return out
+		}
+		b.spatialA = grow(b.spatialA)
+		b.spatialB = grow(b.spatialB)
+		w := make([]float64, len(b.spatialW), len(b.spatialW)+len(pairs))
+		copy(w, b.spatialW)
+		b.spatialW = w
+	}
+	for _, p := range pairs {
+		b.spatialA = append(b.spatialA, p.A)
+		b.spatialB = append(b.spatialB, p.B)
+		b.spatialW = append(b.spatialW, p.W)
+	}
+	return nil
+}
+
 // SetAllowedPairs installs the co-occurrence pruning mask for a relation's
 // categorical domain (Section IV-C): mask[i*h+j] reports whether the
 // (i, j) domain-value pair generates a spatial factor. A nil mask allows

@@ -155,6 +155,14 @@ func (g *Graph) CountGroundSpatialFactors() int64 {
 	return total
 }
 
+// AllowedPairMask returns a relation's h×h co-occurrence pruning mask and
+// domain size h (Section IV-C). A nil mask means every value pair is
+// allowed; h is 0 when the relation has no recorded domain. The returned
+// slice is the graph's own — callers must not mutate it.
+func (g *Graph) AllowedPairMask(rel int32) ([]bool, int32) {
+	return g.allowedPairs[rel], g.domainOf[rel]
+}
+
 // Var returns variable metadata.
 func (g *Graph) Var(id VarID) Variable { return g.vars[id] }
 

@@ -1,0 +1,161 @@
+package grounding
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddlog"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/storage"
+	"repro/internal/weighting"
+)
+
+// benchSpatialSrc declares one @spatial relation; the benchmarks bypass the
+// SQL phases and drive groundSpatialFactors / cooccurrenceMask directly so
+// the numbers isolate the spatial sweep (the Fig. 9/10 grounding hot path).
+const benchSpatialSrc = `
+Obs (id bigint, location point).
+@spatial(exp)
+V? (id bigint, location point).
+D: V(I, L) = NULL :- Obs(I, L).
+`
+
+const benchCategoricalSrc = `
+Obs (id bigint, location point, lvl bigint).
+@spatial(exp)
+V? (id bigint, location point) categorical(4).
+D: V(I, L) = V2 :- Obs(I, L, V2).
+`
+
+// benchLocs generates a clustered point set: atoms fall in sqrt(n) clusters
+// so R-tree windows return O(cluster) candidates, like real spatial data.
+func benchLocs(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	locs := make([]geom.Point, n)
+	for i := range locs {
+		cx := float64(rng.Intn(32)) * 40
+		cy := float64(rng.Intn(32)) * 40
+		locs[i] = geom.Pt(cx+rng.Float64()*10, cy+rng.Float64()*10)
+	}
+	return locs
+}
+
+// benchGrounder builds a Grounder whose spatial phase is ready to run:
+// the per-relation atom lists are pre-populated, so each call to
+// groundSpatialFactors against a fresh Builder measures only the sweep.
+func benchGrounder(tb testing.TB, src string, locs []geom.Point, categorical bool, opts Options) *Grounder {
+	tb.Helper()
+	prog, err := ddlog.ParseAndValidate(src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if opts.Weighting == nil {
+		opts.Weighting = weighting.NewRegistry(10, 1)
+	}
+	gr := New(prog, storage.NewDB(), opts)
+	gr.ctx = context.Background()
+	rng := rand.New(rand.NewSource(99))
+	atoms := make([]spatialAtom, len(locs))
+	for i, loc := range locs {
+		ev := factorgraph.NoEvidence
+		if categorical && rng.Intn(2) == 0 {
+			ev = int32(rng.Intn(4))
+		}
+		atoms[i] = spatialAtom{vid: factorgraph.VarID(i), loc: loc, evidence: ev}
+	}
+	gr.spatial["v"] = atoms
+	return gr
+}
+
+// benchBuilder populates a fresh Builder with the variables the grounder's
+// spatial atoms reference (normally done by runDerivations).
+func benchBuilder(tb testing.TB, gr *Grounder, categorical bool) (*factorgraph.Builder, *Result) {
+	tb.Helper()
+	b := factorgraph.NewBuilder()
+	domain := int32(2)
+	if categorical {
+		domain = 4
+	}
+	for _, a := range gr.spatial["v"] {
+		if _, err := b.AddVariable(factorgraph.Variable{
+			Name: "v", Domain: domain, Evidence: a.evidence,
+			Loc: a.loc, HasLoc: true,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	res := &Result{RelationIndex: map[string]int32{"v": 0}}
+	return b, res
+}
+
+// BenchmarkGroundSpatialSweep measures the unlimited-neighbours spatial
+// sweep (Eq. 2 factor generation): R-tree window search, distance filter,
+// pair emission. Builder setup is excluded via timer stops.
+func BenchmarkGroundSpatialSweep(b *testing.B) {
+	for _, n := range []int{2000} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("atoms=%d/workers=%d", n, workers), func(b *testing.B) {
+				locs := benchLocs(n, 42)
+				gr := benchGrounder(b, benchSpatialSrc, locs, false, Options{Workers: workers})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					builder, res := benchBuilder(b, gr, false)
+					b.StartTimer()
+					if err := gr.groundSpatialFactors(builder, res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGroundSpatialCapped measures the MaxNeighbors=8 capped sweep
+// (the scalability valve used for dense rasters).
+func BenchmarkGroundSpatialCapped(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			locs := benchLocs(2000, 42)
+			gr := benchGrounder(b, benchSpatialSrc, locs, false, Options{MaxNeighbors: 8, Workers: workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				builder, res := benchBuilder(b, gr, false)
+				b.StartTimer()
+				if err := gr.groundSpatialFactors(builder, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroundCooccurrence measures the Section IV-C co-occurrence
+// statistics pass over evidence atoms (categorical pruning mask).
+func BenchmarkGroundCooccurrence(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			locs := benchLocs(4000, 7)
+			gr := benchGrounder(b, benchCategoricalSrc, locs, true, Options{Workers: workers})
+			rel, _ := gr.prog.Relation("V")
+			atoms := gr.spatial["v"]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mask, _, _, err := gr.cooccurrenceMask(rel, atoms, 15)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(mask) != 16 {
+					b.Fatal("bad mask")
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ package grounding
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/index/rtree"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sqlx"
 	"repro/internal/storage"
 	"repro/internal/translate"
@@ -65,6 +67,11 @@ type Options struct {
 	// factor graph in the RDBMS; keeping the tables is faithful but costs
 	// memory on large runs.
 	SkipFactorTables bool
+	// Workers is the grounding worker-pool width: concurrent rule/derivation
+	// query evaluation, sharded spatial sweeps and co-occurrence counting
+	// (0 → GOMAXPROCS, 1 → fully sequential). The grounded factor graph is
+	// identical for any worker count (see DESIGN.md §9).
+	Workers int
 	// Trace, when non-nil, receives structured phase events: one per UDF
 	// application, derivation and inference rule (row and factor counts with
 	// wall time), one per @spatial relation, and a closing summary.
@@ -97,6 +104,10 @@ type Stats struct {
 	RuleFactors          map[string]int
 	DerivationRows       map[string]int
 	RuleSQL              map[string]string
+
+	// Workers is the effective grounding worker-pool width (after the
+	// 0 → GOMAXPROCS default resolves).
+	Workers int
 
 	RulesTime   time.Duration
 	SpatialTime time.Duration
@@ -200,6 +211,10 @@ func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
 		ctx = context.Background()
 	}
 	gr.ctx = ctx
+	workers := parallel.Resolve(gr.opts.Workers)
+	// Batched probe evaluation inside the SQL engine's joins shares the
+	// grounding worker budget and cancellation context.
+	gr.eng.SetParallelism(workers, ctx)
 	start := time.Now()
 	if err := gr.EnsureSchemas(); err != nil {
 		return nil, err
@@ -257,6 +272,7 @@ func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
 		}
 		return true
 	})
+	res.Stats.Workers = workers
 	res.Stats.TotalTime = time.Since(start)
 	gr.opts.Trace.Emit("grounding", "done",
 		"vars", res.Stats.Vars,
@@ -264,6 +280,9 @@ func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
 		"query_vars", res.Stats.QueryVars,
 		"logical_factors", res.Stats.LogicalFactors,
 		"spatial_pairs", res.Stats.SpatialPairs,
+		"workers", workers,
+		"rules_ms", obs.Ms(res.Stats.RulesTime),
+		"spatial_ms", obs.Ms(res.Stats.SpatialTime),
 		"dur_ms", obs.Ms(res.Stats.TotalTime),
 	)
 	return res, nil
@@ -322,18 +341,79 @@ type derivedAtom struct {
 	order    int
 }
 
+// queryJob is one dispatched SQL evaluation in execAhead's look-ahead
+// window; done closes when res/err are final.
+type queryJob struct {
+	res  *sqlx.Result
+	err  error
+	done chan struct{}
+}
+
+// wait blocks until the job completes and returns its result.
+func (j *queryJob) wait() (*sqlx.Result, error) {
+	<-j.done
+	return j.res, j.err
+}
+
+// drainJobs awaits every outstanding job — called on early error returns so
+// no query goroutine outlives its grounding call.
+func drainJobs(jobs []*queryJob) {
+	for _, j := range jobs {
+		<-j.done
+	}
+}
+
+// execAhead evaluates the translated queries concurrently, at most
+// Options.Workers in flight, and returns per-query jobs. The caller awaits
+// job i before job i+1, so downstream emission (factor creation, atom
+// accumulation, factor-table appends) runs in exactly the sequential order.
+// Rule and derivation bodies only read relations that are fully
+// materialized before this phase — never the factor tables the consumer
+// appends to — so concurrent evaluation is safe (storage.Table guards its
+// lazily built indexes internally).
+func (gr *Grounder) execAhead(queries []translate.Query) []*queryJob {
+	jobs := make([]*queryJob, len(queries))
+	sem := make(chan struct{}, parallel.Resolve(gr.opts.Workers))
+	for i := range queries {
+		jobs[i] = &queryJob{done: make(chan struct{})}
+		go func(i int) {
+			defer close(jobs[i].done)
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 64<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					jobs[i].err = fmt.Errorf("grounding: query panic: %v\n%s", r, buf)
+				}
+			}()
+			jobs[i].res, jobs[i].err = gr.eng.Exec(queries[i].SQL, queries[i].Params)
+		}(i)
+	}
+	return jobs
+}
+
 // runDerivations materializes variable relations and creates ground atoms.
+// Derivation queries evaluate concurrently (execAhead); atom accumulation —
+// where duplicate resolution is order-sensitive — consumes the results in
+// derivation order.
 func (gr *Grounder) runDerivations(b *factorgraph.Builder, res *Result) error {
 	atoms := map[string]*derivedAtom{}
 	order := 0
-	for _, d := range gr.prog.Derivations {
-		derStart := time.Now()
+	queries := make([]translate.Query, len(gr.prog.Derivations))
+	for i, d := range gr.prog.Derivations {
 		q, err := translate.Derivation(gr.prog, d, translate.Options{Metric: gr.opts.Metric})
 		if err != nil {
 			return err
 		}
 		res.Stats.RuleSQL[ruleName("derivation", d.Label, len(res.Stats.RuleSQL))] = q.SQL
-		rows, err := gr.eng.Exec(q.SQL, q.Params)
+		queries[i] = q
+	}
+	jobs := gr.execAhead(queries)
+	defer drainJobs(jobs)
+	for di, d := range gr.prog.Derivations {
+		derStart := time.Now()
+		rows, err := jobs[di].wait()
 		if err != nil {
 			return fmt.Errorf("grounding: derivation %s: %w", d.Label, err)
 		}
@@ -467,19 +547,30 @@ func labelToEvidence(rel *ddlog.RelationDecl, v storage.Value) (int32, error) {
 	}
 }
 
-// runInferenceRules grounds logical factors.
+// runInferenceRules grounds logical factors. Rule queries evaluate
+// concurrently (execAhead); factor emission and factor-table appends
+// consume results in rule order, preserving FactorRule numbering and the
+// sequential factor layout.
 func (gr *Grounder) runInferenceRules(b *factorgraph.Builder, res *Result) error {
+	queries := make([]translate.Query, len(gr.prog.Rules))
 	for ri, rule := range gr.prog.Rules {
-		ruleStart := time.Now()
 		q, err := translate.Inference(gr.prog, rule, translate.Options{Metric: gr.opts.Metric})
 		if err != nil {
 			return err
 		}
 		name := ruleName("rule", rule.Label, ri)
 		res.RuleNames = append(res.RuleNames, name)
-		ruleIdx := int32(len(res.RuleNames) - 1)
 		res.Stats.RuleSQL[name] = q.SQL
-		rows, err := gr.eng.Exec(q.SQL, q.Params)
+		queries[ri] = q
+	}
+	jobs := gr.execAhead(queries)
+	defer drainJobs(jobs)
+	for ri, rule := range gr.prog.Rules {
+		ruleStart := time.Now()
+		q := queries[ri]
+		name := res.RuleNames[ri]
+		ruleIdx := int32(ri)
+		rows, err := jobs[ri].wait()
 		if err != nil {
 			return fmt.Errorf("grounding: rule %s: %w", name, err)
 		}
@@ -583,9 +674,26 @@ type spatialAtom struct {
 	evidence int32
 }
 
+// sweepGrain is the atom-chunk size for sharded spatial sweeps: large
+// enough to amortize dispatch and per-chunk scratch, small enough to
+// balance clustered data across workers. Chunk boundaries depend only on
+// the atom count, never on the worker count — the determinism anchor.
+const sweepGrain = 64
+
+// coocGrain is the evidence-atom chunk size for sharded co-occurrence
+// counting (the per-atom work is lighter than the sweep's, so chunks are
+// bigger).
+const coocGrain = 256
+
 // groundSpatialFactors generates Eq. 2 / Eq. 4 factors for every @spatial
 // relation, plus the Section IV-C pruning mask for categorical domains.
+// The per-relation sweep is sharded across Options.Workers; dedup uses
+// canonical-ordered emission (each unordered pair is emitted by exactly one
+// atom's neighbourhood) instead of a seen-map, so chunk outputs concatenated
+// in atom order yield a factor graph identical for any worker count
+// (DESIGN.md §9).
 func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) error {
+	workers := parallel.Resolve(gr.opts.Workers)
 	for _, rel := range gr.prog.VariableRelations() {
 		if rel.Spatial == "" {
 			continue
@@ -605,7 +713,10 @@ func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) er
 		}
 		// Categorical pruning mask (Section IV-C).
 		if rel.Categorical > 0 {
-			mask, pruned, allowed := gr.cooccurrenceMask(rel, atoms, radius)
+			mask, pruned, allowed, err := gr.cooccurrenceMask(rel, atoms, radius)
+			if err != nil {
+				return err
+			}
 			relIdx := res.RelationIndex[strings.ToLower(rel.Name)]
 			if err := b.SetAllowedPairs(relIdx, int32(rel.Categorical), mask); err != nil {
 				return err
@@ -613,77 +724,195 @@ func (gr *Grounder) groundSpatialFactors(b *factorgraph.Builder, res *Result) er
 			res.Stats.PrunedValuePairs += pruned
 			res.Stats.AllowedValuePairs += allowed
 		}
-		// R-tree over atoms for neighbour search.
+		// R-tree over atoms for neighbour search. Bulk reorders items in
+		// place but Data keeps the atom index; concurrent Search is safe
+		// (read-only traversal).
 		items := make([]rtree.Item, len(atoms))
 		for i, a := range atoms {
 			items[i] = rtree.Item{Rect: a.loc.Bounds(), Data: int64(i)}
 		}
 		tree := rtree.Bulk(items)
-		seen := map[[2]factorgraph.VarID]bool{}
-		for i, a := range atoms {
-			if err := gr.checkCtx(i); err != nil {
-				return err
-			}
+		var pairs []factorgraph.SpatialPair
+		if gr.opts.MaxNeighbors > 0 {
+			pairs, err = gr.sweepCapped(tree, atoms, radius, fn, workers)
+		} else {
+			pairs, err = gr.sweepUnlimited(tree, atoms, radius, fn, workers)
+		}
+		if err != nil {
+			return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
+		}
+		if err := b.AddSpatialPairs(pairs); err != nil {
+			return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
+		}
+		gr.opts.Trace.Emit("grounding", "spatial",
+			"relation", rel.Name, "atoms", len(atoms), "pairs", len(pairs),
+			"workers", workers, "dur_ms", obs.Ms(time.Since(relStart)))
+	}
+	return nil
+}
+
+// sweepUnlimited generates spatial factors with no per-atom neighbour cap.
+// Within a relation the atom slice is in variable-creation (VarID) order,
+// and the within-radius relation is symmetric, so emitting only neighbours
+// j > i from atom i's window produces every unordered pair exactly once —
+// no seen-map, no per-atom scratch, and half the distance evaluations of
+// the old bidirectional sweep.
+func (gr *Grounder) sweepUnlimited(tree *rtree.Tree, atoms []spatialAtom, radius float64, fn weighting.Func, workers int) ([]factorgraph.SpatialPair, error) {
+	parts := make([][]factorgraph.SpatialPair, parallel.NumChunks(len(atoms), sweepGrain))
+	err := parallel.For(gr.ctx, workers, len(atoms), sweepGrain, func(c, lo, hi int) error {
+		var out []factorgraph.SpatialPair
+		for i := lo; i < hi; i++ {
+			a := atoms[i]
 			window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
-			var cands []int
 			tree.Search(window, func(it rtree.Item) bool {
-				cands = append(cands, int(it.Data))
-				return true
-			})
-			sort.Ints(cands)
-			type scored struct {
-				j int
-				d float64
-			}
-			var within []scored
-			for _, j := range cands {
-				if j == i {
-					continue
+				j := int(it.Data)
+				if j <= i {
+					return true
 				}
 				d := gr.opts.Metric.Dist(a.loc, atoms[j].loc)
 				if d > radius {
-					continue
+					return true
 				}
-				within = append(within, scored{j: j, d: d})
+				out = append(out, factorgraph.SpatialPair{A: a.vid, B: atoms[j].vid, W: fn.Weight(d)})
+				return true
+			})
+		}
+		parts[c] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return concatPairs(parts), nil
+}
+
+// nbr is one within-radius neighbour in the capped sweep's k-NN lists.
+type nbr struct {
+	j int32
+	d float64
+}
+
+// sweepCapped generates spatial factors under the MaxNeighbors cap. The
+// pair set is the union over atoms of their k-nearest lists, so a pair may
+// be known to only one endpoint; instead of a shared seen-map, a first pass
+// computes every atom's capped neighbour list (index-sorted), and a second
+// pass emits pair (m, j) from atom m when j > m, or when j < m and m is
+// absent from j's list (binary-search membership — j already emitted the
+// pair otherwise). Both passes shard over fixed atom chunks; per-atom
+// results depend only on the atom, so output is worker-count invariant and
+// matches the sequential seen-map sweep pair for pair.
+func (gr *Grounder) sweepCapped(tree *rtree.Tree, atoms []spatialAtom, radius float64, fn weighting.Func, workers int) ([]factorgraph.SpatialPair, error) {
+	k := gr.opts.MaxNeighbors
+	n := len(atoms)
+	nbrs := make([][]nbr, n)
+	err := parallel.For(gr.ctx, workers, n, sweepGrain, func(c, lo, hi int) error {
+		// Chunk-level scratch, reused across the chunk's atoms; the final
+		// lists are carved out of one slab per chunk.
+		var within []nbr
+		var slab []nbr
+		offs := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			a := atoms[i]
+			within = within[:0]
+			window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
+			tree.Search(window, func(it rtree.Item) bool {
+				j := int(it.Data)
+				if j == i {
+					return true
+				}
+				d := gr.opts.Metric.Dist(a.loc, atoms[j].loc)
+				if d > radius {
+					return true
+				}
+				within = append(within, nbr{j: int32(j), d: d})
+				return true
+			})
+			if len(within) > k {
+				// Keep the k nearest; ties break on atom index so the
+				// selection is independent of the R-tree traversal order.
+				sort.Slice(within, func(x, y int) bool {
+					if within[x].d != within[y].d {
+						return within[x].d < within[y].d
+					}
+					return within[x].j < within[y].j
+				})
+				within = within[:k]
 			}
-			if gr.opts.MaxNeighbors > 0 && len(within) > gr.opts.MaxNeighbors {
-				sort.Slice(within, func(x, y int) bool { return within[x].d < within[y].d })
-				within = within[:gr.opts.MaxNeighbors]
-				sort.Slice(within, func(x, y int) bool { return within[x].j < within[y].j })
-			}
-			for _, sc := range within {
-				other := atoms[sc.j]
-				key := [2]factorgraph.VarID{a.vid, other.vid}
-				if key[0] > key[1] {
-					key[0], key[1] = key[1], key[0]
+			sort.Slice(within, func(x, y int) bool { return within[x].j < within[y].j })
+			slab = append(slab, within...)
+			offs = append(offs, len(slab))
+		}
+		prev := 0
+		for i := lo; i < hi; i++ {
+			end := offs[i-lo]
+			nbrs[i] = slab[prev:end:end]
+			prev = end
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]factorgraph.SpatialPair, parallel.NumChunks(n, sweepGrain))
+	err = parallel.For(gr.ctx, workers, n, sweepGrain, func(c, lo, hi int) error {
+		var out []factorgraph.SpatialPair
+		for m := lo; m < hi; m++ {
+			a := atoms[m]
+			for _, nb := range nbrs[m] {
+				j := int(nb.j)
+				if j < m && topkContains(nbrs[j], int32(m)) {
+					continue // atom j already emitted this pair
 				}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				if err := b.AddSpatialPair(a.vid, other.vid, fn.Weight(sc.d)); err != nil {
-					return fmt.Errorf("grounding: relation %s: %w", rel.Name, err)
-				}
+				out = append(out, factorgraph.SpatialPair{A: a.vid, B: atoms[j].vid, W: fn.Weight(nb.d)})
 			}
 		}
-		gr.opts.Trace.Emit("grounding", "spatial",
-			"relation", rel.Name, "atoms", len(atoms), "pairs", len(seen),
-			"dur_ms", obs.Ms(time.Since(relStart)))
+		parts[c] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	return concatPairs(parts), nil
+}
+
+// topkContains reports whether the index-sorted neighbour list holds j.
+func topkContains(list []nbr, j int32) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid].j < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo].j == j
+}
+
+// concatPairs merges chunk outputs in chunk (= atom) order.
+func concatPairs(parts [][]factorgraph.SpatialPair) []factorgraph.SpatialPair {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]factorgraph.SpatialPair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // cooccurrenceMask computes the Section IV-C pruning mask: for each pair of
 // domain values (i, j), P(i|j) and P(j|i) are estimated from pairs of
 // neighbouring evidence atoms; the pair survives when either conditional
 // probability reaches the threshold T.
-func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAtom, radius float64) (mask []bool, pruned, allowed int) {
+// The counting pass shards the evidence atoms over Options.Workers with
+// per-chunk count matrices summed at the barrier; counts are integers (held
+// in float64, all < 2^53), so the merged sums are exact and bit-identical
+// for any worker count.
+func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAtom, radius float64) (mask []bool, pruned, allowed int, err error) {
 	h := rel.Categorical
-	cooc := make([][]float64, h)
-	for i := range cooc {
-		cooc[i] = make([]float64, h)
-	}
-	occ := make([]float64, h)
+	workers := parallel.Resolve(gr.opts.Workers)
 	// Evidence atoms only.
 	var ev []spatialAtom
 	for _, a := range atoms {
@@ -696,30 +925,52 @@ func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAto
 		items[i] = rtree.Item{Rect: a.loc.Bounds(), Data: int64(i)}
 	}
 	tree := rtree.Bulk(items)
-	for i, a := range ev {
-		occ[a.evidence]++
-		window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
-		tree.Search(window, func(it rtree.Item) bool {
-			j := int(it.Data)
-			if j <= i {
+	chunks := parallel.NumChunks(len(ev), coocGrain)
+	coocs := make([][]float64, chunks)
+	occs := make([][]float64, chunks)
+	err = parallel.For(gr.ctx, workers, len(ev), coocGrain, func(c, lo, hi int) error {
+		cooc := make([]float64, h*h)
+		occ := make([]float64, h)
+		for i := lo; i < hi; i++ {
+			a := ev[i]
+			occ[a.evidence]++
+			window := geom.ExpandWindow(a.loc.Bounds(), radius, gr.opts.Metric)
+			tree.Search(window, func(it rtree.Item) bool {
+				j := int(it.Data)
+				if j <= i {
+					return true // count each unordered pair once
+				}
+				if gr.opts.Metric.Dist(a.loc, ev[j].loc) > radius {
+					return true
+				}
+				vi, vj := int(a.evidence), int(ev[j].evidence)
+				cooc[vi*h+vj]++
+				cooc[vj*h+vi]++
 				return true
-			}
-			if gr.opts.Metric.Dist(a.loc, ev[j].loc) > radius {
-				return true
-			}
-			vi, vj := a.evidence, ev[j].evidence
-			cooc[vi][vj]++
-			cooc[vj][vi]++
-			return true
-		})
+			})
+		}
+		coocs[c], occs[c] = cooc, occ
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cooc := make([]float64, h*h)
+	occ := make([]float64, h)
+	for c := range coocs {
+		for x, v := range coocs[c] {
+			cooc[x] += v
+		}
+		for x, v := range occs[c] {
+			occ[x] += v
+		}
 	}
 	mask = make([]bool, h*h)
 	anyPairs := false
-	for i := 0; i < h; i++ {
-		for j := 0; j < h; j++ {
-			if cooc[i][j] > 0 {
-				anyPairs = true
-			}
+	for _, v := range cooc {
+		if v > 0 {
+			anyPairs = true
+			break
 		}
 	}
 	if !anyPairs {
@@ -727,7 +978,7 @@ func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAto
 		for i := range mask {
 			mask[i] = true
 		}
-		return mask, 0, h * h
+		return mask, 0, h * h, nil
 	}
 	// A domain-value pair survives when its co-occurrence probabilities
 	// exceed the threshold — both conditionals, per Section IV-C's "co-occur
@@ -740,10 +991,10 @@ func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAto
 		for j := 0; j < h; j++ {
 			var pij, pji float64
 			if occ[j] > 0 {
-				pij = cooc[i][j] / occ[j] // P(i|j)
+				pij = cooc[i*h+j] / occ[j] // P(i|j)
 			}
 			if occ[i] > 0 {
-				pji = cooc[i][j] / occ[i] // P(j|i)
+				pji = cooc[i*h+j] / occ[i] // P(j|i)
 			}
 			if pij >= T && pji >= T {
 				mask[i*h+j] = true
@@ -753,5 +1004,5 @@ func (gr *Grounder) cooccurrenceMask(rel *ddlog.RelationDecl, atoms []spatialAto
 			}
 		}
 	}
-	return mask, pruned, allowed
+	return mask, pruned, allowed, nil
 }

@@ -26,6 +26,14 @@ type Trace struct {
 	c     io.Closer // non-nil when the trace owns the sink (OpenTrace)
 	start time.Time
 	err   error // first write error, latched
+
+	// Size-based rotation (OpenTraceRotating): when the current file
+	// exceeds limit bytes it is renamed to path+".1" (replacing any
+	// previous generation) and a fresh file is started, so long runs hold
+	// at most ~2×limit of trace on disk. Zero limit disables.
+	path    string
+	limit   int64
+	written int64
 }
 
 // NewTrace wraps a writer. The caller keeps ownership of w; Close flushes
@@ -43,6 +51,58 @@ func OpenTrace(path string) (*Trace, error) {
 	t := NewTrace(f)
 	t.c = f
 	return t, nil
+}
+
+// OpenTraceRotating is OpenTrace with size-based rotation: whenever the
+// file grows past maxBytes, it rotates to path+".1" (one previous
+// generation is kept) and a fresh file continues at path — so unbounded
+// runs with per-epoch events can leave tracing on without unbounded disk
+// growth. Every event is still written; rotation bounds retention, not
+// emission, and the timestamp origin is preserved across rotations so
+// t_ms stays comparable between generations. maxBytes <= 0 disables
+// rotation (plain OpenTrace behaviour).
+func OpenTraceRotating(path string, maxBytes int64) (*Trace, error) {
+	t, err := OpenTrace(path)
+	if err != nil {
+		return nil, err
+	}
+	t.path = path
+	t.limit = maxBytes
+	return t, nil
+}
+
+// rotate swaps the current file to path+".1" and starts a fresh one.
+// Caller holds t.mu.
+func (t *Trace) rotate() {
+	if err := t.w.Flush(); err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if err := t.c.Close(); err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	t.c = nil
+	if err := os.Rename(t.path, t.path+".1"); err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	f, err := os.Create(t.path)
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	t.w = bufio.NewWriter(f)
+	t.c = f
+	t.written = 0
 }
 
 // Emit writes one event. kv lists alternating string keys and JSON-
@@ -79,6 +139,11 @@ func (t *Trace) Emit(phase, event string, kv ...any) {
 	}
 	if err := t.w.WriteByte('\n'); err != nil {
 		t.err = err
+		return
+	}
+	t.written += int64(len(b)) + 1
+	if t.limit > 0 && t.written >= t.limit && t.c != nil {
+		t.rotate()
 	}
 }
 

@@ -99,3 +99,120 @@ func TestTraceUnmarshalableValueLatchesErr(t *testing.T) {
 		t.Error("expected a latched encode error")
 	}
 }
+
+// jsonlLines parses a file as JSONL, failing on any malformed line.
+func jsonlLines(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("%s: line %q not JSON: %v", path, sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestOpenTraceRotatingRotatesOnce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := OpenTraceRotating(path, 256) // tiny limit to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 64
+	for i := 0; i < total; i++ {
+		tr.Emit("inference", "epoch", "epoch", i)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cur := jsonlLines(t, path)
+	prev := jsonlLines(t, path+".1")
+	if len(prev) == 0 {
+		t.Fatal("no rotated generation at path.1")
+	}
+	// No event may be lost: the two generations together hold the tail of
+	// the stream, and the current file continues exactly where the previous
+	// generation stopped.
+	if len(cur) == 0 {
+		t.Fatal("current file empty after rotation")
+	}
+	lastPrev := int(prev[len(prev)-1]["epoch"].(float64))
+	firstCur := int(cur[0]["epoch"].(float64))
+	if firstCur != lastPrev+1 {
+		t.Errorf("gap across rotation: prev ends at %d, cur starts at %d", lastPrev, firstCur)
+	}
+	if got := int(cur[len(cur)-1]["epoch"].(float64)); got != total-1 {
+		t.Errorf("last event %d, want %d", got, total-1)
+	}
+	// Timestamps share one origin: the current generation's first event is
+	// not reset to ~0 below the previous generation's last.
+	if cur[0]["t_ms"].(float64) < prev[len(prev)-1]["t_ms"].(float64) {
+		t.Errorf("t_ms went backwards across rotation")
+	}
+}
+
+func TestOpenTraceRotatingKeepsOneGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tr, err := OpenTraceRotating(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		tr.Emit("inference", "epoch", "epoch", i)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("want exactly {trace.jsonl, trace.jsonl.1}, got %v", names)
+	}
+	// Retention is bounded: each generation stays near the limit even after
+	// many rotations (the limit is checked after the write, so one event of
+	// overshoot is allowed).
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 256 {
+			t.Errorf("%s is %d bytes, far above the 128-byte limit", e.Name(), fi.Size())
+		}
+	}
+}
+
+func TestOpenTraceRotatingZeroLimitNeverRotates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	tr, err := OpenTraceRotating(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		tr.Emit("inference", "epoch", "epoch", i)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Fatalf("unexpected rotated file (err=%v)", err)
+	}
+	if got := len(jsonlLines(t, path)); got != 256 {
+		t.Fatalf("got %d events, want 256", got)
+	}
+}

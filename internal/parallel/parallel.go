@@ -1,0 +1,150 @@
+// Package parallel provides a small deterministic fork-join helper for the
+// grounding pipeline's data-parallel loops (spatial sweeps, co-occurrence
+// counting, hash-join probes). Unlike gibbs.Pool — persistent workers for a
+// long-lived sampler — these loops run once per grounding, so goroutines are
+// spawned per call and joined before return; the win is the shared chunking,
+// cancellation and panic-isolation logic, not goroutine reuse.
+//
+// Determinism contract: For partitions [0, n) into fixed-size chunks whose
+// boundaries depend only on n and grain — never on the worker count — so
+// callers can write per-chunk results into chunk-indexed slots and merge
+// them in chunk order, producing output identical for any worker count.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPanicError wraps a panic recovered inside a parallel worker, with
+// the stack captured at the panic site.
+type WorkerPanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Resolve normalizes a worker-count knob: 0 (or negative) means GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// NumChunks reports how many chunks For splits n items into under grain.
+func NumChunks(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For runs fn over [0, n) split into contiguous chunks of at most grain
+// items. fn(chunk, lo, hi) processes items [lo, hi); chunk is the chunk
+// index lo/grain, usable to address a per-chunk output slot. Chunk
+// boundaries depend only on n and grain, so chunk-indexed outputs merged in
+// chunk order are identical for any worker count.
+//
+// When workers <= 1 (after resolving 0 → GOMAXPROCS) or everything fits in
+// one chunk, fn runs inline on the caller's goroutine — the sequential path
+// pays no goroutine or channel overhead. Otherwise workers goroutines pull
+// chunks from an atomic cursor. ctx is polled between chunks (pass
+// context.Background() to disable); the first error — preferring the
+// lowest-numbered chunk's, so error selection is deterministic too — cancels
+// remaining chunks and is returned. A panic inside fn is recovered and
+// returned as *WorkerPanicError rather than tearing down the process with
+// sibling goroutines mid-flight.
+func For(ctx context.Context, workers, n, grain int, fn func(chunk, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	workers = Resolve(workers)
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if err := fn(c, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor  atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		errAt   = -1 // chunk index of the winning error
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	record := func(chunk int, err error) {
+		mu.Lock()
+		if errAt < 0 || chunk < errAt {
+			errAt, firstEr = chunk, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stop.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				record(int(cursor.Load()), err)
+				return
+			}
+			c := int(cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						buf := make([]byte, 64<<10)
+						buf = buf[:runtime.Stack(buf, false)]
+						err = &WorkerPanicError{Value: r, Stack: buf}
+					}
+				}()
+				return fn(c, lo, hi)
+			}()
+			if err != nil {
+				record(c, err)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return firstEr
+}

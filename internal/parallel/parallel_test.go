@@ -1,0 +1,165 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversRange checks that every worker count visits each item exactly
+// once and that chunk indexing matches lo/grain.
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		for _, n := range []int{0, 1, 5, 64, 100, 1000} {
+			const grain = 7
+			visits := make([]int32, n)
+			err := For(context.Background(), workers, n, grain, func(chunk, lo, hi int) error {
+				if chunk != lo/grain {
+					t.Errorf("workers=%d n=%d: chunk %d != lo/grain %d", workers, n, chunk, lo/grain)
+				}
+				if hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad range [%d, %d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: item %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForDeterministicMerge checks the determinism contract: chunk-indexed
+// outputs merged in chunk order are identical for any worker count.
+func TestForDeterministicMerge(t *testing.T) {
+	const n, grain = 500, 13
+	build := func(workers int) []int {
+		parts := make([][]int, NumChunks(n, grain))
+		err := For(context.Background(), workers, n, grain, func(chunk, lo, hi int) error {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i*i)
+			}
+			parts[chunk] = out
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var merged []int
+		for _, p := range parts {
+			merged = append(merged, p...)
+		}
+		return merged
+	}
+	ref := build(1)
+	if len(ref) != n {
+		t.Fatalf("merged length %d != %d", len(ref), n)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := build(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: merged[%d] = %d, want %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestForError checks that fn errors abort the loop and the lowest-numbered
+// chunk's error wins regardless of worker interleaving.
+func TestForError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := For(context.Background(), workers, 1000, 10, func(chunk, lo, hi int) error {
+			switch chunk {
+			case 3:
+				return errLow
+			case 60:
+				return errHigh
+			}
+			return nil
+		})
+		// With workers=1 chunk 3 errors before chunk 60 is reached; with
+		// more workers both may fire, and chunk 3 must still win.
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestForCancellation checks that a canceled context stops the loop between
+// chunks and surfaces ctx.Err().
+func TestForCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := atomic.Int32{}
+		err := For(ctx, workers, 1000, 10, func(chunk, lo, hi int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// Pre-canceled: the sequential path runs nothing; parallel workers
+		// may each observe the cancellation before claiming a chunk.
+		if workers == 1 && ran.Load() != 0 {
+			t.Fatalf("sequential path ran %d chunks after cancellation", ran.Load())
+		}
+	}
+}
+
+// TestForPanicRecovery checks that a worker panic comes back as
+// *WorkerPanicError instead of crashing the process.
+func TestForPanicRecovery(t *testing.T) {
+	for _, workers := range []int{2, 4} {
+		err := For(context.Background(), workers, 100, 5, func(chunk, lo, hi int) error {
+			if chunk == 7 {
+				panic("boom")
+			}
+			return nil
+		})
+		var wp *WorkerPanicError
+		if !errors.As(err, &wp) {
+			t.Fatalf("workers=%d: got %T %v, want *WorkerPanicError", workers, err, err)
+		}
+		if wp.Value != "boom" || len(wp.Stack) == 0 {
+			t.Fatalf("workers=%d: panic value %v, stack %d bytes", workers, wp.Value, len(wp.Stack))
+		}
+	}
+}
+
+// TestResolve checks the 0 → GOMAXPROCS normalization.
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got < 1 {
+		t.Fatalf("Resolve(0) = %d", got)
+	}
+	if got := Resolve(-3); got < 1 {
+		t.Fatalf("Resolve(-3) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+}
+
+// TestNumChunks checks chunk counting, including the grain<1 clamp.
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 10, 0}, {1, 10, 1}, {10, 10, 1}, {11, 10, 2}, {100, 7, 15}, {5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n, c.grain); got != c.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package sqlx
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/index/rtree"
+	"repro/internal/parallel"
 	"repro/internal/storage"
 )
 
@@ -18,6 +20,11 @@ type Result struct {
 // Engine executes SQL statements against a storage database.
 type Engine struct {
 	db *storage.DB
+	// workers > 1 enables sharded probe evaluation inside joins (see
+	// probeAll); ctx is polled between probe batches. Both are set by
+	// SetParallelism — the zero value runs fully sequentially.
+	workers int
+	ctx     context.Context
 }
 
 // NewEngine wraps a database.
@@ -25,6 +32,61 @@ func NewEngine(db *storage.DB) *Engine { return &Engine{db: db} }
 
 // DB exposes the underlying database.
 func (e *Engine) DB() *storage.DB { return e.db }
+
+// SetParallelism configures batched probe evaluation inside joins: the
+// probe side of hash, spatial and nested-loop joins is split into row
+// batches evaluated by up to `workers` goroutines, with batch outputs
+// concatenated in input order — result rows are identical for any worker
+// count. ctx (nil → Background) is polled between batches so a cancelled
+// grounding stops mid-join. workers <= 1 keeps the engine sequential.
+//
+// Not safe to call concurrently with Exec; configure once before issuing
+// queries (concurrent Execs after that are fine — execution only reads
+// these fields).
+func (e *Engine) SetParallelism(workers int, ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.workers = workers
+	e.ctx = ctx
+}
+
+// probeParallelMin is the probe-side row count below which joins stay
+// sequential — batching overhead would dominate smaller inputs.
+const probeParallelMin = 128
+
+// probeGrain is the probe batch size for sharded join evaluation.
+const probeGrain = 64
+
+// probeAll evaluates probeRange over all n probe tuples: one inline call
+// when the engine is sequential or the input is small, else sharded into
+// fixed batches across workers with outputs merged in batch order.
+func (e *Engine) probeAll(n int, probeRange func(lo, hi int) ([][]int, error)) ([][]int, error) {
+	if e.workers <= 1 || n < probeParallelMin {
+		return probeRange(0, n)
+	}
+	parts := make([][][]int, parallel.NumChunks(n, probeGrain))
+	err := parallel.For(e.ctx, e.workers, n, probeGrain, func(c, lo, hi int) error {
+		rows, err := probeRange(lo, hi)
+		if err != nil {
+			return err
+		}
+		parts[c] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([][]int, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
 
 // Exec parses and runs one statement. params binds :name placeholders.
 // For EXPLAIN, the result is one text row per plan step. INSERT returns a
@@ -107,7 +169,7 @@ func (e *Engine) runSelect(p *plan, params map[string]storage.Value) (*Result, e
 				ts.tuples = append(ts.tuples, []int{id})
 			}
 		} else {
-			if err := joinStep(ts, step, params); err != nil {
+			if err := e.joinStep(ts, step, params); err != nil {
 				return nil, err
 			}
 		}
@@ -138,20 +200,25 @@ func (e *Engine) runSelect(p *plan, params map[string]storage.Value) (*Result, e
 	return project(ts, p.sel, params)
 }
 
-// joinStep extends every tuple with matching rows of the step's node.
-func joinStep(ts *tupleSet, step planStep, params map[string]storage.Value) error {
+// joinStep extends every tuple with matching rows of the step's node. Each
+// join flavour is expressed as a probeRange closure evaluating one
+// contiguous probe-tuple batch with batch-local envs and scratch; shared
+// state (the hash table, the R-tree, the right side's rows) is built once
+// and only read during probing. probeAll shards the batches across the
+// engine's workers — batch outputs concatenate in input order, so the
+// joined tuple order is identical for any worker count.
+func (e *Engine) joinStep(ts *tupleSet, step planStep, params map[string]storage.Value) error {
 	right := step.node
-	ev := ts.envFor(params)
-	var out [][]int
+	via := step.joinVia
 
-	appendMatch := func(tuple []int, rid int) {
+	extend := func(tuple []int, rid int) []int {
 		nt := make([]int, len(tuple)+1)
 		copy(nt, tuple)
 		nt[len(tuple)] = rid
-		out = append(out, nt)
+		return nt
 	}
 
-	via := step.joinVia
+	var probeRange func(lo, hi int) ([][]int, error)
 	switch {
 	case via != nil && via.kind == conjEqui:
 		// Hash join: build on the right side's filtered rows.
@@ -174,20 +241,25 @@ func joinStep(ts *tupleSet, step planStep, params map[string]storage.Value) erro
 			k := hashKeyOf(v)
 			ht[k] = append(ht[k], id)
 		}
-		for _, tuple := range ts.tuples {
-			ts.bind(ev, tuple)
-			v, err := ev.eval(probe)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue
-			}
-			for _, rid := range ht[hashKeyOf(v)] {
-				if right.tbl.Row(rid)[bi].Equal(v) {
-					appendMatch(tuple, rid)
+		probeRange = func(lo, hi int) ([][]int, error) {
+			ev := ts.envFor(params)
+			var out [][]int
+			for _, tuple := range ts.tuples[lo:hi] {
+				ts.bind(ev, tuple)
+				v, err := ev.eval(probe)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				for _, rid := range ht[hashKeyOf(v)] {
+					if right.tbl.Row(rid)[bi].Equal(v) {
+						out = append(out, extend(tuple, rid))
+					}
 				}
 			}
+			return out, nil
 		}
 	case via != nil && via.kind == conjSpatial:
 		// R-tree spatial join: filter candidates by expanded bounding box,
@@ -200,68 +272,80 @@ func joinStep(ts *tupleSet, step planStep, params map[string]storage.Value) erro
 		if err != nil {
 			return err
 		}
-		refine := ts.envFor(params)
-		refine.aliases = append(refine.aliases, right.alias)
-		refine.schemas = append(refine.schemas, right.tbl.Schema())
-		refine.rows = append(refine.rows, nil)
-		for _, tuple := range ts.tuples {
-			ts.bind(ev, tuple)
-			gv, err := ev.eval(probe)
-			if err != nil {
-				return err
-			}
-			if gv.IsNull() {
-				continue
-			}
-			g, err := gv.AsGeom()
-			if err != nil {
-				return err
-			}
-			window := expandWindow(g.Bounds(), via.radius, via.metric)
-			var cands []int
-			tree.Search(window, func(it rtree.Item) bool {
-				cands = append(cands, int(it.Data))
-				return true
-			})
-			sort.Ints(cands)
-			for i := range ts.nodes {
-				refine.rows[i] = ev.rows[i]
-			}
-			for _, rid := range cands {
-				refine.rows[len(ts.nodes)] = right.tbl.Row(rid)
-				ok, err := refine.evalBool(via.expr)
+		probeRange = func(lo, hi int) ([][]int, error) {
+			ev := ts.envFor(params)
+			refine := ts.envFor(params)
+			refine.aliases = append(refine.aliases, right.alias)
+			refine.schemas = append(refine.schemas, right.tbl.Schema())
+			refine.rows = append(refine.rows, nil)
+			var cands []int // batch-reused scratch
+			var out [][]int
+			for _, tuple := range ts.tuples[lo:hi] {
+				ts.bind(ev, tuple)
+				gv, err := ev.eval(probe)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				if ok {
-					appendMatch(tuple, rid)
+				if gv.IsNull() {
+					continue
+				}
+				g, err := gv.AsGeom()
+				if err != nil {
+					return nil, err
+				}
+				window := expandWindow(g.Bounds(), via.radius, via.metric)
+				cands = cands[:0]
+				tree.Search(window, func(it rtree.Item) bool {
+					cands = append(cands, int(it.Data))
+					return true
+				})
+				sort.Ints(cands)
+				for i := range ts.nodes {
+					refine.rows[i] = ev.rows[i]
+				}
+				for _, rid := range cands {
+					refine.rows[len(ts.nodes)] = right.tbl.Row(rid)
+					ok, err := refine.evalBool(via.expr)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out = append(out, extend(tuple, rid))
+					}
 				}
 			}
+			return out, nil
 		}
 	default:
 		// Nested-loop (theta or cross) join.
-		thetaEv := ts.envFor(params)
-		thetaEv.aliases = append(thetaEv.aliases, right.alias)
-		thetaEv.schemas = append(thetaEv.schemas, right.tbl.Schema())
-		thetaEv.rows = append(thetaEv.rows, nil)
-		for _, tuple := range ts.tuples {
-			for i, n := range ts.nodes {
-				thetaEv.rows[i] = n.tbl.Row(tuple[i])
-			}
-			for _, rid := range right.ids {
-				thetaEv.rows[len(ts.nodes)] = right.tbl.Row(rid)
-				if via != nil {
-					ok, err := thetaEv.evalBool(via.expr)
-					if err != nil {
-						return err
+		probeRange = func(lo, hi int) ([][]int, error) {
+			thetaEv := ts.envFor(params)
+			thetaEv.aliases = append(thetaEv.aliases, right.alias)
+			thetaEv.schemas = append(thetaEv.schemas, right.tbl.Schema())
+			thetaEv.rows = append(thetaEv.rows, nil)
+			var out [][]int
+			for _, tuple := range ts.tuples[lo:hi] {
+				ts.bind(thetaEv, tuple)
+				for _, rid := range right.ids {
+					thetaEv.rows[len(ts.nodes)] = right.tbl.Row(rid)
+					if via != nil {
+						ok, err := thetaEv.evalBool(via.expr)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							continue
+						}
 					}
-					if !ok {
-						continue
-					}
+					out = append(out, extend(tuple, rid))
 				}
-				appendMatch(tuple, rid)
 			}
+			return out, nil
 		}
+	}
+	out, err := e.probeAll(len(ts.tuples), probeRange)
+	if err != nil {
+		return err
 	}
 	ts.nodes = append(ts.nodes, right)
 	ts.tuples = out
