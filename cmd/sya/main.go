@@ -93,6 +93,7 @@ func main() {
 		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
 		progress    = flag.Int("progress", 0, "print a convergence diagnostic to stderr every N epochs (0 = off)")
 		groundWork  = flag.Int("ground-workers", 0, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
+		noKernels   = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels (bit-identical; escape hatch)")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -114,6 +115,7 @@ func main() {
 		timeout: *timeout, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 		metricsAddr: *metricsAddr, traceOut: *traceOut, traceMaxMB: *traceMaxMB,
 		progress: *progress, groundWorkers: *groundWork,
+		noKernels: *noKernels,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
@@ -145,6 +147,7 @@ type runOpts struct {
 	traceMaxMB    int
 	progress      int
 	groundWorkers int
+	noKernels     bool
 }
 
 func run(o runOpts) error {
@@ -169,6 +172,7 @@ func run(o runOpts) error {
 		Bandwidth: o.bandwidth, SpatialScale: o.scale,
 		Seed:           o.seed,
 		GroundWorkers:  o.groundWorkers,
+		NoKernels:      o.noKernels,
 		CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
 	}
 	if o.metricsAddr != "" {
@@ -260,7 +264,7 @@ func run(o runOpts) error {
 		fmt.Printf("# ground factor graph saved to %s\n", o.saveGraph)
 	}
 	if o.learnIters > 0 {
-		weights, err := s.LearnWeightsContext(ctx, learn.Options{Iterations: o.learnIters, Seed: o.seed})
+		weights, err := s.LearnWeightsContext(ctx, learn.Options{Iterations: o.learnIters, Seed: o.seed, NoKernels: o.noKernels})
 		if err != nil {
 			return err
 		}

@@ -57,16 +57,17 @@ var groundingPhase = map[string]bool{
 func main() {
 	defaults := bench.DefaultParams()
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		paper = flag.Bool("paper", false, "approach the paper's workload sizes (slow)")
-		wells = flag.Int("wells", defaults.GWDBWells, "GWDB synthetic well count")
-		side  = flag.Int("side", defaults.NYCCASSide, "NYCCAS raster side length (cells)")
-		ep    = flag.Int("epochs", defaults.Epochs, "inference epoch budget E")
-		runs  = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		paper   = flag.Bool("paper", false, "approach the paper's workload sizes (slow)")
+		wells   = flag.Int("wells", defaults.GWDBWells, "GWDB synthetic well count")
+		side    = flag.Int("side", defaults.NYCCASSide, "NYCCAS raster side length (cells)")
+		ep      = flag.Int("epochs", defaults.Epochs, "inference epoch budget E")
+		runs    = flag.Int("runs", defaults.Runs, "averaging runs for quality metrics")
 		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
 		work    = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
 		gwork   = flag.Int("ground-workers", defaults.GroundWorkers, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
 		phase   = flag.String("phase", "", "restrict to one pipeline phase: grounding (skip inference, blank quality columns)")
+		noKern  = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels (bit-identical; for measuring the kernel speedup)")
 		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
@@ -119,6 +120,7 @@ func main() {
 	p.Seed = *seed
 	p.Workers = *work
 	p.GroundWorkers = *gwork
+	p.NoKernels = *noKern
 	switch *phase {
 	case "":
 	case "grounding":

@@ -51,6 +51,10 @@ type Params struct {
 	// 1 → fully sequential). The grounded factor graph is identical for any
 	// setting; only wall-clock time changes.
 	GroundWorkers int
+	// NoKernels scores inference with the interpreted factor walk instead
+	// of compiled sampling kernels (bit-identical chains; used to measure
+	// the kernel speedup itself).
+	NoKernels bool
 	// GroundOnly restricts experiments to the grounding phase: systems are
 	// built and grounded but inference is skipped, so quality columns are
 	// blank. Used by syabench -phase=grounding for grounding-only

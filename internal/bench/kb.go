@@ -77,6 +77,7 @@ func (k *gwdbKB) system(engine core.Engine, seed int64) *core.System {
 		GroundWorkers:    k.p.GroundWorkers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
+		NoKernels:        k.p.NoKernels,
 		SkipFactorTables: true,
 		Metrics:          k.p.Metrics,
 		Trace:            k.p.Trace,
@@ -175,6 +176,7 @@ func (k *nyccasKB) Build(engine core.Engine, seed int64) (*core.System, error) {
 		GroundWorkers:    k.p.GroundWorkers,
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
+		NoKernels:        k.p.NoKernels,
 		SkipFactorTables: true,
 		Metrics:          k.p.Metrics,
 		Trace:            k.p.Trace,

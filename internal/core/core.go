@@ -101,6 +101,12 @@ type Config struct {
 	// marginal counters (0 → one tenth of the per-chain epoch budget;
 	// negative → no burn-in).
 	BurnIn int
+	// NoKernels makes inference and learning score variables with the
+	// interpreted per-factor walk instead of the compiled per-variable
+	// sampling kernels. The zero value — kernels on — is the fast path; the
+	// two produce bit-identical chains, so this is purely an escape hatch
+	// (surfaced as -no-kernels on the CLIs).
+	NoKernels bool
 
 	// CheckpointPath enables fault-tolerant inference: the sampler snapshots
 	// its chain state to this file every CheckpointEvery epochs (atomic
@@ -318,7 +324,11 @@ func (s *System) GroundingTime() time.Duration { return s.groundDur }
 func (s *System) newSampler() (gibbs.Sampler, error) {
 	switch s.cfg.Engine {
 	case EngineDeepDive:
-		h := gibbs.NewHogwild(s.ground.Graph, s.cfg.Seed, s.cfg.Workers)
+		var opts []gibbs.SamplerOption
+		if s.cfg.NoKernels {
+			opts = append(opts, gibbs.NoKernels())
+		}
+		h := gibbs.NewHogwild(s.ground.Graph, s.cfg.Seed, s.cfg.Workers, opts...)
 		h.SetBurnIn(s.burnIn(1))
 		return h, nil
 	default:
@@ -329,6 +339,7 @@ func (s *System) newSampler() (gibbs.Sampler, error) {
 			Workers:       s.cfg.Workers,
 			Seed:          s.cfg.Seed,
 			BurnIn:        s.burnIn(s.cfg.Instances),
+			NoKernels:     s.cfg.NoKernels,
 		})
 	}
 }
@@ -377,7 +388,7 @@ func (s *System) InferContext(ctx context.Context, epochs int) (*Scores, gibbs.R
 		return nil, stats, fmt.Errorf("core: Ground must run before Infer")
 	}
 	if !s.learned && s.hasLearnedRules() {
-		if _, err := s.LearnWeightsContext(ctx, learn.Options{Seed: s.cfg.Seed}); err != nil {
+		if _, err := s.LearnWeightsContext(ctx, learn.Options{Seed: s.cfg.Seed, NoKernels: s.cfg.NoKernels}); err != nil {
 			return nil, stats, fmt.Errorf("core: auto-learning @weight(?) rules: %w", err)
 		}
 	}

@@ -13,6 +13,7 @@ package factorgraph
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/geom"
@@ -121,6 +122,12 @@ type Graph struct {
 	varFactors    []int32
 	varSpatialOff []int64
 	varSpatial    []int32
+
+	// Compiled sampling kernels, built lazily on first (*Graph).Kernels call
+	// (see kernel.go). The graph structure is immutable after Finalize, so
+	// one compilation serves every sampler; weight updates write through.
+	kernOnce sync.Once
+	kern     *Kernels
 }
 
 // NumVars returns the variable count.

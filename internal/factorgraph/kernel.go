@@ -1,0 +1,435 @@
+package factorgraph
+
+import (
+	"math"
+	"time"
+	"unsafe"
+)
+
+// This file implements the compiled sampling kernels: a compilation pass
+// that flattens the graph's CSR adjacency into per-variable score programs,
+// evaluated by specialized kernels instead of the generic satisfied /
+// spatialEnergy walk. One Gibbs step on the interpreted path re-walks the
+// factor var-lists, re-dispatches on FactorKind, and re-hashes into the
+// allowedPairs map for every incident factor and candidate value; the
+// compiled path replaces all of that with one contiguous slab of fixed-size
+// ops per variable, resolved at compile time.
+//
+// Two invariants make the compiled path a drop-in replacement:
+//
+//   - Bit-for-bit equivalence: ops are laid out in exactly the interpreted
+//     accumulation order (VarLogicalFactors, then VarSpatialPairs), each op
+//     adds the same IEEE value under the same condition, so compiled and
+//     interpreted scores are equal bit-for-bit, not just approximately —
+//     seeds, checkpoints and the statistical harness carry over unchanged.
+//   - Write-through weights: ops store *indices* into the graph's live
+//     factorWeight/spatialW slices rather than copied values, so
+//     SetFactorWeight/SetSpatialWeight (weight learning) take effect with no
+//     recompilation.
+
+// Kernel opcodes. Specialized codes cover the dominant ground-graph shapes
+// (unary priors, binary logical factors, spatial pairs); everything else
+// falls back to the interpreted evaluators for that one factor.
+const (
+	kopGeneric        uint8 = iota // any logical factor, via Graph.satisfied
+	kopIsTrue                      // unary truth factor (istrue, 1-var and/or)
+	kopImply2                      // 2-var imply, v on one side
+	kopAnd2                        // 2-var and
+	kopOr2                         // 2-var or
+	kopEqual2                      // 2-var equal (value compare, neg ignored)
+	kopSpatial                     // spatial pair, no pruning mask
+	kopSpatialMasked               // spatial pair under an h×h allowed mask
+	kopSpatialGeneric              // degenerate spatial pair, via spatialEnergy
+)
+
+// Flag bits in kop.bits.
+const (
+	kbNegV       uint8 = 1 << 0 // negation flag on v's slot
+	kbNegO       uint8 = 1 << 1 // negation flag on the other endpoint's slot
+	kbConsequent uint8 = 1 << 2 // kopImply2: v is the consequent
+	kbEndpointB  uint8 = 1 << 2 // kopSpatialMasked: v is endpoint B
+)
+
+// kop is one fixed-stride program entry (16 bytes). Weight reads go through
+// w into the graph's live weight slice — logical ops index factorWeight,
+// spatial ops index spatialW — which is what makes weight learning
+// write-through.
+type kop struct {
+	code uint8
+	bits uint8
+	mask int16 // kopSpatialMasked: index into Kernels.masks
+	w    int32 // weight index (factor id or spatial pair id)
+	a    VarID // other endpoint (binary logical and spatial ops)
+	f    int32 // factor / spatial id for the generic fallbacks
+}
+
+// kmask is one interned co-occurrence pruning mask, resolved at compile time
+// so evaluation never touches the allowedPairs map.
+type kmask struct {
+	mask []bool
+	h    int32
+}
+
+// KernelStats describes a compiled program set (for observability).
+type KernelStats struct {
+	// BuildTime is the wall time of the compilation pass.
+	BuildTime time.Duration
+	// Vars is the number of per-variable programs.
+	Vars int
+	// Ops is the total op count across all programs.
+	Ops int
+	// GenericOps counts ops that fall back to the interpreted evaluators
+	// (non-binary factors, duplicate-endpoint shapes). Ops−GenericOps ran
+	// through a specialized kernel.
+	GenericOps int
+	// Masks is the number of interned pruning masks.
+	Masks int
+	// SlabBytes is the compiled footprint: op slab + offsets + mask table.
+	SlabBytes int64
+}
+
+// Kernels holds the compiled per-variable score programs of one graph. A
+// program is the contiguous ops[off[v]:off[v+1]] slab; evaluation walks it
+// in order. Kernels are immutable after compilation and safe for concurrent
+// use, like the graph itself.
+type Kernels struct {
+	g     *Graph
+	off   []int32
+	ops   []kop
+	masks []kmask
+	stats KernelStats
+}
+
+// Kernels returns the graph's compiled sampling kernels, compiling them on
+// first use (subsequent calls return the cached program set). Safe for
+// concurrent callers.
+func (g *Graph) Kernels() *Kernels {
+	g.kernOnce.Do(func() { g.kern = CompileKernels(g) })
+	return g.kern
+}
+
+// CompileKernels compiles the graph into fresh per-variable score programs.
+// Most callers want the cached (*Graph).Kernels instead.
+func CompileKernels(g *Graph) *Kernels {
+	start := time.Now()
+	k := &Kernels{g: g}
+	n := g.NumVars()
+	k.off = make([]int32, n+1)
+	k.ops = make([]kop, 0, len(g.varFactors)+len(g.varSpatial))
+	maskIdx := map[int32]int16{}
+	for v := 0; v < n; v++ {
+		vid := VarID(v)
+		for _, f := range g.VarLogicalFactors(vid) {
+			k.ops = append(k.ops, compileFactor(g, vid, f))
+		}
+		for _, s := range g.VarSpatialPairs(vid) {
+			k.ops = append(k.ops, k.compileSpatial(vid, s, maskIdx))
+		}
+		k.off[v+1] = int32(len(k.ops))
+	}
+	k.stats = KernelStats{
+		Vars:  n,
+		Ops:   len(k.ops),
+		Masks: len(k.masks),
+		SlabBytes: int64(len(k.ops))*int64(unsafe.Sizeof(kop{})) +
+			int64(len(k.off))*int64(unsafe.Sizeof(int32(0))),
+	}
+	for i := range k.ops {
+		switch k.ops[i].code {
+		case kopGeneric, kopSpatialGeneric:
+			k.stats.GenericOps++
+		}
+	}
+	for i := range k.masks {
+		k.stats.SlabBytes += int64(len(k.masks[i].mask))
+	}
+	k.stats.BuildTime = time.Since(start)
+	return k
+}
+
+// Stats returns the compilation statistics.
+func (k *Kernels) Stats() KernelStats { return k.stats }
+
+// compileFactor lowers one (variable, logical factor) incidence to an op.
+// Shapes the specialized kernels cannot represent exactly — arity ≥ 3, v
+// appearing in more than one slot, unary equal — keep the generic code,
+// which evaluates through Graph.satisfied and is correct for everything.
+func compileFactor(g *Graph, v VarID, f int32) kop {
+	op := kop{code: kopGeneric, w: f, f: f}
+	vars, neg := g.FactorVars(f)
+	occ, pos := 0, -1
+	for i, u := range vars {
+		if u == v {
+			occ++
+			pos = i
+		}
+	}
+	if occ != 1 {
+		return op
+	}
+	switch len(vars) {
+	case 1:
+		switch g.factorKind[f] {
+		case FactorIsTrue, FactorAnd, FactorOr:
+			op.code = kopIsTrue
+			if neg[0] {
+				op.bits |= kbNegV
+			}
+		}
+	case 2:
+		other := vars[1-pos]
+		var bits uint8
+		if neg[pos] {
+			bits |= kbNegV
+		}
+		if neg[1-pos] {
+			bits |= kbNegO
+		}
+		switch g.factorKind[f] {
+		case FactorImply:
+			op.code, op.a, op.bits = kopImply2, other, bits
+			if pos == 1 {
+				op.bits |= kbConsequent
+			}
+		case FactorAnd:
+			op.code, op.a, op.bits = kopAnd2, other, bits
+		case FactorOr:
+			op.code, op.a, op.bits = kopOr2, other, bits
+		case FactorEqual:
+			op.code, op.a = kopEqual2, other
+		}
+	}
+	return op
+}
+
+// compileSpatial lowers one (variable, spatial pair) incidence to an op,
+// interning the relation's pruning mask so evaluation is map-free.
+func (k *Kernels) compileSpatial(v VarID, s int32, maskIdx map[int32]int16) kop {
+	g := k.g
+	a, b := g.spatialA[s], g.spatialB[s]
+	op := kop{code: kopSpatialGeneric, w: s, f: s}
+	if a == b {
+		return op
+	}
+	other := a
+	if other == v {
+		other = b
+	}
+	rel := g.vars[a].Relation
+	mask := g.allowedPairs[rel]
+	if mask == nil {
+		op.code, op.a = kopSpatial, other
+		return op
+	}
+	mi, ok := maskIdx[rel]
+	if !ok {
+		if len(k.masks) > math.MaxInt16 {
+			return op
+		}
+		mi = int16(len(k.masks))
+		k.masks = append(k.masks, kmask{mask: mask, h: g.domainOf[rel]})
+		maskIdx[rel] = mi
+	}
+	op.code, op.a, op.mask = kopSpatialMasked, other, mi
+	if v != a {
+		op.bits |= kbEndpointB
+	}
+	return op
+}
+
+// ConditionalScores is the compiled equivalent of Graph.ConditionalScores:
+// same signature, same accumulation order, bit-identical results. Like the
+// interpreted path it re-reads neighbour values per candidate, so concurrent
+// writers (hogwild) are observed with the same granularity.
+func (k *Kernels) ConditionalScores(v VarID, assign Assignment, buf []float64) []float64 {
+	g := k.g
+	domain := int(g.vars[v].Domain)
+	buf = buf[:domain]
+	ops := k.ops[k.off[v]:k.off[v+1]]
+	fw, sw := g.factorWeight, g.spatialW
+	for x := 0; x < domain; x++ {
+		xv := int32(x)
+		var e float64
+		for i := range ops {
+			op := &ops[i]
+			switch op.code {
+			case kopIsTrue:
+				if (xv != 0) != (op.bits&kbNegV != 0) {
+					e += fw[op.w]
+				}
+			case kopImply2:
+				tv := (xv != 0) != (op.bits&kbNegV != 0)
+				to := (assign.Get(op.a) != 0) != (op.bits&kbNegO != 0)
+				var sat bool
+				if op.bits&kbConsequent != 0 {
+					sat = !to || tv
+				} else {
+					sat = !tv || to
+				}
+				if sat {
+					e += fw[op.w]
+				}
+			case kopAnd2:
+				if (xv != 0) != (op.bits&kbNegV != 0) &&
+					(assign.Get(op.a) != 0) != (op.bits&kbNegO != 0) {
+					e += fw[op.w]
+				}
+			case kopOr2:
+				if (xv != 0) != (op.bits&kbNegV != 0) ||
+					(assign.Get(op.a) != 0) != (op.bits&kbNegO != 0) {
+					e += fw[op.w]
+				}
+			case kopEqual2:
+				if xv == assign.Get(op.a) {
+					e += fw[op.w]
+				}
+			case kopGeneric:
+				if g.satisfied(op.f, assign, v, xv) {
+					e += fw[op.w]
+				}
+			case kopSpatial:
+				if xv == assign.Get(op.a) {
+					e += sw[op.w]
+				} else {
+					e -= sw[op.w]
+				}
+			case kopSpatialMasked:
+				m := &k.masks[op.mask]
+				ov := assign.Get(op.a)
+				tj, tk := xv, ov
+				if op.bits&kbEndpointB != 0 {
+					tj, tk = ov, xv
+				}
+				if m.mask[tj*m.h+tk] {
+					if xv == ov {
+						e += sw[op.w]
+					} else {
+						e -= sw[op.w]
+					}
+				}
+			case kopSpatialGeneric:
+				e += g.spatialEnergy(op.f, assign, v, xv)
+			}
+		}
+		buf[x] = e
+	}
+	return buf
+}
+
+// BinaryConditionalScores is the compiled equivalent of
+// Graph.BinaryConditionalScores: one pass over the program accumulating both
+// candidates, bit-identical to the interpreted path (each factor contributes
+// to s0 and s1 in program order under the same conditions).
+func (k *Kernels) BinaryConditionalScores(v VarID, assign Assignment) (s0, s1 float64) {
+	g := k.g
+	ops := k.ops[k.off[v]:k.off[v+1]]
+	fw, sw := g.factorWeight, g.spatialW
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case kopIsTrue:
+			// truth(0) = neg, truth(1) = !neg: exactly one candidate scores.
+			if op.bits&kbNegV != 0 {
+				s0 += fw[op.w]
+			} else {
+				s1 += fw[op.w]
+			}
+		case kopImply2:
+			w := fw[op.w]
+			to := (assign.Get(op.a) != 0) != (op.bits&kbNegO != 0)
+			negV := op.bits&kbNegV != 0
+			if op.bits&kbConsequent != 0 {
+				// sat(x) = !to || truthV(x)
+				if !to {
+					s0 += w
+					s1 += w
+				} else if negV {
+					s0 += w
+				} else {
+					s1 += w
+				}
+			} else {
+				// sat(x) = !truthV(x) || to
+				if to {
+					s0 += w
+					s1 += w
+				} else if negV {
+					s1 += w
+				} else {
+					s0 += w
+				}
+			}
+		case kopAnd2:
+			// sat(x) = truthV(x) && to: scores one candidate when to holds.
+			if (assign.Get(op.a) != 0) != (op.bits&kbNegO != 0) {
+				if op.bits&kbNegV != 0 {
+					s0 += fw[op.w]
+				} else {
+					s1 += fw[op.w]
+				}
+			}
+		case kopOr2:
+			// sat(x) = truthV(x) || to.
+			if (assign.Get(op.a) != 0) != (op.bits&kbNegO != 0) {
+				s0 += fw[op.w]
+				s1 += fw[op.w]
+			} else if op.bits&kbNegV != 0 {
+				s0 += fw[op.w]
+			} else {
+				s1 += fw[op.w]
+			}
+		case kopEqual2:
+			// The other endpoint may be categorical: values ≥ 2 match neither
+			// binary candidate.
+			switch assign.Get(op.a) {
+			case 0:
+				s0 += fw[op.w]
+			case 1:
+				s1 += fw[op.w]
+			}
+		case kopGeneric:
+			w := fw[op.w]
+			if g.satisfied(op.f, assign, v, 0) {
+				s0 += w
+			}
+			if g.satisfied(op.f, assign, v, 1) {
+				s1 += w
+			}
+		case kopSpatial:
+			w := sw[op.w]
+			if assign.Get(op.a) == 0 {
+				s0 += w
+				s1 -= w
+			} else {
+				s0 -= w
+				s1 += w
+			}
+		case kopSpatialMasked:
+			m := &k.masks[op.mask]
+			w := sw[op.w]
+			ov := assign.Get(op.a)
+			for x := int32(0); x < 2; x++ {
+				tj, tk := x, ov
+				if op.bits&kbEndpointB != 0 {
+					tj, tk = ov, x
+				}
+				if !m.mask[tj*m.h+tk] {
+					continue
+				}
+				e := w
+				if x != ov {
+					e = -w
+				}
+				if x == 0 {
+					s0 += e
+				} else {
+					s1 += e
+				}
+			}
+		case kopSpatialGeneric:
+			s0 += g.spatialEnergy(op.f, assign, v, 0)
+			s1 += g.spatialEnergy(op.f, assign, v, 1)
+		}
+	}
+	return s0, s1
+}

@@ -1,0 +1,179 @@
+package factorgraph_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs/testutil"
+)
+
+// equivSpecs is the golden-equivalence corpus: the four canonical harness
+// shapes plus denser/odder variants — larger categorical domains, heavy and
+// zero evidence, many factors (duplicate kinds, negations, self-referential
+// IsTrue), pruning masks — so every opcode and the generic fallback are hit.
+func equivSpecs() []testutil.Spec {
+	return []testutil.Spec{
+		{Domain: 2, Seed: 101},
+		{Domain: 2, Spatial: true, Seed: 102},
+		{Domain: 3, Seed: 103},
+		{Domain: 3, Spatial: true, PruneMask: true, Seed: 104},
+		{Domain: 4, Vars: 7, Spatial: true, PruneMask: true, LogicalFactors: 25, SpatialPairs: 20, Seed: 105},
+		{Domain: 2, Vars: 12, LogicalFactors: 40, EvidencePer1000: 500, Seed: 106},
+		{Domain: 5, Vars: 6, Spatial: true, LogicalFactors: 18, SpatialPairs: 12, EvidencePer1000: 1, Seed: 107},
+		{Domain: 2, Vars: 10, Spatial: true, LogicalFactors: 30, SpatialPairs: 25, EvidencePer1000: 350, Seed: 108},
+	}
+}
+
+// randomAssignment fills every variable (evidence included — score evaluation
+// must agree on any state, and mid-sweep states do hold arbitrary values).
+func randomAssignment(g *factorgraph.Graph, rng *testutil.Rand) factorgraph.Assignment {
+	a := make(factorgraph.Assignment, g.NumVars())
+	for i := range a {
+		a[i] = int32(rng.Intn(int(g.DomainOf(factorgraph.VarID(i)))))
+	}
+	return a
+}
+
+// TestKernelsMatchInterpretedBitForBit is the golden equivalence gate of the
+// compiled sampling kernels: over the harness graph shapes and random
+// assignments, ConditionalScores and BinaryConditionalScores must agree with
+// the interpreted evaluators exactly (==, not within epsilon). This is what
+// lets the compiled path inherit the TV-vs-exact statistical harness, the
+// worker-invariance tests and old checkpoints without re-validation.
+func TestKernelsMatchInterpretedBitForBit(t *testing.T) {
+	for si, spec := range equivSpecs() {
+		spec := spec
+		t.Run(fmt.Sprintf("spec%d_d%d", si, spec.Domain), func(t *testing.T) {
+			g, err := testutil.RandomGraph(spec)
+			if err != nil {
+				t.Fatalf("RandomGraph: %v", err)
+			}
+			k := g.Kernels()
+			if k != g.Kernels() {
+				t.Fatal("Kernels() is not cached")
+			}
+			st := k.Stats()
+			if st.Ops == 0 || st.Vars != g.NumVars() || st.SlabBytes <= 0 {
+				t.Fatalf("implausible kernel stats: %+v", st)
+			}
+			rng := testutil.NewRand(spec.Seed ^ 0xdead)
+			wantBuf := make([]float64, 8)
+			gotBuf := make([]float64, 8)
+			for trial := 0; trial < 200; trial++ {
+				assign := randomAssignment(g, rng)
+				for v := factorgraph.VarID(0); int(v) < g.NumVars(); v++ {
+					want := g.ConditionalScores(v, assign, wantBuf)
+					got := k.ConditionalScores(v, assign, gotBuf)
+					if len(want) != len(got) {
+						t.Fatalf("var %d: domain mismatch %d vs %d", v, len(want), len(got))
+					}
+					for x := range want {
+						if math.Float64bits(want[x]) != math.Float64bits(got[x]) {
+							t.Fatalf("var %d candidate %d: interpreted %v (bits %x) vs compiled %v (bits %x)",
+								v, x, want[x], math.Float64bits(want[x]), got[x], math.Float64bits(got[x]))
+						}
+					}
+					if g.DomainOf(v) == 2 {
+						w0, w1 := g.BinaryConditionalScores(v, assign)
+						g0, g1 := k.BinaryConditionalScores(v, assign)
+						if math.Float64bits(w0) != math.Float64bits(g0) ||
+							math.Float64bits(w1) != math.Float64bits(g1) {
+							t.Fatalf("var %d binary: interpreted (%v, %v) vs compiled (%v, %v)",
+								v, w0, w1, g0, g1)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelsWeightWriteThrough asserts that weight updates through
+// SetFactorWeight/SetSpatialWeight are visible to already-compiled kernels
+// without recompilation — the property weight learning relies on.
+func TestKernelsWeightWriteThrough(t *testing.T) {
+	g, err := testutil.RandomGraph(testutil.Spec{Domain: 2, Spatial: true, Seed: 42})
+	if err != nil {
+		t.Fatalf("RandomGraph: %v", err)
+	}
+	k := g.Kernels()
+	rng := testutil.NewRand(7)
+	assign := randomAssignment(g, rng)
+	for f := int32(0); f < int32(g.NumFactors()); f++ {
+		g.SetFactorWeight(f, g.FactorWeightOf(f)*1.7+0.3)
+	}
+	for s := int32(0); s < int32(g.NumSpatialFactors()); s++ {
+		_, _, w := g.SpatialPair(s)
+		g.SetSpatialWeight(s, w*2.1+0.1)
+	}
+	buf1 := make([]float64, 4)
+	buf2 := make([]float64, 4)
+	for v := factorgraph.VarID(0); int(v) < g.NumVars(); v++ {
+		want := g.ConditionalScores(v, assign, buf1)
+		got := k.ConditionalScores(v, assign, buf2)
+		for x := range want {
+			if math.Float64bits(want[x]) != math.Float64bits(got[x]) {
+				t.Fatalf("var %d candidate %d after weight update: interpreted %v vs compiled %v",
+					v, x, want[x], got[x])
+			}
+		}
+	}
+}
+
+// TestKernelsGenericFallback covers shapes the specialized opcodes cannot
+// express: arity-3 factors, a variable appearing on both sides of a factor,
+// and unary equal — all must route through the generic op and still match.
+func TestKernelsGenericFallback(t *testing.T) {
+	b := factorgraph.NewBuilder()
+	var ids []factorgraph.VarID
+	for i := 0; i < 4; i++ {
+		id, err := b.AddVariable(factorgraph.Variable{
+			Name: fmt.Sprintf("q%d", i), Domain: 3, Evidence: factorgraph.NoEvidence,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := b.AddFactor(factorgraph.FactorImply, 0.7,
+		[]factorgraph.VarID{ids[0], ids[1], ids[2]}, []bool{false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddFactor(factorgraph.FactorAnd, -0.4,
+		[]factorgraph.VarID{ids[1], ids[1]}, []bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddFactor(factorgraph.FactorEqual, 0.9,
+		[]factorgraph.VarID{ids[2], ids[3], ids[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddFactor(factorgraph.FactorEqual, 0.2,
+		[]factorgraph.VarID{ids[3]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := g.Kernels()
+	if k.Stats().GenericOps == 0 {
+		t.Fatal("expected generic fallback ops in this graph")
+	}
+	rng := testutil.NewRand(99)
+	buf1 := make([]float64, 4)
+	buf2 := make([]float64, 4)
+	for trial := 0; trial < 100; trial++ {
+		assign := randomAssignment(g, rng)
+		for _, v := range ids {
+			want := g.ConditionalScores(v, assign, buf1)
+			got := k.ConditionalScores(v, assign, buf2)
+			for x := range want {
+				if math.Float64bits(want[x]) != math.Float64bits(got[x]) {
+					t.Fatalf("var %d candidate %d: interpreted %v vs compiled %v", v, x, want[x], got[x])
+				}
+			}
+		}
+	}
+}

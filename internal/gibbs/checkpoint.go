@@ -18,10 +18,12 @@ import (
 // sample counters, and post-construction evidence pins. Restoring a
 // checkpoint into a fresh sampler of the same kind over the same graph
 // resumes the chain exactly: a run interrupted at a snapshot and completed
-// after resume is bit-identical to an uninterrupted run (for samplers whose
-// epochs are scheduling-deterministic; see the package comment — the
-// sequential sampler always, the spatial sampler up to its conclique
-// independence heuristic, hogwild with Workers=1).
+// after resume is bit-identical to an uninterrupted run whenever the
+// sampler's epochs are scheduling-deterministic. PRNG streams are pinned to
+// chunk identity (cell / bucket), never to worker interleaving, so this
+// holds at any worker width — the sequential sampler unconditionally, the
+// spatial sampler up to its conclique independence heuristic, hogwild up to
+// its benign races on concurrently swept dependent variables.
 //
 // The serialized form is little-endian binary: a magic/version header, the
 // payload, and a CRC-32 trailer that detects torn or corrupted files.
@@ -32,9 +34,10 @@ type Checkpoint struct {
 	Seed int64
 	// Epochs is the sampler's TotalEpochs at snapshot time.
 	Epochs int64
-	// Workers is the snapshotting sampler's worker width (informational for
-	// the spatial sampler, whose streams are per-cell; enforced on restore
-	// for hogwild, whose bucket partition depends on it).
+	// Workers is the snapshotting sampler's worker width. Informational for
+	// every variant: the spatial sampler's streams are per-cell and hogwild's
+	// per-bucket, both independent of the width that executes them, so any
+	// width resumes the same sampling program.
 	Workers int64
 	// RNG is the sequential chain's PRNG state (zero for the derived-stream
 	// samplers, which carry no mutable PRNG state between epochs).
@@ -459,14 +462,14 @@ func (h *Hogwild) Snapshot() *Checkpoint {
 	}
 }
 
-// Restore implements Sampler. The worker width must match the snapshot:
-// hogwild's bucket partition (and hence its PRNG streams) depends on it.
+// Restore implements Sampler. Any worker width can restore any hogwild
+// snapshot: the bucket partition and per-bucket PRNG streams derive from
+// the graph and seed alone (fixed-grain buckets, chunk-pinned streams), so
+// the resumed run executes the identical sampling program regardless of how
+// many workers carry it. cp.Workers is informational.
 func (h *Hogwild) Restore(cp *Checkpoint) error {
 	if err := validateCheckpoint(cp, h.Name(), h.seed, h.g, 1); err != nil {
 		return err
-	}
-	if int(cp.Workers) != h.workers {
-		return fmt.Errorf("gibbs: checkpoint was taken with %d hogwild workers, sampler has %d (bucket partition differs)", cp.Workers, h.workers)
 	}
 	h.epochs = int(cp.Epochs)
 	restoreInstance(cp.Instances[0], h.assign, h.counts)

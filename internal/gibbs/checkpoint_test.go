@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/factorgraph"
+	"repro/internal/geom"
 	"repro/internal/gibbs"
 	"repro/internal/gibbs/testutil"
 )
@@ -261,7 +262,9 @@ func TestRestoreValidatesIdentity(t *testing.T) {
 		t.Error("spatial sampler accepted a checkpoint with a different seed")
 	}
 
-	// Wrong worker width for hogwild (its bucket partition depends on it).
+	// Worker width is NOT part of checkpoint identity: hogwild's bucket
+	// partition and PRNG streams derive from (graph, seed) alone, so any
+	// width resumes any snapshot.
 	h1 := gibbs.NewHogwild(g, 7, 1)
 	defer h1.Close()
 	if _, err := h1.Run(context.Background(), 2); err != nil {
@@ -270,8 +273,8 @@ func TestRestoreValidatesIdentity(t *testing.T) {
 	hcp := h1.Snapshot()
 	h2 := gibbs.NewHogwild(g, 7, 2)
 	defer h2.Close()
-	if err := h2.Restore(hcp); err == nil {
-		t.Error("hogwild accepted a checkpoint with a different worker width")
+	if err := h2.Restore(hcp); err != nil {
+		t.Errorf("hogwild rejected a checkpoint from a different worker width: %v", err)
 	}
 
 	// Wrong graph shape.
@@ -309,4 +312,127 @@ func TestCheckpointDuringCanceledRunKeepsLastSnapshot(t *testing.T) {
 	if cp.Epochs != 4 {
 		t.Errorf("last snapshot at epoch %d, want 4 (the last Every=2 boundary before the cancel at 5)", cp.Epochs)
 	}
+}
+
+// independentGraph builds a graph whose query variables never interact:
+// each has a unary prior and an implication from a fixed evidence atom,
+// and there are no query–query factors or spatial pairs. On such a graph
+// every sweep schedule produces the same chain, so the parallel samplers
+// are bit-identical at ANY worker width — which isolates exactly the
+// property the multi-worker resume test needs to see: PRNG streams pinned
+// to chunk identity (hogwild bucket / pyramid cell), never to the worker
+// that happens to execute the chunk. Query atoms carry locations so the
+// spatial sampler schedules them through real conclique cell sweeps
+// rather than the serial tail.
+func independentGraph(t *testing.T) *factorgraph.Graph {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	const n = 300 // several hogwild buckets' worth (hogwildGrain = 64)
+	for i := 0; i < n; i++ {
+		q, err := b.AddVariable(factorgraph.Variable{
+			Domain:   2,
+			Evidence: factorgraph.NoEvidence,
+			Loc:      geom.Pt(float64(i%20)*5, float64(i/20)*7),
+			HasLoc:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := b.AddVariable(factorgraph.Variable{Domain: 2, Evidence: int32(i % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddFactor(factorgraph.FactorIsTrue, 0.2+0.05*float64(i%7), []factorgraph.VarID{q}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddFactor(factorgraph.FactorImply, 0.6, []factorgraph.VarID{ev, q}, []bool{false, i%3 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMultiWorkerResumeIsBitIdentical is the satellite-2 contract: a chain
+// snapshotted under one worker width and resumed under another matches an
+// uninterrupted single-worker run float-for-float, because the bucket
+// partition and every PRNG stream derive from (graph, seed) alone.
+func TestMultiWorkerResumeIsBitIdentical(t *testing.T) {
+	g := independentGraph(t)
+	const total, cut = 12, 5
+
+	check := func(t *testing.T, want, got [][]float64) {
+		t.Helper()
+		for v := range want {
+			for x := range want[v] {
+				if want[v][x] != got[v][x] {
+					t.Fatalf("marginal[%d][%d]: uninterrupted %v, resumed %v — multi-worker resume is not bit-identical",
+						v, x, want[v][x], got[v][x])
+				}
+			}
+		}
+	}
+
+	t.Run("hogwild", func(t *testing.T) {
+		ref := gibbs.NewHogwild(g, 11, 1)
+		if _, err := ref.Run(context.Background(), total); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Marginals()
+		ref.Close()
+
+		// Cut at four workers, resume at two: width is not chain identity.
+		first := gibbs.NewHogwild(g, 11, 4)
+		if _, err := first.Run(context.Background(), cut); err != nil {
+			t.Fatal(err)
+		}
+		cp := first.Snapshot()
+		first.Close()
+
+		resumed := gibbs.NewHogwild(g, 11, 2)
+		defer resumed.Close()
+		if err := resumed.Restore(cp); err != nil {
+			t.Fatalf("Restore across worker widths: %v", err)
+		}
+		if _, err := resumed.Run(context.Background(), total-cut); err != nil {
+			t.Fatal(err)
+		}
+		check(t, want, resumed.Marginals())
+	})
+
+	t.Run("spatial", func(t *testing.T) {
+		mk := func(workers int) *gibbs.Spatial {
+			s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Instances: 2, Workers: workers, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		ref := mk(1)
+		if _, err := ref.Run(context.Background(), total); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Marginals()
+		ref.Close()
+
+		first := mk(4)
+		if _, err := first.Run(context.Background(), cut); err != nil {
+			t.Fatal(err)
+		}
+		cp := first.Snapshot()
+		first.Close()
+
+		resumed := mk(2)
+		defer resumed.Close()
+		if err := resumed.Restore(cp); err != nil {
+			t.Fatalf("Restore across worker widths: %v", err)
+		}
+		if _, err := resumed.Run(context.Background(), total-cut); err != nil {
+			t.Fatal(err)
+		}
+		check(t, want, resumed.Marginals())
+	})
 }

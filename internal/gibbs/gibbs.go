@@ -175,25 +175,31 @@ func marginalsFrom(g *factorgraph.Graph, get func(v int) ([]float64, float64)) [
 
 // sampleOne draws a new value for v from its conditional distribution and
 // stores it in the assignment. buf must have capacity ≥ the max domain; it
-// is untouched on the buffer-free binary fast path.
-func sampleOne(g *factorgraph.Graph, v factorgraph.VarID, assign factorgraph.Assignment,
+// is untouched on the buffer-free binary fast path. Scores come from the
+// sampler's scorer — compiled kernels by default, interpreted with
+// NoKernels — which are bit-identical, so every variant's chain is the same
+// on either path.
+func sampleOne(sc *scorer, v factorgraph.VarID, assign factorgraph.Assignment,
 	rng *prng, buf []float64) int32 {
-	if g.DomainOf(v) == 2 {
-		s0, s1 := g.BinaryConditionalScores(v, assign)
-		maxS := s0
-		if s1 > maxS {
-			maxS = s1
-		}
-		e0 := math.Exp(s0 - maxS)
-		e1 := math.Exp(s1 - maxS)
+	if sc.g.DomainOf(v) == 2 {
+		s0, s1 := sc.binaryConditionalScores(v, assign)
+		// Max-subtracted softmax with the winner's exp folded away: the
+		// larger score exponentiates to exactly 1, so only one math.Exp is
+		// needed. Bit-identical to the two-exp form because IEEE negation is
+		// exact: exp(s1-s0) == exp(-(s0-s1)).
 		var x int32
-		if rng.Float64()*(e0+e1) > e0 {
+		if d := s0 - s1; d < 0 {
+			e0 := math.Exp(d)
+			if rng.Float64()*(e0+1) > e0 {
+				x = 1
+			}
+		} else if rng.Float64()*(1+math.Exp(-d)) > 1 {
 			x = 1
 		}
 		assign.Set(v, x)
 		return x
 	}
-	scores := g.ConditionalScores(v, assign, buf)
+	scores := sc.conditionalScores(v, assign, buf)
 	// Softmax sampling with max subtraction for stability.
 	maxS := scores[0]
 	for _, s := range scores[1:] {

@@ -419,10 +419,11 @@ func TestSampleOneDistribution(t *testing.T) {
 	assign := g.InitialAssignment()
 	rng := taskRNG(5, 0xabc)
 	buf := make([]float64, 2)
+	sc := newScorer(g, false)
 	ones := 0
 	n := 200000
 	for i := 0; i < n; i++ {
-		if sampleOne(g, v, assign, rng, buf) == 1 {
+		if sampleOne(&sc, v, assign, rng, buf) == 1 {
 			ones++
 		}
 	}

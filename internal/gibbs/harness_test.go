@@ -343,3 +343,112 @@ func TestHogwildSteadyStateEpochAllocFree(t *testing.T) {
 		t.Errorf("steady-state hogwild epoch allocated %.1f times", allocs)
 	}
 }
+
+// TestCompiledMatchesInterpretedChains is the sampler-level face of the
+// kernel equivalence contract (the per-score contract lives in
+// factorgraph's kernel tests): in every scheduling-deterministic
+// configuration, a chain run on compiled kernels is bit-identical to the
+// same chain run with NoKernels — not statistically close, float-for-float
+// equal. With that established, the statistical harness transfers to the
+// compiled path wholesale.
+func TestCompiledMatchesInterpretedChains(t *testing.T) {
+	for _, shape := range testutil.Shapes(902) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			g := mustGraph(t, shape.Spec)
+			samplers := []struct {
+				name string
+				run  func(noKernels bool) [][]float64
+			}{
+				{"sequential", func(nk bool) [][]float64 {
+					var opts []gibbs.SamplerOption
+					if nk {
+						opts = append(opts, gibbs.NoKernels())
+					}
+					s := gibbs.NewSequential(g, 29, opts...)
+					s.RunEpochs(300)
+					return s.Marginals()
+				}},
+				{"hogwild", func(nk bool) [][]float64 {
+					var opts []gibbs.SamplerOption
+					if nk {
+						opts = append(opts, gibbs.NoKernels())
+					}
+					h := gibbs.NewHogwild(g, 29, 1, opts...)
+					defer h.Close()
+					h.RunEpochs(300)
+					return h.Marginals()
+				}},
+				{"spatial", func(nk bool) [][]float64 {
+					s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
+						Levels: 4, Instances: 2, Seed: 29, Workers: 1, NoKernels: nk,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer s.Close()
+					s.RunTotalEpochs(300)
+					return s.Marginals()
+				}},
+			}
+			for _, s := range samplers {
+				compiled, interpreted := s.run(false), s.run(true)
+				for v := range compiled {
+					for x := range compiled[v] {
+						if compiled[v][x] != interpreted[v][x] {
+							t.Fatalf("%s: marginal[%d][%d] compiled %v, interpreted %v — kernels are not bit-identical",
+								s.name, v, x, compiled[v][x], interpreted[v][x])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSamplersMatchExactWithoutKernels keeps the interpreted escape hatch
+// under direct statistical coverage: all three samplers against exact
+// marginals with NoKernels set, on one binary-spatial shape (the compiled
+// default gets the full shape sweep above; bit-identity transfers the rest).
+func TestSamplersMatchExactWithoutKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running convergence property")
+	}
+	g := mustGraph(t, testutil.Spec{Domain: 2, Spatial: true, Seed: 903})
+	exact, err := testutil.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplers := []struct {
+		name string
+		run  func() [][]float64
+	}{
+		{"sequential", func() [][]float64 {
+			s := gibbs.NewSequential(g, 17, gibbs.NoKernels())
+			s.RunEpochs(20000)
+			return s.Marginals()
+		}},
+		{"hogwild", func() [][]float64 {
+			h := gibbs.NewHogwild(g, 17, 3, gibbs.NoKernels())
+			defer h.Close()
+			h.RunEpochs(25000)
+			return h.Marginals()
+		}},
+		{"spatial", func() [][]float64 {
+			s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
+				Levels: 4, Instances: 2, Seed: 17, Workers: 2, NoKernels: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			s.RunTotalEpochs(25000)
+			return s.Marginals()
+		}},
+	}
+	for _, s := range samplers {
+		if d := testutil.MaxTV(s.run(), exact); d > tvTol {
+			t.Errorf("%s (NoKernels): max TV distance %.4f > %.2f", s.name, d, tvTol)
+		}
+	}
+}

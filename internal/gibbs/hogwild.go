@@ -23,16 +23,26 @@ import (
 // into the sampler's counters at each epoch barrier. It also shares the
 // fault-tolerant runtime: Run accepts a context checked at chunk
 // boundaries, worker panics surface as a *WorkerPanicError, and
-// Snapshot/Restore round-trip the chain state (bit-identical resume needs
-// Workers=1 — with more, hogwild's benign races make any run, resumed or
-// not, scheduling-dependent).
+// Snapshot/Restore round-trip the chain state.
+//
+// The bucket partition is fixed-grain (hogwildGrain variables per bucket)
+// and each bucket's PRNG stream derives from (seed, epoch, bucket index) —
+// both independent of the worker count and of worker interleaving. A
+// checkpoint therefore resumes the identical sampling program at any
+// worker width. Whether the resulting *chain* is bit-identical depends only
+// on hogwild's inherent benign races: with Workers=1, or when concurrently
+// swept variables do not interact, runs are bit-identical across widths and
+// across cut+resume; with dependent variables swept concurrently, hogwild
+// is scheduling-dependent by design, resumed or not.
 type Hogwild struct {
 	g         *factorgraph.Graph
+	sc        scorer
 	assign    factorgraph.Assignment
 	seed      int64
 	workers   int
+	buckets   int
 	flat      []factorgraph.VarID // shuffled query variables, bucket-major
-	bucketOff []int32             // len = workers+1, ranges into flat
+	bucketOff []int32             // len = buckets+1, ranges into flat
 	counts    *counts
 	pool      *Pool
 	run       *hogwildRun
@@ -43,6 +53,15 @@ type Hogwild struct {
 
 	obsState // metrics/trace/diagnostics plane (zero: disabled)
 }
+
+// hogwildGrain is the fixed bucket size of the hogwild partition. Buckets —
+// not workers — are the unit of PRNG stream identity and of dispatch, so
+// the sampling program is a pure function of (graph, seed): any worker
+// count executes the same buckets under the same streams. The grain keeps
+// bench-scale graphs (thousands of query variables) in tens of buckets —
+// enough chunks to load any realistic worker width without making the
+// per-chunk dispatch overhead visible.
+const hogwildGrain = 64
 
 // SetBurnIn discards the first n chain epochs from the marginal counters.
 // Call before the first RunEpochs.
@@ -60,6 +79,7 @@ func (h *Hogwild) SetTestHooks(hk TestHooks) {
 func (h *Hogwild) SetMetrics(m *Metrics) {
 	h.met = m
 	h.installChunkHook()
+	publishKernelMetrics(m, h.sc.k)
 }
 
 // installChunkHook (re)installs the pool chunk hook composing the obs chunk
@@ -83,22 +103,29 @@ func (h *Hogwild) SetProgress(every int, fn func(Progress)) {
 func (h *Hogwild) SetCheckpointer(cp *Checkpointer) { h.ckpt = cp }
 
 // NewHogwild builds a hogwild sampler; workers ≤ 0 selects GOMAXPROCS.
-func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
+// Options default to the compiled-kernel scoring path (see NoKernels).
+func NewHogwild(g *factorgraph.Graph, seed int64, workers int, opts ...SamplerOption) *Hogwild {
+	cfg := applySamplerOptions(opts)
+	query := queryVars(g)
+	// The partition depends on the graph alone: fixed-grain buckets, so the
+	// chunk set (and each chunk's PRNG stream) is worker-count independent.
+	buckets := (len(query) + hogwildGrain - 1) / hogwildGrain
+	if buckets < 1 {
+		buckets = 1
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	query := queryVars(g)
-	if workers > len(query) && len(query) > 0 {
-		workers = len(query)
-	}
-	if workers == 0 {
-		workers = 1
+	if workers > buckets {
+		workers = buckets
 	}
 	h := &Hogwild{
 		g:       g,
+		sc:      newScorer(g, cfg.noKernels),
 		assign:  g.InitialAssignment(),
 		seed:    seed,
 		workers: workers,
+		buckets: buckets,
 		counts:  newCounts(g),
 		pool:    newPool(workers, 1, g),
 	}
@@ -116,13 +143,13 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int) *Hogwild {
 		perm[i], perm[j] = perm[j], perm[i]
 	}
 	// Deal round-robin into buckets, then flatten bucket-major.
-	buckets := make([][]factorgraph.VarID, workers)
+	deal := make([][]factorgraph.VarID, buckets)
 	for i, pi := range perm {
-		w := i % workers
-		buckets[w] = append(buckets[w], query[pi])
+		b := i % buckets
+		deal[b] = append(deal[b], query[pi])
 	}
 	h.bucketOff = append(h.bucketOff, 0)
-	for _, b := range buckets {
+	for _, b := range deal {
 		h.flat = append(h.flat, b...)
 		h.bucketOff = append(h.bucketOff, int32(len(h.flat)))
 	}
@@ -147,9 +174,11 @@ type hogwildRun struct {
 
 func (r *hogwildRun) runChunk(w *workerState, bucket, _ int32) {
 	h := r.h
+	// Stream identity is (seed, epoch, bucket): pinned to the chunk, never
+	// to the worker that happens to execute it.
 	rng := prng{state: taskSeed(h.seed, r.epoch, uint64(bucket)<<32)}
 	for _, v := range h.flat[h.bucketOff[bucket]:h.bucketOff[bucket+1]] {
-		x := sampleOne(h.g, v, h.assign, &rng, w.buf)
+		x := sampleOne(&h.sc, v, h.assign, &rng, w.buf)
 		if r.count {
 			w.record(0, v, x)
 		}
@@ -182,7 +211,7 @@ func (h *Hogwild) Run(ctx context.Context, n int) (RunStats, error) {
 		h.run.epoch = uint64(h.epochs) + 1
 		h.run.count = h.epochs >= h.burnIn
 		h.epochs++
-		for b := 0; b < h.workers; b++ {
+		for b := 0; b < h.buckets; b++ {
 			h.pool.dispatch(h.run, int32(b), 0, done)
 		}
 		if active {

@@ -1,0 +1,79 @@
+package gibbs
+
+import (
+	"repro/internal/factorgraph"
+)
+
+// scorer routes conditional-score evaluation either through the graph's
+// compiled sampling kernels (the default) or the interpreted CSR walk. The
+// two paths are bit-identical (factorgraph's golden equivalence test), so
+// the choice affects throughput only: seeds, checkpoints and marginals are
+// the same either way. The samplers hold one scorer each and pass it to
+// sampleOne; the single nil check per call is the entire dispatch cost.
+type scorer struct {
+	g *factorgraph.Graph
+	k *factorgraph.Kernels // nil → interpreted path
+}
+
+// newScorer builds a scorer over g, compiling (or reusing) the graph's
+// kernels unless noKernels asks for the interpreted path.
+func newScorer(g *factorgraph.Graph, noKernels bool) scorer {
+	sc := scorer{g: g}
+	if !noKernels {
+		sc.k = g.Kernels()
+	}
+	return sc
+}
+
+// conditionalScores evaluates all candidate values of v (general path).
+func (sc *scorer) conditionalScores(v factorgraph.VarID, assign factorgraph.Assignment, buf []float64) []float64 {
+	if sc.k != nil {
+		return sc.k.ConditionalScores(v, assign, buf)
+	}
+	return sc.g.ConditionalScores(v, assign, buf)
+}
+
+// binaryConditionalScores evaluates both candidates of a binary v.
+func (sc *scorer) binaryConditionalScores(v factorgraph.VarID, assign factorgraph.Assignment) (float64, float64) {
+	if sc.k != nil {
+		return sc.k.BinaryConditionalScores(v, assign)
+	}
+	return sc.g.BinaryConditionalScores(v, assign)
+}
+
+// SamplerOption configures optional behavior of the sequential and hogwild
+// constructors (the spatial sampler takes SpatialOptions instead).
+type SamplerOption func(*samplerConfig)
+
+type samplerConfig struct {
+	noKernels bool
+}
+
+// NoKernels makes a sampler evaluate conditional scores on the interpreted
+// graph walk instead of the compiled kernels — the `-no-kernels` escape
+// hatch. Results are bit-identical either way; only throughput differs.
+func NoKernels() SamplerOption {
+	return func(c *samplerConfig) { c.noKernels = true }
+}
+
+func applySamplerOptions(opts []SamplerOption) samplerConfig {
+	var c samplerConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// publishKernelMetrics exposes the compiled-kernel build stats on the
+// sampler metric gauges. Called when a sampler running on compiled kernels
+// attaches metrics; a nil kernel set (interpreted path) publishes nothing.
+func publishKernelMetrics(m *Metrics, k *factorgraph.Kernels) {
+	if m == nil || k == nil {
+		return
+	}
+	st := k.Stats()
+	m.KernelBuildSeconds.Set(st.BuildTime.Seconds())
+	m.KernelOps.Set(float64(st.Ops))
+	m.KernelGenericOps.Set(float64(st.GenericOps))
+	m.KernelSlabBytes.Set(float64(st.SlabBytes))
+}

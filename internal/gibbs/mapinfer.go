@@ -64,6 +64,9 @@ func MAPContext(ctx context.Context, g *factorgraph.Graph, opts MAPOptions) (fac
 	}
 	opts = opts.withDefaults()
 	query := queryVars(g)
+	// MAP always runs on the compiled kernels: they are bit-identical to the
+	// interpreted walk, and MAP has no user-facing escape hatch to plumb.
+	sc := newScorer(g, false)
 	var best factorgraph.Assignment
 	bestE := 0.0
 	decay := 1.0
@@ -86,7 +89,7 @@ func MAPContext(ctx context.Context, g *factorgraph.Graph, opts MAPOptions) (fac
 				break
 			}
 			for _, v := range query {
-				scores := g.ConditionalScores(v, assign, buf)
+				scores := sc.conditionalScores(v, assign, buf)
 				sampleTempered(assign, v, scores, temp, rng)
 			}
 			temp *= decay
@@ -94,7 +97,7 @@ func MAPContext(ctx context.Context, g *factorgraph.Graph, opts MAPOptions) (fac
 		// Final greedy polish: local moves until no single flip improves
 		// (checked for cancellation between passes — each pass is bounded,
 		// the pass count is not).
-		greedyCtx(ctx, g, assign, query, buf)
+		greedyCtx(ctx, &sc, assign, query, buf)
 		e := g.Energy(assign)
 		if best == nil || e > bestE {
 			best, bestE = assign.Clone(), e
@@ -137,22 +140,22 @@ func sampleTempered(assign factorgraph.Assignment, v factorgraph.VarID,
 
 // greedyCtx applies best-single-flip moves until a local optimum, stopping
 // early between full passes if ctx fires.
-func greedyCtx(ctx context.Context, g *factorgraph.Graph, assign factorgraph.Assignment,
+func greedyCtx(ctx context.Context, sc *scorer, assign factorgraph.Assignment,
 	query []factorgraph.VarID, buf []float64) {
 	for ctx.Err() == nil {
 		improved := false
 		for _, v := range query {
 			cur := assign.Get(v)
 			best := cur
-			if g.DomainOf(v) == 2 {
+			if sc.g.DomainOf(v) == 2 {
 				// Ties keep the current value, matching the generic argmax.
-				if s0, s1 := g.BinaryConditionalScores(v, assign); s1 > s0 {
+				if s0, s1 := sc.binaryConditionalScores(v, assign); s1 > s0 {
 					best = 1
 				} else if s0 > s1 {
 					best = 0
 				}
 			} else {
-				scores := g.ConditionalScores(v, assign, buf)
+				scores := sc.conditionalScores(v, assign, buf)
 				for x := range scores {
 					if scores[x] > scores[best] {
 						best = int32(x)

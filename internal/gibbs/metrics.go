@@ -36,6 +36,13 @@ type Metrics struct {
 	// Convergence diagnostics (set when diagnostics run; see SetProgress).
 	DiagMaxDelta *obs.Gauge
 	DiagSpread   *obs.Gauge
+	// Compiled-kernel build stats, published once when a sampler running on
+	// compiled kernels attaches metrics (see publishKernelMetrics): build
+	// wall time, total/generic op counts and the slab footprint in bytes.
+	KernelBuildSeconds *obs.Gauge
+	KernelOps          *obs.Gauge
+	KernelGenericOps   *obs.Gauge
+	KernelSlabBytes    *obs.Gauge
 }
 
 // NewMetrics resolves the sampler metric handles from a registry, creating
@@ -56,6 +63,11 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		CkptSaveDur:    r.Histogram("sya_checkpoint_save_seconds", nil),
 		DiagMaxDelta:   r.Gauge("sya_diag_max_delta"),
 		DiagSpread:     r.Gauge("sya_diag_spread"),
+
+		KernelBuildSeconds: r.Gauge("sya_kernel_build_seconds"),
+		KernelOps:          r.Gauge("sya_kernel_ops"),
+		KernelGenericOps:   r.Gauge("sya_kernel_generic_ops"),
+		KernelSlabBytes:    r.Gauge("sya_kernel_slab_bytes"),
 	}
 }
 

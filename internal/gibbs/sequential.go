@@ -19,6 +19,7 @@ import (
 // the chain's PRNG state, making resume bit-identical trivially.
 type Sequential struct {
 	g      *factorgraph.Graph
+	sc     scorer
 	assign factorgraph.Assignment
 	rng    *prng
 	counts *counts
@@ -47,7 +48,10 @@ func (s *Sequential) SetCheckpointer(cp *Checkpointer) { s.ckpt = cp }
 // SetMetrics attaches (or detaches, with nil) the obs metric handles. The
 // sequential sampler has no pool; its whole sweep is one chunk, counted at
 // the epoch boundary.
-func (s *Sequential) SetMetrics(m *Metrics) { s.met = m }
+func (s *Sequential) SetMetrics(m *Metrics) {
+	s.met = m
+	publishKernelMetrics(m, s.sc.k)
+}
 
 // SetProgress enables convergence diagnostics every `every` epochs (see
 // Sampler.SetProgress). A single chain, so Spread reads 0.
@@ -55,10 +59,13 @@ func (s *Sequential) SetProgress(every int, fn func(Progress)) {
 	s.enableProgress(s.g, every, fn, []*counts{s.counts})
 }
 
-// NewSequential builds a sequential sampler with the given seed.
-func NewSequential(g *factorgraph.Graph, seed int64) *Sequential {
+// NewSequential builds a sequential sampler with the given seed. Options
+// default to the compiled-kernel scoring path (see NoKernels).
+func NewSequential(g *factorgraph.Graph, seed int64, opts ...SamplerOption) *Sequential {
+	cfg := applySamplerOptions(opts)
 	return &Sequential{
 		g:      g,
+		sc:     newScorer(g, cfg.noKernels),
 		assign: g.InitialAssignment(),
 		rng:    taskRNG(seed, 0x5e90),
 		counts: newCounts(g),
@@ -109,7 +116,7 @@ func (s *Sequential) Run(ctx context.Context, n int) (RunStats, error) {
 		}
 		count := s.epochs >= s.burnIn
 		for _, v := range s.query {
-			x := sampleOne(s.g, v, s.assign, s.rng, s.buf)
+			x := sampleOne(&s.sc, v, s.assign, s.rng, s.buf)
 			if count {
 				s.counts.add(v, x)
 			}

@@ -38,6 +38,10 @@ type SpatialOptions struct {
 	// Space overrides the pyramid bounding space (derived from atom
 	// locations when zero).
 	Space geom.Rect
+	// NoKernels evaluates conditional scores on the interpreted graph walk
+	// instead of the compiled sampling kernels (the `-no-kernels` escape
+	// hatch). Results are bit-identical either way; only throughput differs.
+	NoKernels bool
 }
 
 func (o SpatialOptions) withDefaults() SpatialOptions {
@@ -137,6 +141,7 @@ func (rv *restrictedView) matches(dirty map[factorgraph.VarID]bool) bool {
 // chain state for checkpoint/resume.
 type Spatial struct {
 	g    *factorgraph.Graph
+	sc   scorer
 	opts SpatialOptions
 	pyr  *pyramid.Index // nil when the graph has no located query atoms
 
@@ -176,6 +181,7 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 	opts = opts.withDefaults()
 	s := &Spatial{
 		g:         g,
+		sc:        newScorer(g, opts.NoKernels),
 		opts:      opts,
 		pinned:    make([]bool, g.NumVars()),
 		dirty:     map[factorgraph.VarID]bool{},
@@ -253,6 +259,7 @@ func (s *Spatial) SetTestHooks(h TestHooks) {
 func (s *Spatial) SetMetrics(m *Metrics) {
 	s.met = m
 	s.installChunkHook()
+	publishKernelMetrics(m, s.sc.k)
 }
 
 // installChunkHook (re)installs the pool chunk hook composing the obs chunk
@@ -398,7 +405,7 @@ func (r *spatialRun) runChunk(w *workerState, lo, hi int32) {
 			if s.pinned[v] {
 				continue
 			}
-			x := sampleOne(s.g, v, r.inst.assign, &rng, w.buf)
+			x := sampleOne(&s.sc, v, r.inst.assign, &rng, w.buf)
 			if r.count {
 				w.record(r.k, v, x)
 			}
@@ -424,7 +431,7 @@ func (r *tailRun) runChunk(w *workerState, _, _ int32) {
 		if s.pinned[v] {
 			continue
 		}
-		x := sampleOne(s.g, v, r.inst.assign, &rng, w.buf)
+		x := sampleOne(&s.sc, v, r.inst.assign, &rng, w.buf)
 		if r.count {
 			w.record(r.k, v, x)
 		}

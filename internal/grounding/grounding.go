@@ -23,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -792,6 +793,57 @@ type nbr struct {
 	d float64
 }
 
+// nbrLess is the capped sweep's total neighbour order: distance, then atom
+// index. The index tie-break keeps the k-nearest selection independent of
+// R-tree traversal order (and hence of worker count).
+func nbrLess(x, y nbr) bool {
+	if x.d != y.d {
+		return x.d < y.d
+	}
+	return x.j < y.j
+}
+
+// selectNearestK reduces within to its k smallest neighbours under nbrLess,
+// in unspecified order. The selection is a classic bounded max-heap built
+// in place over within[:k] — each remaining candidate either loses to the
+// current worst survivor or replaces it — so it allocates nothing and does
+// O(n log k) comparisons instead of sorting the whole list.
+func selectNearestK(within []nbr, k int) []nbr {
+	if len(within) <= k {
+		return within
+	}
+	h := within[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		nbrSiftDown(h, i)
+	}
+	for _, cand := range within[k:] {
+		if nbrLess(cand, h[0]) {
+			h[0] = cand
+			nbrSiftDown(h, 0)
+		}
+	}
+	return h
+}
+
+// nbrSiftDown restores the max-heap property (worst neighbour at the root)
+// below index i.
+func nbrSiftDown(h []nbr, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if r := c + 1; r < len(h) && nbrLess(h[c], h[r]) {
+			c = r
+		}
+		if !nbrLess(h[i], h[c]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
 // sweepCapped generates spatial factors under the MaxNeighbors cap. The
 // pair set is the union over atoms of their k-nearest lists, so a pair may
 // be known to only one endpoint; instead of a shared seen-map, a first pass
@@ -827,18 +879,14 @@ func (gr *Grounder) sweepCapped(tree *rtree.Tree, atoms []spatialAtom, radius fl
 				within = append(within, nbr{j: int32(j), d: d})
 				return true
 			})
-			if len(within) > k {
-				// Keep the k nearest; ties break on atom index so the
-				// selection is independent of the R-tree traversal order.
-				sort.Slice(within, func(x, y int) bool {
-					if within[x].d != within[y].d {
-						return within[x].d < within[y].d
-					}
-					return within[x].j < within[y].j
-				})
-				within = within[:k]
-			}
-			sort.Slice(within, func(x, y int) bool { return within[x].j < within[y].j })
+			// Keep the k nearest (ties break on atom index so the selection
+			// is independent of the R-tree traversal order), then restore
+			// index order. Both run in the chunk's scratch: the selection is
+			// an in-place fixed-size heap and the sort a generic slices sort,
+			// so the per-atom cost is allocation-free — sort.Slice here
+			// previously dominated the capped sweep's allocation profile.
+			within = selectNearestK(within, k)
+			slices.SortFunc(within, func(x, y nbr) int { return int(x.j) - int(y.j) })
 			slab = append(slab, within...)
 			offs = append(offs, len(slab))
 		}

@@ -48,6 +48,11 @@ type Options struct {
 	MaxWeight float64
 	// Seed drives the chains.
 	Seed int64
+	// NoKernels scores the chains with the interpreted factor-walk instead
+	// of the graph's compiled sampling kernels. The two paths are
+	// bit-identical; this is the learning-side face of the samplers'
+	// `-no-kernels` escape hatch.
+	NoKernels bool
 	// Trace, when non-nil, receives one "learning" phase event per gradient
 	// iteration (gradient norm and wall time) plus a closing summary.
 	Trace *obs.Trace
@@ -88,12 +93,17 @@ type chain struct {
 	vars   []factorgraph.VarID // variables this chain resamples
 	rng    *prng
 	buf    []float64
+	// score is the conditional-score backend: the graph's compiled kernels
+	// by default, or the interpreted factor-walk under Options.NoKernels.
+	// Learned weights flow through either one because both read the live
+	// weight tables (kernels store indices, not copies).
+	score func(factorgraph.VarID, factorgraph.Assignment, []float64) []float64
 }
 
-func (c *chain) sweep(g *factorgraph.Graph, n int) {
+func (c *chain) sweep(n int) {
 	for i := 0; i < n; i++ {
 		for _, v := range c.vars {
-			scores := g.ConditionalScores(v, c.assign, c.buf)
+			scores := c.score(v, c.assign, c.buf)
 			maxS := scores[0]
 			for _, s := range scores[1:] {
 				if s > maxS {
@@ -178,10 +188,14 @@ func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numR
 		}
 		return true
 	})
+	score := g.ConditionalScores
+	if !opts.NoKernels {
+		score = g.Kernels().ConditionalScores
+	}
 	data := &chain{assign: g.InitialAssignment(), vars: queryVars,
-		rng: newPrng(opts.Seed, 1), buf: make([]float64, maxDom)}
+		rng: newPrng(opts.Seed, 1), buf: make([]float64, maxDom), score: score}
 	model := &chain{assign: g.InitialAssignment(), vars: allVars,
-		rng: newPrng(opts.Seed, 2), buf: make([]float64, maxDom)}
+		rng: newPrng(opts.Seed, 2), buf: make([]float64, maxDom), score: score}
 
 	res := &Result{Weights: make([]float64, numRules), SpatialScale: 1}
 	for r := int32(0); int(r) < numRules; r++ {
@@ -210,8 +224,8 @@ func Weights(ctx context.Context, g *factorgraph.Graph, factorRule []int32, numR
 			return res, fmt.Errorf("learn: interrupted after %d/%d iterations: %w", iter, opts.Iterations, err)
 		}
 		iterStart := time.Now()
-		data.sweep(g, opts.SweepsPerIteration)
-		model.sweep(g, opts.SweepsPerIteration)
+		data.sweep(opts.SweepsPerIteration)
+		model.sweep(opts.SweepsPerIteration)
 		for r := range nData {
 			nData[r], nModel[r] = 0, 0
 		}
