@@ -36,44 +36,25 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"sort"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/geom"
 	"repro/internal/gibbs"
 	"repro/internal/learn"
 	"repro/internal/obs"
-	"repro/internal/storage"
 )
 
-// loadFlag accumulates -load Relation=file.csv pairs.
-type loadFlag struct {
-	pairs [][2]string
-}
-
-func (l *loadFlag) String() string { return fmt.Sprint(l.pairs) }
-
-func (l *loadFlag) Set(v string) error {
-	parts := strings.SplitN(v, "=", 2)
-	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
-		return fmt.Errorf("want Relation=file.csv, got %q", v)
-	}
-	l.pairs = append(l.pairs, [2]string{parts[0], parts[1]})
-	return nil
-}
-
 func main() {
-	var loads loadFlag
+	var loads cliutil.LoadFlag
 	var (
 		programPath = flag.String("program", "", "DDlog program file (required)")
 		engine      = flag.String("engine", "sya", "engine: sya | deepdive")
@@ -108,7 +89,7 @@ func main() {
 		os.Exit(2)
 	}
 	err := run(runOpts{
-		program: *programPath, loads: loads.pairs,
+		program: *programPath, loads: loads.Pairs,
 		engine: *engine, metric: *metric,
 		epochs: *epochs, bandwidth: *bandwidth, scale: *scale, seed: *seed,
 		stats: *showStats, learnIters: *learnIters, saveGraph: *saveGraph,
@@ -203,23 +184,11 @@ func run(o runOpts) error {
 				p.Sampler, p.Epoch, p.Diag.MaxDelta, p.Diag.Spread)
 		}
 	}
-	switch strings.ToLower(o.engine) {
-	case "sya":
-		cfg.Engine = core.EngineSya
-	case "deepdive":
-		cfg.Engine = core.EngineDeepDive
-	default:
-		return fmt.Errorf("unknown engine %q", o.engine)
+	if cfg.Engine, err = cliutil.ParseEngine(o.engine); err != nil {
+		return err
 	}
-	switch strings.ToLower(o.metric) {
-	case "", "euclidean":
-		cfg.Metric = geom.Euclidean
-	case "miles":
-		cfg.Metric = geom.HaversineMiles
-	case "km":
-		cfg.Metric = geom.HaversineKm
-	default:
-		return fmt.Errorf("unknown metric %q", o.metric)
+	if cfg.Metric, err = cliutil.ParseMetric(o.metric); err != nil {
+		return err
 	}
 	s := core.NewSystem(cfg)
 	defer s.Close()
@@ -227,7 +196,7 @@ func run(o runOpts) error {
 		return err
 	}
 	for _, pair := range o.loads {
-		if err := loadCSV(s, pair[0], pair[1]); err != nil {
+		if err := cliutil.LoadCSV(s, pair[0], pair[1]); err != nil {
 			return fmt.Errorf("loading %s from %s: %w", pair[0], pair[1], err)
 		}
 	}
@@ -319,96 +288,4 @@ func run(o runOpts) error {
 		}
 	}
 	return nil
-}
-
-// loadCSV appends a CSV file's rows to a relation table, mapping columns by
-// header name.
-func loadCSV(s *core.System, relation, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	r := csv.NewReader(f)
-	r.TrimLeadingSpace = true
-	records, err := r.ReadAll()
-	if err != nil {
-		return err
-	}
-	if len(records) < 1 {
-		return fmt.Errorf("no header row")
-	}
-	tbl, err := s.DB().Table(relation)
-	if err != nil {
-		return err
-	}
-	schema := tbl.Schema()
-	header := records[0]
-	colIdx := make([]int, len(header))
-	for i, h := range header {
-		ci := schema.ColIndex(strings.TrimSpace(h))
-		if ci < 0 {
-			return fmt.Errorf("column %q not in relation %s", h, relation)
-		}
-		colIdx[i] = ci
-	}
-	var rows []storage.Row
-	for line, rec := range records[1:] {
-		row := make(storage.Row, len(schema.Cols))
-		for i := range row {
-			row[i] = storage.Null
-		}
-		for i, cell := range rec {
-			if i >= len(colIdx) {
-				return fmt.Errorf("row %d has %d cells, header has %d", line+2, len(rec), len(header))
-			}
-			v, err := parseCell(schema.Cols[colIdx[i]], cell)
-			if err != nil {
-				return fmt.Errorf("row %d column %q: %w", line+2, header[i], err)
-			}
-			row[colIdx[i]] = v
-		}
-		rows = append(rows, row)
-	}
-	return tbl.AppendAll(rows)
-}
-
-// parseCell converts one CSV cell by column type.
-func parseCell(col storage.Column, cell string) (storage.Value, error) {
-	cell = strings.TrimSpace(cell)
-	if cell == "" || strings.EqualFold(cell, "null") {
-		return storage.Null, nil
-	}
-	switch col.Kind {
-	case storage.KindInt:
-		v, err := strconv.ParseInt(cell, 10, 64)
-		if err != nil {
-			return storage.Null, err
-		}
-		return storage.Int(v), nil
-	case storage.KindFloat:
-		v, err := strconv.ParseFloat(cell, 64)
-		if err != nil {
-			return storage.Null, err
-		}
-		return storage.Float(v), nil
-	case storage.KindBool:
-		switch strings.ToLower(cell) {
-		case "true", "t", "1", "yes":
-			return storage.Bool(true), nil
-		case "false", "f", "0", "no":
-			return storage.Bool(false), nil
-		}
-		return storage.Null, fmt.Errorf("bad bool %q", cell)
-	case storage.KindString:
-		return storage.Str(cell), nil
-	case storage.KindGeom:
-		g, err := geom.ParseWKT(cell)
-		if err != nil {
-			return storage.Null, err
-		}
-		return storage.Geom(g), nil
-	default:
-		return storage.Null, fmt.Errorf("unsupported column kind %v", col.Kind)
-	}
 }

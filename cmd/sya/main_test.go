@@ -192,19 +192,3 @@ func TestLoadCSVErrors(t *testing.T) {
 		t.Error("bad WKT should fail")
 	}
 }
-
-func TestLoadFlag(t *testing.T) {
-	var l loadFlag
-	if err := l.Set("A=file.csv"); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.Set("broken"); err == nil {
-		t.Error("malformed pair should fail")
-	}
-	if err := l.Set("=x.csv"); err == nil {
-		t.Error("empty relation should fail")
-	}
-	if len(l.pairs) != 1 || l.String() == "" {
-		t.Errorf("pairs = %v", l.pairs)
-	}
-}

@@ -38,11 +38,12 @@ var experiments = map[string]func(bench.Params) (*bench.Table, error){
 	"fig13":    bench.Fig13,
 	"fig14":    bench.Fig14,
 	"ablation": bench.Ablation,
+	"serving":  bench.Serving,
 }
 
 // order fixes the "all" execution sequence.
 var order = []string{
-	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation",
+	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "serving",
 }
 
 // groundingPhase lists the experiments that remain meaningful under
@@ -52,6 +53,12 @@ var groundingPhase = map[string]bool{
 	"table1": true,
 	"fig9":   true,
 	"fig10":  true,
+}
+
+// servingPhase lists the experiments -phase=serving runs: the resident-KB
+// load harness only.
+var servingPhase = map[string]bool{
+	"serving": true,
 }
 
 func main() {
@@ -66,9 +73,11 @@ func main() {
 		seed    = flag.Int64("seed", defaults.Seed, "base RNG seed")
 		work    = flag.Int("workers", defaults.Workers, "sampler worker-pool width (0 = GOMAXPROCS)")
 		gwork   = flag.Int("ground-workers", defaults.GroundWorkers, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
-		phase   = flag.String("phase", "", "restrict to one pipeline phase: grounding (skip inference, blank quality columns)")
+		phase   = flag.String("phase", "", "restrict to one pipeline phase: grounding (skip inference, blank quality columns) or serving (resident-KB load harness)")
 		noKern  = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels (bit-identical; for measuring the kernel speedup)")
 		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
+
+		servingJSON = flag.String("serving-json", "", "with the serving experiment, write its machine-readable report (BENCH_serving.json shape) to this path")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
 		traceOut    = flag.String("trace-out", "", "write JSONL phase-trace events for every experiment to this file")
@@ -121,12 +130,16 @@ func main() {
 	p.Workers = *work
 	p.GroundWorkers = *gwork
 	p.NoKernels = *noKern
+	p.ServingJSON = *servingJSON
+	servingOnly := false
 	switch *phase {
 	case "":
 	case "grounding":
 		p.GroundOnly = true
+	case "serving":
+		servingOnly = true
 	default:
-		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding)\n", *phase)
+		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding, serving)\n", *phase)
 		os.Exit(2)
 	}
 	if *paper {
@@ -147,6 +160,9 @@ func main() {
 	}
 
 	args := flag.Args()
+	if len(args) == 0 && servingOnly {
+		args = []string{"serving"}
+	}
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: syabench [flags] <experiment>... | all | -list")
 		os.Exit(2)
@@ -169,6 +185,10 @@ func main() {
 		}
 		if p.GroundOnly && !groundingPhase[name] {
 			fmt.Fprintf(os.Stderr, "syabench: -phase=grounding: skipping inference-bound experiment %s\n", name)
+			continue
+		}
+		if servingOnly && !servingPhase[name] {
+			fmt.Fprintf(os.Stderr, "syabench: -phase=serving: skipping non-serving experiment %s\n", name)
 			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

@@ -1,0 +1,215 @@
+// Command syad runs a resident KB server: it loads and grounds a spatial
+// DDlog program exactly like the sya batch CLI, warms the sampler up, and
+// then serves factual-score queries and evidence upserts over HTTP until
+// interrupted.
+//
+// Usage:
+//
+//	syad -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
+//	    [-addr host:port] [-engine sya|deepdive] [-metric euclidean|miles|km] \
+//	    [-epochs N] [-warmup-epochs N] [-upsert-epochs N] [-cache-ttl D] \
+//	    [-bandwidth B] [-scale S] [-seed N] [-ground-workers N] [-label NAME] \
+//	    [-trace-out file.jsonl] [-trace-max-mb N]
+//
+// API (JSON):
+//
+//	GET  /v1/score/point?relation=R&x=X&y=Y          score at a location
+//	GET  /v1/score/range?relation=R&minx&miny&maxx&maxy
+//	GET  /v1/score/knn?relation=R&x=X&y=Y&k=K        k nearest atoms
+//	POST /v1/evidence {"relation": R, "rows": [[cell, ...], ...]}
+//	GET  /healthz
+//	GET  /metrics, /debug/pprof/*
+//
+// Evidence upserts fold in without a restart: the delta grounder re-evaluates
+// only the rules that touch the upserted relation, pins the affected
+// variables, and resamples the dirty concliques for -upsert-epochs epochs.
+// A structural change (new ground atoms, variable-relation rows) falls back
+// to a full re-ground + re-warmup automatically.
+//
+// The -load pairs, engine and metric spellings are shared with the sya CLI,
+// so a batch invocation can be lifted into a resident server by swapping the
+// binary name. ^C / SIGTERM drains in-flight requests and exits cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var loads cliutil.LoadFlag
+	var (
+		programPath = flag.String("program", "", "DDlog program file (required)")
+		addr        = flag.String("addr", "127.0.0.1:8090", "HTTP listen address")
+		engine      = flag.String("engine", "sya", "engine: sya | deepdive")
+		metric      = flag.String("metric", "euclidean", "distance metric: euclidean | miles | km")
+		epochs      = flag.Int("epochs", 1000, "default inference epoch budget")
+		warmupEp    = flag.Int("warmup-epochs", 0, "initial sampling epochs before serving (0 = -epochs)")
+		upsertEp    = flag.Int("upsert-epochs", 0, "incremental epochs after each evidence upsert (0 = -epochs)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "score-cache entry lifetime (0 = entries live until the next resample)")
+		bandwidth   = flag.Float64("bandwidth", 50, "spatial weighing bandwidth")
+		scale       = flag.Float64("scale", 1, "spatial weighing zero-distance scale")
+		seed        = flag.Int64("seed", 1, "sampler seed")
+		groundWork  = flag.Int("ground-workers", 0, "grounding worker-pool width (0 = GOMAXPROCS)")
+		noKernels   = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels")
+		label       = flag.String("label", "", "metrics label: scope all series with {system=NAME}")
+		traceOut    = flag.String("trace-out", "", "write structured JSONL phase-trace events to this file")
+		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
+	)
+	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "syad: -program is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, runOpts{
+		program: *programPath, loads: loads.Pairs,
+		addr: *addr, engine: *engine, metric: *metric,
+		epochs: *epochs, warmupEpochs: *warmupEp, upsertEpochs: *upsertEp,
+		cacheTTL: *cacheTTL, bandwidth: *bandwidth, scale: *scale, seed: *seed,
+		groundWorkers: *groundWork, noKernels: *noKernels, label: *label,
+		traceOut: *traceOut, traceMaxMB: *traceMaxMB,
+		ready: func(addr string) {
+			fmt.Fprintf(os.Stderr, "# syad: serving http://%s (metrics at /metrics, pprof under /debug/pprof/)\n", addr)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "syad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runOpts carries the resolved command-line configuration into run.
+type runOpts struct {
+	program string
+	loads   [][2]string
+	addr    string
+	engine  string
+	metric  string
+
+	epochs       int
+	warmupEpochs int
+	upsertEpochs int
+	cacheTTL     time.Duration
+
+	bandwidth     float64
+	scale         float64
+	seed          int64
+	groundWorkers int
+	noKernels     bool
+	label         string
+	traceOut      string
+	traceMaxMB    int
+
+	// ready, when non-nil, is called with the bound listen address once the
+	// server is warmed up and accepting requests.
+	ready func(addr string)
+}
+
+// run builds the system, warms it up, and serves until ctx is canceled.
+func run(ctx context.Context, o runOpts) error {
+	src, err := os.ReadFile(o.program)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	cfg := core.Config{
+		Epochs:    o.epochs,
+		Bandwidth: o.bandwidth, SpatialScale: o.scale,
+		Seed:          o.seed,
+		GroundWorkers: o.groundWorkers,
+		NoKernels:     o.noKernels,
+		Metrics:       reg,
+		MetricLabel:   o.label,
+	}
+	if cfg.Engine, err = cliutil.ParseEngine(o.engine); err != nil {
+		return err
+	}
+	if cfg.Metric, err = cliutil.ParseMetric(o.metric); err != nil {
+		return err
+	}
+	if o.traceOut != "" {
+		tr, err := obs.OpenTraceRotating(o.traceOut, int64(o.traceMaxMB)<<20)
+		if err != nil {
+			return err
+		}
+		cfg.Trace = tr
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "# WARNING: trace %s: %v\n", o.traceOut, err)
+			}
+		}()
+	}
+	sys := core.NewSystem(cfg)
+	if err := sys.LoadProgram(string(src)); err != nil {
+		sys.Close()
+		return err
+	}
+	for _, pair := range o.loads {
+		if err := cliutil.LoadCSV(sys, pair[0], pair[1]); err != nil {
+			sys.Close()
+			return fmt.Errorf("loading %s from %s: %w", pair[0], pair[1], err)
+		}
+	}
+	if _, err := sys.GroundContext(ctx); err != nil {
+		sys.Close()
+		return err
+	}
+
+	serveMetrics := reg
+	if o.label != "" {
+		serveMetrics = reg.With("system", o.label)
+	}
+	srv, err := serve.New(sys, serve.Options{
+		Epochs:   o.upsertEpochs,
+		CacheTTL: o.cacheTTL,
+		Metrics:  serveMetrics,
+	})
+	if err != nil {
+		sys.Close()
+		return err
+	}
+	defer srv.Close()
+	if err := srv.Warmup(ctx, o.warmupEpochs); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if o.ready != nil {
+		o.ready(ln.Addr().String())
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hsrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain in-flight requests, then force-close stragglers.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hsrv.Shutdown(shutdownCtx); err != nil {
+		hsrv.Close()
+	}
+	<-errc // always http.ErrServerClosed after Shutdown/Close
+	return nil
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// writeFixtures creates a program and CSV files for the EbolaKB scenario.
+func writeFixtures(t *testing.T) (program, countyCSV, evidenceCSV string) {
+	t.Helper()
+	dir := t.TempDir()
+	program = filepath.Join(dir, "kb.ddlog")
+	if err := os.WriteFile(program, []byte(datagen.EbolaProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	countyCSV = filepath.Join(dir, "county.csv")
+	county := "id,location,hasLowSanitation\n" +
+		"1,POINT (-10.80 6.32),true\n" +
+		"2,POINT (-10.45 6.55),true\n" +
+		"3,POINT (-9.45 7.05),true\n" +
+		"4,POINT (-8.90 7.60),false\n"
+	if err := os.WriteFile(countyCSV, []byte(county), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evidenceCSV = filepath.Join(dir, "evidence.csv")
+	ev := "id,location,hasEbola\n1,POINT (-10.80 6.32),true\n"
+	if err := os.WriteFile(evidenceCSV, []byte(ev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return program, countyCSV, evidenceCSV
+}
+
+func baseOpts(program string, loads [][2]string) runOpts {
+	return runOpts{
+		program: program, loads: loads,
+		addr: "127.0.0.1:0", engine: "sya", metric: "miles",
+		epochs: 500, bandwidth: 60, scale: 1, seed: 7,
+	}
+}
+
+// startDaemon runs the server in the background and returns its base URL and
+// a stop function that shuts it down and reports run's error.
+func startDaemon(t *testing.T, o runOpts) (base string, stop func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	o.ready = func(addr string) { ready <- addr }
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, o) }()
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		cancel()
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		cancel()
+		t.Fatal("server not ready after 30s")
+	}
+	return base, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("server did not exit after cancel")
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestDaemonEndToEnd(t *testing.T) {
+	program, county, evidence := writeFixtures(t)
+	o := baseOpts(program, [][2]string{{"County", county}, {"CountyEvidence", evidence}})
+	o.label = "ebola"
+	o.cacheTTL = time.Minute
+	base, stop := startDaemon(t, o)
+
+	var health struct {
+		Status string `json:"status"`
+		Vars   int    `json:"vars"`
+	}
+	if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if health.Status != "ok" || health.Vars != 4 {
+		t.Errorf("health = %+v", health)
+	}
+
+	var pt struct {
+		Atoms []struct {
+			Key   string  `json:"key"`
+			Score float64 `json:"score"`
+		} `json:"atoms"`
+	}
+	if code := getJSON(t, base+"/v1/score/point?relation=HasEbola&x=-10.80&y=6.32", &pt); code != http.StatusOK {
+		t.Fatalf("point = %d", code)
+	}
+	if len(pt.Atoms) != 1 || pt.Atoms[0].Score != 1 {
+		t.Errorf("evidence county score = %+v, want exactly 1", pt.Atoms)
+	}
+
+	// Upsert evidence for county 3 and read the pinned score back.
+	body := `{"relation":"CountyEvidence","rows":[["3","POINT (-9.45 7.05)","true"]]}`
+	resp, err := http.Post(base+"/v1/evidence", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upsert, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evidence = %d: %s", resp.StatusCode, upsert)
+	}
+	if code := getJSON(t, base+"/v1/score/point?relation=HasEbola&x=-9.45&y=7.05", &pt); code != http.StatusOK {
+		t.Fatalf("point after upsert = %d", code)
+	}
+	if len(pt.Atoms) != 1 || pt.Atoms[0].Score != 1 {
+		t.Errorf("upserted county score = %+v, want exactly 1", pt.Atoms)
+	}
+
+	// Metrics carry the -label and count the traffic.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`sya_serve_requests_total{system="ebola"}`,
+		`sya_serve_upserts_total{system="ebola"} 1`,
+		`sya_epochs_total`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	program, county, _ := writeFixtures(t)
+	ctx := context.Background()
+	if err := run(ctx, baseOpts("missing.ddlog", nil)); err == nil {
+		t.Error("missing program should fail")
+	}
+	o := baseOpts(program, nil)
+	o.engine = "bogus"
+	if err := run(ctx, o); err == nil {
+		t.Error("bad engine should fail")
+	}
+	o = baseOpts(program, nil)
+	o.metric = "bogus"
+	if err := run(ctx, o); err == nil {
+		t.Error("bad metric should fail")
+	}
+	if err := run(ctx, baseOpts(program, [][2]string{{"County", "missing.csv"}})); err == nil {
+		t.Error("missing csv should fail")
+	}
+	o = baseOpts(program, [][2]string{{"County", county}})
+	o.addr = "256.0.0.1:-1"
+	if err := run(ctx, o); err == nil {
+		t.Error("bad listen address should fail")
+	}
+}

@@ -68,6 +68,9 @@ type Params struct {
 	// Trace, when non-nil, receives the phase events of every experiment
 	// run (grounding rules, learning iterations, inference epochs).
 	Trace *obs.Trace
+	// ServingJSON, when non-empty, makes the serving experiment write its
+	// machine-readable report (BENCH_serving.json shape) to this path.
+	ServingJSON string
 }
 
 // DefaultParams returns laptop-scale defaults.

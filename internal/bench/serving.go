@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/serve"
+	"repro/internal/storage"
+)
+
+// servingClientCounts are the load points of the serving benchmark.
+var servingClientCounts = []int{1, 2, 4, 8}
+
+// ServingPoint is one measured load point: N concurrent HTTP clients
+// hammering the read API of a resident syad-style server.
+type ServingPoint struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// ServingUpsert summarizes the write path: evidence upserts through the
+// HTTP API, each folding in via delta grounding + incremental resampling.
+type ServingUpsert struct {
+	Count  int     `json:"count"`
+	Epochs int     `json:"epochs_per_upsert"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// ServingReport is the full serving-benchmark result, serialized to
+// BENCH_serving.json by syabench -phase=serving.
+type ServingReport struct {
+	Description string         `json:"description"`
+	Environment servingEnv     `json:"environment"`
+	Workload    servingLoad    `json:"workload"`
+	Points      []ServingPoint `json:"points"`
+	Upserts     ServingUpsert  `json:"upserts"`
+}
+
+type servingEnv struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Go     string `json:"go"`
+}
+
+type servingLoad struct {
+	Wells             int `json:"wells"`
+	WarmupEpochs      int `json:"warmup_epochs"`
+	RequestsPerClient int `json:"requests_per_client"`
+}
+
+// Serving benchmarks the resident-server read and write paths over a GWDB
+// workload: for each client count, N concurrent HTTP clients issue mixed
+// point/range/k-NN factual-score queries against an in-process server
+// (real TCP loopback, stdlib client), then a sequential upsert phase
+// measures the delta-ground + incremental-resample write latency.
+func Serving(p Params) (*Table, error) {
+	report, err := ServingLoad(p)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  "Serving: concurrent score queries against a resident KB (GWDB)",
+		Header: []string{"clients", "requests", "qps", "p50", "p99"},
+	}
+	for _, pt := range report.Points {
+		tbl.Add(
+			fmt.Sprint(pt.Clients), fmt.Sprint(pt.Requests),
+			fmt.Sprintf("%.0f", pt.QPS), ms(pt.P50Ms), ms(pt.P99Ms),
+		)
+	}
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"%d evidence upserts (delta ground + %d incremental epochs each): p50 %s, p99 %s",
+		report.Upserts.Count, report.Upserts.Epochs, ms(report.Upserts.P50Ms), ms(report.Upserts.P99Ms)))
+	if p.ServingJSON != "" {
+		f, err := os.Create(p.ServingJSON)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving json: %w", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return nil, err
+		}
+		tbl.Notes = append(tbl.Notes, "report written to "+p.ServingJSON)
+	}
+	return tbl, nil
+}
+
+// ServingLoad runs the serving benchmark and returns the raw report.
+func ServingLoad(p Params) (*ServingReport, error) {
+	wells := p.GWDBWells
+	if wells > 2000 {
+		// The serving benchmark measures request latency, not grounding
+		// scale; cap the resident KB so warmup stays in seconds.
+		wells = 2000
+	}
+	data := datagen.Wells(datagen.WellsConfig{N: wells, Seed: p.Seed, Extent: gwdbExtent(wells)})
+	sys := core.NewSystem(core.Config{
+		Engine:           core.EngineSya,
+		Metric:           geom.Euclidean,
+		Bandwidth:        p.Bandwidth,
+		SpatialScale:     p.SpatialScale,
+		SupportRadius:    p.SupportRadius,
+		MaxNeighbors:     p.MaxNeighbors,
+		PyramidLevels:    p.PyramidLevels,
+		LocalityLevel:    localityFor(gwdbExtent(wells), p.SupportRadius, p.PyramidLevels),
+		Instances:        p.Instances,
+		Workers:          p.Workers,
+		GroundWorkers:    p.GroundWorkers,
+		Epochs:           p.Epochs,
+		Seed:             p.Seed,
+		SkipFactorTables: true,
+		Metrics:          p.Metrics,
+		Trace:            p.Trace,
+	})
+	if err := sys.LoadProgram(datagen.GWDBProgram); err != nil {
+		return nil, err
+	}
+	wellRows, evidence := data.Rows()
+	if err := sys.LoadRows("Well", wellRows); err != nil {
+		return nil, err
+	}
+	if err := sys.LoadRows("WellEvidence", evidence); err != nil {
+		return nil, err
+	}
+
+	srv, err := serve.New(sys, serve.Options{Epochs: p.Epochs, Metrics: p.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if err := srv.Warmup(context.Background(), 0); err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hsrv.Serve(ln) }()
+	defer hsrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	const requestsPerClient = 400
+	report := &ServingReport{
+		Description: "Resident KB serving benchmark: concurrent HTTP clients issuing mixed point/range/k-NN factual-score queries against an in-process syad server over a GWDB workload, plus sequential evidence upserts exercising delta grounding and dirty-conclique incremental resampling. Regenerate with `syabench -phase=serving serving`.",
+		Environment: servingEnv{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Go: runtime.Version()},
+		Workload:    servingLoad{Wells: wells, WarmupEpochs: p.Epochs, RequestsPerClient: requestsPerClient},
+	}
+
+	for _, clients := range servingClientCounts {
+		pt, err := servingReadPhase(base, data, clients, requestsPerClient)
+		if err != nil {
+			return nil, err
+		}
+		report.Points = append(report.Points, pt)
+	}
+
+	up, err := servingUpsertPhase(base, data, p.Epochs)
+	if err != nil {
+		return nil, err
+	}
+	report.Upserts = up
+	return report, nil
+}
+
+// servingReadPhase measures one client-count load point.
+func servingReadPhase(base string, data *datagen.WellsData, clients, perClient int) (ServingPoint, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			local := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				w := data.Wells[(c*perClient+i)%len(data.Wells)]
+				var url string
+				switch i % 3 {
+				case 0:
+					url = fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", base, w.Loc.X, w.Loc.Y)
+				case 1:
+					url = fmt.Sprintf("%s/v1/score/range?relation=IsSafe&minx=%g&miny=%g&maxx=%g&maxy=%g",
+						base, w.Loc.X-20, w.Loc.Y-20, w.Loc.X+20, w.Loc.Y+20)
+				default:
+					url = fmt.Sprintf("%s/v1/score/knn?relation=IsSafe&x=%g&y=%g&k=8", base, w.Loc.X, w.Loc.Y)
+				}
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bench: serving read status %d", resp.StatusCode)
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return ServingPoint{}, firstErr
+	}
+	p50, p99 := percentiles(lats)
+	return ServingPoint{
+		Clients:  clients,
+		Requests: len(lats),
+		QPS:      float64(len(lats)) / elapsed.Seconds(),
+		P50Ms:    float64(p50) / float64(time.Millisecond),
+		P99Ms:    float64(p99) / float64(time.Millisecond),
+	}, nil
+}
+
+// servingUpsertPhase streams evidence for unlabeled wells and measures the
+// end-to-end upsert latency (parse + delta ground + pin + resample).
+func servingUpsertPhase(base string, data *datagen.WellsData, epochs int) (ServingUpsert, error) {
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	var lats []time.Duration
+	for _, w := range data.Wells {
+		if w.IsEvidence {
+			continue
+		}
+		if len(lats) == 32 {
+			break
+		}
+		body := fmt.Sprintf(`{"relation":"WellEvidence","rows":[["%d","%s","%t"]]}`,
+			w.ID, storage.Geom(w.Loc).String(), w.Safe)
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/evidence", "application/json", strings.NewReader(body))
+		if err != nil {
+			return ServingUpsert{}, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return ServingUpsert{}, fmt.Errorf("bench: upsert status %d", resp.StatusCode)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	p50, p99 := percentiles(lats)
+	return ServingUpsert{
+		Count:  len(lats),
+		Epochs: epochs,
+		P50Ms:  float64(p50) / float64(time.Millisecond),
+		P99Ms:  float64(p99) / float64(time.Millisecond),
+	}, nil
+}
+
+// percentiles returns the p50 and p99 of a latency sample.
+func percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *ServingReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

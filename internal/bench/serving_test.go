@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServingSmoke(t *testing.T) {
+	p := tinyParams()
+	tbl, err := Serving(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := render(t, tbl)
+	if len(tbl.Rows) != len(servingClientCounts) {
+		t.Fatalf("rows = %d, want one per client count:\n%s", len(tbl.Rows), out)
+	}
+	if !strings.Contains(out, "clients") || !strings.Contains(out, "p99") {
+		t.Errorf("missing columns:\n%s", out)
+	}
+	if !strings.Contains(out, "evidence upserts") {
+		t.Errorf("missing upsert note:\n%s", out)
+	}
+}
+
+func TestServingReportJSON(t *testing.T) {
+	p := tinyParams()
+	report, err := ServingLoad(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != len(servingClientCounts) {
+		t.Fatalf("points = %d", len(report.Points))
+	}
+	for i, pt := range report.Points {
+		if pt.Clients != servingClientCounts[i] {
+			t.Errorf("point %d clients = %d, want %d", i, pt.Clients, servingClientCounts[i])
+		}
+		if pt.Requests == 0 || pt.QPS <= 0 || pt.P99Ms < pt.P50Ms {
+			t.Errorf("point %d implausible: %+v", i, pt)
+		}
+	}
+	if report.Upserts.Count == 0 || report.Upserts.P99Ms < report.Upserts.P50Ms {
+		t.Errorf("upsert phase implausible: %+v", report.Upserts)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ServingReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Workload.Wells != report.Workload.Wells {
+		t.Errorf("round-trip lost workload: %+v", back.Workload)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 100; i >= 1; i-- {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p50, p99 := percentiles(lats)
+	if p50 != 51*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if p99 != 100*time.Millisecond {
+		t.Errorf("p99 = %v", p99)
+	}
+	if a, b := percentiles(nil); a != 0 || b != 0 {
+		t.Errorf("empty percentiles = %v, %v", a, b)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cliutil holds the plumbing shared by the sya and syad commands:
+// the repeatable -load Relation=file.csv flag, CSV ingestion into relation
+// tables, and the engine/metric flag-value parsers. Both binaries accept
+// identical spellings for these flags so a batch invocation can be lifted
+// into a resident server (and back) without editing its arguments.
+package cliutil
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/storage"
+)
+
+// LoadFlag accumulates -load Relation=file.csv pairs.
+type LoadFlag struct {
+	Pairs [][2]string
+}
+
+func (l *LoadFlag) String() string { return fmt.Sprint(l.Pairs) }
+
+// Set records one Relation=file.csv pair.
+func (l *LoadFlag) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return fmt.Errorf("want Relation=file.csv, got %q", v)
+	}
+	l.Pairs = append(l.Pairs, [2]string{parts[0], parts[1]})
+	return nil
+}
+
+// ParseEngine maps the -engine flag value onto a core engine.
+func ParseEngine(name string) (core.Engine, error) {
+	switch strings.ToLower(name) {
+	case "", "sya":
+		return core.EngineSya, nil
+	case "deepdive":
+		return core.EngineDeepDive, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+// ParseMetric maps the -metric flag value onto a distance metric.
+func ParseMetric(name string) (geom.Metric, error) {
+	switch strings.ToLower(name) {
+	case "", "euclidean":
+		return geom.Euclidean, nil
+	case "miles":
+		return geom.HaversineMiles, nil
+	case "km":
+		return geom.HaversineKm, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+// LoadCSV appends a CSV file's rows to a relation table, mapping columns by
+// header name. Spatial columns parse WKT, booleans accept true/false/1/0,
+// and empty cells load as NULL.
+func LoadCSV(s *core.System, relation, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	records, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(records) < 1 {
+		return fmt.Errorf("no header row")
+	}
+	tbl, err := s.DB().Table(relation)
+	if err != nil {
+		return err
+	}
+	schema := tbl.Schema()
+	header := records[0]
+	colIdx := make([]int, len(header))
+	for i, h := range header {
+		ci := schema.ColIndex(strings.TrimSpace(h))
+		if ci < 0 {
+			return fmt.Errorf("column %q not in relation %s", h, relation)
+		}
+		colIdx[i] = ci
+	}
+	var rows []storage.Row
+	for line, rec := range records[1:] {
+		row := make(storage.Row, len(schema.Cols))
+		for i := range row {
+			row[i] = storage.Null
+		}
+		for i, cell := range rec {
+			if i >= len(colIdx) {
+				return fmt.Errorf("row %d has %d cells, header has %d", line+2, len(rec), len(header))
+			}
+			v, err := storage.ParseCell(schema.Cols[colIdx[i]], cell)
+			if err != nil {
+				return fmt.Errorf("row %d column %q: %w", line+2, header[i], err)
+			}
+			row[colIdx[i]] = v
+		}
+		rows = append(rows, row)
+	}
+	return tbl.AppendAll(rows)
+}

@@ -1,0 +1,123 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+func TestLoadFlag(t *testing.T) {
+	var l LoadFlag
+	if err := l.Set("A=file.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("broken"); err == nil {
+		t.Error("malformed pair should fail")
+	}
+	if err := l.Set("=x.csv"); err == nil {
+		t.Error("empty relation should fail")
+	}
+	if err := l.Set("A="); err == nil {
+		t.Error("empty file should fail")
+	}
+	if len(l.Pairs) != 1 || l.String() == "" {
+		t.Errorf("pairs = %v", l.Pairs)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]core.Engine{
+		"": core.EngineSya, "sya": core.EngineSya, "SYA": core.EngineSya,
+		"deepdive": core.EngineDeepDive,
+	} {
+		got, err := ParseEngine(name)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseEngine("bogus"); err == nil {
+		t.Error("bad engine should fail")
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for name, want := range map[string]geom.Metric{
+		"":          geom.Euclidean,
+		"euclidean": geom.Euclidean,
+		"Miles":     geom.HaversineMiles,
+		"km":        geom.HaversineKm,
+	} {
+		got, err := ParseMetric(name)
+		if err != nil || got != want {
+			t.Errorf("ParseMetric(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseMetric("bogus"); err == nil {
+		t.Error("bad metric should fail")
+	}
+}
+
+// newEbolaSystem builds an ungrounded system with the Ebola program loaded.
+func newEbolaSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.NewSystem(core.Config{Metric: geom.HaversineMiles, Bandwidth: 60})
+	t.Cleanup(func() { s.Close() })
+	if err := s.LoadProgram(datagen.EbolaProgram); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func writeCSV(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	s := newEbolaSystem(t)
+	// Columns in header order differing from the schema, with a NULL cell.
+	path := writeCSV(t, "county.csv",
+		"hasLowSanitation,id,location\n"+
+			"true,1,POINT (-10.80 6.32)\n"+
+			",2,POINT (-10.45 6.55)\n")
+	if err := LoadCSV(s, "County", path); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.DB().Table("County")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Len(); got != 2 {
+		t.Errorf("loaded %d rows, want 2", got)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	s := newEbolaSystem(t)
+	cases := map[string]string{
+		"unknown column": "id,nope\n1,2\n",
+		"bad bool":       "id,location,hasLowSanitation\n1,POINT (0 0),maybe\n",
+		"bad WKT":        "id,location,hasLowSanitation\n1,CIRCLE (0),true\n",
+		"ragged row":     "id,location\n1,POINT (0 0),true,extra\n",
+	}
+	for name, body := range cases {
+		path := writeCSV(t, "bad.csv", body)
+		if err := LoadCSV(s, "County", path); err == nil {
+			t.Errorf("%s should fail", name)
+		}
+	}
+	if err := LoadCSV(s, "County", filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := LoadCSV(s, "Nope", writeCSV(t, "c.csv", "id\n1\n")); err == nil {
+		t.Error("unknown relation should fail")
+	}
+}

@@ -124,6 +124,11 @@ type Config struct {
 	// grounding size gauges. nil disables (the samplers then skip
 	// instrumentation entirely).
 	Metrics *obs.Registry
+	// MetricLabel, when non-empty, scopes this System's metrics to a
+	// labeled view of the registry (series rendered with {system="..."}),
+	// so several live Systems — e.g. multiple KBs behind one syad — can
+	// share an exposition endpoint without clobbering each other's series.
+	MetricLabel string
 	// Trace, when non-nil, receives structured JSONL phase events covering
 	// grounding (per rule), learning (per iteration) and inference (per
 	// epoch, checkpoint, diagnostic). nil disables.
@@ -170,6 +175,11 @@ type System struct {
 	ground  *grounding.Result
 	sampler gibbs.Sampler
 	learned bool
+	// pinned tracks the evidence pins applied to the live sampler since
+	// the last full grounding (UpdateEvidence and UpsertEvidence patches).
+	// The first pin per atom wins — matching the batch dedup rule — and
+	// the set resets when a re-ground bakes the evidence into the graph.
+	pinned map[factorgraph.VarID]bool
 
 	groundDur time.Duration
 	inferDur  time.Duration
@@ -177,7 +187,11 @@ type System struct {
 
 // NewSystem creates a system with an empty database.
 func NewSystem(cfg Config) *System {
-	return &System{cfg: cfg.withDefaults(), db: storage.NewDB()}
+	cfg = cfg.withDefaults()
+	if cfg.MetricLabel != "" {
+		cfg.Metrics = cfg.Metrics.With("system", cfg.MetricLabel)
+	}
+	return &System{cfg: cfg, db: storage.NewDB()}
 }
 
 // Config returns the effective configuration.
@@ -271,22 +285,13 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 		return nil, fmt.Errorf("core: no program loaded")
 	}
 	start := time.Now()
-	res, err := grounding.New(s.prog, s.db, grounding.Options{
-		Metric:           s.cfg.Metric,
-		Weighting:        s.cfg.Weighting,
-		PruneThreshold:   s.cfg.PruneThreshold,
-		SupportRadius:    s.cfg.SupportRadius,
-		MaxNeighbors:     s.cfg.MaxNeighbors,
-		UDFs:             s.cfg.UDFs,
-		SkipFactorTables: s.cfg.SkipFactorTables,
-		Workers:          s.cfg.GroundWorkers,
-		Trace:            s.cfg.Trace,
-	}).GroundContext(ctx)
+	res, err := grounding.New(s.prog, s.db, s.groundingOptions()).GroundContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	s.ground = res
 	s.closeSampler() // the old sampler's graph is gone; release its pool
+	s.pinned = nil   // prior pins are baked into the fresh graph's evidence
 	s.groundDur = time.Since(start)
 	if r := s.cfg.Metrics; r != nil {
 		r.Gauge("sya_ground_vars").Set(float64(res.Stats.Vars))
@@ -298,6 +303,22 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 		r.Gauge("sya_ground_seconds").Set(s.groundDur.Seconds())
 	}
 	return res, nil
+}
+
+// groundingOptions maps the System config onto grounding options — shared
+// by the batch and delta grounding paths.
+func (s *System) groundingOptions() grounding.Options {
+	return grounding.Options{
+		Metric:           s.cfg.Metric,
+		Weighting:        s.cfg.Weighting,
+		PruneThreshold:   s.cfg.PruneThreshold,
+		SupportRadius:    s.cfg.SupportRadius,
+		MaxNeighbors:     s.cfg.MaxNeighbors,
+		UDFs:             s.cfg.UDFs,
+		SkipFactorTables: s.cfg.SkipFactorTables,
+		Workers:          s.cfg.GroundWorkers,
+		Trace:            s.cfg.Trace,
+	}
 }
 
 // closeSampler releases the live sampler (and its worker pool), if any.
@@ -465,7 +486,14 @@ func (s *System) UpdateEvidence(relation string, vals []storage.Value, value int
 	if !ok {
 		return fmt.Errorf("core: no ground atom %s(%v)", relation, vals)
 	}
-	return sp.UpdateEvidence(vid, value)
+	if err := sp.UpdateEvidence(vid, value); err != nil {
+		return err
+	}
+	if s.pinned == nil {
+		s.pinned = map[factorgraph.VarID]bool{}
+	}
+	s.pinned[vid] = true
+	return nil
 }
 
 // InferIncremental resamples only the concliques affected by evidence

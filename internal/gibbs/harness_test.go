@@ -219,6 +219,79 @@ func TestIncrementalConvergesToExactConditional(t *testing.T) {
 	}
 }
 
+// TestIncrementalAfterFullRunMatchesConditional is the serving-layer shape:
+// a full batch run first (the chain and counters converge to the prior
+// posterior), then evidence arrives and RunIncremental must converge to the
+// *new* conditional — which requires the restricted view's counters to be
+// reset at the incremental boundary, or the pre-pin samples would keep the
+// served marginals anchored to the stale posterior.
+func TestIncrementalAfterFullRunMatchesConditional(t *testing.T) {
+	const leaves = 6
+	g, center := starGraph(t, leaves)
+	s, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{Levels: 4, Instances: 2, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.RunEpochs(8000)
+	if err := s.UpdateEvidence(center, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PendingDirty(); got != 1 {
+		t.Fatalf("PendingDirty = %d, want 1", got)
+	}
+	s.RunIncremental(15000)
+	if got := s.PendingDirty(); got != 0 {
+		t.Fatalf("PendingDirty after incremental = %d, want 0", got)
+	}
+
+	// Exact reference: the same graph with the evidence baked in.
+	b := factorgraph.NewBuilder()
+	cid, _ := b.AddVariable(factorgraph.Variable{
+		Domain: 2, Evidence: 1, Loc: geom.Pt(50, 50), HasLoc: true,
+	})
+	for i := 0; i < leaves; i++ {
+		leaf, _ := b.AddVariable(factorgraph.Variable{
+			Domain: 2, Evidence: factorgraph.NoEvidence,
+			Loc: geom.Pt(50+0.3*float64(i%3+1), 50+0.3*float64(i/3+1)), HasLoc: true,
+		})
+		if err := b.AddSpatialPair(cid, leaf, 0.6); err != nil {
+			t.Fatal(err)
+		}
+		w := 0.4
+		if i%2 == 1 {
+			w = -0.4
+		}
+		if err := b.AddFactor(factorgraph.FactorIsTrue, w, []factorgraph.VarID{leaf}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := testutil.Exact(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Marginals()
+	if d := testutil.MaxTV(m, exact); d > tvTol {
+		t.Errorf("post-run incremental conditional max TV %.4f > %.2f", d, tvTol)
+	}
+	// MarginalVar must agree with the bulk Marginals slice entry for entry.
+	for i := range m {
+		one := s.MarginalVar(factorgraph.VarID(i))
+		if len(one) != len(m[i]) {
+			t.Fatalf("MarginalVar(%d) len %d != %d", i, len(one), len(m[i]))
+		}
+		for x := range one {
+			if one[x] != m[i][x] {
+				t.Errorf("MarginalVar(%d)[%d] = %v, Marginals = %v", i, x, one[x], m[i][x])
+			}
+		}
+	}
+}
+
 // twoClusterGraph places two well-separated spatial clusters with
 // intra-cluster pairs only, so incremental inference after pinning an atom
 // of cluster A must never touch cluster B's cells.

@@ -655,6 +655,13 @@ func (s *Spatial) RunIncremental(n int) {
 
 // RunIncrementalContext is the context-aware RunIncremental, with the same
 // cancellation and panic semantics as Run.
+//
+// Before sweeping, the counters of every variable in the restricted view
+// are reset: their conditional distribution changed with the new pins, so
+// samples drawn before the update would otherwise keep pulling the served
+// marginals toward the stale posterior. After the call their marginals
+// reflect only post-update samples (UpdateEvidence already resets the
+// pinned variables themselves).
 func (s *Spatial) RunIncrementalContext(ctx context.Context, n int) (RunStats, error) {
 	if len(s.dirty) == 0 {
 		return RunStats{Reason: ReasonDone}, nil
@@ -663,12 +670,40 @@ func (s *Spatial) RunIncrementalContext(ctx context.Context, n int) (RunStats, e
 		ctx = context.Background()
 	}
 	view := s.restrictedFor(s.dirty)
+	for _, ci := range view.cells {
+		for _, v := range s.sched.cellVars(ci) {
+			if !s.pinned[v] {
+				s.resetVarCounts(v)
+			}
+		}
+	}
+	for _, v := range view.extra {
+		if !s.pinned[v] {
+			s.resetVarCounts(v)
+		}
+	}
 	st, err := s.sweepEpochs(ctx, n, view.cells, view.groupOff, view.extra)
 	for v := range s.dirty {
 		delete(s.dirty, v)
 	}
 	return st, err
 }
+
+// resetVarCounts zeroes one variable's accumulated samples on every
+// instance. Worker deltas need no reset: they are empty outside
+// sweepEpochs.
+func (s *Spatial) resetVarCounts(v factorgraph.VarID) {
+	for _, inst := range s.instances {
+		for x := range inst.counts.c[v] {
+			inst.counts.c[v][x] = 0
+		}
+		inst.counts.totals[v] = 0
+	}
+}
+
+// PendingDirty reports how many variables are marked dirty and waiting for
+// the next RunIncremental call.
+func (s *Spatial) PendingDirty() int { return len(s.dirty) }
 
 // dirtyKey folds the dirty set into an order-independent cache key.
 func dirtyKey(dirty map[factorgraph.VarID]bool) uint64 {
@@ -757,38 +792,45 @@ func (s *Spatial) Marginals() [][]float64 {
 	n := s.g.NumVars()
 	out := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		vid := factorgraph.VarID(i)
-		meta := s.g.Var(vid)
-		m := make([]float64, meta.Domain)
-		if meta.Evidence != factorgraph.NoEvidence {
-			m[meta.Evidence] = 1
-			out[i] = m
-			continue
-		}
-		if s.pinned[vid] {
-			m[s.instances[0].assign.Get(vid)] = 1
-			out[i] = m
-			continue
-		}
-		var total float64
-		for _, inst := range s.instances {
-			for x, c := range inst.counts.c[i] {
-				m[x] += float64(c)
-			}
-			total += float64(inst.counts.totals[i])
-		}
-		if total == 0 {
-			for x := range m {
-				m[x] = 1 / float64(meta.Domain)
-			}
-		} else {
-			for x := range m {
-				m[x] /= total
-			}
-		}
-		out[i] = m
+		out[i] = s.MarginalVar(factorgraph.VarID(i))
 	}
 	return out
+}
+
+// MarginalVar returns one variable's marginal without materializing the
+// whole-graph slice — the serving layer's point-query read path. Same
+// semantics as Marginals: evidence and pinned variables get a point mass,
+// unsampled variables a uniform. Not safe concurrently with a running
+// sweep; callers serialize reads against sampling (the server holds its
+// read lock for queries and its write lock around resamples).
+func (s *Spatial) MarginalVar(v factorgraph.VarID) []float64 {
+	meta := s.g.Var(v)
+	m := make([]float64, meta.Domain)
+	if meta.Evidence != factorgraph.NoEvidence {
+		m[meta.Evidence] = 1
+		return m
+	}
+	if s.pinned[v] {
+		m[s.instances[0].assign.Get(v)] = 1
+		return m
+	}
+	var total float64
+	for _, inst := range s.instances {
+		for x, c := range inst.counts.c[v] {
+			m[x] += float64(c)
+		}
+		total += float64(inst.counts.totals[v])
+	}
+	if total == 0 {
+		for x := range m {
+			m[x] = 1 / float64(meta.Domain)
+		}
+	} else {
+		for x := range m {
+			m[x] /= total
+		}
+	}
+	return m
 }
 
 // InstrumentSweeps enables schedule instrumentation: subsequent epochs

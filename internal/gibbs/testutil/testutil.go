@@ -208,3 +208,26 @@ func MaxTV(got, want [][]float64) float64 {
 func Exact(g *factorgraph.Graph) ([][]float64, error) {
 	return factorgraph.ExactMarginals(g, 1<<22)
 }
+
+// KeyedMaxTV compares two marginal sets keyed by ground-atom key — the shape
+// two independently grounded systems produce, where VarIDs are not
+// comparable but atom keys are. It returns the worst per-atom
+// total-variation distance and the atom it occurs at; keys present in only
+// one map are an error.
+func KeyedMaxTV(got, want map[string][]float64) (float64, string, error) {
+	if len(got) != len(want) {
+		return 0, "", fmt.Errorf("testutil: %d atoms vs %d", len(got), len(want))
+	}
+	var worst float64
+	var worstKey string
+	for key, g := range got {
+		w, ok := want[key]
+		if !ok {
+			return 0, "", fmt.Errorf("testutil: atom %q missing from reference", key)
+		}
+		if d := TV(g, w); d > worst {
+			worst, worstKey = d, key
+		}
+	}
+	return worst, worstKey, nil
+}

@@ -1,0 +1,163 @@
+package grounding
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ddlog"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/storage"
+	"repro/internal/weighting"
+)
+
+func TestComputeDeps(t *testing.T) {
+	prog, err := ddlog.ParseAndValidate(ebolaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := ComputeDeps(prog)
+	if !deps.Variable["hasebola"] {
+		t.Error("HasEbola must be marked variable")
+	}
+	if got := deps.DerivationsByRel["countyevidence"]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("CountyEvidence derivations = %v, want [1] (D2)", got)
+	}
+	if got := deps.DerivationsByRel["county"]; len(got) != 1 || got[0] != 0 {
+		t.Errorf("County derivations = %v, want [0] (D1)", got)
+	}
+	if got := deps.RulesByRel["county"]; len(got) != 1 {
+		t.Errorf("County rules = %v, want one (R1)", got)
+	}
+	if len(deps.RulesByRel["countyevidence"]) != 0 {
+		t.Error("CountyEvidence must not feed rule bodies")
+	}
+}
+
+// deltaFixture grounds the Ebola KB and keeps the grounder + db alive so a
+// test can upsert and delta-ground against the same world.
+func deltaFixture(t *testing.T) (*Grounder, *storage.DB, *Result) {
+	t.Helper()
+	prog, err := ddlog.ParseAndValidate(ebolaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ebolaDB(t, prog)
+	gr := New(prog, db, Options{Metric: geom.HaversineMiles, Weighting: weighting.NewRegistry(60, 1)})
+	res, err := gr.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr, db, res
+}
+
+func TestDeltaEvidenceUpsertProducesPins(t *testing.T) {
+	gr, db, res := deltaFixture(t)
+	// Upsert: Bong (id 3) now has observed ebola.
+	ev, err := db.Table("CountyEvidence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Append(storage.Row{storage.Int(3), storage.Geom(geom.Pt(-9.45, 7.05)), storage.Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	patch, err := gr.DeltaContext(context.Background(), res, []string{"CountyEvidence"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.Structural {
+		t.Fatalf("unexpected structural fallback: %s", patch.Reason)
+	}
+	if patch.Derivations != 1 {
+		t.Errorf("re-evaluated %d derivations, want 1 (D2 only)", patch.Derivations)
+	}
+	// Exactly one pin: Bong flips to evidence 1. Montserrado's pre-existing
+	// evidence row re-derives but its atom already holds evidence in the
+	// graph, so no pin is emitted for it.
+	if len(patch.Pins) != 1 {
+		t.Fatalf("pins = %+v, want exactly one", patch.Pins)
+	}
+	pin := patch.Pins[0]
+	wantKey := "hasebola|3|POINT (-9.45 7.05)"
+	if pin.Key != wantKey || pin.Value != 1 {
+		t.Errorf("pin = %+v, want key %s value 1", pin, wantKey)
+	}
+	if res.Graph.Var(pin.Var).Evidence != factorgraph.NoEvidence {
+		t.Error("pinned atom must have been unlabeled in the batch graph")
+	}
+}
+
+func TestDeltaConflictingEvidenceKeepsFirst(t *testing.T) {
+	gr, db, res := deltaFixture(t)
+	ev, err := db.Table("CountyEvidence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Montserrado already has evidence=true from the seed row; a
+	// conflicting upsert must not produce a pin (batch dedup keeps the
+	// first label).
+	if err := ev.Append(storage.Row{storage.Int(1), storage.Geom(geom.Pt(-10.80, 6.32)), storage.Bool(false)}); err != nil {
+		t.Fatal(err)
+	}
+	patch, err := gr.DeltaContext(context.Background(), res, []string{"CountyEvidence"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.Structural || len(patch.Pins) != 0 {
+		t.Fatalf("patch = %+v, want empty non-structural", patch)
+	}
+}
+
+func TestDeltaStructuralFallbacks(t *testing.T) {
+	gr, db, res := deltaFixture(t)
+	// A change to County reaches both D1 and R1's body: structural.
+	patch, err := gr.DeltaContext(context.Background(), res, []string{"County"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patch.Structural {
+		t.Fatal("County change must be structural (feeds R1's body)")
+	}
+	// A change to the variable relation itself: structural.
+	patch, err = gr.DeltaContext(context.Background(), res, []string{"HasEbola"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patch.Structural {
+		t.Fatal("variable relation change must be structural")
+	}
+	// Evidence for a county that was never derived (id 9): new ground atom.
+	ev, err := db.Table("CountyEvidence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Append(storage.Row{storage.Int(9), storage.Geom(geom.Pt(-8, 5)), storage.Bool(true)}); err != nil {
+		t.Fatal(err)
+	}
+	patch, err = gr.DeltaContext(context.Background(), res, []string{"CountyEvidence"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patch.Structural {
+		t.Fatal("new ground atom must force a structural fallback")
+	}
+}
+
+func TestDeltaNoChangesIsEmpty(t *testing.T) {
+	gr, _, res := deltaFixture(t)
+	patch, err := gr.DeltaContext(context.Background(), res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.Structural || len(patch.Pins) != 0 {
+		t.Fatalf("patch = %+v, want empty", patch)
+	}
+	// Re-running with the same data changes nothing either.
+	patch, err = gr.DeltaContext(context.Background(), res, []string{"CountyEvidence"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch.Structural || len(patch.Pins) != 0 {
+		t.Fatalf("idempotent delta = %+v, want empty", patch)
+	}
+}

@@ -129,6 +129,9 @@ type Result struct {
 	// weight learning (internal/learn) needs.
 	RuleNames  []string
 	FactorRule []int32
+	// Deps is the program's rule→relation dependency index, used by
+	// DeltaContext to bound what an evidence upsert invalidates.
+	Deps *Deps
 }
 
 // Grounder drives grounding of one program over one database.
@@ -223,6 +226,7 @@ func (gr *Grounder) GroundContext(ctx context.Context) (*Result, error) {
 	res := &Result{
 		VarID:         map[string]factorgraph.VarID{},
 		RelationIndex: map[string]int32{},
+		Deps:          ComputeDeps(gr.prog),
 	}
 	res.Stats.RuleFactors = map[string]int{}
 	res.Stats.DerivationRows = map[string]int{}

@@ -148,20 +148,71 @@ func (h *Histogram) Sum() float64 {
 // is idempotent — the same name returns the same handle — and guarded by a
 // mutex; handles are resolved once at wiring time, never on the hot path.
 // A nil *Registry is the disabled mode: it hands out nil handles.
+//
+// A Registry is a view over shared state: With(k, v, ...) derives a view
+// whose metrics carry extra labels, so several live Systems can share one
+// exposition endpoint with per-System series (e.g. sya_epochs_total vs
+// sya_epochs_total{system="gwdb"}). All views registered through any
+// derived Registry render through the root's WritePrometheus/Snapshot.
 type Registry struct {
+	st     *regState
+	labels string // rendered label pairs `k="v",...`, "" for the root view
+}
+
+// regState is the label-shared metric table behind one or more Registry
+// views. Series are keyed by family name plus rendered labels.
+type regState struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	meta   map[string]seriesMeta // series key -> family + labels
 }
 
-// NewRegistry creates an empty registry.
+// seriesMeta splits a series key back into its family name and label pairs
+// for format-correct exposition (TYPE lines are per family, histogram
+// bucket labels merge with the view labels).
+type seriesMeta struct {
+	family string
+	labels string
+}
+
+// NewRegistry creates an empty registry (the unlabeled root view).
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{st: &regState{
 		counts: map[string]*Counter{},
 		gauges: map[string]*Gauge{},
 		hists:  map[string]*Histogram{},
+		meta:   map[string]seriesMeta{},
+	}}
+}
+
+// With derives a labeled view sharing this registry's state: metrics
+// registered through the view get the extra key/value label pairs appended
+// to any labels the view already carries. kv must alternate key, value; a
+// trailing odd key is ignored. Nil registry → nil view (still no-op).
+func (r *Registry) With(kv ...string) *Registry {
+	if r == nil {
+		return nil
 	}
+	labels := r.labels
+	for i := 0; i+1 < len(kv); i += 2 {
+		pair := fmt.Sprintf("%s=%q", kv[i], kv[i+1])
+		if labels == "" {
+			labels = pair
+		} else {
+			labels += "," + pair
+		}
+	}
+	return &Registry{st: r.st, labels: labels}
+}
+
+// seriesKey renders the storage key for a family under this view's labels.
+func (r *Registry) seriesKey(name string) string {
+	if r.labels == "" {
+		return name
+	}
+	return name + "{" + r.labels + "}"
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -170,12 +221,14 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counts[name]
+	key := r.seriesKey(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	c, ok := r.st.counts[key]
 	if !ok {
 		c = new(Counter)
-		r.counts[name] = c
+		r.st.counts[key] = c
+		r.st.meta[key] = seriesMeta{family: name, labels: r.labels}
 	}
 	return c
 }
@@ -186,12 +239,14 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	key := r.seriesKey(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	g, ok := r.st.gauges[key]
 	if !ok {
 		g = new(Gauge)
-		r.gauges[name] = g
+		r.st.gauges[key] = g
+		r.st.meta[key] = seriesMeta{family: name, labels: r.labels}
 	}
 	return g
 }
@@ -203,9 +258,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	key := r.seriesKey(name)
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	h, ok := r.st.hists[key]
 	if !ok {
 		if bounds == nil {
 			bounds = DurationBuckets
@@ -214,80 +270,150 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 			bounds: append([]float64(nil), bounds...),
 			counts: make([]atomic.Uint64, len(bounds)+1),
 		}
-		r.hists[name] = h
+		r.st.hists[key] = h
+		r.st.meta[key] = seriesMeta{family: name, labels: r.labels}
 	}
 	return h
 }
 
-// sortedKeys returns map keys in lexicographic order for stable exposition.
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// familyOrder groups series keys by family for exposition: one TYPE line
+// per family, label variants adjacent, everything in lexicographic order.
+func (r *Registry) familyOrder(keys []string) [][]string {
+	byFamily := map[string][]string{}
+	for _, k := range keys {
+		fam := r.st.meta[k].family
+		byFamily[fam] = append(byFamily[fam], k)
 	}
-	sort.Strings(keys)
-	return keys
+	fams := make([]string, 0, len(byFamily))
+	for f := range byFamily {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	out := make([][]string, 0, len(fams))
+	for _, f := range fams {
+		ks := byFamily[f]
+		sort.Strings(ks)
+		out = append(out, ks)
+	}
+	return out
 }
 
 // WritePrometheus renders the registry in the Prometheus text exposition
-// format (version 0.0.4): TYPE lines, cumulative histogram buckets with the
-// canonical le labels, _sum and _count series.
+// format (version 0.0.4): one TYPE line per metric family, labeled series
+// variants beneath it, cumulative histogram buckets with the canonical le
+// labels, _sum and _count series.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, name := range sortedKeys(r.counts) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counts[name].Value()); err != nil {
-			return err
+	st := r.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keys := func(m map[string]*Counter) []string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
 		}
+		return out
 	}
-	for _, name := range sortedKeys(r.gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", name, name, r.gauges[name].Value()); err != nil {
+	for _, group := range r.familyOrder(keys(st.counts)) {
+		fam := st.meta[group[0]].family
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", fam); err != nil {
 			return err
 		}
-	}
-	for _, name := range sortedKeys(r.hists) {
-		h := r.hists[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
-		}
-		var cum uint64
-		for i, b := range h.bounds {
-			cum += h.counts[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, b, cum); err != nil {
+		for _, k := range group {
+			if _, err := fmt.Fprintf(w, "%s %d\n", k, st.counts[k].Value()); err != nil {
 				return err
 			}
 		}
-		cum += h.counts[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
-			name, cum, name, h.Sum(), name, h.Count()); err != nil {
+	}
+	gkeys := make([]string, 0, len(st.gauges))
+	for k := range st.gauges {
+		gkeys = append(gkeys, k)
+	}
+	for _, group := range r.familyOrder(gkeys) {
+		fam := st.meta[group[0]].family
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", fam); err != nil {
 			return err
+		}
+		for _, k := range group {
+			if _, err := fmt.Fprintf(w, "%s %v\n", k, st.gauges[k].Value()); err != nil {
+				return err
+			}
+		}
+	}
+	hkeys := make([]string, 0, len(st.hists))
+	for k := range st.hists {
+		hkeys = append(hkeys, k)
+	}
+	for _, group := range r.familyOrder(hkeys) {
+		fam := st.meta[group[0]].family
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam); err != nil {
+			return err
+		}
+		for _, k := range group {
+			h := st.hists[k]
+			m := st.meta[k]
+			// The le label merges with the view labels:
+			// fam_bucket{system="x",le="0.1"}.
+			series := func(suffix, extra string) string {
+				labels := m.labels
+				if extra != "" {
+					if labels == "" {
+						labels = extra
+					} else {
+						labels += "," + extra
+					}
+				}
+				if labels == "" {
+					return fam + suffix
+				}
+				return fam + suffix + "{" + labels + "}"
+			}
+			var cum uint64
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", fmt.Sprintf("%v", b))), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n%s %v\n%s %d\n",
+				series("_bucket", `le="+Inf"`), cum, series("_sum", ""), h.Sum(), series("_count", ""), h.Count()); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// Snapshot returns a flat name→value view of the registry (histograms
-// contribute _sum and _count entries); it backs the expvar exposition and
-// test assertions.
+// Snapshot returns a flat series→value view of the registry (histograms
+// contribute _sum and _count entries; labeled series keep their rendered
+// labels in the key); it backs the expvar exposition and test assertions.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.counts)+len(r.gauges)+2*len(r.hists))
-	for name, c := range r.counts {
-		out[name] = float64(c.Value())
+	st := r.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]float64, len(st.counts)+len(st.gauges)+2*len(st.hists))
+	for key, c := range st.counts {
+		out[key] = float64(c.Value())
 	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
+	for key, g := range st.gauges {
+		out[key] = g.Value()
 	}
-	for name, h := range r.hists {
-		out[name+"_sum"] = h.Sum()
-		out[name+"_count"] = float64(h.Count())
+	for key, h := range st.hists {
+		m := st.meta[key]
+		suffixed := func(sfx string) string {
+			if m.labels == "" {
+				return m.family + sfx
+			}
+			return m.family + sfx + "{" + m.labels + "}"
+		}
+		out[suffixed("_sum")] = h.Sum()
+		out[suffixed("_count")] = float64(h.Count())
 	}
 	return out
 }

@@ -90,6 +90,66 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+func TestLabeledViews(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sya_epochs_total").Add(1)
+	a := r.With("system", "gwdb")
+	b := r.With("system", "nyc")
+	a.Counter("sya_epochs_total").Add(2)
+	b.Counter("sya_epochs_total").Add(3)
+	if got := a.Counter("sya_epochs_total").Value(); got != 2 {
+		t.Errorf("labeled counter = %d, want 2", got)
+	}
+	if a.Counter("sya_epochs_total") == b.Counter("sya_epochs_total") {
+		t.Error("distinct labels must give distinct handles")
+	}
+	a.Gauge("sya_vars").Set(10)
+	a.Histogram("sya_lat_seconds", []float64{1}).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE sya_epochs_total counter"); got != 1 {
+		t.Errorf("want exactly one TYPE line for the family, got %d in:\n%s", got, out)
+	}
+	for _, want := range []string{
+		"sya_epochs_total 1\n",
+		"sya_epochs_total{system=\"gwdb\"} 2\n",
+		"sya_epochs_total{system=\"nyc\"} 3\n",
+		"sya_vars{system=\"gwdb\"} 10\n",
+		"sya_lat_seconds_bucket{system=\"gwdb\",le=\"1\"} 1\n",
+		"sya_lat_seconds_bucket{system=\"gwdb\",le=\"+Inf\"} 1\n",
+		"sya_lat_seconds_count{system=\"gwdb\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap[`sya_epochs_total{system="nyc"}`] != 3 {
+		t.Errorf("snapshot missing labeled series: %v", snap)
+	}
+	if snap[`sya_lat_seconds_count{system="gwdb"}`] != 1 {
+		t.Errorf("snapshot missing labeled histogram count: %v", snap)
+	}
+
+	// Nested With merges labels in order.
+	n := a.With("phase", "serve")
+	n.Counter("x_total").Inc()
+	if r.Snapshot()[`x_total{system="gwdb",phase="serve"}`] != 1 {
+		t.Errorf("nested labels: %v", r.Snapshot())
+	}
+
+	// Nil views stay no-ops.
+	var nilReg *Registry
+	if nilReg.With("a", "b") != nil {
+		t.Error("nil.With must stay nil")
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(2)

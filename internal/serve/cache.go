@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/factorgraph"
+	"repro/internal/obs"
+)
+
+// scoreCache memoizes per-variable marginals under a read-through policy.
+// Entries are valid for one resample generation (the server bumps the
+// generation — and resets the cache — after every upsert that changes the
+// posterior) and, when a TTL is configured, for at most that long. The
+// cache has its own lock so score reads contend on it, not on the server's
+// system-wide RWMutex.
+type scoreCache struct {
+	mu  sync.RWMutex
+	ttl time.Duration
+	// now is stubbed by tests to drive TTL expiry deterministically.
+	now     func() time.Time
+	entries map[factorgraph.VarID]cacheEntry
+
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+type cacheEntry struct {
+	marginal []float64
+	gen      uint64
+	expires  time.Time
+}
+
+func newScoreCache(ttl time.Duration, m *obs.Registry) *scoreCache {
+	return &scoreCache{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[factorgraph.VarID]cacheEntry),
+		hits:    m.Counter("sya_serve_cache_hits_total"),
+		misses:  m.Counter("sya_serve_cache_misses_total"),
+	}
+}
+
+// get returns the cached marginal if it matches the current generation and
+// has not outlived its TTL.
+func (c *scoreCache) get(vid factorgraph.VarID, gen uint64) ([]float64, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[vid]
+	c.mu.RUnlock()
+	if !ok || e.gen != gen {
+		c.misses.Inc()
+		return nil, false
+	}
+	if c.ttl > 0 && c.now().After(e.expires) {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return e.marginal, true
+}
+
+func (c *scoreCache) put(vid factorgraph.VarID, gen uint64, marginal []float64) {
+	e := cacheEntry{marginal: marginal, gen: gen}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	c.mu.Lock()
+	c.entries[vid] = e
+	c.mu.Unlock()
+}
+
+// reset drops every entry; called when a resample invalidates all scores.
+func (c *scoreCache) reset() {
+	c.mu.Lock()
+	c.entries = make(map[factorgraph.VarID]cacheEntry)
+	c.mu.Unlock()
+}
+
+// len reports the live entry count (tests).
+func (c *scoreCache) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

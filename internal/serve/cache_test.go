@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScoreCacheGenerationAndTTL(t *testing.T) {
+	c := newScoreCache(time.Second, nil)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.put(1, 0, []float64{0.3, 0.7})
+	if m, ok := c.get(1, 0); !ok || m[1] != 0.7 {
+		t.Fatalf("get = %v, %v", m, ok)
+	}
+	// A generation bump invalidates regardless of TTL.
+	if _, ok := c.get(1, 1); ok {
+		t.Error("stale generation served")
+	}
+	// TTL expiry invalidates within the same generation.
+	now = now.Add(2 * time.Second)
+	if _, ok := c.get(1, 0); ok {
+		t.Error("expired entry served")
+	}
+	// Re-put refreshes the deadline.
+	c.put(1, 0, []float64{0.2, 0.8})
+	if _, ok := c.get(1, 0); !ok {
+		t.Error("refreshed entry missed")
+	}
+	c.reset()
+	if c.len() != 0 {
+		t.Errorf("reset left %d entries", c.len())
+	}
+}
+
+func TestScoreCacheZeroTTLNeverExpires(t *testing.T) {
+	c := newScoreCache(0, nil)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.put(4, 2, []float64{1, 0})
+	now = now.Add(1000 * time.Hour)
+	if _, ok := c.get(4, 2); !ok {
+		t.Error("zero-TTL entry expired; generation is the only invalidator")
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs/testutil"
+	"repro/internal/storage"
+)
+
+// equivTol bounds the per-atom TV distance between the served (delta-ground
+// + incremental resample) marginals and a batch re-ground + full re-infer
+// over the same data. Both sides are independent Monte-Carlo estimates, so
+// the tolerance is twice the sampler harness's single-sided tvTol.
+const equivTol = 0.08
+
+// equivWorkload is one datagen scenario for the serving-equivalence test.
+type equivWorkload struct {
+	name string
+	// build loads program + rows into a fresh system (called once for the
+	// serving side and once for the batch reference).
+	build func(t *testing.T, seed int64) *core.System
+	// upserts are the evidence rows arriving live, as API text cells.
+	upsertRel string
+	upserts   [][]string
+	queryRel  string
+}
+
+func equivWorkloads(t *testing.T) []equivWorkload {
+	// GWDB: pick unlabeled wells to upsert with their generated truth label.
+	wells := datagen.Wells(datagen.WellsConfig{N: 48, Seed: 5, Extent: 170})
+	var gwdbUpserts [][]string
+	for _, w := range wells.Wells {
+		if w.IsEvidence || len(gwdbUpserts) == 2 {
+			continue
+		}
+		gwdbUpserts = append(gwdbUpserts, []string{
+			fmt.Sprint(w.ID), storage.Geom(w.Loc).String(), fmt.Sprint(w.Safe),
+		})
+	}
+	if len(gwdbUpserts) != 2 {
+		t.Fatal("GWDB workload has too few unlabeled wells")
+	}
+
+	// NYCCAS: same, on the pollution raster.
+	raster := datagen.Raster(datagen.RasterConfig{Side: 6, Seed: 9, Extent: 6 * 30.0 / 22.0})
+	var nycUpserts [][]string
+	for _, c := range raster.Cells {
+		if c.IsEvidence || len(nycUpserts) == 2 {
+			continue
+		}
+		nycUpserts = append(nycUpserts, []string{
+			fmt.Sprint(c.ID), storage.Geom(c.Loc).String(), fmt.Sprint(c.Polluted),
+		})
+	}
+	if len(nycUpserts) != 2 {
+		t.Fatal("NYCCAS workload has too few unlabeled cells")
+	}
+	nycCell := raster.Config.Extent / float64(raster.Config.Side)
+
+	bong := datagen.EbolaCounties()[2]
+	return []equivWorkload{
+		{
+			name: "ebola",
+			build: func(t *testing.T, seed int64) *core.System {
+				return newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: seed, Epochs: 12000})
+			},
+			upsertRel: "CountyEvidence",
+			upserts:   [][]string{{"3", storage.Geom(bong.Loc).String(), "true"}},
+			queryRel:  "HasEbola",
+		},
+		{
+			name: "gwdb",
+			build: func(t *testing.T, seed int64) *core.System {
+				t.Helper()
+				s := core.NewSystem(core.Config{
+					Engine:           core.EngineSya,
+					Metric:           geom.Euclidean,
+					Bandwidth:        50,
+					SupportRadius:    60,
+					MaxNeighbors:     8,
+					PyramidLevels:    5,
+					Epochs:           8000,
+					Seed:             seed,
+					SkipFactorTables: true,
+				})
+				if err := s.LoadProgram(datagen.GWDBProgram); err != nil {
+					t.Fatal(err)
+				}
+				rows, evidence := wells.Rows()
+				if err := s.LoadRows("Well", rows); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.LoadRows("WellEvidence", evidence); err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			upsertRel: "WellEvidence",
+			upserts:   gwdbUpserts,
+			queryRel:  "IsSafe",
+		},
+		{
+			name: "nyccas",
+			build: func(t *testing.T, seed int64) *core.System {
+				t.Helper()
+				s := core.NewSystem(core.Config{
+					Engine:           core.EngineSya,
+					Metric:           geom.Euclidean,
+					Bandwidth:        2 * nycCell,
+					SupportRadius:    4 * nycCell,
+					PyramidLevels:    5,
+					Epochs:           8000,
+					Seed:             seed,
+					SkipFactorTables: true,
+				})
+				if err := s.LoadProgram(datagen.NYCCASProgram); err != nil {
+					t.Fatal(err)
+				}
+				cells, evidence := raster.Rows()
+				if err := s.LoadRows("Cell", cells); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.LoadRows("CellEvidence", evidence); err != nil {
+					t.Fatal(err)
+				}
+				return s
+			},
+			upsertRel: "CellEvidence",
+			upserts:   nycUpserts,
+			queryRel:  "Polluted",
+		},
+	}
+}
+
+// servedMarginals reads every atom of a relation through the HTTP API with
+// one whole-plane range query, keyed by atom key.
+func servedMarginals(t *testing.T, base, relation string) map[string][]float64 {
+	t.Helper()
+	var resp queryResponse
+	url := fmt.Sprintf("%s/v1/score/range?relation=%s&minx=-1e9&miny=-1e9&maxx=1e9&maxy=1e9", base, relation)
+	if code := getJSON(t, url, &resp); code != 200 {
+		t.Fatalf("range status %d", code)
+	}
+	out := make(map[string][]float64, len(resp.Atoms))
+	for _, a := range resp.Atoms {
+		out[a.Key] = a.Marginal
+	}
+	return out
+}
+
+// TestServingMatchesBatch is the serving-equivalence guarantee: upserting
+// evidence into a live server (delta grounding + dirty-conclique resampling,
+// queried through the HTTP handlers) lands within TV tolerance of tearing
+// the world down and re-running the whole batch pipeline with the same
+// evidence present from the start.
+func TestServingMatchesBatch(t *testing.T) {
+	for _, w := range equivWorkloads(t) {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			// Serving side: warm up without the new evidence, then upsert
+			// it through the API.
+			sys := w.build(t, 7)
+			_, ts := startServer(t, sys, Options{})
+			for _, row := range w.upserts {
+				up, code := postUpsert(t, ts.URL, w.upsertRel, [][]string{row})
+				if code != 200 {
+					t.Fatalf("upsert status %d", code)
+				}
+				if up.Structural {
+					t.Fatalf("upsert fell back to structural: %+v", up)
+				}
+			}
+			served := servedMarginals(t, ts.URL, w.queryRel)
+
+			// Batch side: same data with the upserts present from the
+			// start, fully re-ground and re-inferred on an independent
+			// chain.
+			batch := w.build(t, 3)
+			t.Cleanup(batch.Close)
+			tbl, err := batch.DB().Table(w.upsertRel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			schema := tbl.Schema()
+			for _, cells := range w.upserts {
+				row := make(storage.Row, len(cells))
+				for c, cell := range cells {
+					v, err := storage.ParseCell(schema.Cols[c], cell)
+					if err != nil {
+						t.Fatal(err)
+					}
+					row[c] = v
+				}
+				if err := tbl.Append(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := batch.Ground(); err != nil {
+				t.Fatal(err)
+			}
+			scores, err := batch.Infer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[string][]float64)
+			scores.Each(w.queryRel, func(key string, _ factorgraph.VarID, marginal []float64) bool {
+				want[key] = marginal
+				return true
+			})
+
+			worst, key, err := testutil.KeyedMaxTV(served, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if worst > equivTol {
+				t.Errorf("served vs batch marginals: worst TV %.3f at %s (tol %.2f): served %v want %v",
+					worst, key, equivTol, served[key], want[key])
+			}
+		})
+	}
+}

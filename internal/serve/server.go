@@ -1,0 +1,486 @@
+// Package serve turns a grounded core.System into a resident knowledge-base
+// server: factual-score point/range/k-NN queries answered from an R-tree
+// over the grounded atoms, and evidence upserts folded in live through delta
+// grounding plus dirty-conclique incremental resampling.
+//
+// Concurrency model: one RWMutex guards the system. Queries hold the read
+// lock (the sampler is quiescent between upserts, so reading marginals is
+// safe); upserts hold the write lock across append → delta-ground → resample
+// → cache flush, so readers never observe a half-applied update. Scores are
+// memoized in a TTL'd read-through cache keyed by (variable, generation);
+// every resample bumps the generation, invalidating the whole cache at once.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+	"repro/internal/index/rtree"
+	"repro/internal/obs"
+	"repro/internal/storage"
+)
+
+// Options parameterizes a Server.
+type Options struct {
+	// Epochs is the inference budget per upsert: incremental epochs on the
+	// delta path, full epochs after a structural re-ground (0 → the
+	// system's configured epoch budget).
+	Epochs int
+	// CacheTTL bounds how long a cached score may serve reads without being
+	// recomputed from the sampler's counters (0 → cache entries live until
+	// the next resample invalidates them).
+	CacheTTL time.Duration
+	// Metrics receives the sya_serve_* series (nil disables).
+	Metrics *obs.Registry
+}
+
+// Server is a resident KB: a grounded system plus its serving indexes.
+type Server struct {
+	opts Options
+
+	// mu serializes upserts (write) against score reads (read). The
+	// sampler only sweeps while the write lock is held, which is what
+	// makes lock-free marginal reads under RLock sound.
+	mu  sync.RWMutex
+	sys *core.System
+	// trees indexes each variable relation's grounded atoms by location;
+	// Item.Data is the factor-graph VarID.
+	trees map[string]*rtree.Tree
+	// keys resolves a VarID back to its "relation|terms..." atom key.
+	keys []string
+	gen  uint64
+
+	cache *scoreCache
+
+	mRequests   *obs.Counter
+	mErrors     *obs.Counter
+	mUpserts    *obs.Counter
+	mGen        *obs.Gauge
+	mAtoms      *obs.Gauge
+	mLatency    *obs.Histogram
+	mStructural *obs.Counter
+}
+
+// New wraps an already-constructed system. The system is grounded if it has
+// not been yet; inference is left to Warmup so callers control the initial
+// sampling budget. The server takes ownership: Close releases the system.
+func New(sys *core.System, opts Options) (*Server, error) {
+	if opts.Epochs == 0 {
+		opts.Epochs = sys.Config().Epochs
+	}
+	if sys.Grounding() == nil {
+		if _, err := sys.Ground(); err != nil {
+			return nil, fmt.Errorf("serve: grounding: %w", err)
+		}
+	}
+	m := opts.Metrics
+	s := &Server{
+		opts:        opts,
+		sys:         sys,
+		cache:       newScoreCache(opts.CacheTTL, m),
+		mRequests:   m.Counter("sya_serve_requests_total"),
+		mErrors:     m.Counter("sya_serve_errors_total"),
+		mUpserts:    m.Counter("sya_serve_upserts_total"),
+		mGen:        m.Gauge("sya_serve_generation"),
+		mAtoms:      m.Gauge("sya_serve_atoms"),
+		mLatency:    m.Histogram("sya_serve_request_seconds", latencyBuckets),
+		mStructural: m.Counter("sya_serve_structural_regrounds_total"),
+	}
+	s.rebuildIndex()
+	return s, nil
+}
+
+var latencyBuckets = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5}
+
+// Warmup runs the initial inference pass so queries have converged scores.
+func (s *Server) Warmup(ctx context.Context, epochs int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epochs == 0 {
+		epochs = s.opts.Epochs
+	}
+	_, _, err := s.sys.InferContext(ctx, epochs)
+	if err == nil {
+		s.bumpGeneration()
+	}
+	return err
+}
+
+// Close releases the system's sampler pool.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sys.Close()
+}
+
+// System exposes the underlying system for in-process callers (tests and
+// the bench harness); its use must follow the server's locking discipline.
+func (s *Server) System() *core.System { return s.sys }
+
+// Generation reports the current resample generation.
+func (s *Server) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// rebuildIndex rebuilds the per-relation R-trees and the key table from the
+// current grounding. Caller holds the write lock (or is in New).
+func (s *Server) rebuildIndex() {
+	ground := s.sys.Grounding()
+	relNames := make(map[int32]string, len(ground.RelationIndex))
+	for name, idx := range ground.RelationIndex {
+		relNames[idx] = name
+	}
+	items := make(map[string][]rtree.Item)
+	g := ground.Graph
+	s.keys = make([]string, g.NumVars())
+	for key, vid := range ground.VarID {
+		s.keys[vid] = key
+	}
+	atoms := 0
+	g.Vars(func(id factorgraph.VarID, v factorgraph.Variable) bool {
+		if !v.HasLoc {
+			return true
+		}
+		rel := relNames[v.Relation]
+		items[rel] = append(items[rel], rtree.Item{Rect: v.Loc.Bounds(), Data: int64(id)})
+		atoms++
+		return true
+	})
+	s.trees = make(map[string]*rtree.Tree, len(items))
+	for rel, its := range items {
+		s.trees[rel] = rtree.Bulk(its)
+	}
+	s.mAtoms.Set(float64(atoms))
+}
+
+// bumpGeneration invalidates every cached score. Caller holds the write lock.
+func (s *Server) bumpGeneration() {
+	s.gen++
+	s.cache.reset()
+	s.mGen.Set(float64(s.gen))
+}
+
+// marginalFor reads the current marginal of one variable. Caller holds at
+// least the read lock; the sampler is quiescent (sweeps run only under the
+// write lock), so per-variable counter reads are stable.
+func (s *Server) marginalFor(vid factorgraph.VarID) []float64 {
+	if m, ok := s.cache.get(vid, s.gen); ok {
+		return m
+	}
+	var m []float64
+	if sp, ok := s.sys.Sampler().(*gibbs.Spatial); ok {
+		m = sp.MarginalVar(vid)
+	} else if smp := s.sys.Sampler(); smp != nil {
+		m = smp.Marginals()[vid]
+	} else {
+		// No sampler yet (Warmup not run): evidence is known, queries are
+		// uniform.
+		g := s.sys.Grounding().Graph
+		v := g.Var(vid)
+		m = make([]float64, v.Domain)
+		if v.Evidence != factorgraph.NoEvidence {
+			m[v.Evidence] = 1
+		} else {
+			for i := range m {
+				m[i] = 1 / float64(len(m))
+			}
+		}
+	}
+	s.cache.put(vid, s.gen, m)
+	return m
+}
+
+// ScoredAtom is one query result: a grounded atom with its factual score.
+type ScoredAtom struct {
+	Key      string     `json:"key"`
+	Location [2]float64 `json:"location"`
+	// Score is P(true) for binary atoms (marginal[1]).
+	Score    float64   `json:"score"`
+	Marginal []float64 `json:"marginal"`
+}
+
+func (s *Server) scoredAtom(vid factorgraph.VarID) ScoredAtom {
+	v := s.sys.Grounding().Graph.Var(vid)
+	m := s.marginalFor(vid)
+	score := 0.0
+	if len(m) > 1 {
+		score = m[1]
+	}
+	return ScoredAtom{
+		Key:      s.keys[vid],
+		Location: [2]float64{v.Loc.X, v.Loc.Y},
+		Score:    score,
+		Marginal: m,
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /v1/score/point?relation=R&x=&y=        atoms exactly at (x,y)
+//	GET  /v1/score/range?relation=R&minx=&miny=&maxx=&maxy=
+//	GET  /v1/score/knn?relation=R&x=&y=&k=
+//	POST /v1/evidence  {"relation": "...", "rows": [["cell", ...], ...]}
+//	GET  /healthz
+//	GET  /metrics, /debug/pprof/*
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/score/point", s.instrument(s.handlePoint))
+	mux.HandleFunc("/v1/score/range", s.instrument(s.handleRange))
+	mux.HandleFunc("/v1/score/knn", s.instrument(s.handleKNN))
+	mux.HandleFunc("/v1/evidence", s.instrument(s.handleEvidence))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	if s.opts.Metrics != nil {
+		mux.Handle("/metrics", s.opts.Metrics.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mRequests.Inc()
+		h(w, r)
+		s.mLatency.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.mErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// tree resolves a relation's spatial index. Caller holds the read lock.
+func (s *Server) tree(relation string) (*rtree.Tree, bool) {
+	t, ok := s.trees[strings.ToLower(relation)]
+	return t, ok
+}
+
+func queryFloat(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	return strconv.ParseFloat(raw, 64)
+}
+
+// queryResponse is the envelope of every score query.
+type queryResponse struct {
+	Relation   string       `json:"relation"`
+	Generation uint64       `json:"generation"`
+	Atoms      []ScoredAtom `json:"atoms"`
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	rel := r.URL.Query().Get("relation")
+	x, errX := queryFloat(r, "x")
+	y, errY := queryFloat(r, "y")
+	if rel == "" || errX != nil || errY != nil {
+		s.fail(w, http.StatusBadRequest, "point query needs relation, x, y")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tree, ok := s.tree(rel)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		return
+	}
+	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	for _, it := range tree.SearchAll(geom.Pt(x, y).Bounds()) {
+		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	rel := r.URL.Query().Get("relation")
+	minx, e1 := queryFloat(r, "minx")
+	miny, e2 := queryFloat(r, "miny")
+	maxx, e3 := queryFloat(r, "maxx")
+	maxy, e4 := queryFloat(r, "maxy")
+	if rel == "" || e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+		s.fail(w, http.StatusBadRequest, "range query needs relation, minx, miny, maxx, maxy")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tree, ok := s.tree(rel)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		return
+	}
+	window := geom.NewRect(geom.Pt(minx, miny), geom.Pt(maxx, maxy))
+	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	for _, it := range tree.SearchAll(window) {
+		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+	}
+	// Window search order is tree order; sort for a stable API.
+	sort.Slice(resp.Atoms, func(i, j int) bool { return resp.Atoms[i].Key < resp.Atoms[j].Key })
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	rel := r.URL.Query().Get("relation")
+	x, e1 := queryFloat(r, "x")
+	y, e2 := queryFloat(r, "y")
+	k, e3 := strconv.Atoi(r.URL.Query().Get("k"))
+	if rel == "" || e1 != nil || e2 != nil || e3 != nil || k <= 0 {
+		s.fail(w, http.StatusBadRequest, "knn query needs relation, x, y, k>0")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tree, ok := s.tree(rel)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		return
+	}
+	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	for _, it := range tree.NearestK(geom.Pt(x, y), k) {
+		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+	}
+	writeJSON(w, resp)
+}
+
+// evidenceRequest is the upsert payload: rows as text cells, parsed against
+// the relation's schema with the same rules as the CSV loader.
+type evidenceRequest struct {
+	Relation string     `json:"relation"`
+	Rows     [][]string `json:"rows"`
+}
+
+// evidenceResponse reports what the upsert did.
+type evidenceResponse struct {
+	Generation  uint64 `json:"generation"`
+	Rows        int    `json:"rows"`
+	Pins        int    `json:"pins"`
+	SkippedPins int    `json:"skipped_pins"`
+	Structural  bool   `json:"structural"`
+	Reason      string `json:"reason,omitempty"`
+	Epochs      int    `json:"epochs"`
+}
+
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "evidence upserts are POST")
+		return
+	}
+	var req evidenceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if req.Relation == "" || len(req.Rows) == 0 {
+		s.fail(w, http.StatusBadRequest, "upsert needs relation and rows")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tbl, err := s.sys.DB().Table(req.Relation)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	schema := tbl.Schema()
+	rows := make([]storage.Row, 0, len(req.Rows))
+	for i, cells := range req.Rows {
+		if len(cells) != len(schema.Cols) {
+			s.fail(w, http.StatusBadRequest, "row %d has %d cells, schema %s has %d columns",
+				i, len(cells), schema.Name, len(schema.Cols))
+			return
+		}
+		row := make(storage.Row, len(cells))
+		for c, cell := range cells {
+			v, err := storage.ParseCell(schema.Cols[c], cell)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, "row %d column %s: %v", i, schema.Cols[c].Name, err)
+				return
+			}
+			row[c] = v
+		}
+		rows = append(rows, row)
+	}
+
+	ctx := r.Context()
+	stats, err := s.sys.UpsertEvidence(ctx, req.Relation, rows)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "upsert: %v", err)
+		return
+	}
+	s.mUpserts.Inc()
+	epochs := 0
+	if stats.Structural {
+		// The grounding (and its VarIDs) changed wholesale: rebuild the
+		// serving indexes and re-infer from scratch.
+		s.mStructural.Inc()
+		s.rebuildIndex()
+		epochs = s.opts.Epochs
+		if _, _, err := s.sys.InferContext(ctx, epochs); err != nil {
+			s.fail(w, http.StatusInternalServerError, "re-inference: %v", err)
+			return
+		}
+	} else if stats.Pins > 0 {
+		epochs = s.opts.Epochs
+		if _, _, err := s.sys.InferIncrementalContext(ctx, epochs); err != nil {
+			s.fail(w, http.StatusInternalServerError, "incremental inference: %v", err)
+			return
+		}
+	}
+	if stats.Structural || stats.Pins > 0 {
+		s.bumpGeneration()
+	}
+	writeJSON(w, evidenceResponse{
+		Generation:  s.gen,
+		Rows:        stats.Rows,
+		Pins:        stats.Pins,
+		SkippedPins: stats.SkippedPins,
+		Structural:  stats.Structural,
+		Reason:      stats.Reason,
+		Epochs:      epochs,
+	})
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status     string `json:"status"`
+	Engine     string `json:"engine"`
+	Vars       int    `json:"vars"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, healthResponse{
+		Status:     "ok",
+		Engine:     s.sys.Config().Engine.String(),
+		Vars:       s.sys.Grounding().Stats.Vars,
+		Generation: s.gen,
+	})
+}

@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// sensorSchema is a small spatially-indexed relation for concurrency tests.
+func sensorSchema() Schema {
+	return Schema{Name: "Sensor", Cols: []Column{
+		{Name: "id", Kind: KindInt},
+		{Name: "loc", Kind: KindGeom, GeomType: geom.TypePoint},
+		{Name: "label", Kind: KindString},
+	}}
+}
+
+func sensorRow(i int) Row {
+	return Row{Int(int64(i)), Geom(geom.Point{X: float64(i % 32), Y: float64(i / 32)}), Str(fmt.Sprintf("w%d", i))}
+}
+
+// TestConcurrentReadsDuringUpsert drives every read path (Len, Row, Scan,
+// LookupHash with and without an index, SearchSpatial with and without an
+// R-tree, HasSpatialIndex) while a writer keeps appending — the serving
+// layer's evidence-upsert shape. Run under -race this pins down the
+// RW-mutex guarantees on the rows slice and in-place index updates.
+func TestConcurrentReadsDuringUpsert(t *testing.T) {
+	for _, indexed := range []bool{false, true} {
+		name := "unindexed"
+		if indexed {
+			name = "indexed"
+		}
+		t.Run(name, func(t *testing.T) {
+			tbl, err := NewTable(sensorSchema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			const seedRows = 64
+			for i := 0; i < seedRows; i++ {
+				if err := tbl.Append(sensorRow(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if indexed {
+				if err := tbl.BuildHashIndex("id"); err != nil {
+					t.Fatal(err)
+				}
+				if err := tbl.BuildSpatialIndex("loc"); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const appends = 512
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+
+			// Writer: one upsert stream growing the table (and, when
+			// indexed, inserting into the hash buckets and R-tree in place).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(stop)
+				for i := seedRows; i < seedRows+appends; i++ {
+					if err := tbl.Append(sensorRow(i)); err != nil {
+						t.Errorf("append %d: %v", i, err)
+						return
+					}
+				}
+			}()
+
+			// Readers: every public read path, looping until the writer is done.
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					window := geom.NewRect(geom.Point{X: -1, Y: -1}, geom.Point{X: 40, Y: 40})
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						n := tbl.Len()
+						if n > 0 {
+							row := tbl.Row(n - 1)
+							if len(row) != 3 {
+								t.Errorf("torn row: %v", row)
+								return
+							}
+						}
+						seen := 0
+						tbl.Scan(func(id int, row Row) bool {
+							if row[0].IsNull() {
+								t.Errorf("scan: torn row at id %d", id)
+								return false
+							}
+							seen++
+							return true
+						})
+						if seen < seedRows {
+							t.Errorf("scan saw %d rows, want ≥ %d", seen, seedRows)
+							return
+						}
+						ids, err := tbl.LookupHash("id", Int(int64(r)))
+						if err != nil || len(ids) != 1 {
+							t.Errorf("lookup id=%d: ids=%v err=%v", r, ids, err)
+							return
+						}
+						if _, err := tbl.SearchSpatial("loc", window); err != nil {
+							t.Errorf("spatial search: %v", err)
+							return
+						}
+						tbl.HasSpatialIndex("loc")
+					}
+				}(r)
+			}
+			wg.Wait()
+
+			if got := tbl.Len(); got != seedRows+appends {
+				t.Fatalf("final len = %d, want %d", got, seedRows+appends)
+			}
+			// Post-quiescence: the in-place index updates must agree with a
+			// from-scratch rebuild.
+			lastID := int64(seedRows + appends - 1)
+			ids, err := tbl.LookupHash("id", Int(lastID))
+			if err != nil || len(ids) != 1 {
+				t.Fatalf("lookup of last row: ids=%v err=%v", ids, err)
+			}
+			all, err := tbl.SearchSpatial("loc", geom.NewRect(geom.Point{X: -1, Y: -1}, geom.Point{X: 1e9, Y: 1e9}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if indexed && len(all) != seedRows+appends {
+				t.Fatalf("spatial search found %d rows, want %d", len(all), seedRows+appends)
+			}
+		})
+	}
+}
+
+// TestConcurrentIndexBuildDuringReads rebuilds indexes while readers run:
+// the serving layer re-grounds against live tables, which re-bulk-loads
+// R-trees.
+func TestConcurrentIndexBuildDuringReads(t *testing.T) {
+	tbl, err := NewTable(sensorSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if err := tbl.Append(sensorRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 50; i++ {
+			if err := tbl.BuildSpatialIndex("loc"); err != nil {
+				t.Errorf("build spatial: %v", err)
+				return
+			}
+			if err := tbl.BuildHashIndex("id"); err != nil {
+				t.Errorf("build hash: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := tbl.SearchSpatial("loc", geom.NewRect(geom.Point{}, geom.Point{X: 16, Y: 16})); err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if _, err := tbl.LookupHash("id", Int(7)); err != nil {
+					t.Errorf("lookup: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		col  Column
+		cell string
+		want Value
+		err  bool
+	}{
+		{Column{Name: "a", Kind: KindInt}, "42", Int(42), false},
+		{Column{Name: "a", Kind: KindInt}, "  7 ", Int(7), false},
+		{Column{Name: "a", Kind: KindInt}, "x", Null, true},
+		{Column{Name: "a", Kind: KindFloat}, "2.5", Float(2.5), false},
+		{Column{Name: "a", Kind: KindBool}, "true", Bool(true), false},
+		{Column{Name: "a", Kind: KindBool}, "0", Bool(false), false},
+		{Column{Name: "a", Kind: KindBool}, "maybe", Null, true},
+		{Column{Name: "a", Kind: KindString}, "hello", Str("hello"), false},
+		{Column{Name: "a", Kind: KindString}, "", Null, false},
+		{Column{Name: "a", Kind: KindInt}, "NULL", Null, false},
+		{Column{Name: "a", Kind: KindGeom, GeomType: geom.TypePoint}, "POINT (1 2)", Geom(geom.Point{X: 1, Y: 2}), false},
+		{Column{Name: "a", Kind: KindGeom}, "POINT (bad)", Null, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCell(c.col, c.cell)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseCell(%v, %q): want error, got %v", c.col.Kind, c.cell, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCell(%v, %q): %v", c.col.Kind, c.cell, err)
+			continue
+		}
+		if !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("ParseCell(%v, %q) = %v, want %v", c.col.Kind, c.cell, got, c.want)
+		}
+	}
+}

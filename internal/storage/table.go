@@ -87,7 +87,22 @@ func NewTable(s Schema) (*Table, error) {
 func (t *Table) Schema() Schema { return t.schema }
 
 // Len returns the row count.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// snapshot returns the current rows slice header under the read lock.
+// Rows are append-only and immutable once appended, so the returned
+// prefix stays consistent while concurrent Appends grow the table — this
+// is what lets readers (scans, lookups, the serving layer) run against a
+// table that an upsert is extending.
+func (t *Table) snapshot() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // checkRow validates a row against the schema; NULLs are allowed in any
 // column (the paper's derivation rules create variables with NULL labels).
@@ -143,11 +158,17 @@ func (t *Table) AppendAll(rows []Row) error {
 }
 
 // Row returns the i-th row.
-func (t *Table) Row(i int) Row { return t.rows[i] }
+func (t *Table) Row(i int) Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
 
 // Scan calls fn for each row id and row; returning false stops the scan.
+// The scan sees a consistent prefix: rows appended concurrently may or may
+// not be visited, but fn never observes a torn row.
 func (t *Table) Scan(fn func(id int, r Row) bool) {
-	for i, r := range t.rows {
+	for i, r := range t.snapshot() {
 		if !fn(i, r) {
 			return
 		}
@@ -181,21 +202,26 @@ func (t *Table) LookupHash(col string, v Value) ([]int, error) {
 	}
 	t.mu.RLock()
 	buckets, ok := t.hashIdx[ci]
+	var ids []int
+	if ok {
+		// Copy the bucket under the lock: Append grows buckets in place.
+		ids = append([]int(nil), buckets[v.hashKey()]...)
+	}
+	rows := t.rows
 	t.mu.RUnlock()
 	if ok {
-		ids := buckets[v.hashKey()]
 		// Defensive re-check: hash keys for numerics are normalized, but
 		// keep equality authoritative.
 		out := make([]int, 0, len(ids))
 		for _, id := range ids {
-			if t.rows[id][ci].Equal(v) {
+			if rows[id][ci].Equal(v) {
 				out = append(out, id)
 			}
 		}
 		return out, nil
 	}
 	var out []int
-	for id, r := range t.rows {
+	for id, r := range rows {
 		if r[ci].Equal(v) {
 			out = append(out, id)
 		}
@@ -214,6 +240,8 @@ func (t *Table) BuildSpatialIndex(col string) error {
 	if t.schema.Cols[ci].Kind != KindGeom {
 		return fmt.Errorf("storage: %s.%s is not a geometry column", t.schema.Name, col)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	items := make([]rtree.Item, 0, len(t.rows))
 	for id, r := range t.rows {
 		g, err := r[ci].AsGeom()
@@ -222,8 +250,6 @@ func (t *Table) BuildSpatialIndex(col string) error {
 		}
 		items = append(items, rtree.Item{Rect: g.Bounds(), Data: int64(id)})
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.rtrees[ci] = rtree.Bulk(items)
 	return nil
 }
@@ -248,20 +274,25 @@ func (t *Table) SearchSpatial(col string, window geom.Rect) ([]int, error) {
 	if ci < 0 {
 		return nil, fmt.Errorf("storage: %s has no column %q", t.schema.Name, col)
 	}
+	// The whole search runs under the read lock: Append inserts into the
+	// R-tree in place, so the traversal must exclude writers (concurrent
+	// readers still proceed in parallel).
 	t.mu.RLock()
 	tree := t.rtrees[ci]
-	t.mu.RUnlock()
 	if tree != nil {
 		var ids []int
 		tree.Search(window, func(it rtree.Item) bool {
 			ids = append(ids, int(it.Data))
 			return true
 		})
+		t.mu.RUnlock()
 		sort.Ints(ids)
 		return ids, nil
 	}
+	rows := t.rows
+	t.mu.RUnlock()
 	var ids []int
-	for id, r := range t.rows {
+	for id, r := range rows {
 		g, err := r[ci].AsGeom()
 		if err != nil {
 			continue

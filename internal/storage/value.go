@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/geom"
 )
@@ -206,6 +207,50 @@ func (v Value) Compare(o Value) (int, error) {
 }
 
 func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+// ParseCell converts one textual cell (CSV field, JSON string, query
+// parameter) to a Value of the column's kind. Empty cells and the literal
+// "null" (any case) load as NULL; spatial columns parse WKT; booleans
+// accept true/false/t/f/1/0/yes/no. This is the single text→Value path
+// shared by the CLI loaders and the serving API.
+func ParseCell(col Column, cell string) (Value, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || strings.EqualFold(cell, "null") {
+		return Null, nil
+	}
+	switch col.Kind {
+	case KindInt:
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Null, err
+		}
+		return Int(v), nil
+	case KindFloat:
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Null, err
+		}
+		return Float(v), nil
+	case KindBool:
+		switch strings.ToLower(cell) {
+		case "true", "t", "1", "yes":
+			return Bool(true), nil
+		case "false", "f", "0", "no":
+			return Bool(false), nil
+		}
+		return Null, fmt.Errorf("bad bool %q", cell)
+	case KindString:
+		return Str(cell), nil
+	case KindGeom:
+		g, err := geom.ParseWKT(cell)
+		if err != nil {
+			return Null, err
+		}
+		return Geom(g), nil
+	default:
+		return Null, fmt.Errorf("unsupported column kind %v", col.Kind)
+	}
+}
 
 // hashKey returns a map key for hash-join/index buckets.
 func (v Value) hashKey() string {
