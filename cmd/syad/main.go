@@ -9,7 +9,11 @@
 //	    [-addr host:port] [-engine sya|deepdive] [-metric euclidean|miles|km] \
 //	    [-epochs N] [-warmup-epochs N] [-upsert-epochs N] [-cache-ttl D] \
 //	    [-bandwidth B] [-scale S] [-seed N] [-ground-workers N] [-label NAME] \
-//	    [-trace-out file.jsonl] [-trace-max-mb N]
+//	    [-trace-out file.jsonl] [-trace-max-mb N] \
+//	    [-wal file.wal] [-wal-sync-every N] [-wal-snapshot-every N] \
+//	    [-max-queued-upserts N] [-upsert-timeout D] \
+//	    [-read-timeout D] [-read-header-timeout D] [-write-timeout D] \
+//	    [-drain-timeout D]
 //
 // API (JSON):
 //
@@ -26,9 +30,18 @@
 // A structural change (new ground atoms, variable-relation rows) falls back
 // to a full re-ground + re-warmup automatically.
 //
+// With -wal, every accepted evidence batch is appended to a CRC-framed
+// write-ahead log before it is applied, and replayed on the next boot — a
+// crash (even SIGKILL mid-upsert) loses nothing that was acked. The log is
+// compacted into a rotating snapshot pair every -wal-snapshot-every records.
+// Overload is shed: at most -max-queued-upserts evidence requests may be in
+// flight (429 beyond that), and reads during an upsert or re-ground are
+// served from the previous generation's snapshot with "stale": true.
+//
 // The -load pairs, engine and metric spellings are shared with the sya CLI,
 // so a batch invocation can be lifted into a resident server by swapping the
-// binary name. ^C / SIGTERM drains in-flight requests and exits cleanly.
+// binary name. ^C / SIGTERM drains in-flight requests for -drain-timeout,
+// fsyncs and closes the WAL, and exits cleanly.
 package main
 
 import (
@@ -67,6 +80,16 @@ func main() {
 		label       = flag.String("label", "", "metrics label: scope all series with {system=NAME}")
 		traceOut    = flag.String("trace-out", "", "write structured JSONL phase-trace events to this file")
 		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
+
+		walPath       = flag.String("wal", "", "evidence write-ahead log file: append accepted upserts before applying, replay on boot (\"\" = durability off)")
+		walSyncEvery  = flag.Int("wal-sync-every", 1, "fsync the WAL after every N appends (1 = every append)")
+		walSnapEvery  = flag.Int("wal-snapshot-every", 64, "compact the WAL into its snapshot pair after N log records (0 = never)")
+		maxUpserts    = flag.Int("max-queued-upserts", 32, "maximum in-flight evidence upserts before shedding with 429")
+		upsertTimeout = flag.Duration("upsert-timeout", 0, "server-side deadline for the inference phase of one upsert (0 = client-bounded only)")
+		readTimeout   = flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request read deadline)")
+		readHdrTO     = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		writeTimeout  = flag.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout (bounds slow upserts + slow readers)")
+		drainTimeout  = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests before force-closing")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -84,6 +107,10 @@ func main() {
 		cacheTTL: *cacheTTL, bandwidth: *bandwidth, scale: *scale, seed: *seed,
 		groundWorkers: *groundWork, noKernels: *noKernels, label: *label,
 		traceOut: *traceOut, traceMaxMB: *traceMaxMB,
+		walPath: *walPath, walSyncEvery: *walSyncEvery, walSnapshotEvery: *walSnapEvery,
+		maxQueuedUpserts: *maxUpserts, upsertTimeout: *upsertTimeout,
+		readTimeout: *readTimeout, readHeaderTimeout: *readHdrTO,
+		writeTimeout: *writeTimeout, drainTimeout: *drainTimeout,
 		ready: func(addr string) {
 			fmt.Fprintf(os.Stderr, "# syad: serving http://%s (metrics at /metrics, pprof under /debug/pprof/)\n", addr)
 		},
@@ -116,13 +143,24 @@ type runOpts struct {
 	traceOut      string
 	traceMaxMB    int
 
+	walPath          string
+	walSyncEvery     int
+	walSnapshotEvery int
+	maxQueuedUpserts int
+	upsertTimeout    time.Duration
+
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	drainTimeout      time.Duration
+
 	// ready, when non-nil, is called with the bound listen address once the
 	// server is warmed up and accepting requests.
 	ready func(addr string)
 }
 
 // run builds the system, warms it up, and serves until ctx is canceled.
-func run(ctx context.Context, o runOpts) error {
+func run(ctx context.Context, o runOpts) (err error) {
 	src, err := os.ReadFile(o.program)
 	if err != nil {
 		return err
@@ -176,15 +214,37 @@ func run(ctx context.Context, o runOpts) error {
 		serveMetrics = reg.With("system", o.label)
 	}
 	srv, err := serve.New(sys, serve.Options{
-		Epochs:   o.upsertEpochs,
-		CacheTTL: o.cacheTTL,
-		Metrics:  serveMetrics,
+		Epochs:           o.upsertEpochs,
+		CacheTTL:         o.cacheTTL,
+		Metrics:          serveMetrics,
+		WALPath:          o.walPath,
+		WALSyncEvery:     o.walSyncEvery,
+		WALSnapshotEvery: o.walSnapshotEvery,
+		MaxQueuedUpserts: o.maxQueuedUpserts,
+		UpsertTimeout:    o.upsertTimeout,
 	})
 	if err != nil {
 		sys.Close()
 		return err
 	}
-	defer srv.Close()
+	// Close syncs the WAL: surface its error so a failed final fsync is not
+	// silently swallowed on shutdown.
+	defer func() {
+		if cerr := srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if o.walPath != "" {
+		rs := srv.ReplayStats()
+		fmt.Fprintf(os.Stderr, "# syad: wal %s: replayed %d snapshot + %d log records", o.walPath, rs.SnapshotRecords, rs.LogRecords)
+		if rs.Truncated {
+			fmt.Fprintf(os.Stderr, " (torn tail truncated at byte %d)", rs.TruncatedAt)
+		}
+		if rs.SnapshotFallback {
+			fmt.Fprint(os.Stderr, " (snapshot fell back to previous generation)")
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	if err := srv.Warmup(ctx, o.warmupEpochs); err != nil {
 		return err
 	}
@@ -196,7 +256,15 @@ func run(ctx context.Context, o runOpts) error {
 	if o.ready != nil {
 		o.ready(ln.Addr().String())
 	}
-	hsrv := &http.Server{Handler: srv.Handler()}
+	// The explicit timeouts close the slowloris hole: a client that trickles
+	// its headers or body, or never reads its response, is disconnected
+	// instead of pinning a connection (and an upsert slot) forever.
+	hsrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       o.readTimeout,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		WriteTimeout:      o.writeTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hsrv.Serve(ln) }()
 	select {
@@ -204,8 +272,10 @@ func run(ctx context.Context, o runOpts) error {
 		return err
 	case <-ctx.Done():
 	}
-	// Drain in-flight requests, then force-close stragglers.
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Drain in-flight requests, then force-close stragglers. The deferred
+	// srv.Close fsyncs the WAL after the drain, so a SIGTERM never loses an
+	// acked upsert.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	if err := hsrv.Shutdown(shutdownCtx); err != nil {
 		hsrv.Close()

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/storage"
 )
@@ -43,6 +45,18 @@ type ServingUpsert struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
+// ServingMixed summarizes the degradation phase: readers racing a writer
+// that holds the write lock, plus a contender whose upserts are shed by the
+// admission cap. Stale reads are answered from the pre-upsert snapshot.
+type ServingMixed struct {
+	Upserts    int     `json:"upserts"`
+	Reads      int     `json:"reads"`
+	StaleReads int     `json:"stale_reads"`
+	Shed429    int     `json:"shed_429"`
+	ReadP50Ms  float64 `json:"read_p50_ms"`
+	ReadP99Ms  float64 `json:"read_p99_ms"`
+}
+
 // ServingReport is the full serving-benchmark result, serialized to
 // BENCH_serving.json by syabench -phase=serving.
 type ServingReport struct {
@@ -51,6 +65,11 @@ type ServingReport struct {
 	Workload    servingLoad    `json:"workload"`
 	Points      []ServingPoint `json:"points"`
 	Upserts     ServingUpsert  `json:"upserts"`
+	Mixed       ServingMixed   `json:"mixed_read_during_upsert"`
+	// Durability carries the sya_wal_* and sya_serve_* admission counters
+	// accumulated over the whole run (the server runs with a WAL, fsync
+	// per append, so upsert latencies above include durability).
+	Durability map[string]float64 `json:"durability_metrics"`
 }
 
 type servingEnv struct {
@@ -87,8 +106,17 @@ func Serving(p Params) (*Table, error) {
 		)
 	}
 	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
-		"%d evidence upserts (delta ground + %d incremental epochs each): p50 %s, p99 %s",
+		"%d evidence upserts (delta ground + %d incremental epochs each, WAL fsync per append): p50 %s, p99 %s",
 		report.Upserts.Count, report.Upserts.Epochs, ms(report.Upserts.P50Ms), ms(report.Upserts.P99Ms)))
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"mixed phase (%d upserts vs %d reads): %d stale reads, %d shed with 429, read p50 %s p99 %s",
+		report.Mixed.Upserts, report.Mixed.Reads, report.Mixed.StaleReads, report.Mixed.Shed429,
+		ms(report.Mixed.ReadP50Ms), ms(report.Mixed.ReadP99Ms)))
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"wal: %.0f appends, %.0f fsyncs, %.0f bytes",
+		report.Durability["sya_wal_appends_total"],
+		report.Durability["sya_wal_fsyncs_total"],
+		report.Durability["sya_wal_appended_bytes_total"]))
 	if p.ServingJSON != "" {
 		f, err := os.Create(p.ServingJSON)
 		if err != nil {
@@ -141,7 +169,25 @@ func ServingLoad(p Params) (*ServingReport, error) {
 		return nil, err
 	}
 
-	srv, err := serve.New(sys, serve.Options{Epochs: p.Epochs, Metrics: p.Metrics})
+	// The bench server runs durable (WAL, fsync per append) so the reported
+	// upsert latency is the real acked-means-durable cost. A local registry
+	// collects the wal/admission counters even when -metrics-addr is unset.
+	reg := p.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	walDir, err := os.MkdirTemp("", "syabench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+	srv, err := serve.New(sys, serve.Options{
+		Epochs:  p.Epochs,
+		Metrics: reg,
+		WALPath: filepath.Join(walDir, "ev.wal"),
+		// Cap 1 so the mixed phase's contender actually gets shed.
+		MaxQueuedUpserts: 1,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +207,7 @@ func ServingLoad(p Params) (*ServingReport, error) {
 
 	const requestsPerClient = 400
 	report := &ServingReport{
-		Description: "Resident KB serving benchmark: concurrent HTTP clients issuing mixed point/range/k-NN factual-score queries against an in-process syad server over a GWDB workload, plus sequential evidence upserts exercising delta grounding and dirty-conclique incremental resampling. Regenerate with `syabench -phase=serving serving`.",
+		Description: "Resident KB serving benchmark: concurrent HTTP clients issuing mixed point/range/k-NN factual-score queries against an in-process syad server over a GWDB workload, plus sequential evidence upserts exercising delta grounding and dirty-conclique incremental resampling. The server runs durable (evidence WAL, fsync per append) and with an admission cap of 1, so upsert latency includes durability and the mixed phase shows load-shedding (429) and degraded (stale-snapshot) reads. Regenerate with `syabench -phase=serving serving`.",
 		Environment: servingEnv{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Go: runtime.Version()},
 		Workload:    servingLoad{Wells: wells, WarmupEpochs: p.Epochs, RequestsPerClient: requestsPerClient},
 	}
@@ -179,7 +225,183 @@ func ServingLoad(p Params) (*ServingReport, error) {
 		return nil, err
 	}
 	report.Upserts = up
+
+	mixed, err := servingMixedPhase(base, data)
+	if err != nil {
+		return nil, err
+	}
+	report.Mixed = mixed
+
+	report.Durability = map[string]float64{}
+	for name, v := range reg.Snapshot() {
+		if strings.HasPrefix(name, "sya_wal_") ||
+			name == "sya_serve_shed_total" ||
+			name == "sya_serve_inflight" ||
+			name == "sya_serve_degraded_reads_total" ||
+			name == "sya_serve_structural_regrounds_total" {
+			report.Durability[name] = v
+		}
+	}
 	return report, nil
+}
+
+// servingMixedPhase races readers against a writer streaming fresh evidence
+// and a contender re-posting the same rows: the contender is either shed by
+// the admission cap (429) or lands as a duplicate no-op; the readers count
+// how many answers came from the degraded (stale) snapshot.
+func servingMixedPhase(base string, data *datagen.WellsData) (ServingMixed, error) {
+	// Fresh pins only: skip the 32 wells the upsert phase already labeled
+	// so the writer really resamples (and holds the write lock) per upsert.
+	var fresh []datagen.Well
+	skip := 32
+	for _, w := range data.Wells {
+		if w.IsEvidence {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		fresh = append(fresh, w)
+		if len(fresh) == 8 {
+			break
+		}
+	}
+
+	var (
+		mixed    ServingMixed
+		writerOK = make(chan struct{})
+		mu       sync.Mutex
+		lats     []time.Duration
+		stale    int
+		reads    int
+		shed     int
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	post := func(client *http.Client, w datagen.Well) (int, error) {
+		body := fmt.Sprintf(`{"relation":"WellEvidence","rows":[["%d","%s","%t"]]}`,
+			w.ID, storage.Geom(w.Loc).String(), w.Safe)
+		resp, err := client.Post(base+"/v1/evidence", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(writerOK)
+		client := &http.Client{}
+		defer client.CloseIdleConnections()
+		for _, w := range fresh {
+			for {
+				code, err := post(client, w)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if code == http.StatusOK {
+					break
+				}
+				if code != http.StatusTooManyRequests {
+					fail(fmt.Errorf("bench: mixed-phase upsert status %d", code))
+					return
+				}
+				// The contender beat us to the single admission slot;
+				// back off and retry like a well-behaved client.
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // contender: shed or duplicate, never an error
+		defer wg.Done()
+		client := &http.Client{}
+		defer client.CloseIdleConnections()
+		for {
+			select {
+			case <-writerOK:
+				return
+			default:
+			}
+			for _, w := range fresh {
+				code, err := post(client, w)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if code == http.StatusTooManyRequests {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				} else if code != http.StatusOK {
+					fail(fmt.Errorf("bench: contender upsert status %d", code))
+					return
+				}
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) { // readers
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; ; i++ {
+				select {
+				case <-writerOK:
+					return
+				default:
+				}
+				w := data.Wells[(r*131+i)%len(data.Wells)]
+				url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", base, w.Loc.X, w.Loc.Y)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					fail(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("bench: mixed-phase read status %d", resp.StatusCode))
+					return
+				}
+				mu.Lock()
+				lats = append(lats, time.Since(t0))
+				reads++
+				if strings.Contains(string(raw), `"stale":true`) {
+					stale++
+				}
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return mixed, firstErr
+	}
+	p50, p99 := percentiles(lats)
+	mixed = ServingMixed{
+		Upserts:    len(fresh),
+		Reads:      reads,
+		StaleReads: stale,
+		Shed429:    shed,
+		ReadP50Ms:  float64(p50) / float64(time.Millisecond),
+		ReadP99Ms:  float64(p99) / float64(time.Millisecond),
+	}
+	return mixed, nil
 }
 
 // servingReadPhase measures one client-count load point.

@@ -271,6 +271,35 @@ func (s *System) LoadRows(relation string, rows []storage.Row) error {
 	return tbl.AppendAll(rows)
 }
 
+// ParseRows converts textual rows (CSV fields, JSON strings) into typed
+// storage rows against the relation's schema, with the same per-cell rules
+// as the CSV loader. It validates width and syntax without touching the
+// table, so callers can parse-then-log-then-apply.
+func (s *System) ParseRows(relation string, raw [][]string) ([]storage.Row, error) {
+	tbl, err := s.db.Table(relation)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	rows := make([]storage.Row, 0, len(raw))
+	for i, cells := range raw {
+		if len(cells) != len(schema.Cols) {
+			return nil, fmt.Errorf("row %d has %d cells, schema %s has %d columns",
+				i, len(cells), schema.Name, len(schema.Cols))
+		}
+		row := make(storage.Row, len(cells))
+		for c, cell := range cells {
+			v, err := storage.ParseCell(schema.Cols[c], cell)
+			if err != nil {
+				return nil, fmt.Errorf("row %d column %s: %w", i, schema.Cols[c].Name, err)
+			}
+			row[c] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // Ground runs the grounding module and returns its result.
 func (s *System) Ground() (*grounding.Result, error) {
 	return s.GroundContext(context.Background())

@@ -45,6 +45,23 @@ func TearFile(path string) error {
 	return os.Truncate(path, fi.Size()/2)
 }
 
+// TearFileAt truncates the file to exactly off bytes — the surgical variant
+// of TearFile, used by the WAL chaos sweep to place the tear at (and between)
+// every frame boundary.
+func TearFileAt(path string, off int64) error {
+	return os.Truncate(path, off)
+}
+
+// CopyFile copies src to dst (overwriting dst), so a chaos test can tear a
+// copy of a log at many different offsets without rebuilding it each time.
+func CopyFile(dst, src string) error {
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, raw, 0o644)
+}
+
 // CorruptFile flips one bit in the middle of the file — content corruption
 // that keeps the length intact, so only a checksum can notice.
 func CorruptFile(path string) error {

@@ -254,9 +254,21 @@ func TestMidRequestCancellation(t *testing.T) {
 	}
 
 	// The server is still alive and consistent after the abandoned request.
+	// The handler may still be draining the cancelled upsert (health honestly
+	// reports degraded while it does), so poll until it retires.
 	var health healthResponse
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
-		t.Fatalf("health after cancellation: code %d, %+v", code, health)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+			t.Fatalf("health after cancellation: code %d, %+v", code, health)
+		}
+		if !health.Degraded || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("health after cancellation: %+v", health)
 	}
 	var resp queryResponse
 	url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, w.Loc.X, w.Loc.Y)

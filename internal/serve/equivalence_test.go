@@ -137,6 +137,37 @@ func equivWorkloads(t *testing.T) []equivWorkload {
 	}
 }
 
+// batchMarginals is the reference side of every equivalence test: an
+// independent system built from the same data with the given upserts present
+// from the start, fully ground + inferred, keyed by atom key.
+func batchMarginals(t *testing.T, w equivWorkload, seed int64, upserts [][]string) map[string][]float64 {
+	t.Helper()
+	batch := w.build(t, seed)
+	t.Cleanup(batch.Close)
+	if len(upserts) > 0 {
+		rows, err := batch.ParseRows(w.upsertRel, upserts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.LoadRows(w.upsertRel, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := batch.Ground(); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := batch.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]float64)
+	scores.Each(w.queryRel, func(key string, _ factorgraph.VarID, marginal []float64) bool {
+		want[key] = marginal
+		return true
+	})
+	return want
+}
+
 // servedMarginals reads every atom of a relation through the HTTP API with
 // one whole-plane range query, keyed by atom key.
 func servedMarginals(t *testing.T, base, relation string) map[string][]float64 {
@@ -180,38 +211,7 @@ func TestServingMatchesBatch(t *testing.T) {
 			// Batch side: same data with the upserts present from the
 			// start, fully re-ground and re-inferred on an independent
 			// chain.
-			batch := w.build(t, 3)
-			t.Cleanup(batch.Close)
-			tbl, err := batch.DB().Table(w.upsertRel)
-			if err != nil {
-				t.Fatal(err)
-			}
-			schema := tbl.Schema()
-			for _, cells := range w.upserts {
-				row := make(storage.Row, len(cells))
-				for c, cell := range cells {
-					v, err := storage.ParseCell(schema.Cols[c], cell)
-					if err != nil {
-						t.Fatal(err)
-					}
-					row[c] = v
-				}
-				if err := tbl.Append(row); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if _, err := batch.Ground(); err != nil {
-				t.Fatal(err)
-			}
-			scores, err := batch.Infer()
-			if err != nil {
-				t.Fatal(err)
-			}
-			want := make(map[string][]float64)
-			scores.Each(w.queryRel, func(key string, _ factorgraph.VarID, marginal []float64) bool {
-				want[key] = marginal
-				return true
-			})
+			want := batchMarginals(t, w, 3, w.upserts)
 
 			worst, key, err := testutil.KeyedMaxTV(served, want)
 			if err != nil {

@@ -1,0 +1,396 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gibbs/testutil"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// startSlowUpsert posts an upsert whose inference phase runs effectively
+// forever (the server's epoch budget is huge), returns a cancel for it, and
+// blocks until the server reports the writer in flight.
+func startSlowUpsert(t *testing.T, base, relation string, rows [][]string) (cancel func(), done chan struct{}) {
+	t.Helper()
+	ctx, stop := context.WithCancel(context.Background())
+	done = make(chan struct{})
+	body, err := jsonMarshal(evidenceRequest{Relation: relation, Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/evidence", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	go func() {
+		defer close(done)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health healthResponse
+		if code := getJSON(t, base+"/healthz", &health); code != http.StatusOK {
+			t.Fatalf("healthz = %d", code)
+		}
+		if health.Degraded {
+			return stop, done
+		}
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatal("upsert never reached the degraded window")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitHealthy polls /healthz until the degraded window closes.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var health healthResponse
+		if code := getJSON(t, base+"/healthz", &health); code == http.StatusOK && !health.Degraded {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still degraded after 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestLoadShedAndDegradedReads pins the overload contract: while one upsert
+// holds the write lock, further upserts beyond the admission cap are shed
+// with 429, and reads return the previous generation marked stale instead of
+// blocking behind the writer.
+func TestLoadShedAndDegradedReads(t *testing.T) {
+	check := testutil.GoroutineLeakCheck(t)
+	sys, data := newGWDBSystem(t, 400)
+	reg := obs.NewRegistry()
+	// A huge per-upsert budget keeps the writer mid-inference while the
+	// assertions below run; MaxQueuedUpserts 1 means the in-flight writer
+	// is the whole admission budget.
+	srv, err := New(sys, Options{Epochs: 50_000_000, MaxQueuedUpserts: 1, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(context.Background(), 400); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	genBefore := srv.Generation()
+	wells := unlabeledWells(data, 2)
+	if len(wells) != 2 {
+		t.Fatalf("only %d unlabeled wells", len(wells))
+	}
+	cancel, done := startSlowUpsert(t, ts.URL, "WellEvidence", [][]string{
+		{fmt.Sprint(wells[0].ID), storage.Geom(wells[0].Loc).String(), "true"},
+	})
+
+	// A second upsert cannot queue: the admission cap sheds it immediately.
+	if _, code := postUpsertQuiet(ts.URL, "WellEvidence", [][]string{
+		{fmt.Sprint(wells[1].ID), storage.Geom(wells[1].Loc).String(), "true"},
+	}); code != http.StatusTooManyRequests {
+		cancel()
+		t.Fatalf("second upsert status %d, want 429", code)
+	}
+
+	// Reads keep flowing from the stale snapshot: right generation, marked
+	// stale, and never parked on the write lock.
+	w := wells[0]
+	url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, w.Loc.X, w.Loc.Y)
+	lat := make([]time.Duration, 0, 50)
+	for i := 0; i < 50; i++ {
+		start := time.Now()
+		var resp queryResponse
+		if code := getJSON(t, url, &resp); code != http.StatusOK {
+			cancel()
+			t.Fatalf("read %d during upsert: status %d", i, code)
+		}
+		lat = append(lat, time.Since(start))
+		if !resp.Stale {
+			cancel()
+			t.Fatalf("read %d during upsert not marked stale: %+v", i, resp)
+		}
+		if resp.Generation != genBefore {
+			cancel()
+			t.Fatalf("stale read generation %d, want pre-upsert %d", resp.Generation, genBefore)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 := lat[len(lat)/2]
+	t.Logf("degraded read p50 %v (50 reads while writer held the lock)", p50)
+	if p50 > 250*time.Millisecond {
+		t.Errorf("degraded read p50 %v — stale reads are blocking on the writer", p50)
+	}
+
+	cancel()
+	<-done
+	waitHealthy(t, ts.URL)
+
+	// The cancelled writer still applied its evidence (partial inference is
+	// fine); live reads are no longer stale.
+	var resp queryResponse
+	if code := getJSON(t, url, &resp); code != http.StatusOK {
+		t.Fatalf("post-drain read: %d", code)
+	}
+	if resp.Stale || resp.Generation != genBefore+1 {
+		t.Errorf("post-drain read: stale=%v gen=%d, want live gen %d", resp.Stale, resp.Generation, genBefore+1)
+	}
+
+	snap := reg.Snapshot()
+	if snap["sya_serve_shed_total"] < 1 {
+		t.Errorf("sya_serve_shed_total = %v, want ≥ 1", snap["sya_serve_shed_total"])
+	}
+	if snap["sya_serve_degraded_reads_total"] < 50 {
+		t.Errorf("sya_serve_degraded_reads_total = %v, want ≥ 50", snap["sya_serve_degraded_reads_total"])
+	}
+	if snap["sya_serve_inflight"] != 0 {
+		t.Errorf("sya_serve_inflight = %v after drain, want 0", snap["sya_serve_inflight"])
+	}
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// TestDegradedReadsDuringStructuralReground is the harder half of the
+// degradation contract: a structural upsert (new atom key → full re-ground +
+// re-infer under the write lock) must not block reads — they serve the
+// previous generation's graph, trees and marginals, all of which the
+// re-ground replaces rather than mutates.
+func TestDegradedReadsDuringStructuralReground(t *testing.T) {
+	check := testutil.GoroutineLeakCheck(t)
+	sys, data := newGWDBSystem(t, 400)
+	reg := obs.NewRegistry()
+	srv, err := New(sys, Options{Epochs: 50_000_000, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(context.Background(), 400); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	genBefore := srv.Generation()
+	// A well ID the KB has never seen: the delta grounder cannot patch it
+	// and falls back to a full re-ground.
+	cancel, done := startSlowUpsert(t, ts.URL, "WellEvidence", [][]string{
+		{"9999", storage.Geom(data.Wells[0].Loc).String(), "true"},
+	})
+
+	old := unlabeledWells(data, 1)[0]
+	url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, old.Loc.X, old.Loc.Y)
+	for i := 0; i < 20; i++ {
+		var resp queryResponse
+		if code := getJSON(t, url, &resp); code != http.StatusOK {
+			cancel()
+			t.Fatalf("read %d during re-ground: status %d", i, code)
+		}
+		if !resp.Stale || resp.Generation != genBefore {
+			cancel()
+			t.Fatalf("read %d during re-ground: stale=%v gen=%d, want stale gen %d",
+				i, resp.Stale, resp.Generation, genBefore)
+		}
+		if len(resp.Atoms) != 1 {
+			cancel()
+			t.Fatalf("read %d during re-ground: %d atoms", i, len(resp.Atoms))
+		}
+	}
+
+	cancel()
+	<-done
+	waitHealthy(t, ts.URL)
+
+	if v := reg.Snapshot()["sya_serve_structural_regrounds_total"]; v != 1 {
+		t.Errorf("structural regrounds = %v, want 1", v)
+	}
+	// The new atom is live and pinned after the re-ground + index rebuild.
+	var resp queryResponse
+	nurl := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, data.Wells[0].Loc.X, data.Wells[0].Loc.Y)
+	if code := getJSON(t, nurl, &resp); code != http.StatusOK {
+		t.Fatalf("post-reground read: %d", code)
+	}
+	found := false
+	for _, a := range resp.Atoms {
+		if strings.HasPrefix(a.Key, "issafe|9999|") && a.Score == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upserted well 9999 not served pinned after structural re-ground: %+v", resp.Atoms)
+	}
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// walRecords counts complete frames in the log right now.
+func walRecords(t *testing.T, path string) int {
+	t.Helper()
+	offs, err := wal.FrameOffsets(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(offs) - 1
+}
+
+// TestUpsertErrorPathsLeaveStateConsistent drives every handleEvidence
+// rejection path and asserts none of them moves the generation, poisons the
+// cache, or lands a record in the WAL — rejected batches must be invisible.
+func TestUpsertErrorPathsLeaveStateConsistent(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "ev.wal")
+	sys, data := newGWDBSystem(t, 300)
+	srv, ts := startServer(t, sys, Options{Epochs: 200, WALPath: walPath})
+
+	wells := unlabeledWells(data, 2)
+	good := [][]string{{fmt.Sprint(wells[0].ID), storage.Geom(wells[0].Loc).String(), "true"}}
+	if up, code := postUpsert(t, ts.URL, "WellEvidence", good); code != http.StatusOK || up.Pins != 1 {
+		t.Fatalf("baseline upsert: code %d, %+v", code, up)
+	}
+	gen := srv.Generation()
+	if n := walRecords(t, walPath); n != 1 {
+		t.Fatalf("wal records after baseline = %d, want 1", n)
+	}
+	w := wells[0]
+	url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, w.Loc.X, w.Loc.Y)
+
+	rejections := []struct {
+		name     string
+		relation string
+		rows     [][]string
+		code     int
+	}{
+		{"short row", "WellEvidence", [][]string{{"1", "true"}}, http.StatusBadRequest},
+		{"bad cell", "WellEvidence", [][]string{{"1", "not a point", "true"}}, http.StatusBadRequest},
+		{"bad bool", "WellEvidence", [][]string{{"1", storage.Geom(w.Loc).String(), "maybe"}}, http.StatusBadRequest},
+		{"unknown relation", "NoSuchRelation", [][]string{{"1"}}, http.StatusNotFound},
+		{"empty rows", "WellEvidence", nil, http.StatusBadRequest},
+		// A batch with one bad row among good ones must be rejected whole:
+		// no partial application.
+		{"mixed batch", "WellEvidence", [][]string{
+			{fmt.Sprint(wells[1].ID), storage.Geom(wells[1].Loc).String(), "true"},
+			{"1", "broken"},
+		}, http.StatusBadRequest},
+	}
+	for _, rej := range rejections {
+		if _, code := postUpsertQuiet(ts.URL, rej.relation, rej.rows); code != rej.code {
+			t.Errorf("%s: status %d, want %d", rej.name, code, rej.code)
+		}
+		if g := srv.Generation(); g != gen {
+			t.Errorf("%s: generation moved %d → %d", rej.name, gen, g)
+		}
+		if n := walRecords(t, walPath); n != 1 {
+			t.Errorf("%s: wal records = %d, want 1 — rejected batch was logged", rej.name, n)
+		}
+		var resp queryResponse
+		if code := getJSON(t, url, &resp); code != http.StatusOK || len(resp.Atoms) != 1 || resp.Atoms[0].Score != 1 {
+			t.Errorf("%s: read after rejection broken: code %d, %+v", rej.name, code, resp)
+		}
+	}
+
+	// The mixed batch's good row was NOT applied: upserting it now still
+	// pins a fresh variable.
+	if up, code := postUpsert(t, ts.URL, "WellEvidence", [][]string{
+		{fmt.Sprint(wells[1].ID), storage.Geom(wells[1].Loc).String(), "true"},
+	}); code != http.StatusOK || up.Pins != 1 {
+		t.Fatalf("upsert after rejections: code %d, %+v", code, up)
+	}
+
+	// Duplicate pin: accepted (and logged — replay is idempotent), but
+	// first-pin-wins means no new pins and no resample.
+	genDup := srv.Generation()
+	up, code := postUpsert(t, ts.URL, "WellEvidence", good)
+	if code != http.StatusOK || up.Pins != 0 || up.SkippedPins < 1 {
+		t.Fatalf("duplicate upsert: code %d, %+v", code, up)
+	}
+	if g := srv.Generation(); g != genDup {
+		t.Errorf("duplicate pin moved the generation %d → %d", genDup, g)
+	}
+	if n := walRecords(t, walPath); n != 3 {
+		t.Errorf("wal records after duplicate = %d, want 3", n)
+	}
+}
+
+// TestCancelledUpsertStaysDurable kills the client mid-upsert (after the WAL
+// append, during inference) and proves the contract both ways: the live
+// server has the evidence applied with the generation bumped, and a reboot
+// from the same WAL recovers it.
+func TestCancelledUpsertStaysDurable(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "ev.wal")
+	sys, data := newGWDBSystem(t, 400)
+	srv, err := New(sys, Options{Epochs: 50_000_000, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(context.Background(), 400); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	genBefore := srv.Generation()
+
+	w := unlabeledWells(data, 1)[0]
+	row := []string{fmt.Sprint(w.ID), storage.Geom(w.Loc).String(), "true"}
+	cancel, done := startSlowUpsert(t, ts.URL, "WellEvidence", [][]string{row})
+	cancel()
+	<-done
+	waitHealthy(t, ts.URL)
+
+	// Live side: the abandoned upsert was applied atomically — pinned
+	// score, bumped generation, record in the log.
+	var resp queryResponse
+	url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", ts.URL, w.Loc.X, w.Loc.Y)
+	if code := getJSON(t, url, &resp); code != http.StatusOK {
+		t.Fatalf("read after cancel: %d", code)
+	}
+	if len(resp.Atoms) != 1 || resp.Atoms[0].Score != 1 {
+		t.Fatalf("cancelled upsert not applied: %+v", resp.Atoms)
+	}
+	if resp.Generation != genBefore+1 {
+		t.Errorf("generation %d, want %d", resp.Generation, genBefore+1)
+	}
+	if n := walRecords(t, walPath); n != 1 {
+		t.Fatalf("wal records = %d, want 1", n)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash side: a reboot replays the log and serves the pin again.
+	sys2, _ := newGWDBSystem(t, 400)
+	rec, rts := startServer(t, sys2, Options{WALPath: walPath})
+	if got := rec.ReplayStats().LogRecords; got != 1 {
+		t.Fatalf("replayed %d records, want 1", got)
+	}
+	var rresp queryResponse
+	rurl := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", rts.URL, w.Loc.X, w.Loc.Y)
+	if code := getJSON(t, rurl, &rresp); code != http.StatusOK {
+		t.Fatalf("read after reboot: %d", code)
+	}
+	if len(rresp.Atoms) != 1 || rresp.Atoms[0].Score != 1 {
+		t.Errorf("reboot lost the cancelled-but-acked upsert: %+v", rresp.Atoms)
+	}
+}

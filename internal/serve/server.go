@@ -9,6 +9,19 @@
 // → cache flush, so readers never observe a half-applied update. Scores are
 // memoized in a TTL'd read-through cache keyed by (variable, generation);
 // every resample bumps the generation, invalidating the whole cache at once.
+//
+// Durability: with Options.WALPath set, every accepted evidence batch is
+// appended to a CRC-framed write-ahead log *before* it is applied, so an
+// acked upsert survives a crash; New replays the log into the storage tables
+// before grounding, making restart = load + replay + one ground rather than
+// re-derive-from-scratch. Replay is at-least-once — safe because evidence
+// pins are first-pin-wins, so re-applying a batch is idempotent.
+//
+// Degradation: upserts publish a generation-stamped immutable snapshot of
+// the serving state (keys, R-trees, graph, marginals) before they start
+// mutating; readers that would block on the write lock serve from that
+// snapshot with stale: true instead. A bounded in-flight upsert queue sheds
+// excess writers with 429 rather than letting them pile up on the lock.
 package serve
 
 import (
@@ -21,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -29,7 +43,7 @@ import (
 	"repro/internal/gibbs"
 	"repro/internal/index/rtree"
 	"repro/internal/obs"
-	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Options parameterizes a Server.
@@ -44,6 +58,22 @@ type Options struct {
 	CacheTTL time.Duration
 	// Metrics receives the sya_serve_* series (nil disables).
 	Metrics *obs.Registry
+
+	// WALPath names the evidence write-ahead log ("" → durability off).
+	// New replays any existing log before grounding.
+	WALPath string
+	// WALSyncEvery batches fsyncs: sync after every n-th append (0 or 1 →
+	// every append, the safest setting).
+	WALSyncEvery int
+	// WALSnapshotEvery compacts the log into a rotating snapshot pair after
+	// this many log records (0 → never compact automatically).
+	WALSnapshotEvery int
+	// MaxQueuedUpserts bounds in-flight evidence requests; excess upserts
+	// are shed with 429 instead of queueing on the write lock (0 → 32).
+	MaxQueuedUpserts int
+	// UpsertTimeout bounds the inference phase of one upsert. 0 leaves
+	// inference bounded only by the client's own context.
+	UpsertTimeout time.Duration
 }
 
 // Server is a resident KB: a grounded system plus its serving indexes.
@@ -64,6 +94,21 @@ type Server struct {
 
 	cache *scoreCache
 
+	// wal is the evidence write-ahead log (nil when durability is off).
+	// Appends happen under the write lock; Close syncs and closes it.
+	wal    *wal.Log
+	replay wal.ReplayStats
+
+	// degraded holds the immutable read snapshot published by an in-flight
+	// upsert; nil when no writer is active. Readers that cannot take the
+	// read lock serve from it instead of blocking.
+	degraded atomic.Pointer[staleView]
+
+	// upsertSlots is the bounded admission queue for evidence requests; a
+	// full channel sheds the upsert with 429.
+	upsertSlots chan struct{}
+	inflight    atomic.Int64
+
 	mRequests   *obs.Counter
 	mErrors     *obs.Counter
 	mUpserts    *obs.Counter
@@ -71,17 +116,60 @@ type Server struct {
 	mAtoms      *obs.Gauge
 	mLatency    *obs.Histogram
 	mStructural *obs.Counter
+	mShed       *obs.Counter
+	mInflight   *obs.Gauge
+	mStaleReads *obs.Counter
 }
 
-// New wraps an already-constructed system. The system is grounded if it has
-// not been yet; inference is left to Warmup so callers control the initial
-// sampling budget. The server takes ownership: Close releases the system.
+// New wraps an already-constructed system. With a WALPath the evidence log
+// is replayed into the storage tables first, so grounding (run here if the
+// caller has not) derives a KB that already contains every acked upsert.
+// Inference is left to Warmup so callers control the initial sampling
+// budget. The server takes ownership: Close releases the system and the WAL.
 func New(sys *core.System, opts Options) (*Server, error) {
 	if opts.Epochs == 0 {
 		opts.Epochs = sys.Config().Epochs
 	}
+	if opts.MaxQueuedUpserts <= 0 {
+		opts.MaxQueuedUpserts = 32
+	}
+	var wlog *wal.Log
+	var replay wal.ReplayStats
+	if opts.WALPath != "" {
+		var err error
+		wlog, replay, err = wal.Open(opts.WALPath, wal.Options{
+			SyncEvery:     opts.WALSyncEvery,
+			SnapshotEvery: opts.WALSnapshotEvery,
+			Metrics:       opts.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening wal: %w", err)
+		}
+		replayed := wlog.Records()
+		for _, rec := range replayed {
+			rows, err := sys.ParseRows(rec.Relation, rec.Rows)
+			if err == nil {
+				err = sys.LoadRows(rec.Relation, rows)
+			}
+			if err != nil {
+				wlog.Close()
+				return nil, fmt.Errorf("serve: replaying wal record for %s: %w", rec.Relation, err)
+			}
+		}
+		if len(replayed) > 0 && sys.Grounding() != nil {
+			// The caller grounded before the replayed evidence landed in the
+			// tables; re-derive so the grounding sees it.
+			if _, err := sys.Ground(); err != nil {
+				wlog.Close()
+				return nil, fmt.Errorf("serve: re-grounding after wal replay: %w", err)
+			}
+		}
+	}
 	if sys.Grounding() == nil {
 		if _, err := sys.Ground(); err != nil {
+			if wlog != nil {
+				wlog.Close()
+			}
 			return nil, fmt.Errorf("serve: grounding: %w", err)
 		}
 	}
@@ -90,6 +178,9 @@ func New(sys *core.System, opts Options) (*Server, error) {
 		opts:        opts,
 		sys:         sys,
 		cache:       newScoreCache(opts.CacheTTL, m),
+		wal:         wlog,
+		replay:      replay,
+		upsertSlots: make(chan struct{}, opts.MaxQueuedUpserts),
 		mRequests:   m.Counter("sya_serve_requests_total"),
 		mErrors:     m.Counter("sya_serve_errors_total"),
 		mUpserts:    m.Counter("sya_serve_upserts_total"),
@@ -97,17 +188,27 @@ func New(sys *core.System, opts Options) (*Server, error) {
 		mAtoms:      m.Gauge("sya_serve_atoms"),
 		mLatency:    m.Histogram("sya_serve_request_seconds", latencyBuckets),
 		mStructural: m.Counter("sya_serve_structural_regrounds_total"),
+		mShed:       m.Counter("sya_serve_shed_total"),
+		mInflight:   m.Gauge("sya_serve_inflight"),
+		mStaleReads: m.Counter("sya_serve_degraded_reads_total"),
 	}
 	s.rebuildIndex()
 	return s, nil
 }
 
+// ReplayStats reports what the boot-time WAL replay recovered (zero value
+// when the server runs without a WAL).
+func (s *Server) ReplayStats() wal.ReplayStats { return s.replay }
+
 var latencyBuckets = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5}
 
 // Warmup runs the initial inference pass so queries have converged scores.
+// Reads arriving while it runs are served degraded rather than blocked.
 func (s *Server) Warmup(ctx context.Context, epochs int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.publishStale()
+	defer s.degraded.Store(nil)
 	if epochs == 0 {
 		epochs = s.opts.Epochs
 	}
@@ -118,11 +219,18 @@ func (s *Server) Warmup(ctx context.Context, epochs int) error {
 	return err
 }
 
-// Close releases the system's sampler pool.
-func (s *Server) Close() {
+// Close releases the system's sampler pool and syncs + closes the WAL, so a
+// clean shutdown never loses an acked upsert.
+func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sys.Close()
+	if s.wal != nil {
+		w := s.wal
+		s.wal = nil
+		return w.Close()
+	}
+	return nil
 }
 
 // System exposes the underlying system for in-process callers (tests and
@@ -228,6 +336,110 @@ func (s *Server) scoredAtom(vid factorgraph.VarID) ScoredAtom {
 	}
 }
 
+// staleView is the immutable snapshot an upsert publishes before mutating
+// the system: the previous generation's keys, R-trees, ground graph and
+// marginals. Everything in it stays valid while the writer works — the
+// trees are immutable after Bulk, a structural re-ground *replaces* the
+// graph rather than mutating it, and the marginals are copied out of the
+// sampler's counters before any resample starts.
+type staleView struct {
+	gen       uint64
+	keys      []string
+	trees     map[string]*rtree.Tree
+	graph     *factorgraph.Graph
+	marginals [][]float64
+	vars      int
+}
+
+func (v *staleView) atom(vid factorgraph.VarID) ScoredAtom {
+	gv := v.graph.Var(vid)
+	var m []float64
+	if int(vid) < len(v.marginals) {
+		m = v.marginals[vid]
+	}
+	if m == nil {
+		m = make([]float64, gv.Domain)
+		if gv.Evidence != factorgraph.NoEvidence {
+			m[gv.Evidence] = 1
+		} else {
+			for i := range m {
+				m[i] = 1 / float64(len(m))
+			}
+		}
+	}
+	score := 0.0
+	if len(m) > 1 {
+		score = m[1]
+	}
+	return ScoredAtom{
+		Key:      v.keys[vid],
+		Location: [2]float64{gv.Loc.X, gv.Loc.Y},
+		Score:    score,
+		Marginal: m,
+	}
+}
+
+// publishStale snapshots the current serving state into s.degraded so reads
+// arriving during the upsert can be answered without the lock. Caller holds
+// the write lock and must Store(nil) before releasing it.
+func (s *Server) publishStale() {
+	ground := s.sys.Grounding()
+	sv := &staleView{
+		gen:   s.gen,
+		keys:  s.keys,
+		trees: s.trees,
+		graph: ground.Graph,
+		vars:  ground.Stats.Vars,
+	}
+	if smp := s.sys.Sampler(); smp != nil {
+		// Marginals() allocates fresh slices, so the snapshot is decoupled
+		// from the counters the resample is about to advance.
+		sv.marginals = smp.Marginals()
+	}
+	s.degraded.Store(sv)
+}
+
+// acquireRead is the read-side admission point. It returns nil after taking
+// the read lock (caller must RUnlock — the live path), or a stale snapshot
+// when an upsert holds the write lock (caller must not touch s.sys).
+func (s *Server) acquireRead() *staleView {
+	for {
+		v := s.degraded.Load()
+		if v == nil {
+			s.mu.RLock()
+			return nil
+		}
+		if !s.mu.TryRLock() {
+			s.mStaleReads.Inc()
+			return v
+		}
+		// The writer retired between the load and the try. If no new writer
+		// published in the meantime we hold a clean read lock; otherwise
+		// release and re-decide.
+		if s.degraded.Load() == nil {
+			return nil
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// readState is what a score handler needs from either path: the live state
+// under RLock, or a stale snapshot.
+type readState struct {
+	gen     uint64
+	stale   bool
+	trees   map[string]*rtree.Tree
+	atom    func(vid factorgraph.VarID) ScoredAtom
+	release func()
+}
+
+func (s *Server) beginRead() readState {
+	if sv := s.acquireRead(); sv != nil {
+		return readState{gen: sv.gen, stale: true, trees: sv.trees, atom: sv.atom, release: func() {}}
+	}
+	return readState{gen: s.gen, trees: s.trees, atom: s.scoredAtom, release: s.mu.RUnlock}
+}
+
 // Handler returns the server's HTTP API:
 //
 //	GET  /v1/score/point?relation=R&x=&y=        atoms exactly at (x,y)
@@ -274,9 +486,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// tree resolves a relation's spatial index. Caller holds the read lock.
-func (s *Server) tree(relation string) (*rtree.Tree, bool) {
-	t, ok := s.trees[strings.ToLower(relation)]
+// lookupTree resolves a relation's spatial index in a tree map (the live
+// one under the read lock, or a stale snapshot's).
+func lookupTree(trees map[string]*rtree.Tree, relation string) (*rtree.Tree, bool) {
+	t, ok := trees[strings.ToLower(relation)]
 	return t, ok
 }
 
@@ -288,10 +501,13 @@ func queryFloat(r *http.Request, name string) (float64, error) {
 	return strconv.ParseFloat(raw, 64)
 }
 
-// queryResponse is the envelope of every score query.
+// queryResponse is the envelope of every score query. Stale marks scores
+// served from the degraded-read snapshot (the generation they belong to)
+// while an upsert or re-ground is in flight.
 type queryResponse struct {
 	Relation   string       `json:"relation"`
 	Generation uint64       `json:"generation"`
+	Stale      bool         `json:"stale,omitempty"`
 	Atoms      []ScoredAtom `json:"atoms"`
 }
 
@@ -303,16 +519,16 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "point query needs relation, x, y")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tree, ok := s.tree(rel)
+	rs := s.beginRead()
+	defer rs.release()
+	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
-	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
 	for _, it := range tree.SearchAll(geom.Pt(x, y).Bounds()) {
-		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
 	}
 	writeJSON(w, resp)
 }
@@ -327,17 +543,17 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "range query needs relation, minx, miny, maxx, maxy")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tree, ok := s.tree(rel)
+	rs := s.beginRead()
+	defer rs.release()
+	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
 	window := geom.NewRect(geom.Pt(minx, miny), geom.Pt(maxx, maxy))
-	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
 	for _, it := range tree.SearchAll(window) {
-		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
 	}
 	// Window search order is tree order; sort for a stable API.
 	sort.Slice(resp.Atoms, func(i, j int) bool { return resp.Atoms[i].Key < resp.Atoms[j].Key })
@@ -353,16 +569,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "knn query needs relation, x, y, k>0")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tree, ok := s.tree(rel)
+	rs := s.beginRead()
+	defer rs.release()
+	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
-	resp := queryResponse{Relation: rel, Generation: s.gen, Atoms: []ScoredAtom{}}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
 	for _, it := range tree.NearestK(geom.Pt(x, y), k) {
-		resp.Atoms = append(resp.Atoms, s.scoredAtom(factorgraph.VarID(it.Data)))
+		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
 	}
 	writeJSON(w, resp)
 }
@@ -400,40 +616,67 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Admission control: a bounded number of upserts may wait on the write
+	// lock; beyond that the server sheds load instead of queueing.
+	select {
+	case s.upsertSlots <- struct{}{}:
+		s.mInflight.Set(float64(s.inflight.Add(1)))
+		defer func() {
+			s.mInflight.Set(float64(s.inflight.Add(-1)))
+			<-s.upsertSlots
+		}()
+	default:
+		s.mShed.Inc()
+		s.fail(w, http.StatusTooManyRequests, "upsert queue full (%d in flight)", cap(s.upsertSlots))
+		return
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tbl, err := s.sys.DB().Table(req.Relation)
-	if err != nil {
+	// From here reads are served degraded from the pre-upsert snapshot
+	// instead of blocking on the lock. LIFO defers: the snapshot is cleared
+	// before the lock is released.
+	s.publishStale()
+	defer s.degraded.Store(nil)
+
+	if _, err := s.sys.DB().Table(req.Relation); err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	schema := tbl.Schema()
-	rows := make([]storage.Row, 0, len(req.Rows))
-	for i, cells := range req.Rows {
-		if len(cells) != len(schema.Cols) {
-			s.fail(w, http.StatusBadRequest, "row %d has %d cells, schema %s has %d columns",
-				i, len(cells), schema.Name, len(schema.Cols))
-			return
-		}
-		row := make(storage.Row, len(cells))
-		for c, cell := range cells {
-			v, err := storage.ParseCell(schema.Cols[c], cell)
-			if err != nil {
-				s.fail(w, http.StatusBadRequest, "row %d column %s: %v", i, schema.Cols[c].Name, err)
-				return
-			}
-			row[c] = v
-		}
-		rows = append(rows, row)
+	rows, err := s.sys.ParseRows(req.Relation, req.Rows)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 
-	ctx := r.Context()
-	stats, err := s.sys.UpsertEvidence(ctx, req.Relation, rows)
+	// Once the batch is validated it is logged, then applied under a
+	// context that survives client disconnects: an acked (or even
+	// half-finished) upsert must never leave the WAL and the KB divergent.
+	// Replay after a crash is at-least-once; first-pin-wins makes that
+	// idempotent.
+	applyCtx := context.WithoutCancel(r.Context())
+	if s.wal != nil {
+		if err := s.wal.Append(wal.Record{Relation: req.Relation, Rows: req.Rows}); err != nil {
+			s.fail(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	}
+	stats, err := s.sys.UpsertEvidence(applyCtx, req.Relation, rows)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, "upsert: %v", err)
 		return
 	}
 	s.mUpserts.Inc()
+
+	// Inference is the long tail of an upsert and tolerates interruption
+	// (partial epochs still leave a consistent sampler), so it stays
+	// client-cancellable, optionally bounded by the server's own deadline.
+	inferCtx := r.Context()
+	if s.opts.UpsertTimeout > 0 {
+		var cancel context.CancelFunc
+		inferCtx, cancel = context.WithTimeout(applyCtx, s.opts.UpsertTimeout)
+		defer cancel()
+	}
 	epochs := 0
 	if stats.Structural {
 		// The grounding (and its VarIDs) changed wholesale: rebuild the
@@ -441,13 +684,13 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		s.mStructural.Inc()
 		s.rebuildIndex()
 		epochs = s.opts.Epochs
-		if _, _, err := s.sys.InferContext(ctx, epochs); err != nil {
+		if _, _, err := s.sys.InferContext(inferCtx, epochs); err != nil {
 			s.fail(w, http.StatusInternalServerError, "re-inference: %v", err)
 			return
 		}
 	} else if stats.Pins > 0 {
 		epochs = s.opts.Epochs
-		if _, _, err := s.sys.InferIncrementalContext(ctx, epochs); err != nil {
+		if _, _, err := s.sys.InferIncrementalContext(inferCtx, epochs); err != nil {
 			s.fail(w, http.StatusInternalServerError, "incremental inference: %v", err)
 			return
 		}
@@ -466,20 +709,33 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body. Degraded means an upsert or
+// re-ground is in flight and reads are being served from the stale snapshot.
 type healthResponse struct {
 	Status     string `json:"status"`
 	Engine     string `json:"engine"`
 	Vars       int    `json:"vars"`
 	Generation uint64 `json:"generation"`
+	Degraded   bool   `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
+	// Config is immutable, so the engine name needs no lock either way.
+	engine := s.sys.Config().Engine.String()
+	if sv := s.acquireRead(); sv != nil {
+		writeJSON(w, healthResponse{
+			Status:     "degraded",
+			Engine:     engine,
+			Vars:       sv.vars,
+			Generation: sv.gen,
+			Degraded:   true,
+		})
+		return
+	}
 	defer s.mu.RUnlock()
 	writeJSON(w, healthResponse{
 		Status:     "ok",
-		Engine:     s.sys.Config().Engine.String(),
+		Engine:     engine,
 		Vars:       s.sys.Grounding().Stats.Vars,
 		Generation: s.gen,
 	})

@@ -54,7 +54,11 @@ func startServer(t *testing.T, sys *core.System, opts Options) (*Server, *httpte
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
 	if err := srv.Warmup(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}

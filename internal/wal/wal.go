@@ -1,0 +1,605 @@
+// Package wal is the serving stack's evidence write-ahead log: every
+// accepted evidence batch is appended as a length-prefixed, CRC-32-framed
+// record — and fsynced — *before* it is applied to the live system, so a
+// crash between the ack and the apply loses nothing. On boot the log is
+// replayed over the freshly loaded program (restart = load + replay, not
+// re-derive); a torn or corrupted tail — the signature of a crash mid-append
+// — is detected by the per-record CRC and truncated away, recovering the
+// longest clean prefix.
+//
+// The log is compacted through a periodic snapshot that reuses the rotating
+// checkpoint-pair idiom of the SYAC sampler checkpoints: the full record
+// history is rewritten atomically (temp file + fsync + rename) to
+// Path+".snap", the previous snapshot generation is kept at ".snap.prev" as
+// a fallback against a snapshot that is later found corrupted, and the live
+// log is truncated back to its header. Replay loads snapshot + log tail.
+//
+// The file format follows the same versioned little-endian binary idiom as
+// the SYAC checkpoint format: a magic/version header ("SYAW", version 1),
+// then frames of [u32 payload length | u32 CRC-32(payload) | payload]. A
+// record payload is the evidence batch exactly as the API accepted it:
+// relation name plus rows of text cells (parsing against the schema is the
+// applier's job, so a schema change surfaces at replay, loudly).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// File format constants.
+const (
+	walMagic = 0x53594157 // "SYAW"
+	// Version is the current serialization version; readers reject others.
+	Version = 1
+	// headerSize is magic + version.
+	headerSize = 8
+	// frameHeaderSize is payload length + CRC.
+	frameHeaderSize = 8
+	// maxPayload bounds a single record frame; a length prefix beyond it is
+	// treated as tail corruption, not an allocation request.
+	maxPayload = 1 << 28
+)
+
+// Record is one durable evidence batch: the upsert exactly as accepted by
+// the API, before parsing.
+type Record struct {
+	Relation string
+	Rows     [][]string
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// SyncEvery batches fsyncs: the file is synced once every N appended
+	// records (≤1 → every append, so an acked upsert is always durable).
+	// Larger values trade the durability of the last N−1 acked batches for
+	// append throughput; Close and Sync flush the remainder.
+	SyncEvery int
+	// SnapshotEvery compacts the log into the rotating snapshot pair after
+	// this many records accumulate in the live log (0 → never compact).
+	SnapshotEvery int
+	// Metrics receives the sya_wal_* series (nil disables).
+	Metrics *obs.Registry
+}
+
+// ReplayStats reports what Open recovered.
+type ReplayStats struct {
+	// SnapshotRecords came from the snapshot (or its .prev fallback).
+	SnapshotRecords int
+	// LogRecords came from the live log tail.
+	LogRecords int
+	// Truncated reports that a torn or corrupted tail was cut off.
+	Truncated bool
+	// TruncatedAt is the offset the log was truncated to (when Truncated).
+	TruncatedAt int64
+	// SnapshotFallback reports that the primary snapshot was unreadable and
+	// the previous generation was loaded instead.
+	SnapshotFallback bool
+}
+
+// Log is an open write-ahead log. It is not internally synchronized: the
+// server's upsert path is already serialized (one writer at a time), so the
+// Log expects at most one Append/Sync/Compact caller at a time.
+type Log struct {
+	path string
+	opts Options
+
+	f    *os.File
+	size int64 // current end-of-log write offset
+
+	// records is the full durable history (snapshot + log + appends), kept
+	// in memory so compaction can rewrite it; evidence batches are small
+	// relative to the ground graph they pin.
+	records    []Record
+	logRecords int // records currently in the live log file
+	unsynced   int // appends since the last fsync
+
+	mAppends   *obs.Counter
+	mBytes     *obs.Counter
+	mFsyncs    *obs.Counter
+	mReplayed  *obs.Counter
+	mTruncated *obs.Counter
+	mSnapshots *obs.Counter
+	mFallbacks *obs.Counter
+	mCompactErr *obs.Counter
+	mRecords   *obs.Gauge
+	mSyncTime  *obs.Histogram
+}
+
+// SnapPath returns the snapshot path for a log path.
+func SnapPath(path string) string { return path + ".snap" }
+
+// prevSnapPath is the rotated previous snapshot generation.
+func prevSnapPath(path string) string { return SnapPath(path) + ".prev" }
+
+// Open opens (creating if absent) the log at path, loads the snapshot pair,
+// and replays the log, truncating any torn tail. The recovered records are
+// available via Records; new appends go to the live log.
+func Open(path string, opts Options) (*Log, ReplayStats, error) {
+	m := opts.Metrics
+	l := &Log{
+		path:        path,
+		opts:        opts,
+		mAppends:    m.Counter("sya_wal_appends_total"),
+		mBytes:      m.Counter("sya_wal_appended_bytes_total"),
+		mFsyncs:     m.Counter("sya_wal_fsyncs_total"),
+		mReplayed:   m.Counter("sya_wal_replayed_records_total"),
+		mTruncated:  m.Counter("sya_wal_truncated_tails_total"),
+		mSnapshots:  m.Counter("sya_wal_snapshots_total"),
+		mFallbacks:  m.Counter("sya_wal_snapshot_fallbacks_total"),
+		mCompactErr: m.Counter("sya_wal_compact_errors_total"),
+		mRecords:    m.Gauge("sya_wal_records"),
+		mSyncTime:   m.Histogram("sya_wal_sync_seconds", nil),
+	}
+	var stats ReplayStats
+
+	// Snapshot first: the compacted prefix of the history. A snapshot is
+	// written atomically, so any read failure means corruption (or a crash
+	// landed between the two rotation renames) — fall back to the previous
+	// generation, mirroring checkpoint ResumeFrom.
+	snapRecs, err := readRecordFile(SnapPath(path))
+	switch {
+	case err == nil:
+	case os.IsNotExist(err):
+		snapRecs, err = readRecordFile(prevSnapPath(path))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, stats, fmt.Errorf("wal: previous snapshot %s: %w", prevSnapPath(path), err)
+		}
+		stats.SnapshotFallback = err == nil
+	default:
+		primaryErr := err
+		snapRecs, err = readRecordFile(prevSnapPath(path))
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal: snapshot %s: %w (previous generation also unreadable)", SnapPath(path), primaryErr)
+		}
+		stats.SnapshotFallback = true
+	}
+	if stats.SnapshotFallback {
+		l.mFallbacks.Inc()
+	}
+	stats.SnapshotRecords = len(snapRecs)
+	l.records = snapRecs
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	logRecs, good, torn, err := scanFrames(raw)
+	if err != nil {
+		f.Close()
+		return nil, stats, fmt.Errorf("wal: %s: %w", path, err)
+	}
+	if len(raw) < headerSize {
+		// New (or header-torn) log: start it fresh.
+		if err := l.reset(); err != nil {
+			f.Close()
+			return nil, stats, err
+		}
+	} else if torn {
+		// Crash mid-append: cut the torn tail, keeping the clean prefix.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("wal: %w", err)
+		}
+		l.size = good
+		stats.Truncated = true
+		stats.TruncatedAt = good
+		l.mTruncated.Inc()
+	} else {
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, stats, fmt.Errorf("wal: %w", err)
+		}
+		l.size = good
+	}
+	stats.LogRecords = len(logRecs)
+	l.records = append(l.records, logRecs...)
+	l.logRecords = len(logRecs)
+	l.mReplayed.Add(uint64(stats.SnapshotRecords + stats.LogRecords))
+	l.mRecords.Set(float64(len(l.records)))
+	return l, stats, nil
+}
+
+// reset rewrites the log as an empty headered file.
+func (l *Log) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.size = headerSize
+	return nil
+}
+
+// Records returns the recovered-plus-appended history, oldest first. The
+// slice is shared; callers must not mutate it.
+func (l *Log) Records() []Record { return l.records }
+
+// Append frames, writes, and (per the sync policy) fsyncs one record. On a
+// write error the log is truncated back to the last good frame so a partial
+// frame cannot corrupt the middle of the file once later appends succeed.
+func (l *Log) Append(rec Record) error {
+	payload := encodeRecord(rec)
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		// Best effort: cut whatever partial frame landed.
+		_ = l.f.Truncate(l.size)
+		_, _ = l.f.Seek(l.size, io.SeekStart)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.unsynced++
+	if l.opts.SyncEvery <= 1 || l.unsynced >= l.opts.SyncEvery {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	l.records = append(l.records, rec)
+	l.logRecords++
+	l.mAppends.Inc()
+	l.mBytes.Add(uint64(len(frame)))
+	l.mRecords.Set(float64(len(l.records)))
+	if l.opts.SnapshotEvery > 0 && l.logRecords >= l.opts.SnapshotEvery {
+		// Compaction failure is not an append failure: the record above is
+		// already durable in the log; count it and retry at the next
+		// threshold crossing.
+		if err := l.Compact(); err != nil {
+			l.mCompactErr.Inc()
+		}
+	}
+	return nil
+}
+
+// Sync flushes buffered appends to stable storage. No-op when clean.
+func (l *Log) Sync() error {
+	if l.unsynced == 0 {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mSyncTime.Observe(time.Since(start).Seconds())
+	l.unsynced = 0
+	l.mFsyncs.Inc()
+	return nil
+}
+
+// Compact rewrites the full record history into the snapshot (atomic temp
+// file + fsync + rename, previous generation rotated to ".snap.prev") and
+// truncates the live log back to its header. Consecutive records for the
+// same relation are merged into one, so the snapshot is both the durable
+// history and its compaction.
+func (l *Log) Compact() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	snap := SnapPath(l.path)
+	tmp := snap + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := writeRecordFile(f, mergeRecords(l.records)); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := os.Rename(snap, prevSnapPath(l.path)); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: rotating previous snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snap); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: compact: %w", err)
+	}
+	if err := l.reset(); err != nil {
+		return err
+	}
+	l.logRecords = 0
+	l.mSnapshots.Inc()
+	return nil
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}
+
+// mergeRecords coalesces consecutive same-relation records, preserving the
+// overall row order (first-pin-wins dedup depends on it).
+func mergeRecords(recs []Record) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, r := range recs {
+		if n := len(out); n > 0 && out[n-1].Relation == r.Relation {
+			merged := out[n-1]
+			merged.Rows = append(append([][]string(nil), merged.Rows...), r.Rows...)
+			out[n-1] = merged
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// FrameOffsets returns the record-boundary byte offsets of a log or
+// snapshot file: the offset after the header, then after each complete,
+// CRC-valid frame. The chaos harness tears files at (and between) these
+// offsets; offs[k] is the file size at which exactly k records survive.
+func FrameOffsets(path string) ([]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerSize {
+		return []int64{int64(len(raw))}, nil
+	}
+	if err := checkHeader(raw); err != nil {
+		return nil, err
+	}
+	offs := []int64{headerSize}
+	off := int64(headerSize)
+	for {
+		n, ok := frameAt(raw, off)
+		if !ok {
+			return offs, nil
+		}
+		off += n
+		offs = append(offs, off)
+	}
+}
+
+// checkHeader validates the magic/version prefix of a headered file.
+func checkHeader(raw []byte) error {
+	if m := binary.LittleEndian.Uint32(raw[0:4]); m != walMagic {
+		return fmt.Errorf("wal: not a WAL file (magic %08x)", m)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != Version {
+		return fmt.Errorf("wal: unsupported WAL version %d (want %d)", v, Version)
+	}
+	return nil
+}
+
+// frameAt reports the total size of the valid frame at off, or ok=false if
+// the bytes there are short, implausible, or fail the CRC.
+func frameAt(raw []byte, off int64) (int64, bool) {
+	if off+frameHeaderSize > int64(len(raw)) {
+		return 0, false
+	}
+	le := binary.LittleEndian
+	plen := le.Uint32(raw[off : off+4])
+	if plen > maxPayload || off+frameHeaderSize+int64(plen) > int64(len(raw)) {
+		return 0, false
+	}
+	payload := raw[off+frameHeaderSize : off+frameHeaderSize+int64(plen)]
+	if crc32.ChecksumIEEE(payload) != le.Uint32(raw[off+4:off+8]) {
+		return 0, false
+	}
+	return frameHeaderSize + int64(plen), true
+}
+
+// scanFrames walks a headered file's frames, decoding every record up to
+// the first invalid frame. It returns the decoded records, the offset of
+// the end of the clean prefix, and whether trailing bytes were left beyond
+// it (a torn tail). A file shorter than the header is reported as zero
+// records with good=0 (the caller rewrites the header); a well-formed
+// header with the wrong magic or version is an error, not a tear — that is
+// the wrong file, and truncating it would destroy someone's data.
+func scanFrames(raw []byte) (recs []Record, good int64, torn bool, err error) {
+	if len(raw) < headerSize {
+		return nil, 0, len(raw) > 0, nil
+	}
+	if err := checkHeader(raw); err != nil {
+		return nil, 0, false, err
+	}
+	off := int64(headerSize)
+	for {
+		n, ok := frameAt(raw, off)
+		if !ok {
+			return recs, off, off < int64(len(raw)), nil
+		}
+		payload := raw[off+frameHeaderSize : off+n]
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			// CRC-clean but undecodable: same-version corruption the frame
+			// layer missed; treat as a tear at this record.
+			return recs, off, true, nil
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// readRecordFile loads a whole snapshot file strictly: any torn tail or
+// invalid frame is an error (snapshots are written atomically, so a partial
+// one is corruption, unlike the live log's expected torn tail).
+func readRecordFile(path string) ([]Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerSize {
+		return nil, fmt.Errorf("wal: snapshot truncated (%d bytes)", len(raw))
+	}
+	recs, good, torn, err := scanFrames(raw)
+	if err != nil {
+		return nil, err
+	}
+	if torn || good != int64(len(raw)) {
+		return nil, fmt.Errorf("wal: snapshot has invalid frame at offset %d", good)
+	}
+	return recs, nil
+}
+
+// writeRecordFile writes a header plus one frame per record.
+func writeRecordFile(w io.Writer, recs []Record) error {
+	var hdr [headerSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], walMagic)
+	le.PutUint32(hdr[4:8], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		payload := encodeRecord(rec)
+		var fh [frameHeaderSize]byte
+		le.PutUint32(fh[0:4], uint32(len(payload)))
+		le.PutUint32(fh[4:8], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(fh[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeRecord serializes one record payload (little-endian: relation,
+// row count, then per-row cell counts and cells).
+func encodeRecord(rec Record) []byte {
+	size := 4 + len(rec.Relation) + 4
+	for _, row := range rec.Rows {
+		size += 4
+		for _, cell := range row {
+			size += 4 + len(cell)
+		}
+	}
+	buf := make([]byte, 0, size)
+	le := binary.LittleEndian
+	putU32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	putU32(uint32(len(rec.Relation)))
+	buf = append(buf, rec.Relation...)
+	putU32(uint32(len(rec.Rows)))
+	for _, row := range rec.Rows {
+		putU32(uint32(len(row)))
+		for _, cell := range row {
+			putU32(uint32(len(cell)))
+			buf = append(buf, cell...)
+		}
+	}
+	return buf
+}
+
+// decodeRecord parses a record payload, rejecting implausible lengths.
+func decodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	d := recDecoder{buf: payload}
+	rec.Relation = d.str(1 << 16)
+	nrows := d.u32()
+	if nrows > 1<<24 {
+		return rec, fmt.Errorf("implausible row count %d", nrows)
+	}
+	for i := uint32(0); i < nrows && d.err == nil; i++ {
+		ncells := d.u32()
+		if ncells > 1<<16 {
+			return rec, fmt.Errorf("implausible cell count %d", ncells)
+		}
+		row := make([]string, 0, ncells)
+		for c := uint32(0); c < ncells && d.err == nil; c++ {
+			row = append(row, d.str(1<<24))
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+	if d.err != nil {
+		return rec, d.err
+	}
+	if len(d.buf) != 0 {
+		return rec, fmt.Errorf("record has %d trailing bytes", len(d.buf))
+	}
+	return rec, nil
+}
+
+// recDecoder is a latching cursor over a record payload.
+type recDecoder struct {
+	buf []byte
+	err error
+}
+
+func (d *recDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *recDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *recDecoder) str(max int) string {
+	n := d.u32()
+	if d.err == nil && int(n) > max {
+		d.err = fmt.Errorf("implausible string length %d", n)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
