@@ -10,6 +10,7 @@
 //	    [-epochs N] [-warmup-epochs N] [-upsert-epochs N] [-cache-ttl D] \
 //	    [-bandwidth B] [-scale S] [-seed N] [-ground-workers N] [-label NAME] \
 //	    [-trace-out file.jsonl] [-trace-max-mb N] \
+//	    [-trace-ring N] [-slow-ms D] \
 //	    [-wal file.wal] [-wal-sync-every N] [-wal-snapshot-every N] \
 //	    [-max-queued-upserts N] [-upsert-timeout D] \
 //	    [-read-timeout D] [-read-header-timeout D] [-write-timeout D] \
@@ -20,9 +21,18 @@
 //	GET  /v1/score/point?relation=R&x=X&y=Y          score at a location
 //	GET  /v1/score/range?relation=R&minx&miny&maxx&maxy
 //	GET  /v1/score/knn?relation=R&x=X&y=Y&k=K        k nearest atoms
+//	GET  /v1/explain?key=relation|term,...           score provenance for one atom
 //	POST /v1/evidence {"relation": R, "rows": [[cell, ...], ...]}
 //	GET  /healthz
-//	GET  /metrics, /debug/pprof/*
+//	GET  /metrics, /debug/traces, /debug/pprof/*
+//
+// Every request is traced: per-stage timings (lock wait, R-tree probe,
+// WAL fsync, delta grounding, conclique resample) land in a ring of the
+// last -trace-ring completed traces served at /debug/traces, W3C
+// traceparent headers are accepted and echoed, and requests slower than
+// -slow-ms are logged as structured JSON on stderr. -trace-ring 0 turns
+// request tracing off entirely (the handlers then pay only a branch per
+// stage).
 //
 // Evidence upserts fold in without a restart: the delta grounder re-evaluates
 // only the rules that touch the upserted relation, pins the affected
@@ -48,6 +58,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -80,6 +91,8 @@ func main() {
 		label       = flag.String("label", "", "metrics label: scope all series with {system=NAME}")
 		traceOut    = flag.String("trace-out", "", "write structured JSONL phase-trace events to this file")
 		traceMaxMB  = flag.Int("trace-max-mb", 0, "rotate -trace-out to <file>.1 when it exceeds this many MB (0 = unbounded)")
+		traceRing   = flag.Int("trace-ring", 64, "completed request traces retained for /debug/traces (0 = request tracing off)")
+		slowMS      = flag.Int("slow-ms", 0, "log requests slower than this many milliseconds as structured JSON (0 = off)")
 
 		walPath       = flag.String("wal", "", "evidence write-ahead log file: append accepted upserts before applying, replay on boot (\"\" = durability off)")
 		walSyncEvery  = flag.Int("wal-sync-every", 1, "fsync the WAL after every N appends (1 = every append)")
@@ -107,6 +120,7 @@ func main() {
 		cacheTTL: *cacheTTL, bandwidth: *bandwidth, scale: *scale, seed: *seed,
 		groundWorkers: *groundWork, noKernels: *noKernels, label: *label,
 		traceOut: *traceOut, traceMaxMB: *traceMaxMB,
+		traceRing: *traceRing, slowMS: *slowMS,
 		walPath: *walPath, walSyncEvery: *walSyncEvery, walSnapshotEvery: *walSnapEvery,
 		maxQueuedUpserts: *maxUpserts, upsertTimeout: *upsertTimeout,
 		readTimeout: *readTimeout, readHeaderTimeout: *readHdrTO,
@@ -142,6 +156,8 @@ type runOpts struct {
 	label         string
 	traceOut      string
 	traceMaxMB    int
+	traceRing     int
+	slowMS        int
 
 	walPath          string
 	walSyncEvery     int
@@ -213,6 +229,14 @@ func run(ctx context.Context, o runOpts) (err error) {
 	if o.label != "" {
 		serveMetrics = reg.With("system", o.label)
 	}
+	var tracer *obs.Tracer
+	if o.traceRing > 0 {
+		tracer = obs.NewTracer(obs.TracerOptions{
+			RingSize:      o.traceRing,
+			SlowThreshold: time.Duration(o.slowMS) * time.Millisecond,
+			Logger:        slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		})
+	}
 	srv, err := serve.New(sys, serve.Options{
 		Epochs:           o.upsertEpochs,
 		CacheTTL:         o.cacheTTL,
@@ -222,6 +246,7 @@ func run(ctx context.Context, o runOpts) (err error) {
 		WALSnapshotEvery: o.walSnapshotEvery,
 		MaxQueuedUpserts: o.maxQueuedUpserts,
 		UpsertTimeout:    o.upsertTimeout,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		sys.Close()

@@ -45,6 +45,16 @@ type ServingUpsert struct {
 	P99Ms  float64 `json:"p99_ms"`
 }
 
+// ServingStaleness summarizes evidence-to-visible latency: for each
+// timestamped upsert, a concurrent reader polls the query API until the
+// serving generation moves past its pre-upsert value, so the sample is the
+// real window during which readers could still observe the old world.
+type ServingStaleness struct {
+	Upserts int     `json:"upserts"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+}
+
 // ServingMixed summarizes the degradation phase: readers racing a writer
 // that holds the write lock, plus a contender whose upserts are shed by the
 // admission cap. Stale reads are answered from the pre-upsert snapshot.
@@ -60,12 +70,13 @@ type ServingMixed struct {
 // ServingReport is the full serving-benchmark result, serialized to
 // BENCH_serving.json by syabench -phase=serving.
 type ServingReport struct {
-	Description string         `json:"description"`
-	Environment servingEnv     `json:"environment"`
-	Workload    servingLoad    `json:"workload"`
-	Points      []ServingPoint `json:"points"`
-	Upserts     ServingUpsert  `json:"upserts"`
-	Mixed       ServingMixed   `json:"mixed_read_during_upsert"`
+	Description string           `json:"description"`
+	Environment servingEnv       `json:"environment"`
+	Workload    servingLoad      `json:"workload"`
+	Points      []ServingPoint   `json:"points"`
+	Upserts     ServingUpsert    `json:"upserts"`
+	Staleness   ServingStaleness `json:"staleness"`
+	Mixed       ServingMixed     `json:"mixed_read_during_upsert"`
 	// Durability carries the sya_wal_* and sya_serve_* admission counters
 	// accumulated over the whole run (the server runs with a WAL, fsync
 	// per append, so upsert latencies above include durability).
@@ -108,6 +119,9 @@ func Serving(p Params) (*Table, error) {
 	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
 		"%d evidence upserts (delta ground + %d incremental epochs each, WAL fsync per append): p50 %s, p99 %s",
 		report.Upserts.Count, report.Upserts.Epochs, ms(report.Upserts.P50Ms), ms(report.Upserts.P99Ms)))
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"staleness (%d timestamped upserts, accept to generation-visible): p50 %s, p99 %s",
+		report.Staleness.Upserts, ms(report.Staleness.P50Ms), ms(report.Staleness.P99Ms)))
 	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
 		"mixed phase (%d upserts vs %d reads): %d stale reads, %d shed with 429, read p50 %s p99 %s",
 		report.Mixed.Upserts, report.Mixed.Reads, report.Mixed.StaleReads, report.Mixed.Shed429,
@@ -226,6 +240,12 @@ func ServingLoad(p Params) (*ServingReport, error) {
 	}
 	report.Upserts = up
 
+	stale, err := servingStalenessPhase(base, data)
+	if err != nil {
+		return nil, err
+	}
+	report.Staleness = stale
+
 	mixed, err := servingMixedPhase(base, data)
 	if err != nil {
 		return nil, err
@@ -245,15 +265,115 @@ func ServingLoad(p Params) (*ServingReport, error) {
 	return report, nil
 }
 
+// servingStalenessPhase measures evidence-to-visible latency (ROADMAP item
+// 4a): for each fresh evidence upsert, a concurrent poller reads the query
+// API until the serving generation moves past its pre-upsert value. The
+// elapsed time from just before the POST to that first new-generation read
+// is how long the evidence stayed invisible to readers — the client-side
+// counterpart of the server's sya_serve_staleness_seconds histogram.
+func servingStalenessPhase(base string, data *datagen.WellsData) (ServingStaleness, error) {
+	writer := &http.Client{}
+	defer writer.CloseIdleConnections()
+	poller := &http.Client{}
+	defer poller.CloseIdleConnections()
+
+	readGen := func(w datagen.Well) (uint64, error) {
+		url := fmt.Sprintf("%s/v1/score/point?relation=IsSafe&x=%g&y=%g", base, w.Loc.X, w.Loc.Y)
+		resp, err := poller.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return 0, fmt.Errorf("bench: staleness read status %d", resp.StatusCode)
+		}
+		var qr struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return 0, err
+		}
+		return qr.Generation, nil
+	}
+
+	var lats []time.Duration
+	skip := 32 // wells the upsert phase already labeled
+	for _, w := range data.Wells {
+		if w.IsEvidence {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		if len(lats) == 16 {
+			break
+		}
+		g0, err := readGen(w)
+		if err != nil {
+			return ServingStaleness{}, err
+		}
+
+		type visible struct {
+			lat time.Duration
+			err error
+		}
+		ch := make(chan visible, 1)
+		t0 := time.Now()
+		go func() {
+			deadline := t0.Add(30 * time.Second)
+			for {
+				g, err := readGen(w)
+				if err != nil {
+					ch <- visible{err: err}
+					return
+				}
+				if g > g0 {
+					ch <- visible{lat: time.Since(t0)}
+					return
+				}
+				if time.Now().After(deadline) {
+					ch <- visible{err: fmt.Errorf("bench: generation never advanced past %d", g0)}
+					return
+				}
+			}
+		}()
+		body := fmt.Sprintf(`{"relation":"WellEvidence","rows":[["%d","%s","%t"]]}`,
+			w.ID, storage.Geom(w.Loc).String(), w.Safe)
+		resp, err := writer.Post(base+"/v1/evidence", "application/json", strings.NewReader(body))
+		if err != nil {
+			return ServingStaleness{}, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return ServingStaleness{}, fmt.Errorf("bench: staleness upsert status %d", resp.StatusCode)
+		}
+		v := <-ch
+		if v.err != nil {
+			return ServingStaleness{}, v.err
+		}
+		lats = append(lats, v.lat)
+	}
+	p50, p99 := percentiles(lats)
+	return ServingStaleness{
+		Upserts: len(lats),
+		P50Ms:   float64(p50) / float64(time.Millisecond),
+		P99Ms:   float64(p99) / float64(time.Millisecond),
+	}, nil
+}
+
 // servingMixedPhase races readers against a writer streaming fresh evidence
 // and a contender re-posting the same rows: the contender is either shed by
 // the admission cap (429) or lands as a duplicate no-op; the readers count
 // how many answers came from the degraded (stale) snapshot.
 func servingMixedPhase(base string, data *datagen.WellsData) (ServingMixed, error) {
-	// Fresh pins only: skip the 32 wells the upsert phase already labeled
-	// so the writer really resamples (and holds the write lock) per upsert.
+	// Fresh pins only: skip the 48 wells the upsert and staleness phases
+	// already labeled so the writer really resamples (and holds the write
+	// lock) per upsert.
 	var fresh []datagen.Well
-	skip := 32
+	skip := 48
 	for _, w := range data.Wells {
 		if w.IsEvidence {
 			continue

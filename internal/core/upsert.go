@@ -8,6 +8,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/gibbs"
 	"repro/internal/grounding"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -81,6 +82,7 @@ func (s *System) UpsertEvidence(ctx context.Context, relation string, rows []sto
 	}
 	// Apply the patch to the live sampler (building one if inference has
 	// not started yet — pins must land somewhere stateful).
+	pinSpan := obs.SpanFromContext(ctx).Child("pin_apply")
 	if err := s.ensureSampler(); err != nil {
 		return stats, err
 	}
@@ -102,20 +104,30 @@ func (s *System) UpsertEvidence(ctx context.Context, relation string, rows []sto
 		s.pinned[pin.Var] = true
 		stats.Pins++
 	}
+	pinSpan.Notef("pins=%d skipped=%d", stats.Pins, stats.SkippedPins)
+	pinSpan.End()
 	s.observeDelta(stats)
 	return stats, nil
 }
+
+// Pinned reports whether v has been pinned by an evidence upsert since the
+// last full ground (pins baked into the graph at grounding time show as
+// Variable.Evidence instead).
+func (s *System) Pinned(v factorgraph.VarID) bool { return s.pinned[v] }
 
 // upsertStructural is the fallback: re-ground the whole program. The sampler
 // and pin set are reset by GroundContext; inference restarts fresh.
 func (s *System) upsertStructural(ctx context.Context, stats DeltaStats, reason string) (DeltaStats, error) {
 	stats.Structural = true
 	stats.Reason = reason
+	span := obs.SpanFromContext(ctx).Child("reground")
+	span.Note(reason)
 	start := time.Now()
 	if _, err := s.GroundContext(ctx); err != nil {
 		return stats, err
 	}
 	stats.GroundTime = time.Since(start)
+	span.End()
 	s.observeDelta(stats)
 	return stats, nil
 }

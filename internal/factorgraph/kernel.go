@@ -237,6 +237,102 @@ func (k *Kernels) compileSpatial(v VarID, s int32, maskIdx map[int32]int16) kop 
 	return op
 }
 
+// OpInfo is the human-readable decode of one compiled op — the score
+// provenance a serving /v1/explain response reports. Weight reads go
+// through the graph's live weight slices, so an explanation always shows
+// the weights inference is actually using (learned weights included).
+type OpInfo struct {
+	// Kind names the op: "istrue", "imply", "and", "or", "equal",
+	// "generic", "spatial", "spatial_masked" or "spatial_generic".
+	Kind string
+	// Weight is the op's current live weight (logical factor weight, or the
+	// spatial pair's distance-derived weight).
+	Weight float64
+	// Other is the other endpoint of a binary/spatial op, or NoVar.
+	Other VarID
+	// ID is the factor id (logical ops) or spatial pair id (spatial ops) —
+	// the index grounding's FactorRule maps back to a rule name.
+	ID int32
+	// Spatial marks spatial-pair ops (ID indexes spatial pairs, not
+	// factors).
+	Spatial bool
+	// Generic marks ops evaluated by the interpreted fallback.
+	Generic bool
+	// Masked marks spatial ops evaluated under a co-occurrence pruning
+	// mask.
+	Masked bool
+}
+
+// NoVar is the OpInfo.Other sentinel for ops with no second endpoint.
+const NoVar VarID = -1
+
+// kopNames maps opcodes to their OpInfo.Kind spellings.
+var kopNames = [...]string{
+	kopGeneric:        "generic",
+	kopIsTrue:         "istrue",
+	kopImply2:         "imply",
+	kopAnd2:           "and",
+	kopOr2:            "or",
+	kopEqual2:         "equal",
+	kopSpatial:        "spatial",
+	kopSpatialMasked:  "spatial_masked",
+	kopSpatialGeneric: "spatial_generic",
+}
+
+// VarProgram decodes one variable's compiled score program: every factor
+// and spatial pair contributing to its conditional, in the exact
+// accumulation order the samplers use. The result is freshly allocated.
+func (k *Kernels) VarProgram(v VarID) []OpInfo {
+	g := k.g
+	ops := k.ops[k.off[v]:k.off[v+1]]
+	out := make([]OpInfo, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		info := OpInfo{Kind: kopNames[op.code], ID: op.f, Other: NoVar}
+		switch op.code {
+		case kopSpatial, kopSpatialMasked, kopSpatialGeneric:
+			info.Spatial = true
+			info.Weight = g.spatialW[op.w]
+			info.Masked = op.code == kopSpatialMasked
+			info.Generic = op.code == kopSpatialGeneric
+			if op.code == kopSpatialGeneric {
+				// The generic op does not pre-resolve the endpoint; recover
+				// it from the pair table.
+				a, b := g.spatialA[op.f], g.spatialB[op.f]
+				if a == v {
+					info.Other = b
+				} else {
+					info.Other = a
+				}
+			} else {
+				info.Other = op.a
+			}
+		default:
+			info.Weight = g.factorWeight[op.w]
+			info.Generic = op.code == kopGeneric
+			switch op.code {
+			case kopImply2, kopAnd2, kopOr2, kopEqual2:
+				info.Other = op.a
+			case kopGeneric:
+				// Report the first non-v endpoint of the interpreted factor,
+				// when it has exactly one other distinct variable.
+				vars, _ := g.FactorVars(op.f)
+				for _, u := range vars {
+					if u != v {
+						if info.Other != NoVar && info.Other != u {
+							info.Other = NoVar
+							break
+						}
+						info.Other = u
+					}
+				}
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
 // ConditionalScores is the compiled equivalent of Graph.ConditionalScores:
 // same signature, same accumulation order, bit-identical results. Like the
 // interpreted path it re-reads neighbour values per candidate, so concurrent

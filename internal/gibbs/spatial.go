@@ -669,7 +669,12 @@ func (s *Spatial) RunIncrementalContext(ctx context.Context, n int) (RunStats, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// A request span on the context (serving upsert path) gets the dirty
+	// sweep recorded as a stage of its trace.
+	span := obs.SpanFromContext(ctx).Child("conclique_sweep")
 	view := s.restrictedFor(s.dirty)
+	span.Notef("dirty=%d cells=%d tail=%d epochs=%d", len(s.dirty), len(view.cells), len(view.extra), n)
+	defer span.End()
 	for _, ci := range view.cells {
 		for _, v := range s.sched.cellVars(ci) {
 			if !s.pinned[v] {

@@ -129,6 +129,10 @@ func (gr *Grounder) DeltaContext(ctx context.Context, prev *Result, changed []st
 	}
 	gr.ctx = ctx
 	start := time.Now()
+	// When the context carries a request span (serving upsert path), the
+	// delta evaluation is recorded as a stage of that request's trace.
+	span := obs.SpanFromContext(ctx).Child("delta_ground")
+	defer span.End()
 	deps := prev.Deps
 	if deps == nil {
 		deps = ComputeDeps(gr.prog)
@@ -213,6 +217,7 @@ func (gr *Grounder) DeltaContext(ctx context.Context, prev *Result, changed []st
 		}
 	}
 	p.Elapsed = time.Since(start)
+	span.Notef("derivations=%d rows=%d pins=%d", p.Derivations, p.Rows, len(p.Pins))
 	gr.opts.Trace.Emit("grounding", "delta",
 		"derivations", p.Derivations, "rows", p.Rows, "pins", len(p.Pins),
 		"dur_ms", obs.Ms(p.Elapsed))

@@ -43,6 +43,8 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	snapshotMu.Lock()
 	snapshotReg = r
 	snapshotMu.Unlock()
+	// Every exposition endpoint carries the process-health gauges.
+	RegisterRuntimeMetrics(r)
 	publishOnce.Do(func() {
 		expvar.Publish("sya_metrics", expvar.Func(func() any {
 			snapshotMu.Lock()

@@ -22,6 +22,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -167,6 +168,12 @@ type regState struct {
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 	meta   map[string]seriesMeta // series key -> family + labels
+
+	// hookMu guards the scrape hooks separately from mu: hooks run before
+	// an exposition takes mu (they typically Set gauges, which needs it).
+	hookMu      sync.Mutex
+	hooks       []func()
+	runtimeDone bool
 }
 
 // seriesMeta splits a series key back into its family name and label pairs
@@ -197,7 +204,7 @@ func (r *Registry) With(kv ...string) *Registry {
 	}
 	labels := r.labels
 	for i := 0; i+1 < len(kv); i += 2 {
-		pair := fmt.Sprintf("%s=%q", kv[i], kv[i+1])
+		pair := kv[i] + "=\"" + escapeLabelValue(kv[i+1]) + "\""
 		if labels == "" {
 			labels = pair
 		} else {
@@ -205,6 +212,69 @@ func (r *Registry) With(kv ...string) *Registry {
 		}
 	}
 	return &Registry{st: r.st, labels: labels}
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote and newline, nothing else (Go's %q would
+// emit \x/\u escapes the format does not define).
+func escapeLabelValue(v string) string {
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			out := make([]byte, 0, len(v)+4)
+			for j := 0; j < len(v); j++ {
+				switch v[j] {
+				case '\\':
+					out = append(out, '\\', '\\')
+				case '"':
+					out = append(out, '\\', '"')
+				case '\n':
+					out = append(out, '\\', 'n')
+				default:
+					out = append(out, v[j])
+				}
+			}
+			return string(out)
+		}
+	}
+	return v
+}
+
+// formatValue renders a sample value per the exposition format: the
+// shortest float representation, with the spec's spellings for the
+// non-finite values ("+Inf", "-Inf", "NaN").
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// OnScrape registers fn to run at the start of every exposition
+// (WritePrometheus and Snapshot) — the hook point for gauges that sample
+// process state (runtime health) at scrape time rather than continuously.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.st.hookMu.Lock()
+	r.st.hooks = append(r.st.hooks, fn)
+	r.st.hookMu.Unlock()
+}
+
+// runScrapeHooks invokes the registered scrape hooks. It must be called
+// before taking st.mu: hooks Set gauges, which acquires it.
+func (r *Registry) runScrapeHooks() {
+	r.st.hookMu.Lock()
+	hooks := r.st.hooks
+	r.st.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // seriesKey renders the storage key for a family under this view's labels.
@@ -306,6 +376,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.runScrapeHooks()
 	st := r.st
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -337,7 +408,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, k := range group {
-			if _, err := fmt.Fprintf(w, "%s %v\n", k, st.gauges[k].Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", k, formatValue(st.gauges[k].Value())); err != nil {
 				return err
 			}
 		}
@@ -373,13 +444,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			var cum uint64
 			for i, b := range h.bounds {
 				cum += h.counts[i].Load()
-				if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", fmt.Sprintf("le=%q", fmt.Sprintf("%v", b))), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="`+formatValue(b)+`"`), cum); err != nil {
 					return err
 				}
 			}
+			// _count is the +Inf cumulative count, by definition — rendering
+			// h.Count() separately could disagree with the buckets within one
+			// scrape (an Observe landing between the two reads).
 			cum += h.counts[len(h.bounds)].Load()
-			if _, err := fmt.Fprintf(w, "%s %d\n%s %v\n%s %d\n",
-				series("_bucket", `le="+Inf"`), cum, series("_sum", ""), h.Sum(), series("_count", ""), h.Count()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n%s %s\n%s %d\n",
+				series("_bucket", `le="+Inf"`), cum, series("_sum", ""), formatValue(h.Sum()), series("_count", ""), cum); err != nil {
 				return err
 			}
 		}
@@ -394,6 +468,7 @@ func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil
 	}
+	r.runScrapeHooks()
 	st := r.st
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -184,5 +186,110 @@ func TestConcurrentObservation(t *testing.T) {
 	}
 	if h.Count() != workers*per || h.Sum() != workers*per {
 		t.Errorf("hist count/sum = %d/%v, want %d", h.Count(), h.Sum(), workers*per)
+	}
+}
+
+// TestWritePrometheusGolden pins the full exposition byte-for-byte: family
+// grouping and ordering, cumulative buckets ending at +Inf, _sum/_count
+// naming, label-value escaping, and the non-finite float spellings. Any
+// format drift a Prometheus scraper would notice fails here first.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sya_requests_total").Add(3)
+	r.With("endpoint", "point", "outcome", "ok").Counter("sya_requests_total").Add(2)
+	r.Gauge("sya_up").Set(1)
+	r.With("path", `a\b"c`+"\n").Gauge("sya_up").Set(math.Inf(1))
+	h := r.With("endpoint", "knn").Histogram("sya_lat_seconds", []float64{0.25, 0.5})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE sya_requests_total counter
+sya_requests_total 3
+sya_requests_total{endpoint="point",outcome="ok"} 2
+# TYPE sya_up gauge
+sya_up 1
+sya_up{path="a\\b\"c\n"} +Inf
+# TYPE sya_lat_seconds histogram
+sya_lat_seconds_bucket{endpoint="knn",le="0.25"} 1
+sya_lat_seconds_bucket{endpoint="knn",le="0.5"} 2
+sya_lat_seconds_bucket{endpoint="knn",le="+Inf"} 3
+sya_lat_seconds_sum{endpoint="knn"} 9.4
+sya_lat_seconds_count{endpoint="knn"} 3
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestHistogramCountMatchesInfBucket pins the scrape-consistency rule: the
+// _count sample must equal the +Inf cumulative bucket within one scrape,
+// even with concurrent observers racing the render.
+func TestHistogramCountMatchesInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sya_race_seconds", []float64{0.5})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.1)
+				h.Observe(1)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count uint64
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, `sya_race_seconds_bucket{le="+Inf"} `) {
+				fmt.Sscanf(line, `sya_race_seconds_bucket{le="+Inf"} %d`, &inf)
+			}
+			if strings.HasPrefix(line, "sya_race_seconds_count ") {
+				fmt.Sscanf(line, "sya_race_seconds_count %d", &count)
+			}
+		}
+		if inf != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != _count %d", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRuntimeMetricsAppearOnScrape verifies the health gauges register once
+// and sample live process state at exposition time.
+func TestRuntimeMetricsAppearOnScrape(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterRuntimeMetrics(r) // idempotent
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fam := range []string{"sya_go_goroutines", "sya_go_heap_bytes", "sya_go_gc_pause_seconds"} {
+		if strings.Count(out, "# TYPE "+fam+" gauge") != 1 {
+			t.Errorf("exposition must carry exactly one %s family:\n%s", fam, out)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["sya_go_goroutines"] < 1 {
+		t.Errorf("sya_go_goroutines = %v, want >= 1", snap["sya_go_goroutines"])
+	}
+	if snap["sya_go_heap_bytes"] <= 0 {
+		t.Errorf("sya_go_heap_bytes = %v, want > 0", snap["sya_go_heap_bytes"])
 	}
 }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Runtime health gauges: goroutine count, live heap bytes, and cumulative
+// GC pause time, sampled at scrape time through the registry's OnScrape
+// hook — a /metrics pull always reflects the process at that instant, with
+// zero cost between scrapes. The serve-smoke CI job asserts on
+// sya_go_goroutines across a crash-restart to catch goroutine leaks.
+
+// runtimeSamples are the runtime/metrics series the gauges read; the
+// runtime guarantees all three exist (they are documented, stable names).
+var runtimeSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/pauses:seconds"},
+}
+
+// RegisterRuntimeMetrics registers the sya_go_* health gauges on the
+// registry and hooks their refresh into every exposition. Idempotent per
+// underlying registry state (labeled views share it), nil-safe.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.st.hookMu.Lock()
+	done := r.st.runtimeDone
+	r.st.runtimeDone = true
+	r.st.hookMu.Unlock()
+	if done {
+		return
+	}
+	goroutines := r.Gauge("sya_go_goroutines")
+	heap := r.Gauge("sya_go_heap_bytes")
+	gcPause := r.Gauge("sya_go_gc_pause_seconds")
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	r.OnScrape(func() {
+		metrics.Read(samples)
+		if samples[0].Value.Kind() == metrics.KindUint64 {
+			goroutines.Set(float64(samples[0].Value.Uint64()))
+		} else {
+			// Fallback if the runtime ever changes the series kind.
+			goroutines.Set(float64(runtime.NumGoroutine()))
+		}
+		if samples[1].Value.Kind() == metrics.KindUint64 {
+			heap.Set(float64(samples[1].Value.Uint64()))
+		}
+		if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+			gcPause.Set(histTotal(samples[2].Value.Float64Histogram()))
+		}
+	})
+}
+
+// histTotal sums a runtime Float64Histogram into a cumulative-seconds
+// total: count-weighted midpoints of the finite buckets (the runtime's GC
+// pause histogram has no exact sum, so this is the standard estimate).
+func histTotal(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		total += mid * float64(n)
+	}
+	return total
+}

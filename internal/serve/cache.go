@@ -69,6 +69,18 @@ func (c *scoreCache) put(vid factorgraph.VarID, gen uint64, marginal []float64) 
 	c.mu.Unlock()
 }
 
+// peek reports whether a live cached marginal exists for (vid, gen) without
+// counting a hit or miss — the explain endpoint's read-only probe.
+func (c *scoreCache) peek(vid factorgraph.VarID, gen uint64) bool {
+	c.mu.RLock()
+	e, ok := c.entries[vid]
+	c.mu.RUnlock()
+	if !ok || e.gen != gen {
+		return false
+	}
+	return c.ttl <= 0 || !c.now().After(e.expires)
+}
+
 // reset drops every entry; called when a resample invalidates all scores.
 func (c *scoreCache) reset() {
 	c.mu.Lock()

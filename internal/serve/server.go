@@ -41,6 +41,7 @@ import (
 	"repro/internal/factorgraph"
 	"repro/internal/geom"
 	"repro/internal/gibbs"
+	"repro/internal/grounding"
 	"repro/internal/index/rtree"
 	"repro/internal/obs"
 	"repro/internal/wal"
@@ -74,6 +75,11 @@ type Options struct {
 	// UpsertTimeout bounds the inference phase of one upsert. 0 leaves
 	// inference bounded only by the client's own context.
 	UpsertTimeout time.Duration
+
+	// Tracer records request-scoped span trees for /debug/traces and the
+	// slow-request log (nil disables tracing; handlers then pay only a
+	// branch per would-be span).
+	Tracer *obs.Tracer
 }
 
 // Server is a resident KB: a grounded system plus its serving indexes.
@@ -109,17 +115,41 @@ type Server struct {
 	upsertSlots chan struct{}
 	inflight    atomic.Int64
 
+	tracer *obs.Tracer
+
 	mRequests   *obs.Counter
 	mErrors     *obs.Counter
 	mUpserts    *obs.Counter
 	mGen        *obs.Gauge
 	mAtoms      *obs.Gauge
-	mLatency    *obs.Histogram
 	mStructural *obs.Counter
 	mShed       *obs.Counter
 	mInflight   *obs.Gauge
 	mStaleReads *obs.Counter
+	mStaleness  *obs.Histogram
+
+	// latency holds one sya_serve_request_seconds series per
+	// endpoint × outcome, prebuilt so the request path does a map read
+	// instead of a labeled-registry lookup.
+	latency map[latencyKey]*obs.Histogram
 }
+
+// latencyKey indexes the prebuilt request-latency series.
+type latencyKey struct{ endpoint, outcome string }
+
+// Request outcomes, the `outcome` label of sya_serve_request_seconds:
+// outcomeOK for a fresh answer, outcomeStale for a degraded read served from
+// the pre-upsert snapshot, outcomeShed for a 429'd upsert, outcomeError for
+// everything else that failed.
+const (
+	outcomeOK    = "ok"
+	outcomeStale = "stale"
+	outcomeShed  = "shed"
+	outcomeError = "error"
+)
+
+var endpoints = []string{"point", "range", "knn", "evidence", "explain"}
+var outcomes = []string{outcomeOK, outcomeStale, outcomeShed, outcomeError}
 
 // New wraps an already-constructed system. With a WALPath the evidence log
 // is replayed into the storage tables first, so grounding (run here if the
@@ -174,6 +204,7 @@ func New(sys *core.System, opts Options) (*Server, error) {
 		}
 	}
 	m := opts.Metrics
+	obs.RegisterRuntimeMetrics(m)
 	s := &Server{
 		opts:        opts,
 		sys:         sys,
@@ -181,16 +212,24 @@ func New(sys *core.System, opts Options) (*Server, error) {
 		wal:         wlog,
 		replay:      replay,
 		upsertSlots: make(chan struct{}, opts.MaxQueuedUpserts),
+		tracer:      opts.Tracer,
 		mRequests:   m.Counter("sya_serve_requests_total"),
 		mErrors:     m.Counter("sya_serve_errors_total"),
 		mUpserts:    m.Counter("sya_serve_upserts_total"),
 		mGen:        m.Gauge("sya_serve_generation"),
 		mAtoms:      m.Gauge("sya_serve_atoms"),
-		mLatency:    m.Histogram("sya_serve_request_seconds", latencyBuckets),
 		mStructural: m.Counter("sya_serve_structural_regrounds_total"),
 		mShed:       m.Counter("sya_serve_shed_total"),
 		mInflight:   m.Gauge("sya_serve_inflight"),
 		mStaleReads: m.Counter("sya_serve_degraded_reads_total"),
+		mStaleness:  m.Histogram("sya_serve_staleness_seconds", stalenessBuckets),
+		latency:     make(map[latencyKey]*obs.Histogram, len(endpoints)*len(outcomes)),
+	}
+	for _, ep := range endpoints {
+		for _, oc := range outcomes {
+			s.latency[latencyKey{ep, oc}] =
+				m.With("endpoint", ep, "outcome", oc).Histogram("sya_serve_request_seconds", latencyBuckets)
+		}
 	}
 	s.rebuildIndex()
 	return s, nil
@@ -201,6 +240,10 @@ func New(sys *core.System, opts Options) (*Server, error) {
 func (s *Server) ReplayStats() wal.ReplayStats { return s.replay }
 
 var latencyBuckets = []float64{.0001, .0005, .001, .005, .01, .05, .1, .5, 1, 5}
+
+// stalenessBuckets cover the evidence-to-visible window: accept timestamp to
+// generation publish, dominated by delta grounding plus the resample.
+var stalenessBuckets = []float64{.001, .005, .01, .05, .1, .5, 1, 5, 10, 30}
 
 // Warmup runs the initial inference pass so queries have converged scores.
 // Reads arriving while it runs are served degraded rather than blocked.
@@ -349,6 +392,11 @@ type staleView struct {
 	graph     *factorgraph.Graph
 	marginals [][]float64
 	vars      int
+	// ground is the grounding Result the snapshot was taken from. A
+	// structural re-ground replaces the Result wholesale (its VarID map,
+	// rule tables and graph are never mutated in place), so the degraded
+	// explain path can keep resolving atoms against it.
+	ground *grounding.Result
 }
 
 func (v *staleView) atom(vid factorgraph.VarID) ScoredAtom {
@@ -385,11 +433,12 @@ func (v *staleView) atom(vid factorgraph.VarID) ScoredAtom {
 func (s *Server) publishStale() {
 	ground := s.sys.Grounding()
 	sv := &staleView{
-		gen:   s.gen,
-		keys:  s.keys,
-		trees: s.trees,
-		graph: ground.Graph,
-		vars:  ground.Stats.Vars,
+		gen:    s.gen,
+		keys:   s.keys,
+		trees:  s.trees,
+		graph:  ground.Graph,
+		vars:   ground.Stats.Vars,
+		ground: ground,
 	}
 	if smp := s.sys.Sampler(); smp != nil {
 		// Marginals() allocates fresh slices, so the snapshot is decoupled
@@ -445,19 +494,22 @@ func (s *Server) beginRead() readState {
 //	GET  /v1/score/point?relation=R&x=&y=        atoms exactly at (x,y)
 //	GET  /v1/score/range?relation=R&minx=&miny=&maxx=&maxy=
 //	GET  /v1/score/knn?relation=R&x=&y=&k=
+//	GET  /v1/explain?key=relation|term,...       score provenance for one atom
 //	POST /v1/evidence  {"relation": "...", "rows": [["cell", ...], ...]}
 //	GET  /healthz
-//	GET  /metrics, /debug/pprof/*
+//	GET  /metrics, /debug/traces, /debug/pprof/*
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/score/point", s.instrument(s.handlePoint))
-	mux.HandleFunc("/v1/score/range", s.instrument(s.handleRange))
-	mux.HandleFunc("/v1/score/knn", s.instrument(s.handleKNN))
-	mux.HandleFunc("/v1/evidence", s.instrument(s.handleEvidence))
+	mux.HandleFunc("/v1/score/point", s.instrument("point", s.handlePoint))
+	mux.HandleFunc("/v1/score/range", s.instrument("range", s.handleRange))
+	mux.HandleFunc("/v1/score/knn", s.instrument("knn", s.handleKNN))
+	mux.HandleFunc("/v1/explain", s.instrument("explain", s.handleExplain))
+	mux.HandleFunc("/v1/evidence", s.instrument("evidence", s.handleEvidence))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	if s.opts.Metrics != nil {
 		mux.Handle("/metrics", s.opts.Metrics.Handler())
 	}
+	mux.Handle("/debug/traces", s.tracer.TracesHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
@@ -465,17 +517,51 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+// reqScope carries one request's observability state through its handler:
+// the trace span, the latency-label outcome, and the accept timestamp the
+// staleness histogram measures from.
+type reqScope struct {
+	span    obs.Span
+	start   time.Time
+	outcome string
+	stale   bool
+}
+
+// instrument wraps a handler with the per-request observability seam: a
+// request counter, a trace span (opened from — and echoed to — the W3C
+// traceparent header), and the endpoint × outcome latency histogram. With
+// tracing disabled the span is a no-op value and the wrapper adds only the
+// counter, a clock read and one map lookup.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request, *reqScope)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		rq := reqScope{start: time.Now(), outcome: outcomeOK}
+		rq.span = s.tracer.StartRequest(endpoint, r.Header.Get("traceparent"))
+		if rq.span.Enabled() {
+			w.Header().Set("traceparent", rq.span.Traceparent())
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), rq.span))
+		}
 		s.mRequests.Inc()
-		h(w, r)
-		s.mLatency.Observe(time.Since(start).Seconds())
+		h(w, r, &rq)
+		if rq.stale && rq.outcome == outcomeOK {
+			rq.outcome = outcomeStale
+		}
+		rq.span.Finish(rq.outcome)
+		if hist, ok := s.latency[latencyKey{endpoint, rq.outcome}]; ok {
+			hist.Observe(time.Since(rq.start).Seconds())
+		}
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+func (s *Server) fail(w http.ResponseWriter, rq *reqScope, code int, format string, args ...any) {
 	s.mErrors.Inc()
+	if rq != nil {
+		if code == http.StatusTooManyRequests {
+			rq.outcome = outcomeShed
+		} else {
+			rq.outcome = outcomeError
+		}
+		rq.span.Notef("%d: "+format, append([]any{code}, args...)...)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
@@ -511,75 +597,102 @@ type queryResponse struct {
 	Atoms      []ScoredAtom `json:"atoms"`
 }
 
-func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+// beginReadTraced is beginRead with the lock acquisition recorded as an
+// "acquire_read" stage and the stale outcome propagated to the scope.
+func (s *Server) beginReadTraced(rq *reqScope) readState {
+	sp := rq.span.Child("acquire_read")
+	rs := s.beginRead()
+	sp.End()
+	rq.stale = rs.stale
+	return rs
+}
+
+// probeAndScore runs the common tail of a score query: time the R-tree probe
+// ("rtree_probe") and the cache/marginal reads ("score") as stages of the
+// request trace.
+func probeAndScore(rq *reqScope, rs readState, probe func() []rtree.Item) []ScoredAtom {
+	sp := rq.span.Child("rtree_probe")
+	items := probe()
+	sp.Notef("hits=%d", len(items))
+	sp.End()
+	sp = rq.span.Child("score")
+	atoms := make([]ScoredAtom, 0, len(items))
+	for _, it := range items {
+		atoms = append(atoms, rs.atom(factorgraph.VarID(it.Data)))
+	}
+	sp.End()
+	return atoms
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, rq *reqScope) {
 	rel := r.URL.Query().Get("relation")
 	x, errX := queryFloat(r, "x")
 	y, errY := queryFloat(r, "y")
 	if rel == "" || errX != nil || errY != nil {
-		s.fail(w, http.StatusBadRequest, "point query needs relation, x, y")
+		s.fail(w, rq, http.StatusBadRequest, "point query needs relation, x, y")
 		return
 	}
-	rs := s.beginRead()
+	rs := s.beginReadTraced(rq)
 	defer rs.release()
 	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		s.fail(w, rq, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
-	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
-	for _, it := range tree.SearchAll(geom.Pt(x, y).Bounds()) {
-		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
-	}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale}
+	resp.Atoms = probeAndScore(rq, rs, func() []rtree.Item {
+		return tree.SearchAll(geom.Pt(x, y).Bounds())
+	})
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request, rq *reqScope) {
 	rel := r.URL.Query().Get("relation")
 	minx, e1 := queryFloat(r, "minx")
 	miny, e2 := queryFloat(r, "miny")
 	maxx, e3 := queryFloat(r, "maxx")
 	maxy, e4 := queryFloat(r, "maxy")
 	if rel == "" || e1 != nil || e2 != nil || e3 != nil || e4 != nil {
-		s.fail(w, http.StatusBadRequest, "range query needs relation, minx, miny, maxx, maxy")
+		s.fail(w, rq, http.StatusBadRequest, "range query needs relation, minx, miny, maxx, maxy")
 		return
 	}
-	rs := s.beginRead()
+	rs := s.beginReadTraced(rq)
 	defer rs.release()
 	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		s.fail(w, rq, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
 	window := geom.NewRect(geom.Pt(minx, miny), geom.Pt(maxx, maxy))
-	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
-	for _, it := range tree.SearchAll(window) {
-		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
-	}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale}
+	resp.Atoms = probeAndScore(rq, rs, func() []rtree.Item {
+		return tree.SearchAll(window)
+	})
 	// Window search order is tree order; sort for a stable API.
 	sort.Slice(resp.Atoms, func(i, j int) bool { return resp.Atoms[i].Key < resp.Atoms[j].Key })
 	writeJSON(w, resp)
 }
 
-func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request, rq *reqScope) {
 	rel := r.URL.Query().Get("relation")
 	x, e1 := queryFloat(r, "x")
 	y, e2 := queryFloat(r, "y")
 	k, e3 := strconv.Atoi(r.URL.Query().Get("k"))
 	if rel == "" || e1 != nil || e2 != nil || e3 != nil || k <= 0 {
-		s.fail(w, http.StatusBadRequest, "knn query needs relation, x, y, k>0")
+		s.fail(w, rq, http.StatusBadRequest, "knn query needs relation, x, y, k>0")
 		return
 	}
-	rs := s.beginRead()
+	rs := s.beginReadTraced(rq)
 	defer rs.release()
 	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown variable relation %q", rel)
+		s.fail(w, rq, http.StatusNotFound, "unknown variable relation %q", rel)
 		return
 	}
-	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale, Atoms: []ScoredAtom{}}
-	for _, it := range tree.NearestK(geom.Pt(x, y), k) {
-		resp.Atoms = append(resp.Atoms, rs.atom(factorgraph.VarID(it.Data)))
-	}
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale}
+	resp.Atoms = probeAndScore(rq, rs, func() []rtree.Item {
+		return tree.NearestK(geom.Pt(x, y), k)
+	})
 	writeJSON(w, resp)
 }
 
@@ -601,18 +714,21 @@ type evidenceResponse struct {
 	Epochs      int    `json:"epochs"`
 }
 
-func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request, rq *reqScope) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "evidence upserts are POST")
+		s.fail(w, rq, http.StatusMethodNotAllowed, "evidence upserts are POST")
 		return
 	}
+	sp := rq.span.Child("decode")
 	var req evidenceRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "decoding body: %v", err)
+	err := json.NewDecoder(r.Body).Decode(&req)
+	sp.End()
+	if err != nil {
+		s.fail(w, rq, http.StatusBadRequest, "decoding body: %v", err)
 		return
 	}
 	if req.Relation == "" || len(req.Rows) == 0 {
-		s.fail(w, http.StatusBadRequest, "upsert needs relation and rows")
+		s.fail(w, rq, http.StatusBadRequest, "upsert needs relation and rows")
 		return
 	}
 
@@ -627,11 +743,15 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		}()
 	default:
 		s.mShed.Inc()
-		s.fail(w, http.StatusTooManyRequests, "upsert queue full (%d in flight)", cap(s.upsertSlots))
+		s.fail(w, rq, http.StatusTooManyRequests, "upsert queue full (%d in flight)", cap(s.upsertSlots))
 		return
 	}
 
+	// queue_wait is the admission-to-lock gap: time spent behind other
+	// upserts already holding or waiting on the write lock.
+	sp = rq.span.Child("queue_wait")
 	s.mu.Lock()
+	sp.End()
 	defer s.mu.Unlock()
 	// From here reads are served degraded from the pre-upsert snapshot
 	// instead of blocking on the lock. LIFO defers: the snapshot is cleared
@@ -639,13 +759,16 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	s.publishStale()
 	defer s.degraded.Store(nil)
 
+	sp = rq.span.Child("validate")
 	if _, err := s.sys.DB().Table(req.Relation); err != nil {
-		s.fail(w, http.StatusNotFound, "%v", err)
+		sp.End()
+		s.fail(w, rq, http.StatusNotFound, "%v", err)
 		return
 	}
 	rows, err := s.sys.ParseRows(req.Relation, req.Rows)
+	sp.End()
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, rq, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -656,14 +779,20 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	// idempotent.
 	applyCtx := context.WithoutCancel(r.Context())
 	if s.wal != nil {
-		if err := s.wal.Append(wal.Record{Relation: req.Relation, Rows: req.Rows}); err != nil {
-			s.fail(w, http.StatusInternalServerError, "wal append: %v", err)
+		wsp := rq.span.Child("wal_append")
+		err := s.wal.AppendCtx(obs.ContextWithSpan(applyCtx, wsp),
+			wal.Record{Relation: req.Relation, Rows: req.Rows})
+		wsp.End()
+		if err != nil {
+			s.fail(w, rq, http.StatusInternalServerError, "wal append: %v", err)
 			return
 		}
 	}
+	// UpsertEvidence nests its own stages (delta_ground, pin_apply or
+	// reground) under the request span it finds on the context.
 	stats, err := s.sys.UpsertEvidence(applyCtx, req.Relation, rows)
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, "upsert: %v", err)
+		s.fail(w, rq, http.StatusInternalServerError, "upsert: %v", err)
 		return
 	}
 	s.mUpserts.Inc()
@@ -678,25 +807,32 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	epochs := 0
-	if stats.Structural {
-		// The grounding (and its VarIDs) changed wholesale: rebuild the
-		// serving indexes and re-infer from scratch.
-		s.mStructural.Inc()
-		s.rebuildIndex()
-		epochs = s.opts.Epochs
-		if _, _, err := s.sys.InferContext(inferCtx, epochs); err != nil {
-			s.fail(w, http.StatusInternalServerError, "re-inference: %v", err)
-			return
-		}
-	} else if stats.Pins > 0 {
-		epochs = s.opts.Epochs
-		if _, _, err := s.sys.InferIncrementalContext(inferCtx, epochs); err != nil {
-			s.fail(w, http.StatusInternalServerError, "incremental inference: %v", err)
-			return
-		}
-	}
 	if stats.Structural || stats.Pins > 0 {
+		// The resample stage owns the context so the sampler's own stages
+		// (the dirty-conclique sweep) nest under it rather than under the
+		// request root.
+		rsp := rq.span.Child("resample")
+		rsp.Notef("structural=%v pins=%d", stats.Structural, stats.Pins)
+		inferCtx = obs.ContextWithSpan(inferCtx, rsp)
+		epochs = s.opts.Epochs
+		if stats.Structural {
+			// The grounding (and its VarIDs) changed wholesale: rebuild the
+			// serving indexes and re-infer from scratch.
+			s.mStructural.Inc()
+			s.rebuildIndex()
+			_, _, err = s.sys.InferContext(inferCtx, epochs)
+		} else {
+			_, _, err = s.sys.InferIncrementalContext(inferCtx, epochs)
+		}
+		rsp.End()
+		if err != nil {
+			s.fail(w, rq, http.StatusInternalServerError, "re-inference: %v", err)
+			return
+		}
 		s.bumpGeneration()
+		// Evidence staleness: how long the accepted batch took to become
+		// visible to readers (accept timestamp → generation publish).
+		s.mStaleness.Observe(time.Since(rq.start).Seconds())
 	}
 	writeJSON(w, evidenceResponse{
 		Generation:  s.gen,

@@ -23,6 +23,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -100,6 +101,11 @@ type Log struct {
 	logRecords int // records currently in the live log file
 	unsynced   int // appends since the last fsync
 
+	// span is the request span of the in-flight AppendCtx call, so Sync can
+	// attribute its fsync to the request's trace; zero outside AppendCtx
+	// (the Log is single-writer, so a plain field is race-free).
+	span obs.Span
+
 	mAppends   *obs.Counter
 	mBytes     *obs.Counter
 	mFsyncs    *obs.Counter
@@ -135,7 +141,7 @@ func Open(path string, opts Options) (*Log, ReplayStats, error) {
 		mFallbacks:  m.Counter("sya_wal_snapshot_fallbacks_total"),
 		mCompactErr: m.Counter("sya_wal_compact_errors_total"),
 		mRecords:    m.Gauge("sya_wal_records"),
-		mSyncTime:   m.Histogram("sya_wal_sync_seconds", nil),
+		mSyncTime:   m.Histogram("sya_wal_fsync_seconds", nil),
 	}
 	var stats ReplayStats
 
@@ -283,6 +289,16 @@ func (l *Log) Append(rec Record) error {
 	return nil
 }
 
+// AppendCtx is Append under a request context: when the context carries an
+// obs request span, the fsync inside the append is recorded as a child
+// stage of that request's trace (the sya_wal_fsync_seconds histogram is
+// observed either way).
+func (l *Log) AppendCtx(ctx context.Context, rec Record) error {
+	l.span = obs.SpanFromContext(ctx)
+	defer func() { l.span = obs.Span{} }()
+	return l.Append(rec)
+}
+
 // Sync flushes buffered appends to stable storage. No-op when clean.
 func (l *Log) Sync() error {
 	if l.unsynced == 0 {
@@ -292,7 +308,9 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.mSyncTime.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	l.mSyncTime.Observe(d.Seconds())
+	l.span.Event("wal_fsync", d)
 	l.unsynced = 0
 	l.mFsyncs.Inc()
 	return nil
