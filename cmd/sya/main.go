@@ -9,7 +9,7 @@
 //	    [-bandwidth B] [-scale S] [-seed N] [-stats] [-ground-workers N] \
 //	    [-timeout D] [-checkpoint file] [-checkpoint-every N] \
 //	    [-metrics-addr host:port] [-trace-out file.jsonl] [-trace-max-mb N] \
-//	    [-progress N]
+//	    [-progress N] [-local-atom relation|terms -local-budget N]
 //
 // CSV files need a header row naming the relation's columns (order free).
 // Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
@@ -75,6 +75,8 @@ func main() {
 		progress    = flag.Int("progress", 0, "print a convergence diagnostic to stderr every N epochs (0 = off)")
 		groundWork  = flag.Int("ground-workers", 0, "grounding worker-pool width (0 = GOMAXPROCS, 1 = sequential; output graph is identical)")
 		noKernels   = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels (bit-identical; escape hatch)")
+		localAtom   = flag.String("local-atom", "", "answer one atom key (relation|term,...) by lazy local grounding instead of full inference")
+		localBudget = flag.Int("local-budget", 0, "variable budget for -local-atom: sample a bounded subgraph of at most N variables (0 = 256)")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -97,6 +99,7 @@ func main() {
 		metricsAddr: *metricsAddr, traceOut: *traceOut, traceMaxMB: *traceMaxMB,
 		progress: *progress, groundWorkers: *groundWork,
 		noKernels: *noKernels,
+		localAtom: *localAtom, localBudget: *localBudget,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sya: %v\n", err)
@@ -129,6 +132,9 @@ type runOpts struct {
 	progress      int
 	groundWorkers int
 	noKernels     bool
+
+	localAtom   string
+	localBudget int
 }
 
 func run(o runOpts) error {
@@ -246,6 +252,9 @@ func run(o runOpts) error {
 			fmt.Printf("# learned weight %s = %+.4f\n", r, weights[r])
 		}
 	}
+	if o.localAtom != "" {
+		return runLocal(ctx, s, o)
+	}
 	scores, stats, err := s.InferContext(ctx, o.epochs)
 	if err != nil {
 		var wp *gibbs.WorkerPanicError
@@ -286,6 +295,38 @@ func run(o runOpts) error {
 			}
 			fmt.Printf("%s\t[%s]\n", e.key, strings.Join(parts, " "))
 		}
+	}
+	return nil
+}
+
+// runLocal answers one atom by query-driven lazy grounding: a bounded
+// subgraph around the atom is extracted, compiled and sampled — the rest of
+// the KB is never touched by inference.
+func runLocal(ctx context.Context, s *core.System, o runOpts) error {
+	res, err := s.QueryLocal(ctx, o.localAtom, core.LocalBudget{MaxVars: o.localBudget, Epochs: o.epochs})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# local query: %d vars (+%d frozen boundary), %d factors, %d spatial pairs\n",
+		res.Vars, res.BoundaryVars, res.Factors, res.SpatialPairs)
+	fmt.Printf("# local query: ground %v, sample %v, truncation bound %.4f (truncated: %v)\n",
+		res.GroundTime.Round(time.Microsecond), res.SampleTime.Round(time.Microsecond), res.ErrorBound, res.Truncated)
+	keys := make([]string, 0, len(res.Interior))
+	for k := range res.Interior {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m := res.Interior[k]
+		if len(m) == 2 {
+			fmt.Printf("%s\t%.4f\n", k, m[1])
+			continue
+		}
+		parts := make([]string, len(m))
+		for i, p := range m {
+			parts[i] = fmt.Sprintf("%.4f", p)
+		}
+		fmt.Printf("%s\t[%s]\n", k, strings.Join(parts, " "))
 	}
 	return nil
 }

@@ -13,7 +13,9 @@
 // the duration of the suite; -trace-out records JSONL phase traces
 // (-trace-max-mb bounds the file via rotation). -phase=grounding restricts
 // the suite to grounding-only comparisons (table1, fig9, fig10 with
-// inference skipped); -ground-workers sizes the grounding worker pool.
+// inference skipped); -phase=local runs the lazy-grounding budget sweep
+// (-local-json writes BENCH_local.json); -ground-workers sizes the grounding
+// worker pool.
 package main
 
 import (
@@ -39,11 +41,12 @@ var experiments = map[string]func(bench.Params) (*bench.Table, error){
 	"fig14":    bench.Fig14,
 	"ablation": bench.Ablation,
 	"serving":  bench.Serving,
+	"local":    bench.Local,
 }
 
 // order fixes the "all" execution sequence.
 var order = []string{
-	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "serving",
+	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "serving", "local",
 }
 
 // groundingPhase lists the experiments that remain meaningful under
@@ -59,6 +62,12 @@ var groundingPhase = map[string]bool{
 // load harness only.
 var servingPhase = map[string]bool{
 	"serving": true,
+}
+
+// localPhase lists the experiments -phase=local runs: the lazy-grounding
+// budget sweep only.
+var localPhase = map[string]bool{
+	"local": true,
 }
 
 func main() {
@@ -78,6 +87,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "stop starting new experiments after this long (0 = none)")
 
 		servingJSON = flag.String("serving-json", "", "with the serving experiment, write its machine-readable report (BENCH_serving.json shape) to this path")
+		localJSON   = flag.String("local-json", "", "with the local experiment, write its machine-readable report (BENCH_local.json shape) to this path")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
 		traceOut    = flag.String("trace-out", "", "write JSONL phase-trace events for every experiment to this file")
@@ -131,15 +141,19 @@ func main() {
 	p.GroundWorkers = *gwork
 	p.NoKernels = *noKern
 	p.ServingJSON = *servingJSON
+	p.LocalJSON = *localJSON
 	servingOnly := false
+	localOnly := false
 	switch *phase {
 	case "":
 	case "grounding":
 		p.GroundOnly = true
 	case "serving":
 		servingOnly = true
+	case "local":
+		localOnly = true
 	default:
-		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding, serving)\n", *phase)
+		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding, serving, local)\n", *phase)
 		os.Exit(2)
 	}
 	if *paper {
@@ -162,6 +176,9 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 && servingOnly {
 		args = []string{"serving"}
+	}
+	if len(args) == 0 && localOnly {
+		args = []string{"local"}
 	}
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: syabench [flags] <experiment>... | all | -list")
@@ -189,6 +206,10 @@ func main() {
 		}
 		if servingOnly && !servingPhase[name] {
 			fmt.Fprintf(os.Stderr, "syabench: -phase=serving: skipping non-serving experiment %s\n", name)
+			continue
+		}
+		if localOnly && !localPhase[name] {
+			fmt.Fprintf(os.Stderr, "syabench: -phase=local: skipping non-local experiment %s\n", name)
 			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

@@ -8,6 +8,7 @@
 //	syad -program kb.ddlog -load County=counties.csv -load CountyEvidence=ev.csv \
 //	    [-addr host:port] [-engine sya|deepdive] [-metric euclidean|miles|km] \
 //	    [-epochs N] [-warmup-epochs N] [-upsert-epochs N] [-cache-ttl D] \
+//	    [-local-budget N] [-local-epochs N] \
 //	    [-bandwidth B] [-scale S] [-seed N] [-ground-workers N] [-label NAME] \
 //	    [-trace-out file.jsonl] [-trace-max-mb N] \
 //	    [-trace-ring N] [-slow-ms D] \
@@ -18,7 +19,7 @@
 //
 // API (JSON):
 //
-//	GET  /v1/score/point?relation=R&x=X&y=Y          score at a location
+//	GET  /v1/score/point?relation=R&x=X&y=Y[&budget=N]  score at a location
 //	GET  /v1/score/range?relation=R&minx&miny&maxx&maxy
 //	GET  /v1/score/knn?relation=R&x=X&y=Y&k=K        k nearest atoms
 //	GET  /v1/explain?key=relation|term,...           score provenance for one atom
@@ -83,6 +84,8 @@ func main() {
 		warmupEp    = flag.Int("warmup-epochs", 0, "initial sampling epochs before serving (0 = -epochs)")
 		upsertEp    = flag.Int("upsert-epochs", 0, "incremental epochs after each evidence upsert (0 = -epochs)")
 		cacheTTL    = flag.Duration("cache-ttl", 0, "score-cache entry lifetime (0 = entries live until the next resample)")
+		localBudget = flag.Int("local-budget", 0, "default lazy-grounding variable budget for point queries: answer from a bounded subgraph of at most N sampled variables (0 = full-graph path; ?budget= overrides per request)")
+		localEpochs = flag.Int("local-epochs", 0, "sampling epochs per lazy point query (0 = -epochs)")
 		bandwidth   = flag.Float64("bandwidth", 50, "spatial weighing bandwidth")
 		scale       = flag.Float64("scale", 1, "spatial weighing zero-distance scale")
 		seed        = flag.Int64("seed", 1, "sampler seed")
@@ -117,7 +120,8 @@ func main() {
 		program: *programPath, loads: loads.Pairs,
 		addr: *addr, engine: *engine, metric: *metric,
 		epochs: *epochs, warmupEpochs: *warmupEp, upsertEpochs: *upsertEp,
-		cacheTTL: *cacheTTL, bandwidth: *bandwidth, scale: *scale, seed: *seed,
+		cacheTTL: *cacheTTL, localBudget: *localBudget, localEpochs: *localEpochs,
+		bandwidth: *bandwidth, scale: *scale, seed: *seed,
 		groundWorkers: *groundWork, noKernels: *noKernels, label: *label,
 		traceOut: *traceOut, traceMaxMB: *traceMaxMB,
 		traceRing: *traceRing, slowMS: *slowMS,
@@ -147,6 +151,8 @@ type runOpts struct {
 	warmupEpochs int
 	upsertEpochs int
 	cacheTTL     time.Duration
+	localBudget  int
+	localEpochs  int
 
 	bandwidth     float64
 	scale         float64
@@ -247,6 +253,8 @@ func run(ctx context.Context, o runOpts) (err error) {
 		MaxQueuedUpserts: o.maxQueuedUpserts,
 		UpsertTimeout:    o.upsertTimeout,
 		Tracer:           tracer,
+		LocalBudget:      o.localBudget,
+		LocalEpochs:      o.localEpochs,
 	})
 	if err != nil {
 		sys.Close()

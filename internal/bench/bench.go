@@ -71,6 +71,10 @@ type Params struct {
 	// ServingJSON, when non-empty, makes the serving experiment write its
 	// machine-readable report (BENCH_serving.json shape) to this path.
 	ServingJSON string
+
+	// LocalJSON, when non-empty, makes the local experiment write its
+	// machine-readable report (the BENCH_local.json shape) to this path.
+	LocalJSON string
 }
 
 // DefaultParams returns laptop-scale defaults.

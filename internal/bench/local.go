@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+// localBudgets are the variable budgets the lazy-grounding sweep probes
+// (capped to the graph size at runtime).
+var localBudgets = []int{4, 16, 64, 256}
+
+// LocalBudgetPoint is one budget level of the lazy-grounding benchmark:
+// cold-query latency (frontier expansion + per-slab kernel compile + private
+// sampling, no cache), subgraph sizes, the reported truncation bound, the
+// observed max TV against the full-graph marginals, and the speedup over the
+// full ground+compile+sample pipeline.
+type LocalBudgetPoint struct {
+	Budget     int     `json:"budget"`
+	ColdP50Ms  float64 `json:"cold_p50_ms"`
+	ColdP99Ms  float64 `json:"cold_p99_ms"`
+	MeanVars   float64 `json:"mean_subgraph_vars"`
+	MeanFacts  float64 `json:"mean_subgraph_factors"`
+	MaxBound   float64 `json:"max_error_bound"`
+	MaxTV      float64 `json:"max_tv_vs_full"`
+	SpeedupP50 float64 `json:"speedup_vs_full_pipeline"`
+}
+
+// LocalReport is the full lazy-grounding benchmark result, serialized to
+// BENCH_local.json by syabench -phase=local.
+type LocalReport struct {
+	Description  string             `json:"description"`
+	Environment  servingEnv         `json:"environment"`
+	Workload     localLoad          `json:"workload"`
+	FullGroundMs float64            `json:"full_ground_ms"`
+	FullInferMs  float64            `json:"full_infer_ms"`
+	FullTotalMs  float64            `json:"full_pipeline_ms"`
+	Points       []LocalBudgetPoint `json:"points"`
+}
+
+type localLoad struct {
+	Wells      int `json:"wells"`
+	Vars       int `json:"graph_vars"`
+	Epochs     int `json:"epochs"`
+	ProbeAtoms int `json:"probe_atoms"`
+}
+
+// Local benchmarks query-driven lazy grounding over the largest GWDB
+// workload: the baseline is the full batch pipeline (ground + kernel compile
+// + sample everything), the treatment is a cold QueryLocal per probe atom at
+// each budget — bounded frontier expansion, kernels compiled for just that
+// slab, a private sampler over it.
+func Local(p Params) (*Table, error) {
+	report, err := LocalLoad(p)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Lazy local grounding: budgeted point queries vs the full pipeline (GWDB, %d wells)", report.Workload.Wells),
+		Header: []string{"budget", "cold p50", "cold p99", "vars", "max TV", "bound", "speedup"},
+	}
+	for _, pt := range report.Points {
+		tbl.Add(
+			fmt.Sprint(pt.Budget), ms(pt.ColdP50Ms), ms(pt.ColdP99Ms),
+			fmt.Sprintf("%.1f", pt.MeanVars),
+			fmt.Sprintf("%.4f", pt.MaxTV), fmt.Sprintf("%.4f", pt.MaxBound),
+			fmt.Sprintf("%.0fx", pt.SpeedupP50),
+		)
+	}
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"full pipeline (ground %s + compile/sample %s = %s, %d vars, %d epochs) is the per-query cost a batch run pays",
+		ms(report.FullGroundMs), ms(report.FullInferMs), ms(report.FullTotalMs),
+		report.Workload.Vars, report.Workload.Epochs))
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"cold = no subgraph cache: every query re-expands the frontier and recompiles its slab (%d probe atoms per budget)",
+		report.Workload.ProbeAtoms))
+	if p.LocalJSON != "" {
+		f, err := os.Create(p.LocalJSON)
+		if err != nil {
+			return nil, fmt.Errorf("bench: local json: %w", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return nil, err
+		}
+		tbl.Notes = append(tbl.Notes, "report written to "+p.LocalJSON)
+	}
+	return tbl, nil
+}
+
+// LocalLoad runs the lazy-grounding benchmark and returns the raw report.
+func LocalLoad(p Params) (*LocalReport, error) {
+	wells := p.GWDBWells
+	data := datagen.Wells(datagen.WellsConfig{N: wells, Seed: p.Seed, Extent: gwdbExtent(wells)})
+	sys := core.NewSystem(core.Config{
+		Engine:           core.EngineSya,
+		Metric:           geom.Euclidean,
+		Bandwidth:        p.Bandwidth,
+		SpatialScale:     p.SpatialScale,
+		SupportRadius:    p.SupportRadius,
+		MaxNeighbors:     p.MaxNeighbors,
+		PyramidLevels:    p.PyramidLevels,
+		LocalityLevel:    localityFor(gwdbExtent(wells), p.SupportRadius, p.PyramidLevels),
+		Instances:        p.Instances,
+		Workers:          p.Workers,
+		GroundWorkers:    p.GroundWorkers,
+		Epochs:           p.Epochs,
+		Seed:             p.Seed,
+		NoKernels:        p.NoKernels,
+		SkipFactorTables: true,
+		Metrics:          p.Metrics,
+		Trace:            p.Trace,
+	})
+	defer sys.Close()
+	if err := sys.LoadProgram(datagen.GWDBProgram); err != nil {
+		return nil, err
+	}
+	wellRows, evidence := data.Rows()
+	if err := sys.LoadRows("Well", wellRows); err != nil {
+		return nil, err
+	}
+	if err := sys.LoadRows("WellEvidence", evidence); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+
+	// Baseline: the full batch pipeline — ground everything, compile kernels
+	// for the whole graph, sample everything. This is what answering a single
+	// point query costs without the lazy path.
+	t0 := time.Now()
+	gres, err := sys.Ground()
+	if err != nil {
+		return nil, err
+	}
+	groundMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	t1 := time.Now()
+	scores, _, err := sys.InferContext(ctx, p.Epochs)
+	if err != nil {
+		return nil, err
+	}
+	inferMs := float64(time.Since(t1)) / float64(time.Millisecond)
+
+	full := make(map[string][]float64)
+	scores.Each("IsSafe", func(key string, _ int32, marginal []float64) bool {
+		full[key] = marginal
+		return true
+	})
+	// Probe genuinely uncertain atoms (evidence-determined point masses are
+	// exact at any budget), padded with whatever is left.
+	var uncertain, certain []string
+	for k, m := range full {
+		if len(m) == 2 && m[1] > 0.01 && m[1] < 0.99 {
+			uncertain = append(uncertain, k)
+		} else {
+			certain = append(certain, k)
+		}
+	}
+	sort.Strings(uncertain)
+	sort.Strings(certain)
+	atoms := append(uncertain, certain...)
+	if len(atoms) > 8 {
+		atoms = atoms[:8]
+	}
+
+	report := &LocalReport{
+		Description:  "Query-driven lazy grounding benchmark: cold budgeted point queries (bounded frontier expansion from the queried atom, kernels compiled for just that slab, private sampler) against the full batch pipeline (ground + compile + sample the whole GWDB graph) at the same epoch budget. MaxTV compares the local root marginal with full inference; the bound column is the reported truncation error from the cut factors' decay weights. Regenerate with `syabench -phase=local local`.",
+		Environment:  servingEnv{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Go: runtime.Version()},
+		Workload:     localLoad{Wells: wells, Vars: gres.Stats.Vars, Epochs: p.Epochs, ProbeAtoms: len(atoms)},
+		FullGroundMs: groundMs,
+		FullInferMs:  inferMs,
+		FullTotalMs:  groundMs + inferMs,
+	}
+
+	for _, budget := range localBudgets {
+		if budget > gres.Stats.Vars {
+			break
+		}
+		var (
+			lats            []time.Duration
+			sumVars, sumFac float64
+			maxTV, maxBound float64
+		)
+		for _, key := range atoms {
+			t := time.Now()
+			res, err := sys.QueryLocal(ctx, key, core.LocalBudget{MaxVars: budget})
+			if err != nil {
+				return nil, fmt.Errorf("bench: local query %s budget %d: %w", key, budget, err)
+			}
+			lats = append(lats, time.Since(t))
+			sumVars += float64(res.Vars)
+			sumFac += float64(res.Factors + res.SpatialPairs)
+			if res.ErrorBound > maxBound {
+				maxBound = res.ErrorBound
+			}
+			if tv := tvDist(res.Marginal, full[key]); tv > maxTV {
+				maxTV = tv
+			}
+		}
+		p50, p99 := percentiles(lats)
+		p50Ms := float64(p50) / float64(time.Millisecond)
+		pt := LocalBudgetPoint{
+			Budget:    budget,
+			ColdP50Ms: p50Ms,
+			ColdP99Ms: float64(p99) / float64(time.Millisecond),
+			MeanVars:  sumVars / float64(len(atoms)),
+			MeanFacts: sumFac / float64(len(atoms)),
+			MaxBound:  maxBound,
+			MaxTV:     maxTV,
+		}
+		if p50Ms > 0 {
+			pt.SpeedupP50 = report.FullTotalMs / p50Ms
+		}
+		report.Points = append(report.Points, pt)
+	}
+	return report, nil
+}
+
+// tvDist is the total-variation distance between two marginals.
+func tvDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 1
+	}
+	d := 0.0
+	for i := range a {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d / 2
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *LocalReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

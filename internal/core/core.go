@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ddlog"
@@ -174,7 +175,17 @@ type System struct {
 
 	ground  *grounding.Result
 	sampler gibbs.Sampler
+	// pool caches the sampler worker pool across sampler lifetimes, so the
+	// learn→infer and re-infer paths reuse worker goroutines instead of
+	// rebuilding them per run (see gibbs.SharedPool).
+	pool    *gibbs.SharedPool
 	learned bool
+
+	// local is the lazily built per-grounding state of the QueryLocal path:
+	// the VarID→atom-key reverse index and the deterministic freeze
+	// assignment for uncertain boundary atoms. Rebuilt by the first
+	// QueryLocal after each grounding; safe under concurrent readers.
+	local atomic.Pointer[localState]
 	// pinned tracks the evidence pins applied to the live sampler since
 	// the last full grounding (UpdateEvidence and UpsertEvidence patches).
 	// The first pin per atom wins — matching the batch dedup rule — and
@@ -191,7 +202,7 @@ func NewSystem(cfg Config) *System {
 	if cfg.MetricLabel != "" {
 		cfg.Metrics = cfg.Metrics.With("system", cfg.MetricLabel)
 	}
-	return &System{cfg: cfg, db: storage.NewDB()}
+	return &System{cfg: cfg, db: storage.NewDB(), pool: gibbs.NewSharedPool()}
 }
 
 // Config returns the effective configuration.
@@ -321,6 +332,7 @@ func (s *System) GroundContext(ctx context.Context) (*grounding.Result, error) {
 	s.ground = res
 	s.closeSampler() // the old sampler's graph is gone; release its pool
 	s.pinned = nil   // prior pins are baked into the fresh graph's evidence
+	s.local.Store(nil)
 	s.groundDur = time.Since(start)
 	if r := s.cfg.Metrics; r != nil {
 		r.Gauge("sya_ground_vars").Set(float64(res.Stats.Vars))
@@ -358,11 +370,15 @@ func (s *System) closeSampler() {
 	}
 }
 
-// Close releases the System's resources — today that is the pooled sampler,
-// which owns persistent worker goroutines. The System stays usable for
-// loading and grounding; the next inference call builds a fresh sampler.
-// Idempotent.
-func (s *System) Close() { s.closeSampler() }
+// Close releases the System's resources — the pooled sampler and the shared
+// worker-pool cache behind it, which own persistent worker goroutines. The
+// System stays usable for loading and grounding; the next inference call
+// builds a fresh sampler (and a fresh pool). Idempotent.
+func (s *System) Close() {
+	s.closeSampler()
+	s.pool.Close()
+	s.pool = gibbs.NewSharedPool()
+}
 
 // Grounding returns the last grounding result (nil before Ground).
 func (s *System) Grounding() *grounding.Result { return s.ground }
@@ -374,7 +390,7 @@ func (s *System) GroundingTime() time.Duration { return s.groundDur }
 func (s *System) newSampler() (gibbs.Sampler, error) {
 	switch s.cfg.Engine {
 	case EngineDeepDive:
-		var opts []gibbs.SamplerOption
+		opts := []gibbs.SamplerOption{gibbs.WithSharedPool(s.pool)}
 		if s.cfg.NoKernels {
 			opts = append(opts, gibbs.NoKernels())
 		}
@@ -390,6 +406,7 @@ func (s *System) newSampler() (gibbs.Sampler, error) {
 			Seed:          s.cfg.Seed,
 			BurnIn:        s.burnIn(s.cfg.Instances),
 			NoKernels:     s.cfg.NoKernels,
+			Shared:        s.pool,
 		})
 	}
 }

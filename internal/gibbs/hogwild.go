@@ -45,6 +45,8 @@ type Hogwild struct {
 	bucketOff []int32             // len = buckets+1, ranges into flat
 	counts    *counts
 	pool      *Pool
+	shared    *SharedPool // nil → pool is privately owned
+	ownPool   bool
 	run       *hogwildRun
 	epochs    int
 	burnIn    int
@@ -119,6 +121,7 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int, opts ...SamplerOp
 	if workers > buckets {
 		workers = buckets
 	}
+	pool, own := poolFor(cfg.shared, workers, 1, g)
 	h := &Hogwild{
 		g:       g,
 		sc:      newScorer(g, cfg.noKernels),
@@ -127,7 +130,9 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int, opts ...SamplerOp
 		workers: workers,
 		buckets: buckets,
 		counts:  newCounts(g),
-		pool:    newPool(workers, 1, g),
+		pool:    pool,
+		shared:  cfg.shared,
+		ownPool: own,
 	}
 	h.run = &hogwildRun{h: h}
 	// Random partition (the paper's "randomly partition the variables into
@@ -156,8 +161,19 @@ func NewHogwild(g *factorgraph.Graph, seed int64, workers int, opts ...SamplerOp
 	return h
 }
 
-// Close releases the sampler's worker pool (optional; finalizer-backed).
-func (h *Hogwild) Close() { h.pool.Close() }
+// Close releases the sampler's worker pool: shared pools return to their
+// SharedPool cache, private ones shut down (finalizer-backed). Idempotent.
+func (h *Hogwild) Close() {
+	if h.ownPool {
+		h.pool.Close()
+		return
+	}
+	if h.shared != nil {
+		h.pool.setHook(nil)
+		h.shared.Release(h.pool, h.workers, 1, h.g)
+		h.shared = nil
+	}
+}
 
 // Name implements Sampler.
 func (h *Hogwild) Name() string { return "hogwild" }

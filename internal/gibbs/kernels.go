@@ -47,6 +47,7 @@ type SamplerOption func(*samplerConfig)
 
 type samplerConfig struct {
 	noKernels bool
+	shared    *SharedPool
 }
 
 // NoKernels makes a sampler evaluate conditional scores on the interpreted
@@ -54,6 +55,13 @@ type samplerConfig struct {
 // hatch. Results are bit-identical either way; only throughput differs.
 func NoKernels() SamplerOption {
 	return func(c *samplerConfig) { c.noKernels = true }
+}
+
+// WithSharedPool makes the sampler draw its worker pool from sp instead of
+// building a private one; Close releases the pool back to sp for the next
+// sampler of the same shape (see SharedPool).
+func WithSharedPool(sp *SharedPool) SamplerOption {
+	return func(c *samplerConfig) { c.shared = sp }
 }
 
 func applySamplerOptions(opts []SamplerOption) samplerConfig {

@@ -1,0 +1,117 @@
+package gibbs
+
+import (
+	"sync"
+
+	"repro/internal/factorgraph"
+)
+
+// SharedPool caches one worker Pool across sampler lifetimes. Pool scratch
+// is graph-shaped (score buffers sized to the graph's maximum domain,
+// per-instance count deltas, touched lists capped at the query-variable
+// count), so a cached pool is handed back only to a sampler asking for the
+// exact same (workers, instances, graph) shape; any mismatch closes the
+// cached pool and builds a fresh one.
+//
+// The cache is a hand-off, not a multiplexer: Acquire removes the pool from
+// the cache and Release returns it, so two live samplers can never share
+// worker goroutines (the pool's one-batch-at-a-time contract stays with a
+// single sampler). Poisoned pools — a sticky worker panic — are never
+// cached; Release closes them instead.
+//
+// core.System owns one SharedPool and threads it through every sampler it
+// builds, so the learn→infer and re-infer paths stop rebuilding the worker
+// pool per run. Closing the SharedPool closes whatever pool it holds;
+// samplers still holding an acquired pool close it themselves on Close.
+type SharedPool struct {
+	mu        sync.Mutex
+	pool      *Pool
+	g         *factorgraph.Graph
+	workers   int
+	instances int
+	closed    bool
+	reuses    int
+	builds    int
+}
+
+// NewSharedPool returns an empty cache.
+func NewSharedPool() *SharedPool { return &SharedPool{} }
+
+// Acquire hands out a pool for the requested shape: the cached pool when it
+// matches exactly (and is healthy), a freshly built one otherwise. The
+// returned pool is owned by the caller until Release.
+func (sp *SharedPool) Acquire(workers, instances int, g *factorgraph.Graph) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.pool != nil && sp.g == g && sp.workers == workers && sp.instances == instances && sp.pool.err() == nil {
+		p := sp.pool
+		sp.pool = nil
+		sp.reuses++
+		return p
+	}
+	if sp.pool != nil {
+		sp.pool.Close()
+		sp.pool = nil
+	}
+	sp.builds++
+	return newPool(workers, instances, g)
+}
+
+// Release returns an acquired pool to the cache for the next sampler of the
+// same shape. Poisoned pools are closed, not cached; a release after Close
+// closes the pool too.
+func (sp *SharedPool) Release(p *Pool, workers, instances int, g *factorgraph.Graph) {
+	if p == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed || p.err() != nil {
+		p.Close()
+		return
+	}
+	if sp.pool != nil {
+		sp.pool.Close()
+	}
+	sp.pool, sp.g, sp.workers, sp.instances = p, g, workers, instances
+}
+
+// Reuses reports how many Acquire calls were served from the cache.
+func (sp *SharedPool) Reuses() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.reuses
+}
+
+// Builds reports how many Acquire calls built a fresh pool.
+func (sp *SharedPool) Builds() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.builds
+}
+
+// Close shuts down the cached pool, if any. Pools currently acquired by a
+// sampler are closed by that sampler's Close (Release after Close closes
+// instead of caching). Idempotent.
+func (sp *SharedPool) Close() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.closed = true
+	if sp.pool != nil {
+		sp.pool.Close()
+		sp.pool = nil
+	}
+}
+
+// poolFor resolves a sampler's pool: through the shared cache when one is
+// configured, freshly built otherwise. The second return reports ownership —
+// true means the sampler must Close the pool itself.
+func poolFor(sp *SharedPool, workers, instances int, g *factorgraph.Graph) (*Pool, bool) {
+	if sp == nil {
+		return newPool(workers, instances, g), true
+	}
+	return sp.Acquire(workers, instances, g), false
+}

@@ -1,0 +1,108 @@
+package gibbs
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gibbs/testutil"
+)
+
+// TestSharedPoolReuse checks the pool hand-off across sequential sampler
+// lifetimes: same shape reuses the cached pool, a different shape rebuilds,
+// and marginals from a reused pool stay within TV tolerance of exact.
+func TestSharedPoolReuse(t *testing.T) {
+	g, err := testutil.RandomGraph(testutil.Spec{Domain: 2, Spatial: true, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := testutil.Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSharedPool()
+	defer sp.Close()
+
+	h1 := NewHogwild(g, 7, 2, WithSharedPool(sp))
+	if _, err := h1.Run(context.Background(), 2000); err != nil {
+		t.Fatal(err)
+	}
+	h1.Close()
+	if got := sp.Builds(); got != 1 {
+		t.Fatalf("builds after first sampler = %d, want 1", got)
+	}
+
+	h2 := NewHogwild(g, 8, 2, WithSharedPool(sp))
+	if got := sp.Reuses(); got != 1 {
+		t.Fatalf("reuses after same-shape sampler = %d, want 1", got)
+	}
+	if _, err := h2.Run(context.Background(), 4000); err != nil {
+		t.Fatal(err)
+	}
+	if tv := testutil.MaxTV(h2.Marginals(), exact); tv > 0.08 {
+		t.Fatalf("reused-pool marginals off: max TV %.4f > 0.08", tv)
+	}
+	h2.Close()
+	h2.Close() // idempotent
+
+	// A different graph (the re-ground scenario) is a different pool shape:
+	// rebuild.
+	g2, err := testutil.RandomGraph(testutil.Spec{Domain: 2, Spatial: true, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3 := NewHogwild(g2, 9, 2, WithSharedPool(sp))
+	if got := sp.Builds(); got != 2 {
+		t.Fatalf("builds after graph change = %d, want 2", got)
+	}
+	h3.Close()
+
+	// Spatial and hogwild share the cache through the same shapes.
+	s1, err := NewSpatial(g, SpatialOptions{Instances: 2, Workers: 2, Seed: 5, Shared: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2, err := NewSpatial(g, SpatialOptions{Instances: 2, Workers: 2, Seed: 6, Shared: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Reuses(); got != 2 {
+		t.Fatalf("reuses after same-shape spatial sampler = %d, want 2", got)
+	}
+	if _, err := s2.Run(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+}
+
+// TestSharedPoolPoisonNotCached checks a pool poisoned by a worker panic is
+// closed on release instead of being handed to the next sampler.
+func TestSharedPoolPoisonNotCached(t *testing.T) {
+	g, err := testutil.RandomGraph(testutil.Spec{Domain: 2, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSharedPool()
+	defer sp.Close()
+	h := NewHogwild(g, 3, 2, WithSharedPool(sp))
+	h.SetTestHooks(TestHooks{BeforeChunk: func(n uint64) {
+		if n == 0 {
+			panic("injected")
+		}
+	}})
+	if _, err := h.Run(context.Background(), 10); err == nil {
+		t.Fatal("expected worker panic error")
+	}
+	h.Close()
+	h2 := NewHogwild(g, 4, 2, WithSharedPool(sp))
+	if got := sp.Reuses(); got != 0 {
+		t.Fatalf("poisoned pool was reused (reuses = %d)", got)
+	}
+	if _, err := h2.Run(context.Background(), 50); err != nil {
+		t.Fatalf("fresh pool after poison: %v", err)
+	}
+	h2.Close()
+}

@@ -42,6 +42,10 @@ type SpatialOptions struct {
 	// instead of the compiled sampling kernels (the `-no-kernels` escape
 	// hatch). Results are bit-identical either way; only throughput differs.
 	NoKernels bool
+	// Shared, when non-nil, supplies the worker pool from a SharedPool
+	// cache instead of building a private one; Close releases the pool back
+	// for the next sampler of the same shape.
+	Shared *SharedPool
 }
 
 func (o SpatialOptions) withDefaults() SpatialOptions {
@@ -155,6 +159,8 @@ type Spatial struct {
 	epochs    int
 
 	pool     *Pool
+	shared   *SharedPool // nil → pool is privately owned
+	ownPool  bool
 	runs     []*spatialRun // per instance, reused every batch
 	tailRuns []*tailRun    // per instance, reused every epoch
 
@@ -228,7 +234,8 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 	}
 	sort.Slice(residual, func(i, j int) bool { return residual[i] < residual[j] })
 	s.tail = append(residual, nonSpatial...)
-	s.pool = newPool(opts.Workers*opts.Instances, opts.Instances, g)
+	s.pool, s.ownPool = poolFor(opts.Shared, opts.Workers*opts.Instances, opts.Instances, g)
+	s.shared = opts.Shared
 	for k := 0; k < opts.Instances; k++ {
 		inst := &instance{
 			assign: g.InitialAssignment(),
@@ -241,10 +248,21 @@ func NewSpatial(g *factorgraph.Graph, opts SpatialOptions) (*Spatial, error) {
 	return s, nil
 }
 
-// Close releases the sampler's worker pool. Optional — abandoned samplers
-// are cleaned up by a finalizer — but deterministic for callers that create
-// many samplers.
-func (s *Spatial) Close() { s.pool.Close() }
+// Close releases the sampler's worker pool: shared pools return to their
+// SharedPool cache, private ones shut down. Optional — abandoned private
+// pools are cleaned up by a finalizer — but deterministic for callers that
+// create many samplers. Idempotent.
+func (s *Spatial) Close() {
+	if s.ownPool {
+		s.pool.Close()
+		return
+	}
+	if s.shared != nil {
+		s.pool.setHook(nil)
+		s.shared.Release(s.pool, s.opts.Workers*s.opts.Instances, s.opts.Instances, s.g)
+		s.shared = nil
+	}
+}
 
 // SetTestHooks installs the fault-injection plane (see TestHooks). Call
 // with no run in flight.

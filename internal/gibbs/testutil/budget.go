@@ -1,0 +1,49 @@
+package testutil
+
+import "testing"
+
+// BudgetPoint is one budget level of a local-vs-full comparison sweep: the
+// budget knob (typically the interior-variable cap), the observed max TV
+// distance between local and full-graph marginals over the probed atoms, and
+// the largest truncation-error bound the local extraction reported.
+type BudgetPoint struct {
+	Budget int
+	MaxTV  float64
+	Bound  float64
+}
+
+// CheckBudgetSweep asserts the lazy-grounding convergence contract over a
+// budget sweep:
+//
+//   - at least three strictly increasing budgets were probed;
+//   - observed error decreases monotonically with budget, up to slack
+//     (Monte-Carlo noise means exact monotonicity is too strict);
+//   - the reported truncation bound dominates the observed error at every
+//     budget (again up to slack — the bound covers freezing distortion, not
+//     sampling noise).
+func CheckBudgetSweep(t testing.TB, points []BudgetPoint, slack float64) {
+	t.Helper()
+	if len(points) < 3 {
+		t.Fatalf("budget sweep needs ≥ 3 points, got %d", len(points))
+	}
+	for i, p := range points {
+		t.Logf("budget %4d: max TV %.4f, bound %.4f", p.Budget, p.MaxTV, p.Bound)
+		if i == 0 {
+			continue
+		}
+		prev := points[i-1]
+		if p.Budget <= prev.Budget {
+			t.Fatalf("budgets must increase: point %d budget %d after %d", i, p.Budget, prev.Budget)
+		}
+		if p.MaxTV > prev.MaxTV+slack {
+			t.Fatalf("error grew with budget: TV %.4f at budget %d vs %.4f at budget %d (slack %.2f)",
+				p.MaxTV, p.Budget, prev.MaxTV, prev.Budget, slack)
+		}
+	}
+	for _, p := range points {
+		if p.MaxTV > p.Bound+slack {
+			t.Fatalf("truncation bound does not dominate: budget %d observed TV %.4f > bound %.4f + slack %.2f",
+				p.Budget, p.MaxTV, p.Bound, slack)
+		}
+	}
+}

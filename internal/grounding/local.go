@@ -1,0 +1,389 @@
+package grounding
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/factorgraph"
+)
+
+// This file implements query-driven lazy grounding (ROADMAP item 1, after
+// ProPPR's locally groundable inference): instead of sampling the whole
+// ground graph to answer one point query, a frontier expansion grows a
+// bounded subgraph outward from the queried atom and inference runs on that
+// slab alone.
+//
+// Influence semantics. Every edge (logical factor or spatial pair) carries
+// strength tanh(|w|) ∈ [0, 1) — the saturating effect a weight-w factor can
+// have on a neighbour's conditional. A variable's influence is the maximum
+// product of edge strengths along any path from the query root (root = 1),
+// so it decays with both graph distance and the spatial decay weights, which
+// shrink with physical distance. The frontier expands in decreasing
+// influence order and stops when the variable budget is exhausted or the
+// next candidate falls below the influence threshold.
+//
+// Evidence d-separates. An observed variable blocks all paths through it in
+// a Markov random field, so evidence atoms join the subgraph as frozen
+// observations but are never expanded through — the frontier naturally
+// follows only the uncertain tissue around the query.
+//
+// Boundary freezing. When expansion stops, every unexpanded neighbour of an
+// interior variable enters the subgraph frozen at its evidence value (if
+// observed) or at a caller-supplied prior state (if uncertain). Every factor
+// touching an interior variable is therefore fully contained — there are no
+// dangling endpoints — and the subgraph's conditionals at interior
+// variables match the full graph's exactly, except where an uncertain
+// boundary variable was frozen at a guess.
+//
+// Truncation-error bound. Only factors that cross from the interior to an
+// uncertain frozen boundary variable can distort the root's marginal; the
+// cut weight Σ|w| over those factors bounds the log-odds shift any
+// boundary misassignment can induce, and ErrorBound = tanh(Σ|w| cut) maps
+// it into a total-variation-style [0, 1) figure that is 0 when the frontier
+// stopped only at evidence (exact inference) and grows toward 1 as heavier
+// uncertain tissue is cut.
+
+// LocalOptions bounds the frontier expansion of ExtractLocal.
+type LocalOptions struct {
+	// MaxVars caps the interior (sampled) variable count. Default 256.
+	MaxVars int
+	// MaxFactors caps the kept factor count (logical + spatial); expansion
+	// stops before a variable whose factors would exceed it. 0 = unlimited.
+	MaxFactors int
+	// MinInfluence prunes frontier candidates whose root influence falls
+	// below it. Default 1e-4.
+	MinInfluence float64
+	// Freeze resolves the frozen state of an uncertain boundary variable
+	// (graph evidence always wins). ok=false marks the value a guess — the
+	// variable still freezes at val, but factors cut at it count toward
+	// ErrorBound. ok=true marks it evidence-grade (an upsert pin): it
+	// blocks expansion and contributes no error. nil freezes guesses at 0.
+	Freeze func(v factorgraph.VarID) (val int32, ok bool)
+}
+
+func (o LocalOptions) withDefaults() LocalOptions {
+	if o.MaxVars <= 0 {
+		o.MaxVars = 256
+	}
+	if o.MinInfluence <= 0 {
+		o.MinInfluence = 1e-4
+	}
+	return o
+}
+
+// LocalGraph is one extracted query neighbourhood.
+type LocalGraph struct {
+	// Graph is the bounded subgraph: interior variables keep their
+	// (non-)evidence state, boundary variables are frozen as evidence.
+	Graph *factorgraph.Graph
+	// Root is the queried variable's id inside Graph.
+	Root factorgraph.VarID
+	// Interior lists the sampled variables by full-graph id, in subgraph id
+	// order (interior ids precede boundary ids in Graph).
+	Interior []factorgraph.VarID
+	// BoundaryVars counts the frozen variables appended after the interior.
+	BoundaryVars int
+	// ErrorBound is tanh of the cut weight over factors frozen at an
+	// uncertain boundary variable: 0 means the local marginal is exact up
+	// to sampling noise.
+	ErrorBound float64
+	// Truncated reports that the budget or influence threshold cut off
+	// uncertain variables (false: the query's whole uncertain component
+	// fit, and ErrorBound is 0).
+	Truncated bool
+}
+
+// frontierItem is one candidate variable ordered by influence (ties break
+// on VarID so the expansion is deterministic).
+type frontierItem struct {
+	v   factorgraph.VarID
+	inf float64
+}
+
+type frontierHeap []frontierItem
+
+func (h frontierHeap) Len() int { return len(h) }
+func (h frontierHeap) Less(i, j int) bool {
+	if h[i].inf != h[j].inf {
+		return h[i].inf > h[j].inf
+	}
+	return h[i].v < h[j].v
+}
+func (h frontierHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *frontierHeap) Push(x any)        { *h = append(*h, x.(frontierItem)) }
+func (h *frontierHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// edgeStrength maps a factor weight to its influence attenuation.
+func edgeStrength(w float64) float64 { return math.Tanh(math.Abs(w)) }
+
+// ExtractLocal grows a bounded subgraph outward from root over the last
+// full grounding's factor graph and returns it with the query's truncation
+// metadata. res is read-only; concurrent extractions over one Result are
+// safe.
+func ExtractLocal(res *Result, root factorgraph.VarID, opts LocalOptions) (*LocalGraph, error) {
+	if res == nil || res.Graph == nil {
+		return nil, fmt.Errorf("grounding: local extraction requires a full grounding")
+	}
+	opts = opts.withDefaults()
+	g := res.Graph
+	if int(root) < 0 || int(root) >= g.NumVars() {
+		return nil, fmt.Errorf("grounding: local root %d out of range", root)
+	}
+	frozenAt := func(v factorgraph.VarID) (int32, bool) {
+		if ev := g.Var(v).Evidence; ev != factorgraph.NoEvidence {
+			return ev, true
+		}
+		if opts.Freeze != nil {
+			return opts.Freeze(v)
+		}
+		return 0, false
+	}
+	if val, ok := frozenAt(root); ok {
+		// The query atom is itself observed: a one-variable "subgraph" with
+		// a point-mass marginal and no error.
+		return extractEvidenceRoot(g, root, val)
+	}
+
+	// Frontier expansion: best-first by influence over the full graph's CSR
+	// adjacency. Evidence-grade variables are recorded for the boundary but
+	// never expanded (d-separation).
+	const (
+		stateUnseen = 0
+		stateOpen   = 1
+		stateIn     = 2 // interior
+	)
+	state := map[factorgraph.VarID]int8{}
+	best := map[factorgraph.VarID]float64{}
+	var interior []factorgraph.VarID
+	kept := 0 // factors guaranteed kept so far (all factors of interior vars)
+
+	fh := frontierHeap{{v: root, inf: 1}}
+	state[root], best[root] = stateOpen, 1
+	for len(fh) > 0 {
+		it := heap.Pop(&fh).(frontierItem)
+		if state[it.v] == stateIn || it.inf < best[it.v] {
+			continue // stale heap entry
+		}
+		if len(interior) >= opts.MaxVars {
+			break
+		}
+		degree := len(g.VarLogicalFactors(it.v)) + len(g.VarSpatialPairs(it.v))
+		if opts.MaxFactors > 0 && kept+degree > opts.MaxFactors && len(interior) > 0 {
+			break
+		}
+		state[it.v] = stateIn
+		interior = append(interior, it.v)
+		kept += degree
+		expand := func(u factorgraph.VarID, w float64) {
+			if u == it.v || state[u] == stateIn {
+				return
+			}
+			inf := it.inf * edgeStrength(w)
+			if _, evGrade := frozenAt(u); evGrade {
+				return // joins as frozen boundary if a kept factor reaches it
+			}
+			if inf < opts.MinInfluence {
+				return // below threshold: left frozen at the boundary
+			}
+			if inf > best[u] || state[u] == stateUnseen {
+				state[u] = stateOpen
+				best[u] = inf
+				heap.Push(&fh, frontierItem{v: u, inf: inf})
+			}
+		}
+		for _, f := range g.VarLogicalFactors(it.v) {
+			w := g.FactorWeightOf(f)
+			vars, _ := g.FactorVars(f)
+			for _, u := range vars {
+				expand(u, w)
+			}
+		}
+		for _, sp := range g.VarSpatialPairs(it.v) {
+			a, b, w := g.SpatialPair(sp)
+			other := a
+			if a == it.v {
+				other = b
+			}
+			expand(other, w)
+		}
+	}
+	return buildLocalGraph(res, root, interior, frozenAt)
+}
+
+// extractEvidenceRoot handles a query whose atom is already observed (graph
+// evidence or an evidence-grade upsert pin): a one-variable subgraph frozen
+// at the observed value.
+func extractEvidenceRoot(g *factorgraph.Graph, root factorgraph.VarID, val int32) (*LocalGraph, error) {
+	v := g.Var(root)
+	v.Evidence = val
+	b := factorgraph.NewBuilder()
+	lid, err := b.AddVariable(v)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := b.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &LocalGraph{Graph: sub, Root: lid, Interior: nil, BoundaryVars: 1}, nil
+}
+
+// buildLocalGraph materializes the subgraph: interior variables first (in
+// expansion order), then every non-interior neighbour frozen as evidence,
+// then all factors and spatial pairs touching an interior variable. The cut
+// weight accumulates over factors with an uncertain frozen endpoint; any
+// positive cut weight means the expansion truncated uncertain tissue (an
+// uncertain boundary variable is always adjacent to the interior through
+// the edge that discovered it).
+func buildLocalGraph(res *Result, root factorgraph.VarID, interior []factorgraph.VarID,
+	frozenAt func(factorgraph.VarID) (int32, bool)) (*LocalGraph, error) {
+	g := res.Graph
+	in := make(map[factorgraph.VarID]bool, len(interior))
+	for _, v := range interior {
+		in[v] = true
+	}
+
+	// Collect the factor and spatial-pair sets (deduped, ascending) and the
+	// boundary variable set.
+	factorSet := map[int32]bool{}
+	spatialSet := map[int32]bool{}
+	boundarySet := map[factorgraph.VarID]bool{}
+	for _, v := range interior {
+		for _, f := range g.VarLogicalFactors(v) {
+			factorSet[f] = true
+		}
+		for _, sp := range g.VarSpatialPairs(v) {
+			spatialSet[sp] = true
+		}
+	}
+	factors := sortedInt32(factorSet)
+	spatials := sortedInt32(spatialSet)
+	for _, f := range factors {
+		vars, _ := g.FactorVars(f)
+		for _, u := range vars {
+			if !in[u] {
+				boundarySet[u] = true
+			}
+		}
+	}
+	for _, sp := range spatials {
+		a, bv, _ := g.SpatialPair(sp)
+		if !in[a] {
+			boundarySet[a] = true
+		}
+		if !in[bv] {
+			boundarySet[bv] = true
+		}
+	}
+	boundary := make([]factorgraph.VarID, 0, len(boundarySet))
+	for v := range boundarySet {
+		boundary = append(boundary, v)
+	}
+	sort.Slice(boundary, func(i, j int) bool { return boundary[i] < boundary[j] })
+
+	b := factorgraph.NewBuilder()
+	// Per-relation allowed-pair masks carry over for every relation present.
+	seenRel := map[int32]bool{}
+	addMask := func(v factorgraph.VarID) error {
+		rel := g.Var(v).Relation
+		if seenRel[rel] {
+			return nil
+		}
+		seenRel[rel] = true
+		if mask, h := g.AllowedPairMask(rel); mask != nil {
+			return b.SetAllowedPairs(rel, h, mask)
+		}
+		return nil
+	}
+	localID := make(map[factorgraph.VarID]factorgraph.VarID, len(interior)+len(boundary))
+	var cutWeight float64
+	uncertain := map[factorgraph.VarID]bool{}
+	for _, v := range interior {
+		if err := addMask(v); err != nil {
+			return nil, err
+		}
+		lid, err := b.AddVariable(g.Var(v))
+		if err != nil {
+			return nil, err
+		}
+		localID[v] = lid
+	}
+	for _, v := range boundary {
+		if err := addMask(v); err != nil {
+			return nil, err
+		}
+		meta := g.Var(v)
+		val, evGrade := frozenAt(v)
+		meta.Evidence = val
+		if !evGrade {
+			uncertain[v] = true
+		}
+		lid, err := b.AddVariable(meta)
+		if err != nil {
+			return nil, err
+		}
+		localID[v] = lid
+	}
+	for _, f := range factors {
+		vars, neg := g.FactorVars(f)
+		lvars := make([]factorgraph.VarID, len(vars))
+		cut := false
+		for i, u := range vars {
+			lvars[i] = localID[u]
+			if uncertain[u] {
+				cut = true
+			}
+		}
+		if cut {
+			cutWeight += math.Abs(g.FactorWeightOf(f))
+		}
+		lneg := append([]bool(nil), neg...)
+		if err := b.AddFactor(g.FactorKindOf(f), g.FactorWeightOf(f), lvars, lneg); err != nil {
+			return nil, err
+		}
+	}
+	pairs := make([]factorgraph.SpatialPair, 0, len(spatials))
+	for _, sp := range spatials {
+		a, bv, w := g.SpatialPair(sp)
+		if uncertain[a] || uncertain[bv] {
+			cutWeight += math.Abs(w)
+		}
+		pairs = append(pairs, factorgraph.SpatialPair{A: localID[a], B: localID[bv], W: w})
+	}
+	if err := b.AddSpatialPairs(pairs); err != nil {
+		return nil, err
+	}
+	sub, err := b.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	lg := &LocalGraph{
+		Graph:        sub,
+		Root:         localID[root],
+		Interior:     interior,
+		BoundaryVars: len(boundary),
+		Truncated:    cutWeight > 0,
+	}
+	if cutWeight > 0 {
+		lg.ErrorBound = math.Tanh(cutWeight)
+	}
+	return lg, nil
+}
+
+// sortedInt32 flattens a set into an ascending slice.
+func sortedInt32(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

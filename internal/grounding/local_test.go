@@ -1,0 +1,158 @@
+package grounding
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs/testutil"
+)
+
+// chainResult builds a 5-variable Imply chain v0→v1→v2→v3→v4 (weight w, all
+// binary) with optional evidence, wrapped as a grounding Result.
+func chainResult(t *testing.T, w float64, evidence map[int]int32) *Result {
+	t.Helper()
+	b := factorgraph.NewBuilder()
+	ids := make([]factorgraph.VarID, 5)
+	res := &Result{VarID: map[string]factorgraph.VarID{}}
+	for i := 0; i < 5; i++ {
+		ev := factorgraph.NoEvidence
+		if v, ok := evidence[i]; ok {
+			ev = v
+		}
+		id, err := b.AddVariable(factorgraph.Variable{Name: fmt.Sprintf("v%d", i), Domain: 2, Evidence: ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		res.VarID[fmt.Sprintf("v%d", i)] = id
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.AddFactor(factorgraph.FactorImply, w, []factorgraph.VarID{ids[i], ids[i+1]}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Graph = g
+	return res
+}
+
+// TestExtractLocalEvidenceBlocks checks evidence d-separation: expansion
+// from v0 stops at observed v2, which joins as a frozen boundary atom with
+// zero truncation error.
+func TestExtractLocalEvidenceBlocks(t *testing.T) {
+	res := chainResult(t, 0.7, map[int]int32{2: 1})
+	lg, err := ExtractLocal(res, 0, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lg.Interior); got != 2 {
+		t.Fatalf("interior = %d vars, want 2 (v0, v1)", got)
+	}
+	if lg.BoundaryVars != 1 {
+		t.Fatalf("boundary = %d vars, want 1 (v2)", lg.BoundaryVars)
+	}
+	if lg.ErrorBound != 0 || lg.Truncated {
+		t.Fatalf("evidence boundary must be exact: bound %.4f truncated %v", lg.ErrorBound, lg.Truncated)
+	}
+	if lg.Graph.NumFactors() != 2 {
+		t.Fatalf("subgraph factors = %d, want 2 (v0→v1, v1→v2)", lg.Graph.NumFactors())
+	}
+	if ev := lg.Graph.Var(factorgraph.VarID(lg.Graph.NumVars() - 1)).Evidence; ev != 1 {
+		t.Fatalf("boundary atom frozen at %d, want evidence value 1", ev)
+	}
+}
+
+// TestExtractLocalBudgetTruncation checks the variable budget: a MaxVars=2
+// expansion over an unobserved chain cuts at v2 and reports the cut factor's
+// weight in the error bound.
+func TestExtractLocalBudgetTruncation(t *testing.T) {
+	const w = 0.7
+	res := chainResult(t, w, nil)
+	lg, err := ExtractLocal(res, 0, LocalOptions{MaxVars: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lg.Interior); got != 2 {
+		t.Fatalf("interior = %d vars, want 2", got)
+	}
+	if lg.BoundaryVars != 1 {
+		t.Fatalf("boundary = %d vars, want 1 (uncertain v2)", lg.BoundaryVars)
+	}
+	if !lg.Truncated {
+		t.Fatal("cutting an uncertain variable must report Truncated")
+	}
+	want := math.Tanh(w) // one cut factor (v1→v2) with |w| = 0.7
+	if math.Abs(lg.ErrorBound-want) > 1e-12 {
+		t.Fatalf("error bound %.6f, want tanh(%.1f) = %.6f", lg.ErrorBound, w, want)
+	}
+}
+
+// TestExtractLocalEvidenceRoot checks a query on an observed atom: a
+// single-variable point-mass subgraph.
+func TestExtractLocalEvidenceRoot(t *testing.T) {
+	res := chainResult(t, 0.7, map[int]int32{0: 1})
+	lg, err := ExtractLocal(res, 0, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Graph.NumVars() != 1 || lg.Graph.Var(0).Evidence != 1 {
+		t.Fatalf("evidence root must yield a 1-var frozen subgraph, got %d vars", lg.Graph.NumVars())
+	}
+	if lg.ErrorBound != 0 || lg.Truncated {
+		t.Fatal("evidence root is exact")
+	}
+}
+
+// TestExtractLocalExactOnEvidenceBoundary is the construction's semantic
+// anchor: when the frontier stops only at evidence (whole uncertain
+// component inside the budget), exact marginals on the subgraph equal exact
+// marginals on the full graph for every interior variable.
+func TestExtractLocalExactOnEvidenceBoundary(t *testing.T) {
+	for _, shape := range testutil.Shapes(77) {
+		t.Run(shape.Name, func(t *testing.T) {
+			g, err := testutil.RandomGraph(shape.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := &Result{Graph: g, VarID: map[string]factorgraph.VarID{}}
+			for i := 0; i < g.NumVars(); i++ {
+				res.VarID[fmt.Sprintf("v%d", i)] = factorgraph.VarID(i)
+			}
+			full, err := testutil.Exact(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var root factorgraph.VarID = -1
+			for i := 0; i < g.NumVars(); i++ {
+				if g.Var(factorgraph.VarID(i)).Evidence == factorgraph.NoEvidence {
+					root = factorgraph.VarID(i)
+					break
+				}
+			}
+			if root < 0 {
+				t.Skip("no query variable")
+			}
+			lg, err := ExtractLocal(res, root, LocalOptions{MaxVars: g.NumVars()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lg.Truncated || lg.ErrorBound != 0 {
+				t.Fatalf("budget covers the graph, yet truncated=%v bound=%.4f", lg.Truncated, lg.ErrorBound)
+			}
+			local, err := testutil.Exact(lg.Graph)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for li, fullID := range lg.Interior {
+				if d := testutil.TV(local[li], full[fullID]); d > 1e-9 {
+					t.Fatalf("interior var %d: local exact marginal off by TV %.2e", fullID, d)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/factorgraph"
+	"repro/internal/index/rtree"
+	"repro/internal/obs"
+)
+
+// This file is the serving face of query-driven lazy grounding: point
+// queries with an effective variable budget (the ?budget= knob, defaulting
+// to Options.LocalBudget) are answered by core.QueryLocal over a bounded
+// subgraph around the matched atom instead of the full-graph marginal read.
+// Answers are memoized in a small LRU keyed by (atom, generation, budget) —
+// every upsert bumps the generation, invalidating all cached subgraphs at
+// once, the same stamp discipline the score cache uses.
+
+// localKey identifies one cached lazy answer. The generation stamp makes
+// invalidation free: entries from an older generation simply never match and
+// age out of the LRU.
+type localKey struct {
+	vid    factorgraph.VarID
+	gen    uint64
+	budget int
+}
+
+// localCache is a mutex-guarded LRU of lazy query answers. Results are
+// immutable once stored, so a hit hands out the shared pointer.
+type localCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[localKey]*list.Element
+
+	hits    *obs.Counter
+	misses  *obs.Counter
+	mVars   *obs.Gauge
+	mFacts  *obs.Gauge
+	mGround *obs.Histogram
+}
+
+type localEntry struct {
+	key localKey
+	res *core.LocalResult
+}
+
+// localGroundBuckets cover frontier expansion + subgraph build, which should
+// sit orders of magnitude below a full ground.
+var localGroundBuckets = []float64{1e-5, 5e-5, 1e-4, 5e-4, .001, .005, .01, .05, .1, .5}
+
+func newLocalCache(capacity int, m *obs.Registry) *localCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &localCache{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[localKey]*list.Element, capacity),
+		hits:    m.Counter("sya_local_cache_hits_total"),
+		misses:  m.Counter("sya_local_cache_misses_total"),
+		mVars:   m.Gauge("sya_local_subgraph_vars"),
+		mFacts:  m.Gauge("sya_local_subgraph_factors"),
+		mGround: m.Histogram("sya_local_ground_seconds", localGroundBuckets),
+	}
+}
+
+func (c *localCache) get(k localKey) (*core.LocalResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*localEntry).res, true
+}
+
+func (c *localCache) put(k localKey, res *core.LocalResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*localEntry).res = res
+		return
+	}
+	c.items[k] = c.ll.PushFront(&localEntry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*localEntry).key)
+	}
+}
+
+// len reports the live entry count (tests).
+func (c *localCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// localBudget resolves the effective point-query budget: the ?budget= knob
+// when present (0 forces the full-graph path), else the server default.
+func (s *Server) localBudget(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("budget")
+	if raw == "" {
+		return s.opts.LocalBudget, nil
+	}
+	return strconv.Atoi(raw)
+}
+
+// localScore answers one matched atom through the lazy path: LRU first, then
+// a fresh QueryLocal (which nests local_ground / local_sample stages under
+// the request span on ctx). Caller holds the read lock.
+func (s *Server) localScore(ctx context.Context, vid factorgraph.VarID, gen uint64, budget int) (*core.LocalResult, error) {
+	k := localKey{vid: vid, gen: gen, budget: budget}
+	if res, ok := s.locals.get(k); ok {
+		return res, nil
+	}
+	res, err := s.sys.QueryLocal(ctx, s.keys[vid], core.LocalBudget{
+		MaxVars: budget,
+		Epochs:  s.opts.LocalEpochs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.locals.mVars.Set(float64(res.Vars))
+	s.locals.mFacts.Set(float64(res.Factors + res.SpatialPairs))
+	s.locals.mGround.Observe(res.GroundTime.Seconds())
+	s.locals.put(k, res)
+	return res, nil
+}
+
+// servePointLocal is the lazy tail of handlePoint: score each probed atom
+// over its bounded subgraph. Runs only on the live path — a degraded read
+// cannot touch the (mutating) system, so stale point queries fall back to
+// snapshot marginals.
+func (s *Server) servePointLocal(w http.ResponseWriter, r *http.Request, rq *reqScope, rs readState, items []rtree.Item, rel string, budget int) {
+	resp := queryResponse{Relation: rel, Generation: rs.gen, Budget: budget}
+	resp.Atoms = make([]ScoredAtom, 0, len(items))
+	for _, it := range items {
+		vid := factorgraph.VarID(it.Data)
+		res, err := s.localScore(r.Context(), vid, rs.gen, budget)
+		if err != nil {
+			s.fail(w, rq, http.StatusInternalServerError, "local query: %v", err)
+			return
+		}
+		v := s.sys.Grounding().Graph.Var(vid)
+		resp.Atoms = append(resp.Atoms, ScoredAtom{
+			Key:        s.keys[vid],
+			Location:   [2]float64{v.Loc.X, v.Loc.Y},
+			Score:      res.Score,
+			Marginal:   res.Marginal,
+			LocalVars:  res.Vars,
+			ErrorBound: res.ErrorBound,
+			Truncated:  res.Truncated,
+		})
+	}
+	writeJSON(w, resp)
+}

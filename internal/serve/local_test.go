@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs/testutil"
+	"repro/internal/obs"
+)
+
+// TestLocalPointQuery checks the lazy path end to end: a budgeted point
+// query answers from a bounded subgraph, reports its size, and lands within
+// TV tolerance of the full-graph marginal for the same atom.
+func TestLocalPointQuery(t *testing.T) {
+	sys := newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: 7})
+	_, ts := startServer(t, sys, Options{})
+
+	// Bong is unlabeled in the Fig. 1 scenario, so its HasEbola atom is
+	// genuinely uncertain.
+	const atomQ = "?relation=HasEbola&x=-9.45&y=7.05"
+	var full queryResponse
+	if code := getJSON(t, ts.URL+"/v1/score/point"+atomQ, &full); code != 200 {
+		t.Fatalf("full point query status %d", code)
+	}
+	if len(full.Atoms) != 1 || full.Budget != 0 {
+		t.Fatalf("full path: %d atoms, budget %d", len(full.Atoms), full.Budget)
+	}
+
+	var local queryResponse
+	if code := getJSON(t, ts.URL+"/v1/score/point"+atomQ+"&budget=16", &local); code != 200 {
+		t.Fatalf("budgeted point query status %d", code)
+	}
+	if local.Budget != 16 || len(local.Atoms) != 1 {
+		t.Fatalf("lazy path: budget %d, %d atoms", local.Budget, len(local.Atoms))
+	}
+	a := local.Atoms[0]
+	if a.LocalVars <= 0 || a.LocalVars > 16 {
+		t.Fatalf("subgraph vars %d out of (0, 16]", a.LocalVars)
+	}
+	if a.Key != full.Atoms[0].Key {
+		t.Fatalf("lazy path answered %q, full path %q", a.Key, full.Atoms[0].Key)
+	}
+	// 16 vars covers the whole 4-county graph: exact extraction, only
+	// Monte-Carlo noise between the two estimates.
+	if a.Truncated || a.ErrorBound != 0 {
+		t.Fatalf("full-coverage budget must be exact: truncated=%v bound=%.4f", a.Truncated, a.ErrorBound)
+	}
+	if tv := testutil.TV(a.Marginal, full.Atoms[0].Marginal); tv > 0.08 {
+		t.Fatalf("lazy vs full marginal TV %.4f > 0.08", tv)
+	}
+
+	// An explicit ?budget=0 forces the full path even with a server default.
+	var forced queryResponse
+	if code := getJSON(t, ts.URL+"/v1/score/point"+atomQ+"&budget=0", &forced); code != 200 {
+		t.Fatalf("budget=0 status %d", code)
+	}
+	if forced.Budget != 0 || forced.Atoms[0].LocalVars != 0 {
+		t.Fatalf("budget=0 must take the full path, got budget %d", forced.Budget)
+	}
+	if code := getJSON(t, ts.URL+"/v1/score/point"+atomQ+"&budget=-3", nil); code != 400 {
+		t.Fatalf("negative budget status %d, want 400", code)
+	}
+}
+
+// TestLocalDefaultBudget checks Options.LocalBudget turns the lazy path on
+// without the query knob.
+func TestLocalDefaultBudget(t *testing.T) {
+	sys := newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: 7})
+	_, ts := startServer(t, sys, Options{LocalBudget: 8})
+	var resp queryResponse
+	if code := getJSON(t, ts.URL+"/v1/score/point?relation=HasEbola&x=-9.45&y=7.05", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Budget != 8 || resp.Atoms[0].LocalVars == 0 {
+		t.Fatalf("server default budget not applied: budget %d vars %d", resp.Budget, resp.Atoms[0].LocalVars)
+	}
+}
+
+// TestLocalCacheGeneration checks the LRU's generation stamping: repeat
+// queries hit the cache, an upsert bumps the generation and the next query
+// recomputes.
+func TestLocalCacheGeneration(t *testing.T) {
+	sys := newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: 7})
+	reg := obs.NewRegistry()
+	srv, ts := startServer(t, sys, Options{Metrics: reg, LocalBudget: 16})
+
+	url := ts.URL + "/v1/score/point?relation=HasEbola&x=-9.45&y=7.05"
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, url, nil); code != 200 {
+			t.Fatalf("query %d status %d", i, code)
+		}
+	}
+	if hits := srv.locals.hits.Value(); hits != 2 {
+		t.Fatalf("cache hits after 3 identical queries = %d, want 2", hits)
+	}
+	if n := srv.locals.len(); n != 1 {
+		t.Fatalf("cache entries = %d, want 1", n)
+	}
+
+	// Pin new evidence: generation bumps, the cached subgraph is stale.
+	body := `{"relation": "CountyEvidence", "rows": [["2", "POINT (-10.45 6.55)", "true"]]}`
+	resp, err := http.Post(ts.URL+"/v1/evidence", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("upsert status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, url, nil); code != 200 {
+		t.Fatalf("post-upsert query status %d", code)
+	}
+	if hits := srv.locals.hits.Value(); hits != 2 {
+		t.Fatalf("stale entry served after upsert (hits = %d)", hits)
+	}
+	if n := srv.locals.len(); n != 2 {
+		t.Fatalf("cache entries after generation bump = %d, want 2", n)
+	}
+}
+
+// TestLocalCacheLRU checks the capacity bound evicts oldest entries.
+func TestLocalCacheLRU(t *testing.T) {
+	c := newLocalCache(2, nil)
+	for i := 0; i < 4; i++ {
+		c.put(localKey{vid: factorgraph.VarID(i), gen: 1, budget: 8}, &core.LocalResult{Key: fmt.Sprint(i)})
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("capacity-2 cache holds %d entries", n)
+	}
+	if _, ok := c.get(localKey{vid: factorgraph.VarID(0), gen: 1, budget: 8}); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	if res, ok := c.get(localKey{vid: factorgraph.VarID(3), gen: 1, budget: 8}); !ok || res.Key != "3" {
+		t.Fatal("newest entry missing")
+	}
+}
+
+// TestLocalConcurrentQueries hammers the lazy path from many goroutines
+// while an upsert runs — the subgraph cache and QueryLocal must be safe
+// under the server's read/write interleaving (this runs under -race in CI).
+func TestLocalConcurrentQueries(t *testing.T) {
+	sys := newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: 7, Epochs: 1000})
+	_, ts := startServer(t, sys, Options{LocalBudget: 8, LocalEpochs: 500})
+
+	urls := []string{
+		ts.URL + "/v1/score/point?relation=HasEbola&x=-9.45&y=7.05&budget=4",
+		ts.URL + "/v1/score/point?relation=HasEbola&x=-9.45&y=7.05&budget=16",
+		ts.URL + "/v1/score/point?relation=HasEbola&x=-8.90&y=7.60",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				resp, err := http.Get(urls[(i+j)%len(urls)])
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Sprintf("status %d", resp.StatusCode)
+				}
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body := `{"relation": "CountyEvidence", "rows": [["2", "POINT (-10.45 6.55)", "true"]]}`
+		resp, err := http.Post(ts.URL+"/v1/evidence", "application/json", strings.NewReader(body))
+		if err != nil {
+			errs <- err.Error()
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 && resp.StatusCode != 429 {
+			errs <- fmt.Sprintf("upsert status %d", resp.StatusCode)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -80,6 +80,20 @@ type Options struct {
 	// slow-request log (nil disables tracing; handlers then pay only a
 	// branch per would-be span).
 	Tracer *obs.Tracer
+
+	// LocalBudget enables the lazy local-grounding path for point queries:
+	// with a positive value, a point query is answered from a bounded
+	// subgraph of at most this many sampled variables around the matched
+	// atom instead of the full-graph marginal. A ?budget= query parameter
+	// overrides it per request (?budget=0 forces the full path). 0
+	// disables the lazy path by default.
+	LocalBudget int
+	// LocalEpochs is the sampling budget per lazy query (0 → the system's
+	// configured epoch budget).
+	LocalEpochs int
+	// LocalCacheSize bounds the LRU of lazy answers keyed by
+	// (atom, generation, budget) (0 → 128).
+	LocalCacheSize int
 }
 
 // Server is a resident KB: a grounded system plus its serving indexes.
@@ -99,6 +113,9 @@ type Server struct {
 	gen  uint64
 
 	cache *scoreCache
+	// locals caches lazy point-query answers; generation-stamped keys make
+	// upsert invalidation implicit.
+	locals *localCache
 
 	// wal is the evidence write-ahead log (nil when durability is off).
 	// Appends happen under the write lock; Close syncs and closes it.
@@ -209,6 +226,7 @@ func New(sys *core.System, opts Options) (*Server, error) {
 		opts:        opts,
 		sys:         sys,
 		cache:       newScoreCache(opts.CacheTTL, m),
+		locals:      newLocalCache(opts.LocalCacheSize, m),
 		wal:         wlog,
 		replay:      replay,
 		upsertSlots: make(chan struct{}, opts.MaxQueuedUpserts),
@@ -362,6 +380,13 @@ type ScoredAtom struct {
 	// Score is P(true) for binary atoms (marginal[1]).
 	Score    float64   `json:"score"`
 	Marginal []float64 `json:"marginal"`
+
+	// Lazy-path extras (point queries with an effective budget): the
+	// sampled subgraph size, the truncation-error bound from the cut
+	// factors' decay weights, and whether any uncertain tissue was cut.
+	LocalVars  int     `json:"local_vars,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Truncated  bool    `json:"truncated,omitempty"`
 }
 
 func (s *Server) scoredAtom(vid factorgraph.VarID) ScoredAtom {
@@ -594,7 +619,10 @@ type queryResponse struct {
 	Relation   string       `json:"relation"`
 	Generation uint64       `json:"generation"`
 	Stale      bool         `json:"stale,omitempty"`
-	Atoms      []ScoredAtom `json:"atoms"`
+	// Budget is the lazy-path variable budget the atoms were answered
+	// under; 0 means the full-graph path.
+	Budget int          `json:"budget,omitempty"`
+	Atoms  []ScoredAtom `json:"atoms"`
 }
 
 // beginReadTraced is beginRead with the lock acquisition recorded as an
@@ -628,8 +656,9 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, rq *reqScop
 	rel := r.URL.Query().Get("relation")
 	x, errX := queryFloat(r, "x")
 	y, errY := queryFloat(r, "y")
-	if rel == "" || errX != nil || errY != nil {
-		s.fail(w, rq, http.StatusBadRequest, "point query needs relation, x, y")
+	budget, errB := s.localBudget(r)
+	if rel == "" || errX != nil || errY != nil || errB != nil || budget < 0 {
+		s.fail(w, rq, http.StatusBadRequest, "point query needs relation, x, y (and budget ≥ 0)")
 		return
 	}
 	rs := s.beginReadTraced(rq)
@@ -637,6 +666,17 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request, rq *reqScop
 	tree, ok := lookupTree(rs.trees, rel)
 	if !ok {
 		s.fail(w, rq, http.StatusNotFound, "unknown variable relation %q", rel)
+		return
+	}
+	if budget > 0 && !rs.stale {
+		// Lazy path: answer from a bounded subgraph around each matched
+		// atom. Degraded reads fall through to the snapshot marginals —
+		// the system is mutating under the writer and cannot be sampled.
+		sp := rq.span.Child("rtree_probe")
+		items := tree.SearchAll(geom.Pt(x, y).Bounds())
+		sp.Notef("hits=%d", len(items))
+		sp.End()
+		s.servePointLocal(w, r, rq, rs, items, rel, budget)
 		return
 	}
 	resp := queryResponse{Relation: rel, Generation: rs.gen, Stale: rs.stale}

@@ -20,9 +20,10 @@ type Result struct {
 // Engine executes SQL statements against a storage database.
 type Engine struct {
 	db *storage.DB
-	// workers > 1 enables sharded probe evaluation inside joins (see
-	// probeAll); ctx is polled between probe batches. Both are set by
-	// SetParallelism — the zero value runs fully sequentially.
+	// workers > 1 enables sharded batch evaluation inside joins, residual
+	// filters and projection (see shardAll); ctx is polled between batches.
+	// Both are set by SetParallelism — the zero value runs fully
+	// sequentially.
 	workers int
 	ctx     context.Context
 }
@@ -33,12 +34,14 @@ func NewEngine(db *storage.DB) *Engine { return &Engine{db: db} }
 // DB exposes the underlying database.
 func (e *Engine) DB() *storage.DB { return e.db }
 
-// SetParallelism configures batched probe evaluation inside joins: the
-// probe side of hash, spatial and nested-loop joins is split into row
-// batches evaluated by up to `workers` goroutines, with batch outputs
-// concatenated in input order — result rows are identical for any worker
-// count. ctx (nil → Background) is polled between batches so a cancelled
-// grounding stops mid-join. workers <= 1 keeps the engine sequential.
+// SetParallelism configures batched tuple evaluation inside SELECT
+// execution: the probe side of hash, spatial and nested-loop joins, the
+// residual filter pass after each join step, and the projection pass are
+// each split into row batches evaluated by up to `workers` goroutines, with
+// batch outputs concatenated in input order — result rows are identical for
+// any worker count. ctx (nil → Background) is polled between batches so a
+// cancelled grounding stops mid-query. workers <= 1 keeps the engine
+// sequential.
 //
 // Not safe to call concurrently with Exec; configure once before issuing
 // queries (concurrent Execs after that are fine — execution only reads
@@ -51,23 +54,26 @@ func (e *Engine) SetParallelism(workers int, ctx context.Context) {
 	e.ctx = ctx
 }
 
-// probeParallelMin is the probe-side row count below which joins stay
+// probeParallelMin is the input row count below which a batch stage stays
 // sequential — batching overhead would dominate smaller inputs.
 const probeParallelMin = 128
 
-// probeGrain is the probe batch size for sharded join evaluation.
+// probeGrain is the batch size for sharded stage evaluation.
 const probeGrain = 64
 
-// probeAll evaluates probeRange over all n probe tuples: one inline call
-// when the engine is sequential or the input is small, else sharded into
-// fixed batches across workers with outputs merged in batch order.
-func (e *Engine) probeAll(n int, probeRange func(lo, hi int) ([][]int, error)) ([][]int, error) {
+// shardAll evaluates rangeFn over all n input tuples: one inline call when
+// the engine is sequential or the input is small, else sharded into fixed
+// batches across workers with outputs merged in batch order — chunk
+// boundaries depend only on n, so the merged output is identical for any
+// worker count. rangeFn must be safe for concurrent batches: build a
+// batch-local env inside it and only read shared state.
+func shardAll[T any](e *Engine, n int, rangeFn func(lo, hi int) ([]T, error)) ([]T, error) {
 	if e.workers <= 1 || n < probeParallelMin {
-		return probeRange(0, n)
+		return rangeFn(0, n)
 	}
-	parts := make([][][]int, parallel.NumChunks(n, probeGrain))
+	parts := make([][]T, parallel.NumChunks(n, probeGrain))
 	err := parallel.For(e.ctx, e.workers, n, probeGrain, func(c, lo, hi int) error {
-		rows, err := probeRange(lo, hi)
+		rows, err := rangeFn(lo, hi)
 		if err != nil {
 			return err
 		}
@@ -81,7 +87,7 @@ func (e *Engine) probeAll(n int, probeRange func(lo, hi int) ([][]int, error)) (
 	for _, p := range parts {
 		total += len(p)
 	}
-	out := make([][]int, 0, total)
+	out := make([]T, 0, total)
 	for _, p := range parts {
 		out = append(out, p...)
 	}
@@ -173,38 +179,48 @@ func (e *Engine) runSelect(p *plan, params map[string]storage.Value) (*Result, e
 				return nil, err
 			}
 		}
-		// Residual predicates that became evaluable at this step.
+		// Residual predicates that became evaluable at this step: a pure
+		// per-tuple filter, sharded like a join's probe side — each batch
+		// evaluates with its own env and kept tuples concatenate in input
+		// order.
 		if len(step.extra) > 0 {
-			ev := ts.envFor(params)
-			var kept [][]int
-			for _, tuple := range ts.tuples {
-				ts.bind(ev, tuple)
-				ok := true
-				for _, f := range step.extra {
-					pass, err := ev.evalBool(f)
-					if err != nil {
-						return nil, err
+			extra := step.extra
+			kept, err := shardAll(e, len(ts.tuples), func(lo, hi int) ([][]int, error) {
+				ev := ts.envFor(params)
+				var out [][]int
+				for _, tuple := range ts.tuples[lo:hi] {
+					ts.bind(ev, tuple)
+					ok := true
+					for _, f := range extra {
+						pass, err := ev.evalBool(f)
+						if err != nil {
+							return nil, err
+						}
+						if !pass {
+							ok = false
+							break
+						}
 					}
-					if !pass {
-						ok = false
-						break
+					if ok {
+						out = append(out, tuple)
 					}
 				}
-				if ok {
-					kept = append(kept, tuple)
-				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			ts.tuples = kept
 		}
 	}
-	return project(ts, p.sel, params)
+	return e.project(ts, p.sel, params)
 }
 
 // joinStep extends every tuple with matching rows of the step's node. Each
 // join flavour is expressed as a probeRange closure evaluating one
 // contiguous probe-tuple batch with batch-local envs and scratch; shared
 // state (the hash table, the R-tree, the right side's rows) is built once
-// and only read during probing. probeAll shards the batches across the
+// and only read during probing. shardAll shards the batches across the
 // engine's workers — batch outputs concatenate in input order, so the
 // joined tuple order is identical for any worker count.
 func (e *Engine) joinStep(ts *tupleSet, step planStep, params map[string]storage.Value) error {
@@ -343,7 +359,7 @@ func (e *Engine) joinStep(ts *tupleSet, step planStep, params map[string]storage
 			return out, nil
 		}
 	}
-	out, err := e.probeAll(len(ts.tuples), probeRange)
+	out, err := shardAll(e, len(ts.tuples), probeRange)
 	if err != nil {
 		return err
 	}
@@ -653,8 +669,12 @@ func projectAggregated(ts *tupleSet, sel *SelectStmt, params map[string]storage.
 	return res, nil
 }
 
-// project applies the SELECT list, DISTINCT, ORDER BY and LIMIT.
-func project(ts *tupleSet, sel *SelectStmt, params map[string]storage.Value) (*Result, error) {
+// project applies the SELECT list, DISTINCT, ORDER BY and LIMIT. The
+// per-tuple expression evaluation is sharded across the engine's workers
+// (each batch with its own env, outputs merged in input order); DISTINCT,
+// the sort and LIMIT run sequentially on the merged rows. Aggregated
+// projection groups tuples globally and stays sequential.
+func (e *Engine) project(ts *tupleSet, sel *SelectStmt, params map[string]storage.Value) (*Result, error) {
 	if len(sel.GroupBy) > 0 || anyAggregateItem(sel) {
 		return projectAggregated(ts, sel, params)
 	}
@@ -690,31 +710,37 @@ func project(ts *tupleSet, sel *SelectStmt, params map[string]storage.Value) (*R
 	for _, pj := range projs {
 		res.Cols = append(res.Cols, pj.name)
 	}
-	ev := ts.envFor(params)
 	type ordered struct {
 		row  storage.Row
 		keys []storage.Value
 	}
-	var rows []ordered
-	for _, tuple := range ts.tuples {
-		ts.bind(ev, tuple)
-		row := make(storage.Row, len(projs))
-		for i, pj := range projs {
-			v, err := ev.eval(pj.expr)
-			if err != nil {
-				return nil, err
+	rows, err := shardAll(e, len(ts.tuples), func(lo, hi int) ([]ordered, error) {
+		ev := ts.envFor(params)
+		out := make([]ordered, 0, hi-lo)
+		for _, tuple := range ts.tuples[lo:hi] {
+			ts.bind(ev, tuple)
+			row := make(storage.Row, len(projs))
+			for i, pj := range projs {
+				v, err := ev.eval(pj.expr)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
 			}
-			row[i] = v
-		}
-		var keys []storage.Value
-		for _, ob := range sel.OrderBy {
-			v, err := ev.eval(ob.Expr)
-			if err != nil {
-				return nil, err
+			var keys []storage.Value
+			for _, ob := range sel.OrderBy {
+				v, err := ev.eval(ob.Expr)
+				if err != nil {
+					return nil, err
+				}
+				keys = append(keys, v)
 			}
-			keys = append(keys, v)
+			out = append(out, ordered{row: row, keys: keys})
 		}
-		rows = append(rows, ordered{row: row, keys: keys})
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if sel.Distinct {
 		seen := map[string]bool{}
