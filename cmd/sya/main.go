@@ -10,6 +10,7 @@
 //	    [-timeout D] [-checkpoint file] [-checkpoint-every N] \
 //	    [-metrics-addr host:port] [-trace-out file.jsonl] [-trace-max-mb N] \
 //	    [-progress N] [-local-atom relation|terms -local-budget N]
+//	    [-shards N [-shard-addrs host:port,...]] [-chunk-grain N]
 //
 // CSV files need a header row naming the relation's columns (order free).
 // Spatial columns parse WKT ("POINT (1 2)"); boolean columns accept
@@ -32,6 +33,15 @@
 //
 // Grounding runs on a worker pool sized by -ground-workers (default
 // GOMAXPROCS); the grounded factor graph is bit-identical for any width.
+//
+// Sharded batch inference: -shards N partitions the ground graph by pyramid
+// subtree into N share-nothing shards (each with its own subgraph, compiled
+// kernels and sampler) synchronized by a halo exchange at every epoch
+// barrier; -shard-addrs switches the exchange from in-process channels to
+// length-prefixed CRC-framed TCP. A sharded run checkpoints per shard
+// (<file>.shard<i>) and resumes like a single-process one. -chunk-grain
+// caps the sampler work-chunk size (cells per spatial chunk, variables per
+// hogwild bucket) without changing the chains.
 package main
 
 import (
@@ -77,6 +87,9 @@ func main() {
 		noKernels   = flag.Bool("no-kernels", false, "score with the interpreted factor walk instead of compiled sampling kernels (bit-identical; escape hatch)")
 		localAtom   = flag.String("local-atom", "", "answer one atom key (relation|term,...) by lazy local grounding instead of full inference")
 		localBudget = flag.Int("local-budget", 0, "variable budget for -local-atom: sample a bounded subgraph of at most N variables (0 = 256)")
+		chunkGrain  = flag.Int("chunk-grain", 0, "cap sampler work-chunk size: cells per spatial chunk / variables per hogwild bucket (0 = engine defaults)")
+		shards      = flag.Int("shards", 0, "partition the ground graph into N share-nothing shards with halo exchange (sya engine, batch inference; 0/1 = single-process)")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated per-shard TCP listen addresses (length -shards); empty = in-process transports")
 	)
 	flag.Var(&loads, "load", "Relation=file.csv (repeatable)")
 	flag.Parse()
@@ -98,7 +111,8 @@ func main() {
 		timeout: *timeout, ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 		metricsAddr: *metricsAddr, traceOut: *traceOut, traceMaxMB: *traceMaxMB,
 		progress: *progress, groundWorkers: *groundWork,
-		noKernels: *noKernels,
+		noKernels: *noKernels, chunkGrain: *chunkGrain,
+		shards: *shards, shardAddrs: *shardAddrs,
 		localAtom: *localAtom, localBudget: *localBudget,
 	})
 	if err != nil {
@@ -132,6 +146,9 @@ type runOpts struct {
 	progress      int
 	groundWorkers int
 	noKernels     bool
+	chunkGrain    int
+	shards        int
+	shardAddrs    string
 
 	localAtom   string
 	localBudget int
@@ -160,7 +177,15 @@ func run(o runOpts) error {
 		Seed:           o.seed,
 		GroundWorkers:  o.groundWorkers,
 		NoKernels:      o.noKernels,
+		ChunkGrain:     o.chunkGrain,
+		Shards:         o.shards,
 		CheckpointPath: o.ckptPath, CheckpointEvery: o.ckptEvery,
+	}
+	if o.shardAddrs != "" {
+		cfg.ShardAddrs = strings.Split(o.shardAddrs, ",")
+		if len(cfg.ShardAddrs) != o.shards {
+			return fmt.Errorf("-shard-addrs lists %d addresses, -shards is %d", len(cfg.ShardAddrs), o.shards)
+		}
 	}
 	if o.metricsAddr != "" {
 		cfg.Metrics = obs.NewRegistry()

@@ -8,14 +8,16 @@
 //	syabench all
 //
 // Experiments: table1, fig1, fig8, fig9, fig10, fig11, fig12, fig13,
-// fig14, ablation. Flags scale the workloads; -paper approaches the paper's
+// fig14, ablation, serving, local, shard. Flags scale the workloads; -paper approaches the paper's
 // sizes (slow). -metrics-addr serves live Prometheus metrics and pprof for
 // the duration of the suite; -trace-out records JSONL phase traces
 // (-trace-max-mb bounds the file via rotation). -phase=grounding restricts
 // the suite to grounding-only comparisons (table1, fig9, fig10 with
 // inference skipped); -phase=local runs the lazy-grounding budget sweep
-// (-local-json writes BENCH_local.json); -ground-workers sizes the grounding
-// worker pool.
+// (-local-json writes BENCH_local.json); -phase=shard runs the sharded
+// share-nothing inference sweep plus the chunk-grain sweep (-shard-json
+// writes BENCH_shard.json); -ground-workers sizes the grounding worker pool;
+// -chunk-grain caps the sampler work-chunk size for every experiment.
 package main
 
 import (
@@ -42,11 +44,12 @@ var experiments = map[string]func(bench.Params) (*bench.Table, error){
 	"ablation": bench.Ablation,
 	"serving":  bench.Serving,
 	"local":    bench.Local,
+	"shard":    bench.Shard,
 }
 
 // order fixes the "all" execution sequence.
 var order = []string{
-	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "serving", "local",
+	"table1", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "serving", "local", "shard",
 }
 
 // groundingPhase lists the experiments that remain meaningful under
@@ -70,6 +73,12 @@ var localPhase = map[string]bool{
 	"local": true,
 }
 
+// shardPhase lists the experiments -phase=shard runs: the sharded-inference
+// sweep (shard counts + chunk-grain) only.
+var shardPhase = map[string]bool{
+	"shard": true,
+}
+
 func main() {
 	defaults := bench.DefaultParams()
 	var (
@@ -88,6 +97,8 @@ func main() {
 
 		servingJSON = flag.String("serving-json", "", "with the serving experiment, write its machine-readable report (BENCH_serving.json shape) to this path")
 		localJSON   = flag.String("local-json", "", "with the local experiment, write its machine-readable report (BENCH_local.json shape) to this path")
+		shardJSON   = flag.String("shard-json", "", "with the shard experiment, write its machine-readable report (BENCH_shard.json shape) to this path")
+		grain       = flag.Int("chunk-grain", 0, "cap sampler work-chunk size: cells per spatial chunk / variables per hogwild bucket (0 = engine defaults)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars and pprof on this address while experiments run")
 		traceOut    = flag.String("trace-out", "", "write JSONL phase-trace events for every experiment to this file")
@@ -142,8 +153,11 @@ func main() {
 	p.NoKernels = *noKern
 	p.ServingJSON = *servingJSON
 	p.LocalJSON = *localJSON
+	p.ShardJSON = *shardJSON
+	p.ChunkGrain = *grain
 	servingOnly := false
 	localOnly := false
+	shardOnly := false
 	switch *phase {
 	case "":
 	case "grounding":
@@ -152,8 +166,10 @@ func main() {
 		servingOnly = true
 	case "local":
 		localOnly = true
+	case "shard":
+		shardOnly = true
 	default:
-		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding, serving, local)\n", *phase)
+		fmt.Fprintf(os.Stderr, "syabench: unknown -phase %q (supported: grounding, serving, local, shard)\n", *phase)
 		os.Exit(2)
 	}
 	if *paper {
@@ -179,6 +195,9 @@ func main() {
 	}
 	if len(args) == 0 && localOnly {
 		args = []string{"local"}
+	}
+	if len(args) == 0 && shardOnly {
+		args = []string{"shard"}
 	}
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: syabench [flags] <experiment>... | all | -list")
@@ -210,6 +229,10 @@ func main() {
 		}
 		if localOnly && !localPhase[name] {
 			fmt.Fprintf(os.Stderr, "syabench: -phase=local: skipping non-local experiment %s\n", name)
+			continue
+		}
+		if shardOnly && !shardPhase[name] {
+			fmt.Fprintf(os.Stderr, "syabench: -phase=shard: skipping non-shard experiment %s\n", name)
 			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {

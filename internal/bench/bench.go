@@ -75,6 +75,14 @@ type Params struct {
 	// LocalJSON, when non-empty, makes the local experiment write its
 	// machine-readable report (the BENCH_local.json shape) to this path.
 	LocalJSON string
+
+	// ShardJSON, when non-empty, makes the shard experiment write its
+	// machine-readable report (the BENCH_shard.json shape) to this path.
+	ShardJSON string
+	// ChunkGrain caps the sampler work-chunk size (cells per spatial chunk,
+	// variables per hogwild bucket); 0 keeps the engine defaults. The shard
+	// experiment additionally sweeps this knob itself.
+	ChunkGrain int
 }
 
 // DefaultParams returns laptop-scale defaults.

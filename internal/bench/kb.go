@@ -78,6 +78,7 @@ func (k *gwdbKB) system(engine core.Engine, seed int64) *core.System {
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		NoKernels:        k.p.NoKernels,
+		ChunkGrain:       k.p.ChunkGrain,
 		SkipFactorTables: true,
 		Metrics:          k.p.Metrics,
 		Trace:            k.p.Trace,
@@ -177,6 +178,7 @@ func (k *nyccasKB) Build(engine core.Engine, seed int64) (*core.System, error) {
 		Epochs:           k.p.Epochs,
 		Seed:             seed,
 		NoKernels:        k.p.NoKernels,
+		ChunkGrain:       k.p.ChunkGrain,
 		SkipFactorTables: true,
 		Metrics:          k.p.Metrics,
 		Trace:            k.p.Trace,

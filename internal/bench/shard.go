@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+// shardCounts is the shard sweep: 1 is the single-process reference, the
+// rest run the share-nothing partition with in-process transports.
+var shardCounts = []int{1, 2, 4}
+
+// grainSweep probes the chunk-grain knob on the single-process sampler
+// (0 = engine default, historically the hard-coded 64).
+var grainSweep = []int{0, 16, 64, 256}
+
+// grainCaveat travels with the grain sweep wherever it is rendered.
+const grainCaveat = "grain sweep ran on a shared host — chunk grain trades scheduling overhead " +
+	"against load balance, so on a 1-CPU host (or a noisy CI runner) the spread mostly measures " +
+	"per-chunk bookkeeping, not parallel speedup; rerun on dedicated multi-core hardware before tuning"
+
+// ShardPoint is one shard count of the sweep: sampling throughput, the
+// halo-exchange cost split out of it, and marginal agreement with the
+// single-process reference.
+type ShardPoint struct {
+	Shards int `json:"shards"`
+	// EpochsPerSec counts completed whole-graph epochs per wall second
+	// (every shard advances together, so shard epochs are graph epochs).
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+	InferMs      float64 `json:"infer_ms"`
+	// BoundaryVars is the total halo size: variables whose state crosses a
+	// shard boundary at each epoch barrier.
+	BoundaryVars  int   `json:"boundary_vars"`
+	ExchangeBytes int64 `json:"exchange_bytes"`
+	// ExchangeSeconds sums the time every shard spent inside halo exchange
+	// (encode + send + wait + apply) over the whole run.
+	ExchangeSeconds float64 `json:"exchange_seconds_total"`
+	// OverheadFraction is the mean fraction of one shard's wall time spent
+	// in halo exchange: ExchangeSeconds / Shards / wall. The acceptance bar
+	// for this harness is < 0.15.
+	OverheadFraction float64 `json:"exchange_overhead_fraction"`
+	// MaxTV is the worst total-variation distance of any query marginal
+	// against the single-process run (distinct chains: Monte-Carlo noise,
+	// not a bit-identity check).
+	MaxTV float64 `json:"max_tv_vs_single_process"`
+}
+
+// GrainPoint is one chunk-grain level of the single-process sweep.
+type GrainPoint struct {
+	Grain        int     `json:"chunk_grain"`
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+}
+
+// ShardReport is the sharded-inference benchmark result, serialized to
+// BENCH_shard.json by syabench -phase=shard.
+type ShardReport struct {
+	Description string       `json:"description"`
+	Environment servingEnv   `json:"environment"`
+	Workload    shardLoad    `json:"workload"`
+	Points      []ShardPoint `json:"points"`
+	GrainSweep  []GrainPoint `json:"grain_sweep"`
+	GrainNote   string       `json:"grain_note"`
+}
+
+type shardLoad struct {
+	Wells  int `json:"wells"`
+	Vars   int `json:"graph_vars"`
+	Epochs int `json:"epochs"`
+}
+
+// Shard benchmarks share-nothing sharded inference on the fig9-style GWDB
+// workload: the same grounded graph partitioned into 1, 2 and 4 shards with
+// in-process transports, reporting epochs/sec, halo-exchange overhead, and
+// marginal agreement with the single-process run, plus the chunk-grain sweep.
+func Shard(p Params) (*Table, error) {
+	report, err := ShardLoad(p)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  fmt.Sprintf("Sharded inference: halo-exchange overhead vs shard count (GWDB, %d wells, %d vars)", report.Workload.Wells, report.Workload.Vars),
+		Header: []string{"shards", "epochs/s", "infer", "halo vars", "exch bytes", "exch time", "overhead", "max TV"},
+	}
+	for _, pt := range report.Points {
+		tbl.Add(
+			fmt.Sprint(pt.Shards),
+			fmt.Sprintf("%.1f", pt.EpochsPerSec),
+			ms(pt.InferMs),
+			fmt.Sprint(pt.BoundaryVars),
+			fmt.Sprint(pt.ExchangeBytes),
+			fmt.Sprintf("%.3fs", pt.ExchangeSeconds),
+			fmt.Sprintf("%.1f%%", 100*pt.OverheadFraction),
+			fmt.Sprintf("%.4f", pt.MaxTV),
+		)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"overhead = mean fraction of one shard's wall time spent in halo exchange (encode+send+wait+apply); the acceptance bar is <15%")
+	grains := &Table{
+		Title:  "Chunk-grain sweep (single process)",
+		Header: []string{"grain", "epochs/s"},
+	}
+	for _, g := range report.GrainSweep {
+		label := fmt.Sprint(g.Grain)
+		if g.Grain == 0 {
+			label = "default"
+		}
+		grains.Add(label, fmt.Sprintf("%.1f", g.EpochsPerSec))
+	}
+	if p.ShardJSON != "" {
+		f, err := os.Create(p.ShardJSON)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard json: %w", err)
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return nil, err
+		}
+		tbl.Notes = append(tbl.Notes, "report written to "+p.ShardJSON)
+	}
+	// Render the grain sweep as an appendix of the main table.
+	var buf strings.Builder
+	grains.Fprint(&buf)
+	tbl.Notes = append(tbl.Notes, "chunk-grain sweep:\n"+buf.String())
+	tbl.Notes = append(tbl.Notes, grainCaveat)
+	return tbl, nil
+}
+
+// ShardLoad runs the sharded-inference benchmark and returns the raw report.
+func ShardLoad(p Params) (*ShardReport, error) {
+	wells := p.GWDBWells
+	data := datagen.Wells(datagen.WellsConfig{N: wells, Seed: p.Seed, Extent: gwdbExtent(wells)})
+	ctx := context.Background()
+
+	build := func(shards, grain int) (*core.System, error) {
+		s := core.NewSystem(core.Config{
+			Engine:           core.EngineSya,
+			Metric:           geom.Euclidean,
+			Bandwidth:        p.Bandwidth,
+			SpatialScale:     p.SpatialScale,
+			SupportRadius:    p.SupportRadius,
+			MaxNeighbors:     p.MaxNeighbors,
+			PyramidLevels:    p.PyramidLevels,
+			LocalityLevel:    localityFor(gwdbExtent(wells), p.SupportRadius, p.PyramidLevels),
+			Instances:        p.Instances,
+			Workers:          p.Workers,
+			GroundWorkers:    p.GroundWorkers,
+			Epochs:           p.Epochs,
+			Seed:             p.Seed,
+			NoKernels:        p.NoKernels,
+			ChunkGrain:       grain,
+			Shards:           shards,
+			SkipFactorTables: true,
+			Metrics:          p.Metrics,
+			Trace:            p.Trace,
+		})
+		if err := s.LoadProgram(datagen.GWDBProgram); err != nil {
+			s.Close()
+			return nil, err
+		}
+		wellRows, evidence := data.Rows()
+		if err := s.LoadRows("Well", wellRows); err != nil {
+			s.Close()
+			return nil, err
+		}
+		if err := s.LoadRows("WellEvidence", evidence); err != nil {
+			s.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+
+	report := &ShardReport{
+		Description: "Sharded share-nothing inference benchmark: the fig9-style GWDB workload partitioned by pyramid subtree into N shards (in-process transports), each with its own sampler and compiled-kernel slab, exchanging boundary-variable states at every epoch barrier. epochs_per_sec counts whole-graph epochs; exchange_overhead_fraction is the mean share of one shard's wall time spent in halo exchange (the acceptance bar is <0.15); max_tv_vs_single_process compares query marginals against the 1-shard run (distinct chains, so Monte-Carlo noise). The grain sweep probes core.Config.ChunkGrain on the single-process sampler. Regenerate with `syabench -phase=shard -shard-json BENCH_shard.json shard`.",
+		Environment: servingEnv{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU(), Go: runtime.Version()},
+		Workload:    shardLoad{Wells: wells, Epochs: p.Epochs},
+		GrainNote:   grainCaveat,
+	}
+
+	var baseline map[string][]float64
+	for _, shards := range shardCounts {
+		s, err := build(shards, p.ChunkGrain)
+		if err != nil {
+			return nil, err
+		}
+		gres, err := s.Ground()
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		report.Workload.Vars = gres.Stats.Vars
+		t0 := time.Now()
+		scores, _, err := s.InferContext(ctx, p.Epochs)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("bench: shards=%d: %w", shards, err)
+		}
+		wall := time.Since(t0)
+		pt := ShardPoint{
+			Shards:  shards,
+			InferMs: float64(wall) / float64(time.Millisecond),
+		}
+		if sec := wall.Seconds(); sec > 0 {
+			pt.EpochsPerSec = float64(p.Epochs) / sec
+		}
+		if g := s.ShardGroup(); g != nil {
+			ex := g.ExchangeStats()
+			pt.BoundaryVars = ex.BoundaryVars
+			pt.ExchangeBytes = ex.Bytes
+			pt.ExchangeSeconds = ex.Seconds
+			if sec := wall.Seconds(); sec > 0 {
+				pt.OverheadFraction = ex.Seconds / float64(shards) / sec
+			}
+		}
+		marg := map[string][]float64{}
+		scores.Each("IsSafe", func(key string, _ int32, marginal []float64) bool {
+			marg[key] = marginal
+			return true
+		})
+		if baseline == nil {
+			baseline = marg
+		} else {
+			for key, m := range marg {
+				if tv := tvDist(m, baseline[key]); tv > pt.MaxTV {
+					pt.MaxTV = tv
+				}
+			}
+		}
+		s.Close()
+		report.Points = append(report.Points, pt)
+	}
+
+	for _, grain := range grainSweep {
+		s, err := build(1, grain)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Ground(); err != nil {
+			s.Close()
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, _, err := s.InferContext(ctx, p.Epochs); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("bench: grain=%d: %w", grain, err)
+		}
+		wall := time.Since(t0)
+		gp := GrainPoint{Grain: grain}
+		if sec := wall.Seconds(); sec > 0 {
+			gp.EpochsPerSec = float64(p.Epochs) / sec
+		}
+		s.Close()
+		report.GrainSweep = append(report.GrainSweep, gp)
+	}
+	return report, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *ShardReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

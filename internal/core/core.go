@@ -27,6 +27,7 @@ import (
 	"repro/internal/grounding"
 	"repro/internal/learn"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/translate"
 	"repro/internal/weighting"
@@ -108,6 +109,26 @@ type Config struct {
 	// two produce bit-identical chains, so this is purely an escape hatch
 	// (surfaced as -no-kernels on the CLIs).
 	NoKernels bool
+	// ChunkGrain caps the work-chunk size of the samplers: cells per
+	// dispatched chunk for the spatial sampler, variables per hogwild
+	// bucket for the baseline. 0 keeps the engine defaults (one chunk per
+	// worker per conclique group; 64-variable buckets). The chains are
+	// unchanged for any setting — grain only shifts the dispatch/parallelism
+	// trade-off (surfaced as -chunk-grain on the CLIs).
+	ChunkGrain int
+
+	// Shards enables sharded share-nothing inference (Sya engine, batch
+	// inference only): the ground graph is partitioned by pyramid subtree
+	// into this many shards, each with its own subgraph, compiled-kernel
+	// slab and sampler, synchronized by a halo exchange at every epoch
+	// barrier (see internal/shard). 0 or 1 keeps the single-process sampler.
+	// The incremental and QueryLocal paths stay single-process.
+	Shards int
+	// ShardAddrs are per-shard TCP listen addresses (len must equal
+	// Shards): the shards then exchange halos over the length-prefixed
+	// CRC-framed TCP transport instead of in-process channels. Empty uses
+	// in-process transports.
+	ShardAddrs []string
 
 	// CheckpointPath enables fault-tolerant inference: the sampler snapshots
 	// its chain state to this file every CheckpointEvery epochs (atomic
@@ -175,6 +196,9 @@ type System struct {
 
 	ground  *grounding.Result
 	sampler gibbs.Sampler
+	// shardGroup is the sharded-inference engine when cfg.Shards > 1 (built
+	// lazily by the first InferContext, like the sampler).
+	shardGroup *shard.Group
 	// pool caches the sampler worker pool across sampler lifetimes, so the
 	// learn→infer and re-infer paths reuse worker goroutines instead of
 	// rebuilding them per run (see gibbs.SharedPool).
@@ -362,11 +386,17 @@ func (s *System) groundingOptions() grounding.Options {
 	}
 }
 
-// closeSampler releases the live sampler (and its worker pool), if any.
+// closeSampler releases the live sampler (and its worker pool) and the
+// sharded-inference group, if any. Called wherever the graph or its weights
+// change, so the next inference rebuilds against fresh state.
 func (s *System) closeSampler() {
 	if s.sampler != nil {
 		s.sampler.Close()
 		s.sampler = nil
+	}
+	if s.shardGroup != nil {
+		s.shardGroup.Close()
+		s.shardGroup = nil
 	}
 }
 
@@ -394,6 +424,9 @@ func (s *System) newSampler() (gibbs.Sampler, error) {
 		if s.cfg.NoKernels {
 			opts = append(opts, gibbs.NoKernels())
 		}
+		if s.cfg.ChunkGrain > 0 {
+			opts = append(opts, gibbs.WithChunkGrain(s.cfg.ChunkGrain))
+		}
 		h := gibbs.NewHogwild(s.ground.Graph, s.cfg.Seed, s.cfg.Workers, opts...)
 		h.SetBurnIn(s.burnIn(1))
 		return h, nil
@@ -406,6 +439,7 @@ func (s *System) newSampler() (gibbs.Sampler, error) {
 			Seed:          s.cfg.Seed,
 			BurnIn:        s.burnIn(s.cfg.Instances),
 			NoKernels:     s.cfg.NoKernels,
+			ChunkGrain:    s.cfg.ChunkGrain,
 			Shared:        s.pool,
 		})
 	}
@@ -459,6 +493,21 @@ func (s *System) InferContext(ctx context.Context, epochs int) (*Scores, gibbs.R
 			return nil, stats, fmt.Errorf("core: auto-learning @weight(?) rules: %w", err)
 		}
 	}
+	if s.cfg.Shards > 1 {
+		if s.cfg.Engine == EngineDeepDive {
+			return nil, stats, fmt.Errorf("core: sharded inference needs the Sya engine")
+		}
+		if err := s.ensureShardGroup(); err != nil {
+			return nil, stats, err
+		}
+		start := time.Now()
+		stats, err := s.shardGroup.Run(ctx, epochs)
+		s.inferDur += time.Since(start)
+		if err != nil {
+			return nil, stats, err
+		}
+		return s.scores(), stats, nil
+	}
 	if err := s.ensureSampler(); err != nil {
 		return nil, stats, err
 	}
@@ -475,6 +524,59 @@ func (s *System) InferContext(ctx context.Context, epochs int) (*Scores, gibbs.R
 	}
 	return s.scores(), stats, nil
 }
+
+// ensureShardGroup builds the sharded-inference group if none is live:
+// partition, per-shard subgraphs/samplers, transports (TCP when ShardAddrs
+// is set, in-process channels otherwise) and per-shard checkpoint resume.
+func (s *System) ensureShardGroup() error {
+	if s.shardGroup != nil {
+		return nil
+	}
+	opts := shard.Options{
+		Shards:          s.cfg.Shards,
+		Levels:          s.cfg.PyramidLevels,
+		LocalityLevel:   s.cfg.LocalityLevel,
+		Instances:       s.cfg.Instances,
+		Workers:         s.cfg.Workers,
+		Seed:            s.cfg.Seed,
+		BurnIn:          s.burnIn(s.cfg.Instances),
+		NoKernels:       s.cfg.NoKernels,
+		ChunkGrain:      s.cfg.ChunkGrain,
+		Metrics:         s.cfg.Metrics,
+		CheckpointPath:  s.cfg.CheckpointPath,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+	}
+	if len(s.cfg.ShardAddrs) > 0 {
+		if len(s.cfg.ShardAddrs) != s.cfg.Shards {
+			return fmt.Errorf("core: %d shard addresses for %d shards", len(s.cfg.ShardAddrs), s.cfg.Shards)
+		}
+		trs := make([]shard.Transport, s.cfg.Shards)
+		for i := range trs {
+			tr, err := shard.NewTCPTransport(i, s.cfg.ShardAddrs)
+			if err != nil {
+				for _, prior := range trs[:i] {
+					prior.Close()
+				}
+				return fmt.Errorf("core: %w", err)
+			}
+			trs[i] = tr
+		}
+		opts.Transports = trs
+	}
+	gr, err := shard.New(s.ground.Graph, opts)
+	if err != nil {
+		for _, tr := range opts.Transports {
+			tr.Close()
+		}
+		return fmt.Errorf("core: building shard group: %w", err)
+	}
+	s.shardGroup = gr
+	return nil
+}
+
+// ShardGroup exposes the live sharded-inference group (nil unless
+// cfg.Shards > 1 and inference has run).
+func (s *System) ShardGroup() *shard.Group { return s.shardGroup }
 
 // ensureSampler builds (and possibly resumes) the engine sampler if none is
 // live, wiring the observability plane into it.
@@ -677,6 +779,9 @@ type Scores struct {
 }
 
 func (s *System) scores() *Scores {
+	if s.shardGroup != nil {
+		return &Scores{Marginals: s.shardGroup.Marginals(), ground: s.ground}
+	}
 	return &Scores{Marginals: s.sampler.Marginals(), ground: s.ground}
 }
 

@@ -48,6 +48,7 @@ type SamplerOption func(*samplerConfig)
 type samplerConfig struct {
 	noKernels bool
 	shared    *SharedPool
+	grain     int
 }
 
 // NoKernels makes a sampler evaluate conditional scores on the interpreted
@@ -62,6 +63,15 @@ func NoKernels() SamplerOption {
 // sampler of the same shape (see SharedPool).
 func WithSharedPool(sp *SharedPool) SamplerOption {
 	return func(c *samplerConfig) { c.shared = sp }
+}
+
+// WithChunkGrain overrides the hogwild bucket size (default hogwildGrain).
+// Buckets are the unit of PRNG stream identity, so a different grain runs a
+// different — but statistically equivalent — sampling program; a checkpoint
+// resumed under a different grain continues under the new partition.
+// n ≤ 0 keeps the default.
+func WithChunkGrain(n int) SamplerOption {
+	return func(c *samplerConfig) { c.grain = n }
 }
 
 func applySamplerOptions(opts []SamplerOption) samplerConfig {

@@ -42,6 +42,12 @@ type SpatialOptions struct {
 	// instead of the compiled sampling kernels (the `-no-kernels` escape
 	// hatch). Results are bit-identical either way; only throughput differs.
 	NoKernels bool
+	// ChunkGrain caps the number of cells per dispatched chunk (0 =
+	// uncapped: one chunk per worker per conclique group). Smaller chunks
+	// load-balance unevenly sized cells at the cost of more dispatch
+	// overhead. PRNG streams are pinned to cells, not chunks, so the chain
+	// is bit-identical for any grain.
+	ChunkGrain int
 	// Shared, when non-nil, supplies the worker pool from a SharedPool
 	// cache instead of building a private one; Close releases the pool back
 	// for the next sampler of the same shape.
@@ -554,6 +560,9 @@ func (s *Spatial) sweepEpochs(ctx context.Context, n int, cells, groupOff []int3
 				}
 			}
 			per := (hi - lo + int32(s.opts.Workers) - 1) / int32(s.opts.Workers)
+			if g := int32(s.opts.ChunkGrain); g > 0 && per > g {
+				per = g
+			}
 			for k := range s.instances {
 				r := s.runs[k]
 				for off := lo; off < hi; off += per {
@@ -878,6 +887,26 @@ func (s *Spatial) SweptTailVars() int { return s.sweptTail }
 func (s *Spatial) HomeCell(v factorgraph.VarID) (pyramid.CellKey, bool) {
 	key, ok := s.homeCell[v]
 	return key, ok
+}
+
+// NumInstances reports K, the parallel chain count.
+func (s *Spatial) NumInstances() int { return len(s.instances) }
+
+// ChainValue reads instance k's current assignment of v. Used by the
+// sharded runtime (internal/shard) to read boundary-variable states at an
+// epoch barrier; not safe concurrently with a running sweep.
+func (s *Spatial) ChainValue(k int, v factorgraph.VarID) int32 {
+	return s.instances[k].assign.Get(v)
+}
+
+// SetChainValue overwrites instance k's assignment of v without touching
+// counts or pins. Scoring reads neighbour values from the assignment, so
+// this is how the sharded runtime refreshes halo copies of remote
+// boundary variables (frozen as evidence in the shard's subgraph — never
+// swept, never counted) between epochs. Not safe concurrently with a
+// running sweep.
+func (s *Spatial) SetChainValue(k int, v factorgraph.VarID, x int32) {
+	s.instances[k].assign.Set(v, x)
 }
 
 // ScheduledCells returns the number of cells in the full sweep schedule.

@@ -32,22 +32,38 @@ type localKey struct {
 
 // localCache is a mutex-guarded LRU of lazy query answers. Results are
 // immutable once stored, so a hit hands out the shared pointer.
+//
+// Beyond the primary (root-atom) key, each cached subgraph registers a
+// reverse index over its *interior* atoms: QueryLocal samples the whole
+// bounded neighbourhood and reports every interior marginal, so a later
+// query for an atom inside an already-cached subgraph (same generation and
+// budget) is answered by slicing that marginal out of the cached result
+// instead of regrounding an overlapping subgraph. The derived answer is the
+// base subgraph's estimate of the atom — same error bound, zero grounding
+// cost — and is memoized under its own primary key.
 type localCache struct {
 	mu    sync.Mutex
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[localKey]*list.Element
+	// rev maps interior-atom keys to the cached entry whose subgraph
+	// sampled them (latest registration wins). Entries die with their base.
+	rev map[localKey]*list.Element
 
-	hits    *obs.Counter
-	misses  *obs.Counter
-	mVars   *obs.Gauge
-	mFacts  *obs.Gauge
-	mGround *obs.Histogram
+	hits     *obs.Counter
+	interior *obs.Counter
+	misses   *obs.Counter
+	mVars    *obs.Gauge
+	mFacts   *obs.Gauge
+	mGround  *obs.Histogram
 }
 
 type localEntry struct {
 	key localKey
 	res *core.LocalResult
+	// revKeys are the reverse-index registrations this entry holds, removed
+	// on eviction.
+	revKeys []localKey
 }
 
 // localGroundBuckets cover frontier expansion + subgraph build, which should
@@ -59,44 +75,93 @@ func newLocalCache(capacity int, m *obs.Registry) *localCache {
 		capacity = 128
 	}
 	return &localCache{
-		cap:     capacity,
-		ll:      list.New(),
-		items:   make(map[localKey]*list.Element, capacity),
-		hits:    m.Counter("sya_local_cache_hits_total"),
-		misses:  m.Counter("sya_local_cache_misses_total"),
-		mVars:   m.Gauge("sya_local_subgraph_vars"),
-		mFacts:  m.Gauge("sya_local_subgraph_factors"),
-		mGround: m.Histogram("sya_local_ground_seconds", localGroundBuckets),
+		cap:      capacity,
+		ll:       list.New(),
+		items:    make(map[localKey]*list.Element, capacity),
+		rev:      make(map[localKey]*list.Element, capacity),
+		hits:     m.Counter("sya_local_cache_hits_total"),
+		interior: m.Counter("sya_local_cache_interior_hits_total"),
+		misses:   m.Counter("sya_local_cache_misses_total"),
+		mVars:    m.Gauge("sya_local_subgraph_vars"),
+		mFacts:   m.Gauge("sya_local_subgraph_factors"),
+		mGround:  m.Histogram("sya_local_ground_seconds", localGroundBuckets),
 	}
 }
 
-func (c *localCache) get(k localKey) (*core.LocalResult, bool) {
+// get looks up k: primary entry first, then the interior reverse index.
+// key is k's atom key, used to slice the marginal out of a base entry.
+func (c *localCache) get(k localKey, key string) (*core.LocalResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[k]
-	if !ok {
-		c.misses.Inc()
-		return nil, false
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*localEntry).res, true
 	}
-	c.ll.MoveToFront(el)
-	c.hits.Inc()
-	return el.Value.(*localEntry).res, true
+	if el, ok := c.rev[k]; ok {
+		base := el.Value.(*localEntry).res
+		if m, ok := base.Interior[key]; ok {
+			c.ll.MoveToFront(el)
+			c.interior.Inc()
+			derived := *base // shallow copy: shares the immutable marginals
+			derived.Key = key
+			derived.Marginal = m
+			derived.Score = localScoreOf(m)
+			derived.GroundTime, derived.SampleTime = 0, 0
+			// Memoize under the primary key; the base entry's reverse index
+			// stays authoritative, so no rev registrations here.
+			c.putLocked(k, &derived, nil)
+			return &derived, true
+		}
+	}
+	c.misses.Inc()
+	return nil, false
 }
 
-func (c *localCache) put(k localKey, res *core.LocalResult) {
+func (c *localCache) put(k localKey, res *core.LocalResult, revKeys []localKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(k, res, revKeys)
+}
+
+func (c *localCache) putLocked(k localKey, res *core.LocalResult, revKeys []localKey) {
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*localEntry).res = res
 		return
 	}
-	c.items[k] = c.ll.PushFront(&localEntry{key: k, res: res})
+	el := c.ll.PushFront(&localEntry{key: k, res: res, revKeys: revKeys})
+	c.items[k] = el
+	for _, rk := range revKeys {
+		c.rev[rk] = el
+	}
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.items, back.Value.(*localEntry).key)
+		ent := back.Value.(*localEntry)
+		delete(c.items, ent.key)
+		for _, rk := range ent.revKeys {
+			if c.rev[rk] == back {
+				delete(c.rev, rk)
+			}
+		}
 	}
+}
+
+// localScoreOf reduces a marginal to the factual score — P(true) for binary
+// atoms, the modal probability otherwise (core's scoreOf, replicated for
+// derived cache answers).
+func localScoreOf(m []float64) float64 {
+	if len(m) == 2 {
+		return m[1]
+	}
+	var best float64
+	for _, p := range m {
+		if p > best {
+			best = p
+		}
+	}
+	return best
 }
 
 // len reports the live entry count (tests).
@@ -121,7 +186,7 @@ func (s *Server) localBudget(r *http.Request) (int, error) {
 // the request span on ctx). Caller holds the read lock.
 func (s *Server) localScore(ctx context.Context, vid factorgraph.VarID, gen uint64, budget int) (*core.LocalResult, error) {
 	k := localKey{vid: vid, gen: gen, budget: budget}
-	if res, ok := s.locals.get(k); ok {
+	if res, ok := s.locals.get(k, s.keys[vid]); ok {
 		return res, nil
 	}
 	res, err := s.sys.QueryLocal(ctx, s.keys[vid], core.LocalBudget{
@@ -134,7 +199,16 @@ func (s *Server) localScore(ctx context.Context, vid factorgraph.VarID, gen uint
 	s.locals.mVars.Set(float64(res.Vars))
 	s.locals.mFacts.Set(float64(res.Factors + res.SpatialPairs))
 	s.locals.mGround.Observe(res.GroundTime.Seconds())
-	s.locals.put(k, res)
+	// Register the subgraph's other interior atoms in the reverse index, so
+	// overlapping point queries reuse this result instead of regrounding.
+	revKeys := make([]localKey, 0, len(res.Interior))
+	varID := s.sys.Grounding().VarID
+	for key := range res.Interior {
+		if vid2, ok := varID[key]; ok && vid2 != vid {
+			revKeys = append(revKeys, localKey{vid: vid2, gen: gen, budget: budget})
+		}
+	}
+	s.locals.put(k, res, revKeys)
 	return res, nil
 }
 

@@ -127,16 +127,94 @@ func TestLocalCacheGeneration(t *testing.T) {
 func TestLocalCacheLRU(t *testing.T) {
 	c := newLocalCache(2, nil)
 	for i := 0; i < 4; i++ {
-		c.put(localKey{vid: factorgraph.VarID(i), gen: 1, budget: 8}, &core.LocalResult{Key: fmt.Sprint(i)})
+		c.put(localKey{vid: factorgraph.VarID(i), gen: 1, budget: 8}, &core.LocalResult{Key: fmt.Sprint(i)}, nil)
 	}
 	if n := c.len(); n != 2 {
 		t.Fatalf("capacity-2 cache holds %d entries", n)
 	}
-	if _, ok := c.get(localKey{vid: factorgraph.VarID(0), gen: 1, budget: 8}); ok {
+	if _, ok := c.get(localKey{vid: factorgraph.VarID(0), gen: 1, budget: 8}, "0"); ok {
 		t.Fatal("oldest entry survived eviction")
 	}
-	if res, ok := c.get(localKey{vid: factorgraph.VarID(3), gen: 1, budget: 8}); !ok || res.Key != "3" {
+	if res, ok := c.get(localKey{vid: factorgraph.VarID(3), gen: 1, budget: 8}, "3"); !ok || res.Key != "3" {
 		t.Fatal("newest entry missing")
+	}
+}
+
+// TestLocalCacheInteriorReuse checks the reverse-index reuse path: a point
+// query for an atom inside an already-cached subgraph (same generation and
+// budget) is answered from that subgraph's interior marginals — counted as
+// an interior hit, no recompute — and the derived answer is memoized under
+// its own primary key.
+func TestLocalCacheInteriorReuse(t *testing.T) {
+	sys := newEbolaSystem(t, core.Config{Engine: core.EngineSya, Seed: 7})
+	reg := obs.NewRegistry()
+	srv, ts := startServer(t, sys, Options{Metrics: reg})
+
+	// Budget 16 covers the whole 4-county graph, so the first subgraph's
+	// interior contains every other county's HasEbola atom.
+	urlA := ts.URL + "/v1/score/point?relation=HasEbola&x=-9.45&y=7.05&budget=16"
+	urlB := ts.URL + "/v1/score/point?relation=HasEbola&x=-8.90&y=7.60&budget=16"
+	var respA, respB queryResponse
+	if code := getJSON(t, urlA, &respA); code != 200 {
+		t.Fatalf("query A status %d", code)
+	}
+	if h := srv.locals.interior.Value(); h != 0 {
+		t.Fatalf("interior hits after first query = %d, want 0", h)
+	}
+	if code := getJSON(t, urlB, &respB); code != 200 {
+		t.Fatalf("query B status %d", code)
+	}
+	if h := srv.locals.interior.Value(); h != 1 {
+		t.Fatalf("interior hits after overlapping query = %d, want 1", h)
+	}
+	if m := srv.locals.misses.Value(); m != 1 {
+		t.Fatalf("misses = %d, want 1 — overlapping query reground its subgraph", m)
+	}
+	a, b := respA.Atoms[0], respB.Atoms[0]
+	if a.Key == b.Key {
+		t.Fatal("test premise broken: both probes matched the same atom")
+	}
+	// The derived answer is the base subgraph's estimate of atom B.
+	if b.LocalVars != a.LocalVars {
+		t.Fatalf("derived answer reports %d vars, base subgraph %d", b.LocalVars, a.LocalVars)
+	}
+	if b.Score < 0 || b.Score > 1 {
+		t.Fatalf("derived score %.4f out of range", b.Score)
+	}
+
+	// The derived entry now answers by primary key: hits, not interior hits.
+	if code := getJSON(t, urlB, nil); code != 200 {
+		t.Fatalf("repeat query B status %d", code)
+	}
+	if h := srv.locals.hits.Value(); h != 1 {
+		t.Fatalf("primary hits after repeat = %d, want 1", h)
+	}
+	if h := srv.locals.interior.Value(); h != 1 {
+		t.Fatalf("interior hits after repeat = %d, want 1 (derived entry must be memoized)", h)
+	}
+}
+
+// TestLocalCacheRevEviction checks eviction drops an entry's reverse-index
+// registrations with it.
+func TestLocalCacheRevEviction(t *testing.T) {
+	c := newLocalCache(2, nil)
+	base := &core.LocalResult{Key: "a", Interior: map[string][]float64{
+		"a": {0.5, 0.5}, "b": {0.2, 0.8},
+	}}
+	kA := localKey{vid: 1, gen: 1, budget: 8}
+	kB := localKey{vid: 2, gen: 1, budget: 8}
+	c.put(kA, base, []localKey{kB})
+	if res, ok := c.get(kB, "b"); !ok || res.Marginal[1] != 0.8 || res.Key != "b" {
+		t.Fatalf("interior reuse failed: %+v, %v", res, ok)
+	}
+	// kB is now a primary entry too; two more puts evict both originals.
+	c.put(localKey{vid: 3, gen: 1, budget: 8}, &core.LocalResult{Key: "c"}, nil)
+	c.put(localKey{vid: 4, gen: 1, budget: 8}, &core.LocalResult{Key: "d"}, nil)
+	if _, ok := c.get(kB, "b"); ok {
+		t.Fatal("reverse-index entry survived its base entry's eviction")
+	}
+	if len(c.rev) != 0 {
+		t.Fatalf("%d reverse-index entries left after eviction", len(c.rev))
 	}
 }
 

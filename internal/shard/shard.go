@@ -1,0 +1,300 @@
+// Package shard implements sharded share-nothing inference (ROADMAP item
+// 3): the ground factor graph is partitioned by pyramid subtree into N
+// shards, each owning its variables, its own subgraph with a private
+// compiled-kernel slab, and its own spatial sampler. Factors crossing a
+// shard boundary are kept on both sides; the remote endpoints join each
+// shard's subgraph as evidence-frozen *halo* variables whose assignment
+// values are refreshed at every epoch barrier by a halo exchange of sparse
+// deltas over a Transport — an in-process channel transport for N "nodes"
+// in one binary, or a length-prefixed CRC-framed TCP transport.
+//
+// Partition rule. Each located query atom already has a home pyramid cell
+// (gibbs.Spatial.HomeCell); its *subtree* is the home cell's ancestor at
+// level SubtreeLevel (default 2, the minimum swept level, giving up to 16
+// subtrees). Subtrees are ordered by (conclique, Y, X) — the conclique
+// ordering spreads same-colour subtrees across shards — and dealt
+// round-robin to the N shards; atoms without a home cell (no location, or
+// a home above the swept range) are dealt round-robin by variable order.
+// Evidence variables belong to no shard: they are static and replicate
+// into every subgraph that needs them.
+//
+// Barrier protocol. All shards run the same epoch count in lockstep: after
+// each epoch, every shard sends one halo frame per neighbouring shard
+// (the changed boundary-variable values of all K instances, as a sparse
+// index/value delta — the same touched-list idea the pool's count-delta
+// merge uses) and blocks until it has received the same epoch's frame from
+// every neighbour, then resumes sampling against the frozen halo copies.
+// Because a shard cannot start epoch e+1 before finishing the epoch-e
+// barrier, at most two epochs' frames are ever in flight; early frames are
+// stashed and replayed.
+//
+// Failure semantics. A transport error, a halo frame that fails CRC or
+// domain validation, an epoch-stamp mismatch (e.g. shards resumed from
+// inconsistent checkpoints), or a barrier timeout (ExchangeTimeout) aborts
+// the run with an error naming the shard; the coordinator then cancels the
+// remaining shards and returns the first error. Cancellation of the run
+// context is not an error: each shard stops at its next chunk boundary and
+// partial marginals remain readable, like the single-process samplers.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/conclique"
+	"repro/internal/factorgraph"
+	"repro/internal/geom"
+	"repro/internal/gibbs"
+	"repro/internal/index/pyramid"
+)
+
+// Plan is the deterministic shard assignment of one ground graph: a pure
+// function of (graph, options), so every process of a distributed group
+// computes the same plan independently.
+type Plan struct {
+	// Owner maps each full-graph variable to its owning shard, or -1 for
+	// evidence variables (static, owned by nobody).
+	Owner []int
+	// Space is the global pyramid bounding space every shard's sampler
+	// shares, so cell geometry — and with it the conclique schedule — is
+	// consistent across shards.
+	Space geom.Rect
+	// Subtrees counts the distinct pyramid subtrees the partition dealt.
+	Subtrees int
+	// Shards is N.
+	Shards int
+}
+
+// Partition computes the pyramid-subtree shard assignment. A probe spatial
+// sampler supplies each atom's home cell (the same schedule the per-shard
+// samplers will build); the probe is discarded before sampling starts.
+func Partition(g *factorgraph.Graph, opts Options) (*Plan, error) {
+	opts = opts.withDefaults()
+	plan := &Plan{Owner: make([]int, g.NumVars()), Shards: opts.Shards}
+
+	var query []factorgraph.VarID
+	first := true
+	for i := 0; i < g.NumVars(); i++ {
+		v := factorgraph.VarID(i)
+		meta := g.Var(v)
+		if meta.Evidence != factorgraph.NoEvidence {
+			plan.Owner[v] = -1
+			continue
+		}
+		query = append(query, v)
+		if meta.HasLoc {
+			b := meta.Loc.Bounds()
+			if first {
+				plan.Space, first = b, false
+			} else {
+				plan.Space = plan.Space.Union(b)
+			}
+		}
+	}
+	if !first {
+		// The same padding NewSpatial applies, so probe and shard pyramids
+		// address cells identically.
+		pad := 1e-9 + 0.001*(plan.Space.Width()+plan.Space.Height())
+		plan.Space = plan.Space.Expand(pad)
+	}
+
+	probe, err := gibbs.NewSpatial(g, gibbs.SpatialOptions{
+		Levels:        opts.Levels,
+		LocalityLevel: opts.LocalityLevel,
+		Capacity:      opts.Capacity,
+		Instances:     1,
+		Workers:       1,
+		Space:         plan.Space,
+		NoKernels:     true, // schedule only; never samples
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: partition probe: %w", err)
+	}
+	defer probe.Close()
+
+	// Group scheduled atoms by subtree; unplaced atoms go to the tail.
+	bySubtree := map[pyramid.CellKey][]factorgraph.VarID{}
+	var tail []factorgraph.VarID
+	for _, v := range query {
+		home, ok := probe.HomeCell(v)
+		if !ok {
+			tail = append(tail, v)
+			continue
+		}
+		sub := home
+		if home.Level > opts.SubtreeLevel {
+			shift := home.Level - opts.SubtreeLevel
+			sub = pyramid.CellKey{Level: opts.SubtreeLevel, X: home.X >> shift, Y: home.Y >> shift}
+		}
+		bySubtree[sub] = append(bySubtree[sub], v)
+	}
+
+	// Deal subtrees round-robin in (conclique, Y, X) order: consecutive
+	// subtrees land on different shards, and same-conclique subtrees spread
+	// evenly so every shard's serial conclique groups stay loaded.
+	subtrees := make([]pyramid.CellKey, 0, len(bySubtree))
+	for k := range bySubtree {
+		subtrees = append(subtrees, k)
+	}
+	sort.Slice(subtrees, func(i, j int) bool {
+		qi, qj := conclique.Of(subtrees[i]), conclique.Of(subtrees[j])
+		if qi != qj {
+			return qi < qj
+		}
+		if subtrees[i].Y != subtrees[j].Y {
+			return subtrees[i].Y < subtrees[j].Y
+		}
+		if subtrees[i].X != subtrees[j].X {
+			return subtrees[i].X < subtrees[j].X
+		}
+		return subtrees[i].Level < subtrees[j].Level
+	})
+	plan.Subtrees = len(subtrees)
+	for i, k := range subtrees {
+		shard := i % opts.Shards
+		for _, v := range bySubtree[k] {
+			plan.Owner[v] = shard
+		}
+	}
+	for i, v := range tail {
+		plan.Owner[v] = i % opts.Shards
+	}
+	return plan, nil
+}
+
+// subgraph is one shard's materialized share: its interior variables (in
+// ascending full-graph order, occupying local ids 0..len-1), every factor
+// touching them, and the frozen boundary shell — evidence variables plus
+// halo variables owned by other shards.
+type subgraph struct {
+	g        *factorgraph.Graph
+	interior []factorgraph.VarID                     // global ids, local id = index
+	boundary []factorgraph.VarID                     // global ids, after interior
+	localID  map[factorgraph.VarID]factorgraph.VarID // global → local
+}
+
+// buildSubgraph materializes shard `id`'s subgraph. Boundary variables
+// freeze as evidence at init (the full graph's initial assignment), so a
+// fresh group starts from exactly the global initial chain state; the halo
+// exchange overwrites the halo copies' assignment values from epoch 1 on.
+func buildSubgraph(g *factorgraph.Graph, plan *Plan, id int, init factorgraph.Assignment) (*subgraph, error) {
+	var interior []factorgraph.VarID
+	for v, owner := range plan.Owner {
+		if owner == id {
+			interior = append(interior, factorgraph.VarID(v))
+		}
+	}
+	in := make(map[factorgraph.VarID]bool, len(interior))
+	for _, v := range interior {
+		in[v] = true
+	}
+
+	factorSet := map[int32]bool{}
+	spatialSet := map[int32]bool{}
+	boundarySet := map[factorgraph.VarID]bool{}
+	for _, v := range interior {
+		for _, f := range g.VarLogicalFactors(v) {
+			factorSet[f] = true
+		}
+		for _, sp := range g.VarSpatialPairs(v) {
+			spatialSet[sp] = true
+		}
+	}
+	factors := sortedInt32(factorSet)
+	spatials := sortedInt32(spatialSet)
+	for _, f := range factors {
+		vars, _ := g.FactorVars(f)
+		for _, u := range vars {
+			if !in[u] {
+				boundarySet[u] = true
+			}
+		}
+	}
+	for _, sp := range spatials {
+		a, b, _ := g.SpatialPair(sp)
+		if !in[a] {
+			boundarySet[a] = true
+		}
+		if !in[b] {
+			boundarySet[b] = true
+		}
+	}
+	boundary := make([]factorgraph.VarID, 0, len(boundarySet))
+	for v := range boundarySet {
+		boundary = append(boundary, v)
+	}
+	sort.Slice(boundary, func(i, j int) bool { return boundary[i] < boundary[j] })
+
+	b := factorgraph.NewBuilder()
+	seenRel := map[int32]bool{}
+	addMask := func(v factorgraph.VarID) error {
+		rel := g.Var(v).Relation
+		if seenRel[rel] {
+			return nil
+		}
+		seenRel[rel] = true
+		if mask, h := g.AllowedPairMask(rel); mask != nil {
+			return b.SetAllowedPairs(rel, h, mask)
+		}
+		return nil
+	}
+	localID := make(map[factorgraph.VarID]factorgraph.VarID, len(interior)+len(boundary))
+	for _, v := range interior {
+		if err := addMask(v); err != nil {
+			return nil, err
+		}
+		lid, err := b.AddVariable(g.Var(v))
+		if err != nil {
+			return nil, err
+		}
+		localID[v] = lid
+	}
+	for _, v := range boundary {
+		if err := addMask(v); err != nil {
+			return nil, err
+		}
+		meta := g.Var(v)
+		if meta.Evidence == factorgraph.NoEvidence {
+			meta.Evidence = init[v] // halo variable: frozen at the global initial state
+		}
+		lid, err := b.AddVariable(meta)
+		if err != nil {
+			return nil, err
+		}
+		localID[v] = lid
+	}
+	for _, f := range factors {
+		vars, neg := g.FactorVars(f)
+		lvars := make([]factorgraph.VarID, len(vars))
+		for i, u := range vars {
+			lvars[i] = localID[u]
+		}
+		lneg := append([]bool(nil), neg...)
+		if err := b.AddFactor(g.FactorKindOf(f), g.FactorWeightOf(f), lvars, lneg); err != nil {
+			return nil, err
+		}
+	}
+	pairs := make([]factorgraph.SpatialPair, 0, len(spatials))
+	for _, sp := range spatials {
+		a, bv, w := g.SpatialPair(sp)
+		pairs = append(pairs, factorgraph.SpatialPair{A: localID[a], B: localID[bv], W: w})
+	}
+	if err := b.AddSpatialPairs(pairs); err != nil {
+		return nil, err
+	}
+	sub, err := b.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return &subgraph{g: sub, interior: interior, boundary: boundary, localID: localID}, nil
+}
+
+// sortedInt32 flattens a set into an ascending slice.
+func sortedInt32(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

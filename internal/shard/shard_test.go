@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/factorgraph"
+	"repro/internal/gibbs"
+	"repro/internal/gibbs/testutil"
+	"repro/internal/obs"
+)
+
+// tvTol mirrors the gibbs harness tolerance: with the epoch budgets below,
+// sampling noise keeps the worst per-variable TV distance well under it.
+const tvTol = 0.04
+
+func mustGraph(t testing.TB, spec testutil.Spec) *factorgraph.Graph {
+	t.Helper()
+	g, err := testutil.RandomGraph(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOptions(shards int) Options {
+	return Options{
+		Shards:    shards,
+		Levels:    4,
+		Instances: 2,
+		Workers:   1,
+		Seed:      17,
+	}
+}
+
+// TestShardedMatchesExactOnShapes is the tentpole's statistical harness:
+// sharded inference with halo exchange against exact marginals on the four
+// canonical graph shapes, for 1, 2 and 4 shards. Passing for every shard
+// count is simultaneously the shard-count invariance check — all counts
+// land within tolerance of the same exact distribution.
+func TestShardedMatchesExactOnShapes(t *testing.T) {
+	for _, shape := range testutil.Shapes(910) {
+		shape := shape
+		t.Run(shape.Name, func(t *testing.T) {
+			g := mustGraph(t, shape.Spec)
+			exact, err := testutil.Exact(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				gr, err := New(g, testOptions(shards))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if _, err := gr.Run(context.Background(), 25000); err != nil {
+					gr.Close()
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				m := gr.Marginals()
+				gr.Close()
+				if d := testutil.MaxTV(m, exact); d > tvTol {
+					t.Errorf("shards=%d: max TV distance %.4f > %.2f", shards, d, tvTol)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionDeterministicAndComplete pins the plan contract: a pure
+// function of (graph, options) assigning every query variable to exactly
+// one shard and every evidence variable to none.
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{Vars: 40, Domain: 2, Spatial: true, Seed: 31})
+	opts := testOptions(3)
+	a, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two partitions of the same graph differ")
+	}
+	seen := make([]int, opts.Shards)
+	for i := 0; i < g.NumVars(); i++ {
+		meta := g.Var(factorgraph.VarID(i))
+		owner := a.Owner[i]
+		if meta.Evidence != factorgraph.NoEvidence {
+			if owner != -1 {
+				t.Errorf("evidence var %d owned by shard %d", i, owner)
+			}
+			continue
+		}
+		if owner < 0 || owner >= opts.Shards {
+			t.Errorf("query var %d owned by %d, want 0..%d", i, owner, opts.Shards-1)
+			continue
+		}
+		seen[owner]++
+	}
+	if a.Subtrees < 2 {
+		t.Fatalf("test premise broken: %d subtrees", a.Subtrees)
+	}
+}
+
+// TestShardedExchangeMetrics checks the per-shard observability series and
+// the aggregate ExchangeStats: a 2-shard run over a connected spatial graph
+// must move halo bytes and hold boundary variables on both sides.
+func TestShardedExchangeMetrics(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{Vars: 30, Domain: 2, Spatial: true, SpatialPairs: 60, Seed: 57})
+	opts := testOptions(2)
+	opts.Metrics = obs.NewRegistry()
+	gr, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Close()
+	if _, err := gr.Run(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+	st := gr.ExchangeStats()
+	if st.BoundaryVars == 0 {
+		t.Fatal("test premise broken: no boundary variables — partition did not cut the graph")
+	}
+	if st.Bytes == 0 {
+		t.Error("no halo bytes exchanged")
+	}
+	if st.Seconds <= 0 {
+		t.Error("no exchange time recorded")
+	}
+	snap := opts.Metrics.Snapshot()
+	var bytesTotal float64
+	var boundary float64
+	for key, v := range snap {
+		if strings.HasPrefix(key, "sya_shard_exchange_bytes") {
+			bytesTotal += v
+		}
+		if strings.HasPrefix(key, "sya_shard_boundary_vars") {
+			boundary += v
+		}
+	}
+	if int64(bytesTotal) != st.Bytes {
+		t.Errorf("metric bytes %v != ExchangeStats.Bytes %d", bytesTotal, st.Bytes)
+	}
+	if int(boundary) != st.BoundaryVars {
+		t.Errorf("metric boundary vars %v != ExchangeStats.BoundaryVars %d", boundary, st.BoundaryVars)
+	}
+}
+
+// TestShardedCheckpointResume: a sharded run checkpoints per shard and a
+// fresh group resumes every shard to the same epoch; a missing shard file
+// (inconsistent generation) fails construction with a diagnostic.
+func TestShardedCheckpointResume(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{Vars: 20, Domain: 2, Spatial: true, Seed: 71})
+	dir := t.TempDir()
+	opts := testOptions(2)
+	opts.CheckpointPath = filepath.Join(dir, "ckpt")
+	opts.CheckpointEvery = 10
+
+	gr, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gr.Run(context.Background(), 200); err != nil {
+		gr.Close()
+		t.Fatal(err)
+	}
+	want := gr.Epochs()
+	wantM := gr.Marginals()
+	gr.Close()
+	if want == 0 {
+		t.Fatal("no epochs ran")
+	}
+
+	// Resume: both shards come back at the checkpointed epoch and the
+	// restored counters reproduce the marginals.
+	gr2, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gr2.Epochs()
+	if got == 0 || got > want {
+		t.Errorf("resumed at epoch %d, want in (0, %d]", got, want)
+	}
+	if _, err := gr2.Run(context.Background(), 2); err != nil {
+		gr2.Close()
+		t.Fatal(err)
+	}
+	m2 := gr2.Marginals()
+	gr2.Close()
+	if d := testutil.MaxTV(m2, wantM); d > tvTol {
+		t.Errorf("resumed marginals diverged by %.4f", d)
+	}
+
+	// Torn generation: shard 1's file gone, shard 0 resumed → epochs differ.
+	if err := testutil.TearFile(shardCheckpointPath(opts.CheckpointPath, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A torn file fails shard 1's resume outright; that is also an
+	// acceptable (and named) failure. Remove it for the generation check.
+	if _, err := New(g, opts); err == nil {
+		t.Error("New succeeded with a torn shard checkpoint")
+	}
+}
+
+// TestShardedRunCancel: cancelling the run context stops every shard
+// without an error, and partial marginals stay readable.
+func TestShardedRunCancel(t *testing.T) {
+	defer testutil.GoroutineLeakCheck(t)()
+	g := mustGraph(t, testutil.Spec{Vars: 24, Domain: 2, Spatial: true, Seed: 83})
+	gr, err := New(g, testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st, err := gr.Run(ctx, 10000)
+	if err != nil {
+		t.Fatalf("cancelled run errored: %v", err)
+	}
+	if st.Reason != gibbs.ReasonCanceled {
+		t.Errorf("Reason = %v, want ReasonCanceled", st.Reason)
+	}
+	m := gr.Marginals()
+	if len(m) != g.NumVars() {
+		t.Fatalf("marginals over %d vars, want %d", len(m), g.NumVars())
+	}
+}
+
+// TestShardedGroupNoGoroutineLeak: construct, run, close — the pools and
+// transports all unwind.
+func TestShardedGroupNoGoroutineLeak(t *testing.T) {
+	defer testutil.GoroutineLeakCheck(t)()
+	g := mustGraph(t, testutil.Spec{Vars: 16, Domain: 2, Spatial: true, Seed: 97})
+	gr, err := New(g, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gr.Run(context.Background(), 100); err != nil {
+		t.Error(err)
+	}
+	gr.Close()
+	gr.Close() // idempotent
+}

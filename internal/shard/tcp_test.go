@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"net"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/gibbs/testutil"
+)
+
+// newTCPGroup binds n TCP transports on loopback ephemeral ports. The addrs
+// slice is shared and filled in as listeners bind (dialing is lazy, on
+// first Send, by which time every address is final).
+func newTCPGroup(t testing.TB, n int) []Transport {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	out := make([]Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := NewTCPTransport(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = tr.Addr()
+		out[i] = tr
+	}
+	return out
+}
+
+func TestTCPTransportRoundtrip(t *testing.T) {
+	trs := newTCPGroup(t, 2)
+	defer trs[0].Close()
+	defer trs[1].Close()
+	ctx := context.Background()
+	want := Message{Kind: MsgHalo, From: 0, Epoch: 7, Payload: []byte{1, 2, 3, 4}}
+	if err := trs[0].Send(ctx, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	got, err := trs[1].Recv(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.From != want.From || got.Epoch != want.Epoch ||
+		string(got.Payload) != string(want.Payload) {
+		t.Fatalf("received %+v, want %+v", got, want)
+	}
+}
+
+// TestTCPDialRetryBackoff: the peer's listener comes up after the first
+// Send attempt; the dialer retries with backoff until it appears.
+func TestTCPDialRetryBackoff(t *testing.T) {
+	// Reserve a port for the late peer, then free it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateAddr := ln.Addr().String()
+	ln.Close()
+
+	addrs := []string{"127.0.0.1:0", lateAddr}
+	t0, err := NewTCPTransport(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	addrs[0] = t0.Addr()
+
+	late := make(chan *TCPTransport, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		t1, err := NewTCPTransport(1, addrs)
+		if err != nil {
+			t.Error(err)
+			late <- nil
+			return
+		}
+		late <- t1
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := t0.Send(ctx, 1, Message{Kind: MsgHalo, From: 0, Epoch: 1}); err != nil {
+		t.Fatalf("send never reached the late listener: %v", err)
+	}
+	t1 := <-late
+	if t1 == nil {
+		return
+	}
+	defer t1.Close()
+	if m, err := t1.Recv(ctx); err != nil || m.Epoch != 1 {
+		t.Fatalf("Recv = %+v, %v", m, err)
+	}
+}
+
+// TestTCPCorruptFrameClosesConnection: a frame failing CRC never reaches
+// the inbox, and the reader drops the connection so the corruption is not
+// silently skipped.
+func TestTCPCorruptFrameClosesConnection(t *testing.T) {
+	trs := newTCPGroup(t, 2)
+	defer trs[0].Close()
+	defer trs[1].Close()
+	tr := trs[1].(*TCPTransport)
+
+	c, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], tcpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], tcpVersion)
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeMessage(Message{Kind: MsgHalo, From: 0, Epoch: 9})
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload)^0xdeadbeef)
+	copy(frame[8:], payload)
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// The reader must close the connection on the CRC failure...
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("connection still open after corrupt frame")
+	}
+	// ...and nothing reaches the inbox.
+	rctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if m, err := trs[1].Recv(rctx); err == nil {
+		t.Errorf("corrupt frame delivered: %+v", m)
+	}
+}
+
+// TestTCPGroupMatchesLocalBitIdentical: the transport carries state, it
+// does not touch the chains — a 2-shard group over TCP produces exactly
+// the marginals of the same group over in-process channels.
+func TestTCPGroupMatchesLocalBitIdentical(t *testing.T) {
+	g := mustGraph(t, testutil.Spec{Vars: 24, Domain: 2, Spatial: true, Seed: 45})
+	run := func(trs []Transport) [][]float64 {
+		opts := testOptions(2)
+		opts.Transports = trs
+		gr, err := New(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer gr.Close()
+		if _, err := gr.Run(context.Background(), 400); err != nil {
+			t.Fatal(err)
+		}
+		return gr.Marginals()
+	}
+	local := run(NewLocalTransports(2))
+	tcp := run(newTCPGroup(t, 2))
+	for v := range local {
+		for x := range local[v] {
+			if local[v][x] != tcp[v][x] {
+				t.Fatalf("marginal[%d][%d]: local %v, tcp %v — transports are not chain-transparent",
+					v, x, local[v][x], tcp[v][x])
+			}
+		}
+	}
+}
+
+// TestTCPTornConnectionMidEpoch is the failure-semantics test: one TCP
+// shard dies mid-run, the surviving coordinator returns an error naming
+// the dead shard, and nothing leaks.
+func TestTCPTornConnectionMidEpoch(t *testing.T) {
+	defer testutil.GoroutineLeakCheck(t)()
+	g := mustGraph(t, testutil.Spec{Vars: 24, Domain: 2, Spatial: true, SpatialPairs: 48, Seed: 59})
+	trs := newTCPGroup(t, 2)
+	opts := testOptions(2)
+	opts.Transports = trs
+	opts.ExchangeTimeout = 2 * time.Second
+	gr, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gr.Close()
+	if gr.ExchangeStats().BoundaryVars == 0 {
+		t.Fatal("test premise broken: shards are not neighbours")
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := gr.Run(context.Background(), 1<<20)
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	trs[1].Close() // shard 1's process "dies" mid-epoch
+
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("run survived a torn shard connection")
+		}
+		if !regexp.MustCompile(`shard(\(s\))? \[?1\]?`).MatchString(err.Error()) {
+			t.Errorf("error does not name the dead shard: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not fail after tearing shard 1's transport")
+	}
+}

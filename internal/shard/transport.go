@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// MsgKind discriminates shard-protocol messages.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	// MsgHalo carries one epoch's boundary-variable delta between two
+	// neighbouring shards.
+	MsgHalo MsgKind = 1
+	// MsgCounts carries a shard's interior marginal counts to the
+	// coordinator (shard 0) after a run.
+	MsgCounts MsgKind = 2
+)
+
+// Message is one framed shard-protocol message.
+type Message struct {
+	Kind    MsgKind
+	From    int
+	Epoch   uint64
+	Payload []byte
+}
+
+// Transport moves messages between the shards of one group. Each shard
+// holds one Transport; Send addresses peers by shard id and Recv returns
+// messages addressed to this shard, in arrival order. A group uses one
+// sending goroutine per shard, so implementations need not optimize for
+// concurrent Send — but must tolerate it. Close is idempotent and unblocks
+// pending Recv calls with an error.
+type Transport interface {
+	Send(ctx context.Context, to int, m Message) error
+	Recv(ctx context.Context) (Message, error)
+	Close() error
+}
+
+// errTransportClosed reports an operation on (or to) a closed transport.
+type errTransportClosed struct{ shard int }
+
+func (e errTransportClosed) Error() string {
+	return fmt.Sprintf("transport of shard %d closed", e.shard)
+}
+
+// localHub is the shared state of an in-process transport group: one
+// buffered inbox per shard. Capacity 4N covers the at-most-two-epochs of
+// halo frames in flight plus the final counts frames without ever blocking
+// a sender.
+type localHub struct {
+	inbox []chan Message
+	done  []chan struct{}
+	once  []sync.Once
+}
+
+// localTransport is one shard's endpoint of a localHub.
+type localTransport struct {
+	hub *localHub
+	id  int
+}
+
+// NewLocalTransports returns n connected in-process transports — N "nodes"
+// in one binary, exchanging halos over buffered channels. Transport i
+// belongs to shard i.
+func NewLocalTransports(n int) []Transport {
+	hub := &localHub{
+		inbox: make([]chan Message, n),
+		done:  make([]chan struct{}, n),
+		once:  make([]sync.Once, n),
+	}
+	for i := range hub.inbox {
+		hub.inbox[i] = make(chan Message, 4*n)
+		hub.done[i] = make(chan struct{})
+	}
+	out := make([]Transport, n)
+	for i := range out {
+		out[i] = &localTransport{hub: hub, id: i}
+	}
+	return out
+}
+
+func (t *localTransport) Send(ctx context.Context, to int, m Message) error {
+	if to < 0 || to >= len(t.hub.inbox) {
+		return fmt.Errorf("no shard %d", to)
+	}
+	select {
+	case <-t.hub.done[t.id]:
+		return errTransportClosed{t.id}
+	case <-t.hub.done[to]:
+		return errTransportClosed{to}
+	default:
+	}
+	select {
+	case t.hub.inbox[to] <- m:
+		return nil
+	case <-t.hub.done[t.id]:
+		return errTransportClosed{t.id}
+	case <-t.hub.done[to]:
+		return errTransportClosed{to}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (t *localTransport) Recv(ctx context.Context) (Message, error) {
+	// Drain buffered messages before honouring close/cancel, so frames
+	// delivered just before a shutdown are not lost.
+	select {
+	case m := <-t.hub.inbox[t.id]:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-t.hub.inbox[t.id]:
+		return m, nil
+	case <-t.hub.done[t.id]:
+		return Message{}, errTransportClosed{t.id}
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+func (t *localTransport) Close() error {
+	t.hub.once[t.id].Do(func() { close(t.hub.done[t.id]) })
+	return nil
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Halo payload: u32 entry count, then per changed boundary variable its
+// index into the (statically known, both-sides identical) per-direction
+// variable list followed by the K instances' values — the same sparse
+// touched-list shape the pool's count-delta merge uses. A variable absent
+// from the delta keeps its previous halo value on the receiver.
+
+// encodeHalo diffs the current var-major values (K per variable) against
+// last (nil on the first exchange: everything is sent) and returns the
+// sparse delta payload.
+func encodeHalo(cur, last []int32, k int) []byte {
+	nvars := len(cur) / k
+	changed := make([]int, 0, nvars)
+	for i := 0; i < nvars; i++ {
+		if last == nil {
+			changed = append(changed, i)
+			continue
+		}
+		for j := 0; j < k; j++ {
+			if cur[i*k+j] != last[i*k+j] {
+				changed = append(changed, i)
+				break
+			}
+		}
+	}
+	out := make([]byte, 0, 4+len(changed)*(4+4*k))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(changed)))
+	for _, i := range changed {
+		out = binary.LittleEndian.AppendUint32(out, uint32(i))
+		for j := 0; j < k; j++ {
+			out = binary.LittleEndian.AppendUint32(out, uint32(cur[i*k+j]))
+		}
+	}
+	return out
+}
+
+// decodeHalo parses a halo delta, calling apply for each entry with the
+// K values scratch slice (reused across calls).
+func decodeHalo(p []byte, k, nvars int, apply func(idx int, vals []int32) error) error {
+	if len(p) < 4 {
+		return fmt.Errorf("halo frame truncated (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p[0:4]))
+	p = p[4:]
+	if want := n * (4 + 4*k); len(p) != want {
+		return fmt.Errorf("halo frame size %d does not match %d entries × %d chains", len(p)+4, n, k)
+	}
+	vals := make([]int32, k)
+	for e := 0; e < n; e++ {
+		idx := int(binary.LittleEndian.Uint32(p[0:4]))
+		p = p[4:]
+		if idx < 0 || idx >= nvars {
+			return fmt.Errorf("halo frame entry %d: index %d outside boundary list (%d vars)", e, idx, nvars)
+		}
+		for j := 0; j < k; j++ {
+			vals[j] = int32(binary.LittleEndian.Uint32(p[0:4]))
+			p = p[4:]
+		}
+		if err := apply(idx, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counts payload: u32 row count, then per sampled interior variable its
+// full-graph id, domain size, and per-value counts — a sparse row set
+// (unsampled variables are omitted) drawn from the sampler's checkpoint
+// snapshot and merged by the coordinator into the global marginal view.
+
+// encodeCounts serializes the non-zero rows. vids[i] is rows[i]'s
+// full-graph variable id.
+func encodeCounts(vids []int64, rows [][]int64) []byte {
+	out := make([]byte, 0, 4)
+	n := 0
+	out = binary.LittleEndian.AppendUint32(out, 0) // patched below
+	for i, row := range rows {
+		var total int64
+		for _, c := range row {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		n++
+		out = binary.LittleEndian.AppendUint32(out, uint32(vids[i]))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(row)))
+		for _, c := range row {
+			out = binary.LittleEndian.AppendUint64(out, uint64(c))
+		}
+	}
+	binary.LittleEndian.PutUint32(out[0:4], uint32(n))
+	return out
+}
+
+// decodeCounts parses a counts payload, calling apply per row.
+func decodeCounts(p []byte, apply func(vid int, row []int64) error) error {
+	if len(p) < 4 {
+		return fmt.Errorf("counts frame truncated (%d bytes)", len(p))
+	}
+	n := int(binary.LittleEndian.Uint32(p[0:4]))
+	p = p[4:]
+	for e := 0; e < n; e++ {
+		if len(p) < 6 {
+			return fmt.Errorf("counts frame truncated at row %d", e)
+		}
+		vid := int(binary.LittleEndian.Uint32(p[0:4]))
+		dom := int(binary.LittleEndian.Uint16(p[4:6]))
+		p = p[6:]
+		if len(p) < 8*dom {
+			return fmt.Errorf("counts frame truncated at row %d values", e)
+		}
+		row := make([]int64, dom)
+		for j := 0; j < dom; j++ {
+			row[j] = int64(binary.LittleEndian.Uint64(p[0:8]))
+			p = p[8:]
+		}
+		if err := apply(vid, row); err != nil {
+			return err
+		}
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("counts frame has %d trailing bytes", len(p))
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHaloDeltaRoundtrip(t *testing.T) {
+	const k = 2
+	last := []int32{0, 1, 2, 0, 1, 1} // 3 vars × 2 chains
+	cur := []int32{0, 1, 2, 1, 1, 1}  // var 1 changed in chain 1 only
+	p := encodeHalo(cur, last, k)
+	got := map[int][]int32{}
+	if err := decodeHalo(p, k, 3, func(idx int, vals []int32) error {
+		got[idx] = append([]int32(nil), vals...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]int32{1: {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta decoded to %v, want %v", got, want)
+	}
+}
+
+func TestHaloNilLastSendsEverything(t *testing.T) {
+	const k = 3
+	cur := []int32{5, 6, 7, 8, 9, 10}
+	p := encodeHalo(cur, nil, k)
+	var n int
+	if err := decodeHalo(p, k, 2, func(idx int, vals []int32) error {
+		n++
+		for j := 0; j < k; j++ {
+			if vals[j] != cur[idx*k+j] {
+				t.Errorf("var %d chain %d = %d, want %d", idx, j, vals[j], cur[idx*k+j])
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d entries, want 2", n)
+	}
+}
+
+func TestHaloNoChangeIsEmptyDelta(t *testing.T) {
+	cur := []int32{1, 2, 3, 4}
+	p := encodeHalo(cur, cur, 2)
+	if len(p) != 4 {
+		t.Fatalf("no-change delta is %d bytes, want 4 (count only)", len(p))
+	}
+	if err := decodeHalo(p, 2, 2, func(int, []int32) error {
+		t.Fatal("apply called on empty delta")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloDecodeRejectsCorruption(t *testing.T) {
+	nop := func(int, []int32) error { return nil }
+	if err := decodeHalo([]byte{1, 2}, 2, 4, nop); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	// Valid shape, index outside the boundary list.
+	p := encodeHalo([]int32{7, 7}, nil, 2)
+	if err := decodeHalo(p, 2, 0, nop); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Size not matching the declared entry count.
+	if err := decodeHalo(p[:len(p)-1], 2, 1, nop); err == nil {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestCountsRoundtripSkipsZeroRows(t *testing.T) {
+	vids := []int64{4, 9, 11}
+	rows := [][]int64{{3, 5}, {0, 0}, {1, 0, 7}}
+	p := encodeCounts(vids, rows)
+	got := map[int][]int64{}
+	if err := decodeCounts(p, func(vid int, row []int64) error {
+		got[vid] = row
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]int64{4: {3, 5}, 11: {1, 0, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("counts decoded to %v, want %v", got, want)
+	}
+}
+
+func TestCountsDecodeRejectsCorruption(t *testing.T) {
+	nop := func(int, []int64) error { return nil }
+	if err := decodeCounts([]byte{9}, nop); err == nil {
+		t.Error("truncated header accepted")
+	}
+	p := encodeCounts([]int64{1}, [][]int64{{2, 3}})
+	if err := decodeCounts(p[:len(p)-3], nop); err == nil {
+		t.Error("truncated row accepted")
+	}
+	if err := decodeCounts(append(p, 0xff), nop); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestMessageRoundtrip(t *testing.T) {
+	m := Message{Kind: MsgCounts, From: 3, Epoch: 1 << 40, Payload: []byte{1, 2, 3}}
+	got, ok := decodeMessage(encodeMessage(m))
+	if !ok || !reflect.DeepEqual(got, m) {
+		t.Fatalf("decoded %+v (ok=%v), want %+v", got, ok, m)
+	}
+	if _, ok := decodeMessage([]byte{1, 2, 3}); ok {
+		t.Error("truncated message accepted")
+	}
+}
